@@ -1,0 +1,58 @@
+// Figure 8: cost model accuracy — measured vs predicted execution time of
+// randomly-shaped sub-tasks, per operator type. The paper reports
+// near-perfect accuracy everywhere except convolution, whose vendor kernel
+// applies black-box optimizations a linear model cannot capture.
+
+#include "bench/common.h"
+#include "src/core/cost_model.h"
+#include "src/util/stats.h"
+
+namespace t10 {
+namespace {
+
+void Run() {
+  bench::Header("Figure 8", "Cost model accuracy: measured vs predicted sub-task time");
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  FittedCostModel model = FittedCostModel::Fit(truth, 300, 17);
+
+  const int samples = bench::QuickMode() ? 40 : 200;
+  Table table({"Operator type", "Train R^2", "Held-out MAPE", "Max |err|", "Verdict"});
+  for (int c = 0; c < kNumKernelClasses; ++c) {
+    const KernelClass cls = static_cast<KernelClass>(c);
+    auto held_out = model.HeldOutSamples(truth, cls, samples, 4242);
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    double max_err = 0.0;
+    for (const auto& s : held_out) {
+      actual.push_back(s.actual_seconds);
+      predicted.push_back(s.predicted_seconds);
+      max_err = std::max(max_err,
+                         std::abs(s.predicted_seconds - s.actual_seconds) / s.actual_seconds);
+    }
+    const double mape = MeanAbsolutePercentageError(actual, predicted);
+    table.AddRow({KernelClassName(cls), FormatDouble(model.RSquared(cls), 4),
+                  FormatDouble(mape, 2) + "%", FormatDouble(100.0 * max_err, 1) + "%",
+                  mape < 10.0 ? "near-perfect" : "scattered (vendor black-box)"});
+  }
+  table.Print();
+
+  // Scatter sample for the two extreme classes (the figure's panels).
+  for (KernelClass cls : {KernelClass::kMatMul, KernelClass::kConv}) {
+    std::printf("\n%s scatter (measured_us predicted_us), first 12 held-out points:\n",
+                KernelClassName(cls));
+    auto held_out = model.HeldOutSamples(truth, cls, 12, 777);
+    for (const auto& s : held_out) {
+      std::printf("  %9.3f %9.3f\n", s.actual_seconds * 1e6, s.predicted_seconds * 1e6);
+    }
+  }
+  std::printf("\n");
+  bench::Note("Paper Fig 8: all types near-diagonal except Conv. Same pattern here.");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

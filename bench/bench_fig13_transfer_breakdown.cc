@@ -1,0 +1,61 @@
+// Figure 13: breakdown of end-to-end time into compute vs inter-core data
+// transfer, for Roller (VGM) and T10. Paper: Roller spends 50%-74% of time in
+// transfers; T10 reduces that to 8%-43%.
+
+#include "bench/common.h"
+#include "src/baselines/vgm.h"
+#include "src/core/compiler.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+void Run() {
+  bench::Header("Figure 13", "Inter-core data transfer share of end-to-end time");
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler t10c(chip);
+  VgmCompiler roller(chip, VgmPlanner::kRoller);
+
+  Table table({"Model", "BS", "Roller transfer%", "T10 transfer%"});
+  double roller_min = 1.0, roller_max = 0.0, t10_min = 1.0, t10_max = 0.0;
+  for (const ModelInfo& info : EvaluationModels()) {
+    std::vector<std::int64_t> batches = {info.batch_sizes.front(), info.batch_sizes.back()};
+    if (bench::QuickMode()) {
+      batches = {info.batch_sizes.front()};
+    }
+    for (std::int64_t batch : batches) {
+      Graph graph = info.build(batch);
+      CompiledModel t = t10c.Compile(graph);
+      VgmModelResult r = roller.Compile(graph);
+      std::string roller_cell = "*";
+      std::string t10_cell = "*";
+      if (r.fits) {
+        double f = r.TransferSeconds() / r.TotalSeconds();
+        roller_min = std::min(roller_min, f);
+        roller_max = std::max(roller_max, f);
+        roller_cell = bench::Pct(f);
+      }
+      if (t.fits) {
+        double f = t.ExchangeSeconds() / t.TotalSeconds();
+        t10_min = std::min(t10_min, f);
+        t10_max = std::max(t10_max, f);
+        t10_cell = bench::Pct(f);
+      }
+      table.AddRow({info.name, std::to_string(batch), roller_cell, t10_cell});
+    }
+  }
+  table.Print();
+  std::printf("Roller transfer share: %s-%s (paper: 50%%-74%%)\n", bench::Pct(roller_min).c_str(),
+              bench::Pct(roller_max).c_str());
+  std::printf("T10    transfer share: %s-%s (paper: 8%%-43%%)\n", bench::Pct(t10_min).c_str(),
+              bench::Pct(t10_max).c_str());
+  bench::Note("T10 transfer time includes rotations, reduce epilogues, setup and transitions.");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 14: average inter-core bandwidth utilized by each core during data
+// transfers. Paper: T10 achieves 4.42-4.73 GB/s of the 5.5 GB/s roofline;
+// Roller only 2.61-3.87 GB/s.
+
+#include "bench/common.h"
+#include "src/baselines/vgm.h"
+#include "src/core/compiler.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+void Run() {
+  bench::Header("Figure 14", "Average per-core inter-core bandwidth during transfers");
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler t10c(chip);
+  VgmCompiler roller(chip, VgmPlanner::kRoller);
+
+  Table table({"Model", "BS", "Roller", "T10", "Roofline"});
+  for (const ModelInfo& info : EvaluationModels()) {
+    // The paper reports a per-model average; use the largest fitting batch
+    // (transfers are most exercised there).
+    std::vector<std::int64_t> batches = {info.batch_sizes.back()};
+    if (!bench::QuickMode()) {
+      batches.insert(batches.begin(), info.batch_sizes[info.batch_sizes.size() / 2]);
+    }
+    for (std::int64_t batch : batches) {
+      Graph graph = info.build(batch);
+      CompiledModel t = t10c.Compile(graph);
+      VgmModelResult r = roller.Compile(graph);
+      table.AddRow({info.name, std::to_string(batch),
+                    r.fits ? bench::Gbps(r.AverageExchangeBandwidth()) : "*",
+                    t.fits ? bench::Gbps(t.AverageExchangeBandwidth()) : "*",
+                    bench::Gbps(chip.link_bandwidth)});
+    }
+  }
+  table.Print();
+  bench::Note(
+      "Paper: T10 4.42-4.73 GB/s vs Roller 2.61-3.87 GB/s; models that shift more data per step "
+      "(e.g. NeRF) utilize more of the link.");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

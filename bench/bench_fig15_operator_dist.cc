@@ -1,0 +1,77 @@
+// Figure 15: distribution of per-operator performance of T10 vs Roller, at
+// the smallest and largest batch size of each model. Paper: T10 improves
+// >80% of operators and slows <10%, with a best case of 10.79x (ResNet-BS8).
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/baselines/vgm.h"
+#include "src/core/compiler.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+void Run() {
+  bench::Header("Figure 15", "Per-operator speedup distribution, T10 vs Roller");
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler t10c(chip);
+  VgmCompiler roller(chip, VgmPlanner::kRoller);
+
+  Table table({"Model", "BS", "p10", "median", "p90", "max", "improved", "slowed"});
+  double global_max = 0.0;
+  double worst_improved = 1.0;
+  double worst_slowed = 0.0;
+  for (const ModelInfo& info : EvaluationModels()) {
+    for (std::int64_t batch : {info.batch_sizes.front(), info.batch_sizes.back()}) {
+      Graph graph = info.build(batch);
+      CompiledModel t = t10c.Compile(graph);
+      VgmModelResult r = roller.Compile(graph);
+      if (!t.fits || !r.fits) {
+        table.AddRow({info.name, std::to_string(batch), "*", "*", "*", "*", "*", "*"});
+        continue;
+      }
+      std::vector<double> speedups;
+      for (std::size_t i = 0; i < t.ops.size(); ++i) {
+        const double t10_s = t.ops[i].TotalSeconds();
+        const double roller_s = r.per_op[i].total_seconds();
+        if (t10_s > 0.0) {
+          speedups.push_back(roller_s / t10_s);
+        }
+      }
+      std::sort(speedups.begin(), speedups.end());
+      auto pct = [&](double p) {
+        return speedups[std::min(speedups.size() - 1,
+                                 static_cast<std::size_t>(p * speedups.size()))];
+      };
+      const double improved =
+          static_cast<double>(std::count_if(speedups.begin(), speedups.end(),
+                                            [](double s) { return s > 1.0; })) /
+          speedups.size();
+      const double slowed =
+          static_cast<double>(std::count_if(speedups.begin(), speedups.end(),
+                                            [](double s) { return s < 0.95; })) /
+          speedups.size();
+      global_max = std::max(global_max, speedups.back());
+      worst_improved = std::min(worst_improved, improved);
+      worst_slowed = std::max(worst_slowed, slowed);
+      table.AddRow({info.name, std::to_string(batch), FormatDouble(pct(0.10), 2) + "x",
+                    FormatDouble(pct(0.50), 2) + "x", FormatDouble(pct(0.90), 2) + "x",
+                    FormatDouble(speedups.back(), 2) + "x", bench::Pct(improved),
+                    bench::Pct(slowed)});
+    }
+  }
+  table.Print();
+  std::printf("Across all configs: >= %s of operators improved, <= %s slowed, best %.2fx\n",
+              bench::Pct(worst_improved).c_str(), bench::Pct(worst_slowed).c_str(), global_max);
+  bench::Note("Paper: >80%% improved, <10%% slowed, best 10.79x (ResNet-BS8).");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

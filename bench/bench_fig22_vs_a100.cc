@@ -1,0 +1,56 @@
+// Figure 22: IPU+T10 vs A100+TensorRT on the DNN inference set. Paper: T10
+// lets the IPU win at small batch sizes (up to 2.44x) where the GPU is
+// HBM-bandwidth-bound; at large batch both chips are FLOPs-bound and the
+// A100's higher peak wins.
+
+#include "bench/common.h"
+#include "src/baselines/gpu_roofline.h"
+#include "src/core/compiler.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+void Run() {
+  bench::Header("Figure 22", "IPU MK2 + T10 vs A100 + TensorRT (roofline)");
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler t10c(chip);
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+
+  Table table({"Model", "BS", "A100", "IPU+T10", "IPU/A100 speedup", "A100 regime"});
+  double best = 0.0;
+  for (const ModelInfo& info : EvaluationModels()) {
+    std::vector<std::int64_t> batches = info.batch_sizes;
+    if (bench::QuickMode() && batches.size() > 2) {
+      batches = {batches.front(), batches.back()};
+    }
+    for (std::int64_t batch : batches) {
+      Graph graph = info.build(batch);
+      CompiledModel t = t10c.Compile(graph);
+      GpuModelResult g = gpu.Run(graph);
+      std::string speedup = "-";
+      if (t.fits) {
+        const double s = g.TotalSeconds() / t.TotalSeconds();
+        best = std::max(best, s);
+        speedup = FormatDouble(s, 2) + "x";
+      }
+      table.AddRow({info.name, std::to_string(batch), bench::Ms(g.TotalSeconds()),
+                    t.fits ? bench::Ms(t.TotalSeconds()) : "*", speedup,
+                    g.MemoryBoundFraction() > 0.5 ? "HBM-bound" : "FLOPs-bound"});
+    }
+  }
+  table.Print();
+  std::printf("Best IPU+T10 speedup over A100: %.2fx (paper: up to 2.44x at small batch)\n",
+              best);
+  bench::Note(
+      "Crossover as in the paper: IPU wins while the A100 is HBM-bound (small batch); the A100 "
+      "takes over once both are FLOPs-bound (it has higher peak FP16 throughput).");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Google-benchmark microbenchmarks of the compiler's hot paths: plan
+// geometry derivation, plan cost evaluation, intra-op search, and the
+// functional executor. These are the operations Fig 18/19's compile-time
+// numbers are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/compiler.h"
+#include "src/core/functional.h"
+#include "src/core/search.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+const Operator& BenchOp() {
+  static const Operator* op =
+      new Operator(MatMulOp("mm", 512, 1024, 1024, DataType::kF16, "A", "B", "C"));
+  return *op;
+}
+
+void BM_PlanCreate(benchmark::State& state) {
+  const Operator& op = BenchOp();
+  for (auto _ : state) {
+    auto plan = ExecutionPlan::Create(op, {32, 46, 1}, {{1, 23}, {1, 1}, {1, 1}});
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanCreate);
+
+void BM_PlanEvaluate(benchmark::State& state) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  GroundTruthTiming timing(chip);
+  auto plan = ExecutionPlan::Create(BenchOp(), {32, 46, 1}, {{1, 23}, {1, 1}, {1, 1}});
+  for (auto _ : state) {
+    PlanMetrics metrics = plan->Evaluate(timing, chip);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_PlanEvaluate);
+
+void BM_CostModelPredict(benchmark::State& state) {
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  FittedCostModel model = FittedCostModel::Fit(truth, 120, 3);
+  SubTaskShape shape;
+  shape.kind = OpKind::kContraction;
+  shape.flops = 2.0 * 64 * 64 * 64;
+  shape.in_bytes = 2 * 64 * 64 * 2;
+  shape.out_bytes = 64 * 64 * 2;
+  shape.inner_length = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SubTaskSeconds(shape));
+  }
+}
+BENCHMARK(BM_CostModelPredict);
+
+void BM_IntraOpSearch(benchmark::State& state) {
+  ChipSpec chip = ChipSpec::ScaledIpu(static_cast<int>(state.range(0)));
+  GroundTruthTiming timing(chip);
+  const Operator& op = BenchOp();
+  for (auto _ : state) {
+    IntraOpResult result = SearchOperatorPlans(op, chip, timing);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IntraOpSearch)->Arg(368)->Arg(1472)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalMatMul(benchmark::State& state) {
+  Operator op = MatMulOp("mm", 8, 24, 6, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {4, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  std::vector<HostTensor> inputs = {RandomHostTensor({8, 24}, 1),
+                                    RandomHostTensor({24, 6}, 2)};
+  for (auto _ : state) {
+    HostTensor out = ExecutePlanFunctionally(*plan, inputs);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FunctionalMatMul)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace t10
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared helpers for the figure-reproduction benches. Every bench prints a
+// header naming the figure it regenerates, emits its rows through
+// t10::Table, and ends with a short "paper vs measured" note that
+// EXPERIMENTS.md collects.
+
+#ifndef T10_BENCH_COMMON_H_
+#define T10_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/table.h"
+
+namespace t10 {
+namespace bench {
+
+inline void Header(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("NOTE: %s\n\n", text.c_str()); }
+
+// Set T10_BENCH_QUICK=1 to run reduced sweeps (CI smoke mode).
+inline bool QuickMode() {
+  const char* env = std::getenv("T10_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::string Ms(double seconds) { return FormatDouble(seconds * 1e3, 3) + "ms"; }
+
+inline std::string Gbps(double bytes_per_second) {
+  return FormatDouble(bytes_per_second / 1e9, 2) + "GB/s";
+}
+
+inline std::string Pct(double fraction) { return FormatDouble(fraction * 100.0, 1) + "%"; }
+
+}  // namespace bench
+}  // namespace t10
+
+#endif  // T10_BENCH_COMMON_H_

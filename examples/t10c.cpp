@@ -1,0 +1,105 @@
+// t10c: a command-line compiler driver. Reads a model in the text format,
+// compiles it for a simulated inter-core connected chip, and prints a
+// report; optionally emits the generated kernel program and an execution
+// trace.
+//
+//   $ ./examples/t10c model.t10 [--cores N] [--code out.cpp] [--trace out.json]
+//   $ ./examples/t10c --demo          # built-in demo model
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/core/codegen.h"
+#include "src/core/compiler.h"
+#include "src/core/memory_planner.h"
+#include "src/core/trace_export.h"
+#include "src/ir/parser.h"
+#include "src/util/table.h"
+
+namespace {
+
+const char* kDemoModel = R"(
+model demo-mlp
+matmul name=fc1 m=64 k=512 n=1024 a=x b=w1 c=h1 weight=w1
+unary  name=gelu shape=64x1024 in=h1 out=h2 cost=8
+matmul name=fc2 m=64 k=1024 n=512 a=h2 b=w2 c=y weight=w2
+)";
+
+void Usage() {
+  std::printf(
+      "usage: t10c <model.t10> [--cores N] [--code out.cpp] [--trace out.json]\n"
+      "       t10c --demo\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace t10;
+  std::string model_path;
+  std::string code_path;
+  std::string trace_path;
+  int cores = 1472;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--cores") == 0 && i + 1 < argc) {
+      cores = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--code") == 0 && i + 1 < argc) {
+      code_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      model_path = argv[i];
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (!demo && model_path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  Graph graph = demo ? ParseModelText(kDemoModel) : ParseModelFile(model_path);
+  ChipSpec chip = cores == 1472 ? ChipSpec::IpuMk2() : ChipSpec::ScaledIpu(cores);
+  std::printf("t10c: compiling '%s' (%d ops) for %s...\n", graph.name().c_str(),
+              graph.num_ops(), chip.name.c_str());
+
+  Compiler compiler(chip);
+  CompiledModel model = compiler.Compile(graph);
+  if (!model.fits) {
+    std::printf("error: model does not fit the distributed on-chip memory\n");
+    return 1;
+  }
+
+  Table table({"op", "cores", "steps", "exec", "setup", "mem/core", "plans"});
+  for (const CompiledOp& op : model.ops) {
+    table.AddRow({graph.op(op.op_index).name(), std::to_string(op.measured.cores_used),
+                  std::to_string(op.measured.steps),
+                  FormatSeconds(op.measured.total_seconds()), FormatSeconds(op.setup_seconds),
+                  FormatBytes(op.measured.per_core_bytes), std::to_string(op.pareto_count)});
+  }
+  table.Print();
+
+  MemoryPlan memory = PlanMemory(model, graph, chip);
+  std::printf("\ntotal %s (compute %s, inter-core %s) | compile %s | peak memory %s/core\n",
+              FormatSeconds(model.TotalSeconds()).c_str(),
+              FormatSeconds(model.ComputeSeconds()).c_str(),
+              FormatSeconds(model.ExchangeSeconds()).c_str(),
+              FormatSeconds(model.compile_wall_seconds).c_str(),
+              FormatBytes(memory.peak_bytes).c_str());
+
+  if (!code_path.empty()) {
+    std::ofstream file(code_path);
+    file << GenerateModelCode(model, graph);
+    std::printf("kernel program written to %s\n", code_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    TraceCompiledModel(model, graph).WriteFile(trace_path);
+    std::printf("execution trace written to %s\n", trace_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "src/baselines/gpu_roofline.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace {
+
+// Fraction of activation traffic that actually reaches HBM; TensorRT fuses
+// pointwise chains, keeping part of the intermediate traffic in cache.
+constexpr double kActivationTrafficFactor = 0.7;
+
+}  // namespace
+
+double GpuModelResult::TotalSeconds() const {
+  double total = 0.0;
+  for (const GpuOpCost& op : per_op) {
+    total += op.total_seconds();
+  }
+  return total;
+}
+
+double GpuModelResult::MemoryBoundFraction() const {
+  double bound = 0.0;
+  double total = 0.0;
+  for (const GpuOpCost& op : per_op) {
+    total += op.total_seconds();
+    if (op.memory_bound()) {
+      bound += op.total_seconds();
+    }
+  }
+  return total > 0.0 ? bound / total : 0.0;
+}
+
+GpuRooflineExecutor::GpuRooflineExecutor(const GpuSpec& spec) : spec_(spec) {
+  T10_CHECK_GT(spec_.peak_flops, 0.0);
+  T10_CHECK_GT(spec_.hbm_bandwidth, 0.0);
+}
+
+GpuOpCost GpuRooflineExecutor::RunOp(const Graph& graph, const Operator& op) const {
+  GpuOpCost cost;
+  cost.launch_seconds = spec_.kernel_launch_seconds;
+  cost.flops_bound_seconds = op.Flops() / (spec_.peak_flops * spec_.flops_efficiency);
+
+  // HBM traffic: weights always stream (one pass per inference); activations
+  // pay a partial round trip; small weight tensors that fit the L2 together
+  // still stream once, so no special case changes a single forward pass.
+  std::int64_t weight_bytes = 0;
+  std::int64_t activation_bytes = op.OutputBytes();
+  for (const TensorRef& input : op.inputs()) {
+    const TensorInfo& info = graph.tensor(input.name);
+    if (info.is_weight) {
+      weight_bytes += info.bytes;
+    } else {
+      activation_bytes += ByteSize(op.axes(), input);
+    }
+  }
+  cost.hbm_bytes = weight_bytes +
+                   static_cast<std::int64_t>(kActivationTrafficFactor *
+                                             static_cast<double>(activation_bytes));
+  cost.memory_bound_seconds =
+      static_cast<double>(cost.hbm_bytes) / (spec_.hbm_bandwidth * spec_.hbm_efficiency);
+  return cost;
+}
+
+GpuModelResult GpuRooflineExecutor::Run(const Graph& graph) const {
+  GpuModelResult result;
+  result.model_name = graph.name();
+  for (const Operator& op : graph.ops()) {
+    result.per_op.push_back(RunOp(graph, op));
+  }
+  return result;
+}
+
+}  // namespace t10

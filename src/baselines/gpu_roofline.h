@@ -1,0 +1,60 @@
+// A100 + TensorRT comparison point (paper §6.6, §6.7).
+//
+// The paper's argument needs only the roofline behaviour of a shared-memory
+// GPU: per operator, execution time is the maximum of the FLOPs bound and the
+// HBM-traffic bound plus a kernel-launch overhead. Weights stream from HBM
+// every inference (the 40 MB L2 cannot pin large layers); activations make an
+// HBM round trip between non-fused operators. This reproduces the crossover
+// the paper reports: at small batch the GPU is bandwidth-bound and the IPU's
+// on-chip residency wins (up to 2.44x / 16.38x for LLMs); at large batch both
+// are FLOPs-bound and the A100's higher peak wins.
+
+#ifndef T10_SRC_BASELINES_GPU_ROOFLINE_H_
+#define T10_SRC_BASELINES_GPU_ROOFLINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hardware/chip_spec.h"
+#include "src/ir/graph.h"
+
+namespace t10 {
+
+struct GpuOpCost {
+  double flops_bound_seconds = 0.0;
+  double memory_bound_seconds = 0.0;
+  double launch_seconds = 0.0;
+  std::int64_t hbm_bytes = 0;
+
+  double total_seconds() const {
+    return std::max(flops_bound_seconds, memory_bound_seconds) + launch_seconds;
+  }
+  bool memory_bound() const { return memory_bound_seconds > flops_bound_seconds; }
+};
+
+struct GpuModelResult {
+  std::string model_name;
+  std::vector<GpuOpCost> per_op;
+
+  double TotalSeconds() const;
+  // Fraction of operators (time-weighted) limited by HBM bandwidth.
+  double MemoryBoundFraction() const;
+};
+
+class GpuRooflineExecutor {
+ public:
+  explicit GpuRooflineExecutor(const GpuSpec& spec);
+
+  GpuModelResult Run(const Graph& graph) const;
+  GpuOpCost RunOp(const Graph& graph, const Operator& op) const;
+
+  const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_BASELINES_GPU_ROOFLINE_H_

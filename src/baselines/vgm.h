@@ -1,0 +1,104 @@
+// Virtual-global-memory (VGM) baselines (paper §2.2).
+//
+// Existing compilers treat the distributed scratchpads as one shared memory:
+// every core reserves a slice of its local memory for the VGM, all model
+// tensors live sharded in that reserve, and the active operator runs
+// load-compute-store tiles against it. This module models that execution
+// faithfully enough to reproduce its two measured pathologies:
+//   - inter-core transfer time at 50-74% of end-to-end execution (Fig 13),
+//     with per-core link utilization of only ~2.6-3.9 GB/s (Fig 14), caused
+//     by scattered remote fetches and owner-side contention; and
+//   - memory waste: the VGM reserve + duplicated active tiles shrink the
+//     usable sub-operator region (Fig 2b), forcing smaller tiles with less
+//     reuse and earlier OOM at large batch sizes (Fig 12).
+//
+// Three planners share the execution model:
+//   - Roller-like: greedy aligned-tile construction maximizing compute
+//     intensity under the memory budget (ROLLER, OSDI'22).
+//   - Ansor-like: randomized sampling over the same tile space (paper §6.2:
+//     "They have similar performance by exploring the same optimization
+//     space").
+//   - PopART-like: the vendor-library heuristic — split the first parallel
+//     axis across cores, whole tiles otherwise, plus framework overhead.
+
+#ifndef T10_SRC_BASELINES_VGM_H_
+#define T10_SRC_BASELINES_VGM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hardware/kernel_truth.h"
+#include "src/ir/graph.h"
+
+namespace t10 {
+
+enum class VgmPlanner {
+  kRoller,
+  kAnsor,
+  kPopart,
+};
+
+const char* VgmPlannerName(VgmPlanner planner);
+
+// Cost of one operator under the VGM model.
+struct VgmOpCost {
+  std::vector<std::int64_t> tile;  // Tile extent per operator axis.
+  std::int64_t num_tiles = 0;
+  std::int64_t waves = 0;          // ceil(num_tiles / cores).
+  double load_seconds = 0.0;       // VGM -> local fetches.
+  double compute_seconds = 0.0;
+  double store_seconds = 0.0;      // Local -> VGM write-back.
+  double overhead_seconds = 0.0;   // Framework overhead (PopART).
+  std::int64_t transfer_bytes = 0; // Per-core VGM traffic.
+  std::int64_t tile_bytes = 0;     // Local working set of one tile.
+
+  double transfer_seconds() const { return load_seconds + store_seconds; }
+  double total_seconds() const {
+    return load_seconds + compute_seconds + store_seconds + overhead_seconds;
+  }
+};
+
+struct VgmModelResult {
+  std::string model_name;
+  bool fits = true;
+  std::vector<VgmOpCost> per_op;
+  std::int64_t vgm_reserve_bytes = 0;  // Per-core VGM slice.
+
+  double TotalSeconds() const;
+  double ComputeSeconds() const;
+  double TransferSeconds() const;
+  // Average per-core bandwidth achieved while moving data (Fig 14).
+  double AverageExchangeBandwidth() const;
+};
+
+class VgmCompiler {
+ public:
+  VgmCompiler(const ChipSpec& chip, VgmPlanner planner);
+
+  // Compiles and costs a whole model. `fits == false` when the VGM reserve
+  // plus the smallest viable tile exceed some core's memory.
+  VgmModelResult Compile(const Graph& graph) const;
+
+  // Plans one operator given the per-core bytes available to the tile
+  // working set. Returns nullopt when no tile fits.
+  std::optional<VgmOpCost> PlanOp(const Operator& op, std::int64_t tile_budget) const;
+
+  // The per-core VGM reserve this model requires: all persistent weights plus
+  // the largest concurrently-live activation set, sharded over all cores.
+  std::int64_t VgmReserveBytes(const Graph& graph) const;
+
+  const ChipSpec& chip() const { return chip_; }
+
+ private:
+  VgmOpCost CostTile(const Operator& op, const std::vector<std::int64_t>& tile) const;
+
+  ChipSpec chip_;
+  VgmPlanner planner_;
+  KernelGroundTruth truth_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_BASELINES_VGM_H_

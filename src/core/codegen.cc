@@ -1,0 +1,211 @@
+#include "src/core/codegen.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+namespace t10 {
+namespace {
+
+// C type of an element.
+const char* CType(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF16:
+      return "half";
+    case DataType::kF32:
+      return "float";
+    case DataType::kI32:
+      return "int";
+  }
+  return "?";
+}
+
+std::string VertexName(const Operator& op) {
+  switch (op.kind()) {
+    case OpKind::kContraction:
+      return op.name() + "_ContractionVertex";
+    case OpKind::kElementwise:
+      return op.name() + "_MapVertex";
+    case OpKind::kReduceSum:
+      return op.name() + "_ReduceVertex";
+    case OpKind::kGather:
+      return op.name() + "_GatherVertex";
+    case OpKind::kVendor:
+      return op.name() + "_VendorVertex";
+  }
+  return "Vertex";
+}
+
+// The per-core sub-task loop nest: the vertex body every core executes each
+// step, reading only core-local windows.
+void EmitVertexBody(std::ostringstream& out, const ExecutionPlan& plan) {
+  const Operator& op = plan.op();
+  const std::vector<Axis>& axes = op.axes();
+  SubTaskShape task = plan.StepSubTask();
+
+  out << "class " << VertexName(op) << " : public Vertex {\n public:\n";
+  for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+    out << "  Input<Vector<" << CType(op.inputs()[i].dtype) << ">> " << op.inputs()[i].name
+        << ";  // window: " << FormatBytes(plan.tensors()[i].window_bytes) << "\n";
+  }
+  out << "  InOut<Vector<" << CType(op.output().dtype) << ">> " << op.output().name
+      << ";  // accumulator: " << FormatBytes(plan.output_plan().window_bytes) << "\n";
+  out << "\n  bool compute() {  // " << FormatDouble(task.flops, 0) << " flops/step\n";
+
+  // Loop nest over the sub-task extents (rotated axes iterate rp elements).
+  std::string indent = "    ";
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    std::int64_t extent = plan.axis_slices()[a];
+    for (const RotationLoop& loop : plan.loops()) {
+      if (loop.axis == static_cast<int>(a)) {
+        extent = loop.pace;
+      }
+    }
+    out << indent << "for (int " << axes[a].name << " = 0; " << axes[a].name << " < " << extent
+        << "; ++" << axes[a].name << ") {"
+        << (axes[a].reduction ? "  // reduction" : "") << "\n";
+    indent += "  ";
+  }
+  auto index_of = [&](const TensorRef& t) {
+    std::ostringstream idx;
+    idx << t.name << "[";
+    for (std::size_t d = 0; d < t.dims.size(); ++d) {
+      if (d > 0) {
+        idx << "][";
+      }
+      const DimRef& dim = t.dims[d];
+      if (dim.compound()) {
+        if (dim.stride != 1) {
+          idx << dim.stride << "*";
+        }
+        idx << axes[dim.axis].name << "+" << axes[dim.minor_axis].name;
+      } else {
+        idx << axes[dim.axis].name;
+      }
+    }
+    idx << "]";
+    return idx.str();
+  };
+  out << indent << index_of(op.output());
+  switch (op.kind()) {
+    case OpKind::kContraction:
+      out << " += ";
+      for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+        if (i > 0) {
+          out << " * ";
+        }
+        out << index_of(op.inputs()[i]);
+      }
+      break;
+    case OpKind::kElementwise:
+      out << " = f(";
+      for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << index_of(op.inputs()[i]);
+      }
+      out << ")";
+      break;
+    case OpKind::kReduceSum:
+      out << " += " << index_of(op.inputs()[0]);
+      break;
+    case OpKind::kGather:
+      out << " = gather(" << op.inputs()[1].name << ", " << op.inputs()[0].name << ")";
+      break;
+    case OpKind::kVendor:
+      out << " = vendor_kernel(" << op.inputs()[0].name << ")";
+      break;
+  }
+  out << ";\n";
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    indent.resize(indent.size() - 2);
+    out << indent << "}\n";
+  }
+  out << "    return true;\n  }\n};\n";
+}
+
+}  // namespace
+
+std::string GenerateKernelCode(const ExecutionPlan& plan) {
+  const Operator& op = plan.op();
+  DeviceProgram program = LowerPlan(plan);
+  std::ostringstream out;
+
+  out << "// ==== " << op.DebugString() << "\n";
+  out << "// plan: " << plan.DebugString() << "\n";
+  EmitVertexBody(out, plan);
+
+  out << "\nProgram build_" << op.name() << "(Graph& g) {\n";
+  // allocate / mapToCore (Figure 11 left side).
+  for (const TensorAllocation& alloc : program.allocations) {
+    out << "  // " << alloc.name << ": " << FormatBytes(alloc.window_bytes)
+        << " window per core";
+    if (!alloc.rings.empty()) {
+      out << ", " << alloc.rings.size() << " rotation ring(s) of " << alloc.rings.front().size()
+          << " cores";
+    }
+    out << "\n";
+    if (alloc.rings.empty()) {
+      out << "  " << alloc.name << ".mapToCores(all_used_cores);\n";
+    } else {
+      for (std::size_t r = 0; r < std::min<std::size_t>(alloc.rings.size(), 2); ++r) {
+        out << "  " << alloc.name << ".window(" << r << ").mapToRing({";
+        for (std::size_t i = 0; i < alloc.rings[r].size(); ++i) {
+          out << (i > 0 ? "," : "") << alloc.rings[r][i];
+        }
+        out << "});\n";
+      }
+      if (alloc.rings.size() > 2) {
+        out << "  // ... " << alloc.rings.size() - 2 << " more rings elided\n";
+      }
+    }
+  }
+
+  // Step loop: homogeneous ComputeSets and shifts (Figure 11 right side).
+  out << "  Sequence program;\n";
+  out << "  ComputeSet cs = g.addComputeSet(\"" << op.name() << "\");  // "
+      << program.cores_used << " x " << VertexName(op) << "\n";
+  const std::size_t steps = program.steps.size();
+  out << "  for (int step = 0; step < " << steps << "; ++step) {\n";
+  out << "    program.add(Execute(cs));\n";
+  if (!program.steps.empty()) {
+    for (const ShiftSet& shift : program.steps.front().shifts) {
+      out << "    program.add(Shift(" << program.allocations[shift.operand].name << ", "
+          << shift.slab_bytes << " /*bytes via " << FormatBytes(8192)
+          << " pseudo-shift buffer*/));\n";
+    }
+  }
+  out << "  }\n";
+  if (program.epilogue_rounds > 0) {
+    out << "  program.add(ReduceScatter(" << op.output().name << ", /*rounds=*/"
+        << program.epilogue_rounds << ", /*chunk=*/" << program.epilogue_chunk_bytes
+        << "));\n";
+  }
+  out << "  return program;\n}\n";
+  return out.str();
+}
+
+std::string GenerateModelCode(const CompiledModel& model, const Graph& graph) {
+  std::ostringstream out;
+  out << "// T10-generated program for model '" << graph.name() << "'\n";
+  out << "// " << model.ops.size() << " operators, idle weights "
+      << FormatBytes(model.idle_bytes_per_core) << "/core, peak "
+      << FormatBytes(model.memory_peak_bytes) << "/core\n\n";
+  for (const CompiledOp& op : model.ops) {
+    if (op.setup_seconds > 0.0) {
+      out << "// setup: redistribute " << FormatBytes(op.setup_bytes)
+          << "/core of weights (idle -> active layout), " << FormatSeconds(op.setup_seconds)
+          << "\n";
+    }
+    if (op.transition_seconds > 0.0) {
+      out << "// transition: all-to-all relayout of inputs, "
+          << FormatSeconds(op.transition_seconds) << "\n";
+    }
+    out << GenerateKernelCode(op.active_plan) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace t10

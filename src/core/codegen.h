@@ -1,0 +1,35 @@
+// Kernel code generation (paper §4.4 "compute functions" and Figure 11).
+//
+// T10's backend emits, per operator, a device program in the vendor's
+// programming model: tensor-to-core mappings (t.mapToCore(i)), homogeneous
+// per-step ComputeSets of vertices, inter-core shifts between steps, and the
+// C++ vertex bodies that run on each core. Without the Poplar SDK the
+// emitted code cannot be compiled for a real IPU, but it is the same
+// artifact structurally: reviewers and tests can read exactly what each core
+// executes and when each tensor moves. The generator works from the lowered
+// DeviceProgram, so emitted shifts/steps match the simulator's execution
+// bit-for-bit.
+
+#ifndef T10_SRC_CORE_CODEGEN_H_
+#define T10_SRC_CORE_CODEGEN_H_
+
+#include <string>
+
+#include "src/core/compiler.h"
+#include "src/core/device_program.h"
+
+namespace t10 {
+
+// Emits the Figure-11-style program for one plan: allocation/mapping
+// declarations, the step loop with ComputeSets and shifts, the epilogue, and
+// the vertex class implementing the per-core sub-task.
+std::string GenerateKernelCode(const ExecutionPlan& plan);
+
+// Emits the whole model's program: a prelude (chip configuration), one
+// kernel program per operator in execution order, with setup/transition
+// annotations from the compiled schedule.
+std::string GenerateModelCode(const CompiledModel& model, const Graph& graph);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_CODEGEN_H_

@@ -1,0 +1,268 @@
+#include "src/core/compiler.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/core/memory_planner.h"
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+namespace {
+
+// True if the producing plan's output layout equals the consuming plan's
+// expectation for the same tensor (same spatial slicing, same windows, same
+// replication) — in that case no inter-operator exchange is needed.
+bool LayoutsMatch(const RTensorPlan& produced, const RTensorPlan& consumed) {
+  return produced.spatial == consumed.spatial && produced.temporal == consumed.temporal &&
+         produced.window == consumed.window && produced.replicas == consumed.replicas &&
+         produced.share_cores == consumed.share_cores;
+}
+
+// All-to-all re-layout of one intermediate tensor across the chip (paper §5,
+// "Inter-operator transition"): every core sends and receives its share.
+double TransitionSeconds(std::int64_t tensor_bytes, const ChipSpec& chip) {
+  const double per_core_bytes =
+      static_cast<double>(tensor_bytes) / static_cast<double>(chip.num_cores);
+  return chip.sync_latency_seconds + 2.0 * per_core_bytes / chip.EffectiveLinkBandwidth();
+}
+
+}  // namespace
+
+double CompiledModel::TotalSeconds() const {
+  double total = 0.0;
+  for (const CompiledOp& op : ops) {
+    total += op.TotalSeconds();
+  }
+  return total;
+}
+
+double CompiledModel::ComputeSeconds() const {
+  double total = 0.0;
+  for (const CompiledOp& op : ops) {
+    total += op.measured.compute_seconds;
+  }
+  return total;
+}
+
+double CompiledModel::ExchangeSeconds() const {
+  double total = 0.0;
+  for (const CompiledOp& op : ops) {
+    total += op.measured.exchange_seconds + op.measured.epilogue_seconds + op.setup_seconds +
+             op.transition_seconds;
+  }
+  return total;
+}
+
+double CompiledModel::SetupSeconds() const {
+  double total = 0.0;
+  for (const CompiledOp& op : ops) {
+    total += op.setup_seconds;
+  }
+  return total;
+}
+
+double CompiledModel::AverageExchangeBandwidth() const {
+  // All per-core data movement (rotations, epilogues, setup, transitions)
+  // over all per-core transfer time — Fig 14's "average inter-core bandwidth
+  // utilized by each core during inter-core data transfers".
+  double transfer_seconds = 0.0;
+  double bytes = 0.0;
+  for (const CompiledOp& op : ops) {
+    transfer_seconds += op.measured.exchange_seconds + op.measured.epilogue_seconds +
+                        op.setup_seconds + op.transition_seconds;
+    bytes += static_cast<double>(op.measured.shift_bytes_per_core + op.setup_bytes +
+                                 op.transition_bytes);
+  }
+  return transfer_seconds > 0.0 ? bytes / transfer_seconds : 0.0;
+}
+
+Compiler::Compiler(const ChipSpec& chip, CompileOptions options)
+    : chip_(chip),
+      options_(options),
+      truth_(chip),
+      cost_model_(FittedCostModel::Fit(truth_.truth(), options.cost_model_samples)) {}
+
+std::string Compiler::OpSignature(const Operator& op) {
+  std::ostringstream sig;
+  sig << OpKindName(op.kind()) << "/" << op.elementwise_cost() << "/";
+  for (const Axis& axis : op.axes()) {
+    sig << axis.length << (axis.reduction ? "r" : "p") << ",";
+  }
+  auto tensor_sig = [&sig](const TensorRef& t) {
+    sig << "|" << DataTypeName(t.dtype);
+    for (const DimRef& dim : t.dims) {
+      sig << ":" << dim.axis;
+      if (dim.compound()) {
+        sig << "*" << dim.stride << "+" << dim.minor_axis;
+      }
+    }
+  };
+  for (const TensorRef& input : op.inputs()) {
+    tensor_sig(input);
+  }
+  tensor_sig(op.output());
+  return sig.str();
+}
+
+IntraOpResult Compiler::SearchOp(const Operator& op) {
+  const std::string signature = OpSignature(op);
+  auto it = cache_.find(signature);
+  if (it != cache_.end()) {
+    const CachedSearch& cached = it->second;
+    IntraOpResult result;
+    result.complete_space_log10 = cached.complete_space_log10;
+    result.filtered_count = cached.filtered_count;
+    for (std::size_t i = 0; i < cached.fops.size(); ++i) {
+      auto plan = ExecutionPlan::Create(op, cached.fops[i], cached.temporals[i]);
+      T10_CHECK(plan.has_value()) << "cached plan invalid for " << op.name();
+      PlanMetrics predicted = plan->Evaluate(cost_model_, chip_);
+      result.pareto.push_back(PlanCandidate{std::move(*plan), predicted});
+    }
+    return result;
+  }
+
+  IntraOpResult result = SearchOperatorPlans(op, chip_, cost_model_, options_.constraints);
+  CachedSearch cached;
+  cached.complete_space_log10 = result.complete_space_log10;
+  cached.filtered_count = result.filtered_count;
+  for (const PlanCandidate& candidate : result.pareto) {
+    cached.fops.push_back(candidate.plan.fop());
+    std::vector<std::vector<std::int64_t>> temporal;
+    for (const RTensorPlan& tp : candidate.plan.tensors()) {
+      temporal.push_back(tp.temporal);
+    }
+    cached.temporals.push_back(std::move(temporal));
+  }
+  cache_.emplace(signature, std::move(cached));
+  return result;
+}
+
+CompiledModel Compiler::Compile(const Graph& graph) {
+  const auto start = std::chrono::steady_clock::now();
+  CompiledModel out;
+  out.model_name = graph.name();
+
+  // Stage 1: intra-operator Pareto search (cached by signature).
+  std::vector<IntraOpResult> searches;
+  searches.reserve(static_cast<std::size_t>(graph.num_ops()));
+  for (const Operator& op : graph.ops()) {
+    searches.push_back(SearchOp(op));
+    if (searches.back().pareto.empty()) {
+      // Some operator cannot fit the distributed memory under any plan.
+      out.fits = false;
+      out.compile_wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return out;
+    }
+  }
+
+  // Stage 2: inter-operator memory reconciliation over the Pareto sets.
+  std::vector<InterOpOperator> inter_ops(static_cast<std::size_t>(graph.num_ops()));
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    const Operator& op = graph.op(i);
+    InterOpOperator& io = inter_ops[static_cast<std::size_t>(i)];
+    io.name = op.name();
+    std::vector<int> weight_operands;
+    for (std::size_t j = 0; j < op.inputs().size(); ++j) {
+      if (graph.tensor(op.inputs()[j].name).is_weight) {
+        weight_operands.push_back(static_cast<int>(j));
+      }
+    }
+    for (std::size_t j = 0; j < searches[static_cast<std::size_t>(i)].pareto.size(); ++j) {
+      const PlanCandidate& candidate = searches[static_cast<std::size_t>(i)].pareto[j];
+      OpPlanOption option;
+      option.plan_index = static_cast<int>(j);
+      option.exec_seconds = candidate.predicted.total_seconds();
+      option.active_bytes = candidate.predicted.per_core_bytes;
+      for (int w : weight_operands) {
+        option.weight_windows.push_back(candidate.plan.OperandWindowBytes(w));
+        option.weight_bytes += option.weight_windows.back();
+      }
+      io.options.push_back(std::move(option));
+    }
+  }
+  // Stages 2+3 iterate to a fixpoint: Algorithm 1 budgets Σidle + active,
+  // but activations held for later consumers (residual connections) also
+  // occupy memory. The liveness-based memory plan (§4.4) measures the true
+  // peak; if it overshoots, the reconciliation budget shrinks by the
+  // overshoot and the schedule is rebuilt.
+  std::int64_t budget = chip_.core_memory_bytes;
+  std::int64_t last_shrink = 0;
+  for (int attempt = 0;; ++attempt) {
+    InterOpSchedule schedule = ReconcileInterOp(inter_ops, chip_, budget,
+                                                options_.inter_op_reconcile ? -1 : 1);
+    out.fits = schedule.feasible;
+    out.reconcile_trajectory = schedule.trajectory;
+    out.idle_bytes_per_core = schedule.idle_bytes_per_core;
+    if (!schedule.feasible) {
+      break;
+    }
+    out.ops.clear();
+    MaterializeOps(graph, searches, inter_ops, schedule, out);
+    const MemoryPlan memory_plan = PlanMemory(out, graph, chip_);
+    out.memory_peak_bytes = memory_plan.peak_bytes;
+    if (memory_plan.fits) {
+      break;
+    }
+    // Shrink by at least twice the previous shrink so sub-granularity
+    // overshoots (smaller than any plan-size delta) cannot stall the loop.
+    const std::int64_t overshoot = memory_plan.peak_bytes - chip_.core_memory_bytes;
+    const std::int64_t shrink = std::max(overshoot, 2 * last_shrink);
+    last_shrink = shrink;
+    budget -= shrink;
+    T10_LOG(Info) << graph.name() << ": memory plan overshoots by " << overshoot
+                  << "B, retrying with budget " << budget;
+    if (attempt >= 6 || budget <= 0) {
+      out.fits = false;
+      out.ops.clear();
+      break;
+    }
+  }
+  out.compile_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+void Compiler::MaterializeOps(const Graph& graph, const std::vector<IntraOpResult>& searches,
+                              const std::vector<InterOpOperator>& inter_ops,
+                              const InterOpSchedule& schedule, CompiledModel& out) {
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    const Operator& op = graph.op(i);
+    const IntraOpResult& search = searches[static_cast<std::size_t>(i)];
+    const OpSchedule& sched = schedule.per_op[static_cast<std::size_t>(i)];
+    CompiledOp compiled;
+    compiled.op_index = i;
+    compiled.active_plan = search.pareto[static_cast<std::size_t>(sched.active_option)].plan;
+    compiled.idle_plan = search.pareto[static_cast<std::size_t>(sched.idle_option)].plan;
+    compiled.predicted = search.pareto[static_cast<std::size_t>(sched.active_option)].predicted;
+    compiled.measured = compiled.active_plan.Evaluate(truth_, chip_);
+    compiled.setup_seconds = sched.setup_seconds;
+    compiled.setup_bytes = SetupFetchBytes(
+        inter_ops[static_cast<std::size_t>(i)].options[static_cast<std::size_t>(sched.idle_option)],
+        inter_ops[static_cast<std::size_t>(i)]
+            .options[static_cast<std::size_t>(sched.active_option)]);
+    compiled.complete_space_log10 = search.complete_space_log10;
+    compiled.filtered_count = search.filtered_count;
+    compiled.pareto_count = static_cast<std::int64_t>(search.pareto.size());
+
+    // Layout transitions for on-chip intermediate inputs.
+    for (std::size_t j = 0; j < op.inputs().size(); ++j) {
+      const TensorInfo& info = graph.tensor(op.inputs()[j].name);
+      if (info.producer < 0) {
+        continue;  // Weights and graph inputs: no on-chip relayout.
+      }
+      const CompiledOp& producer = out.ops[static_cast<std::size_t>(info.producer)];
+      const RTensorPlan& produced = producer.active_plan.output_plan();
+      const RTensorPlan& consumed = compiled.active_plan.tensors()[j];
+      if (!LayoutsMatch(produced, consumed)) {
+        compiled.transition_seconds += TransitionSeconds(info.bytes, chip_);
+        // Each core sends and receives its share of the tensor.
+        compiled.transition_bytes += 2 * CeilDiv(info.bytes, chip_.num_cores);
+      }
+    }
+    out.ops.push_back(std::move(compiled));
+  }
+}
+
+}  // namespace t10

@@ -1,0 +1,120 @@
+// End-to-end T10 compiler (paper §4, Figure 4).
+//
+// Pipeline: parse/accept an operator graph -> fit the cost model (once per
+// chip) -> intra-operator Pareto search per operator, with a signature cache
+// so repeated layers compile once (paper §6.3: "each operator's final plans
+// can be cached and reused for identical operators") -> holistic
+// inter-operator memory reconciliation -> final "measured" metrics computed
+// against the hardware ground truth, including inter-operator layout
+// transitions.
+
+#ifndef T10_SRC_CORE_COMPILER_H_
+#define T10_SRC_CORE_COMPILER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/inter_op.h"
+#include "src/core/plan.h"
+#include "src/core/search.h"
+#include "src/ir/graph.h"
+
+namespace t10 {
+
+struct CompileOptions {
+  SearchConstraints constraints;
+  // When false, idle layouts stay minimal and no memory is traded for setup
+  // time (the policy Fig 20 attributes to Roller); used for ablations.
+  bool inter_op_reconcile = true;
+  int cost_model_samples = 240;
+};
+
+struct CompiledOp {
+  int op_index = -1;
+  ExecutionPlan active_plan;
+  ExecutionPlan idle_plan;       // Weight layout between executions.
+  PlanMetrics predicted;         // Under the fitted cost model.
+  PlanMetrics measured;          // Under the hardware ground truth.
+  double setup_seconds = 0.0;      // Idle -> active weight redistribution.
+  double transition_seconds = 0.0; // Input layout mismatch exchange (§5).
+  std::int64_t setup_bytes = 0;      // Per-core bytes fetched during setup.
+  std::int64_t transition_bytes = 0; // Per-core bytes crossing links in transitions.
+  // Intra-op search statistics for this op's signature (Fig 18).
+  double complete_space_log10 = 0.0;
+  std::int64_t filtered_count = 0;
+  std::int64_t pareto_count = 0;
+
+  double TotalSeconds() const {
+    return setup_seconds + transition_seconds + measured.total_seconds();
+  }
+};
+
+struct CompiledModel {
+  std::string model_name;
+  bool fits = true;  // False if the model cannot fit the distributed memory.
+  std::vector<CompiledOp> ops;
+  std::int64_t idle_bytes_per_core = 0;
+  // Peak per-core usage from the liveness-based memory plan (§4.4); the
+  // compiler iterates the reconciliation budget until this fits.
+  std::int64_t memory_peak_bytes = 0;
+  std::vector<ReconcileStep> reconcile_trajectory;  // Fig 20.
+  double compile_wall_seconds = 0.0;
+
+  double TotalSeconds() const;
+  double ComputeSeconds() const;
+  // All inter-core traffic time: rotations, epilogues, setup, transitions.
+  double ExchangeSeconds() const;
+  double SetupSeconds() const;
+  // Average per-core link bandwidth achieved during data movement (Fig 14).
+  double AverageExchangeBandwidth() const;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const ChipSpec& chip, CompileOptions options = {});
+
+  // Compiles a model. The returned CompiledModel borrows the Graph's
+  // operators; the Graph must outlive it.
+  CompiledModel Compile(const Graph& graph);
+
+  // Intra-op search for a single operator, going through the signature cache.
+  // The result's plans reference `op`.
+  IntraOpResult SearchOp(const Operator& op);
+
+  const ChipSpec& chip() const { return chip_; }
+  const FittedCostModel& cost_model() const { return cost_model_; }
+  const GroundTruthTiming& ground_truth() const { return truth_; }
+  // Distinct operator signatures searched so far (cache size).
+  int num_cached_signatures() const { return static_cast<int>(cache_.size()); }
+
+ private:
+  // Cached plan *configurations* (not plans, which would dangle across
+  // graphs): enough to rebuild the Pareto set against any same-signature op.
+  struct CachedSearch {
+    std::vector<std::vector<std::int64_t>> fops;
+    std::vector<std::vector<std::vector<std::int64_t>>> temporals;
+    double complete_space_log10 = 0.0;
+    std::int64_t filtered_count = 0;
+  };
+
+  static std::string OpSignature(const Operator& op);
+
+  // Builds CompiledOps for every operator from the chosen schedule options.
+  void MaterializeOps(const Graph& graph, const std::vector<IntraOpResult>& searches,
+                      const std::vector<InterOpOperator>& inter_ops,
+                      const InterOpSchedule& schedule, CompiledModel& out);
+
+  ChipSpec chip_;
+  CompileOptions options_;
+  GroundTruthTiming truth_;
+  FittedCostModel cost_model_;
+  std::map<std::string, CachedSearch> cache_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_COMPILER_H_

@@ -1,0 +1,368 @@
+#include "src/core/functional.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace t10 {
+namespace {
+
+std::int64_t FlatIndex(const std::vector<std::int64_t>& shape,
+                       const std::vector<std::int64_t>& index) {
+  T10_CHECK_EQ(shape.size(), index.size());
+  std::int64_t flat = 0;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    T10_CHECK_GE(index[d], 0);
+    T10_CHECK_LT(index[d], shape[d]);
+    flat = flat * shape[d] + index[d];
+  }
+  return flat;
+}
+
+// Iterates an odometer over `extents`, invoking fn(tuple) for each tuple.
+template <typename Fn>
+void ForEachTuple(const std::vector<std::int64_t>& extents, Fn&& fn) {
+  std::vector<std::int64_t> tuple(extents.size(), 0);
+  for (const std::int64_t e : extents) {
+    if (e == 0) {
+      return;
+    }
+  }
+  while (true) {
+    fn(tuple);
+    std::size_t d = extents.size();
+    while (d-- > 0) {
+      if (++tuple[d] < extents[d]) {
+        break;
+      }
+      tuple[d] = 0;
+      if (d == 0) {
+        return;
+      }
+    }
+    if (d == static_cast<std::size_t>(-1)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+HostTensor HostTensor::Zeros(std::vector<std::int64_t> shape) {
+  HostTensor t;
+  std::int64_t elements = 1;
+  for (std::int64_t s : shape) {
+    T10_CHECK_GT(s, 0);
+    elements *= s;
+  }
+  t.shape = std::move(shape);
+  t.data.assign(static_cast<std::size_t>(elements), 0.0f);
+  return t;
+}
+
+std::int64_t HostTensor::NumElements() const {
+  return static_cast<std::int64_t>(data.size());
+}
+
+float& HostTensor::at(const std::vector<std::int64_t>& index) {
+  return data[static_cast<std::size_t>(FlatIndex(shape, index))];
+}
+
+float HostTensor::at(const std::vector<std::int64_t>& index) const {
+  return data[static_cast<std::size_t>(FlatIndex(shape, index))];
+}
+
+HostTensor RandomHostTensor(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  HostTensor t = HostTensor::Zeros(std::move(shape));
+  Rng rng(seed);
+  for (float& v : t.data) {
+    v = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  }
+  return t;
+}
+
+HostTensor ReferenceExecute(const Operator& op, const std::vector<HostTensor>& inputs) {
+  T10_CHECK_EQ(inputs.size(), op.inputs().size());
+  T10_CHECK(op.kind() == OpKind::kContraction || op.kind() == OpKind::kElementwise ||
+            op.kind() == OpKind::kReduceSum)
+      << "no tensor-expression semantics for " << OpKindName(op.kind());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    T10_CHECK(inputs[i].shape == TensorShape(op.axes(), op.inputs()[i]))
+        << "input " << i << " shape mismatch for " << op.name();
+  }
+  HostTensor out = HostTensor::Zeros(TensorShape(op.axes(), op.output()));
+
+  std::vector<std::int64_t> extents;
+  for (const Axis& axis : op.axes()) {
+    extents.push_back(axis.length);
+  }
+  auto operand_index = [](const TensorRef& tensor, const std::vector<std::int64_t>& tuple) {
+    std::vector<std::int64_t> index;
+    index.reserve(tensor.dims.size());
+    for (const DimRef& dim : tensor.dims) {
+      std::int64_t v = tuple[dim.axis];
+      if (dim.compound()) {
+        v = dim.stride * v + tuple[dim.minor_axis];
+      }
+      index.push_back(v);
+    }
+    return index;
+  };
+  ForEachTuple(extents, [&](const std::vector<std::int64_t>& tuple) {
+    float value;
+    if (op.kind() == OpKind::kContraction) {
+      value = 1.0f;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        value *= inputs[i].at(operand_index(op.inputs()[i], tuple));
+      }
+    } else {
+      // Elementwise: identity (1 input) or addition (2 inputs); ReduceSum:
+      // accumulate the single input.
+      value = inputs[0].at(operand_index(op.inputs()[0], tuple));
+      if (inputs.size() > 1) {
+        value += inputs[1].at(operand_index(op.inputs()[1], tuple));
+      }
+    }
+    out.at(operand_index(op.output(), tuple)) += value;
+  });
+  return out;
+}
+
+HostTensor ExecutePlanFunctionally(const ExecutionPlan& plan,
+                                   const std::vector<HostTensor>& inputs,
+                                   FunctionalStats* stats) {
+  const Operator& op = plan.op();
+  T10_CHECK(op.kind() == OpKind::kContraction || op.kind() == OpKind::kElementwise ||
+            op.kind() == OpKind::kReduceSum)
+      << "functional execution unsupported for " << OpKindName(op.kind());
+  T10_CHECK_EQ(inputs.size(), op.inputs().size());
+
+  const std::vector<Axis>& axes = op.axes();
+  const std::vector<std::int64_t>& fop = plan.fop();
+  const std::vector<std::int64_t>& slice = plan.axis_slices();
+  const std::size_t num_axes = axes.size();
+
+  // Operand views: inputs then output.
+  std::vector<const TensorRef*> operands;
+  for (const TensorRef& input : op.inputs()) {
+    operands.push_back(&input);
+  }
+  operands.push_back(&op.output());
+
+  // Distinct missing-axis sets are required for the co-start placement to be
+  // a valid partition assignment (holds for all tensor-expression operators
+  // built by this IR; see header comment).
+  for (std::size_t a = 0; a < num_axes; ++a) {
+    int rotating_users = 0;
+    for (std::size_t ti = 0; ti < operands.size(); ++ti) {
+      for (int d : plan.tensors()[ti].rotating_dims) {
+        if (operands[ti]->dims[d].axis == static_cast<int>(a)) {
+          ++rotating_users;
+        }
+      }
+    }
+    if (rotating_users > 1) {
+      for (std::size_t t1 = 0; t1 < operands.size(); ++t1) {
+        for (std::size_t t2 = t1 + 1; t2 < operands.size(); ++t2) {
+          for (std::size_t b = 0; b < num_axes; ++b) {
+            bool missing1 = !Operator::TensorUsesAxis(*operands[t1], static_cast<int>(b));
+            bool missing2 = !Operator::TensorUsesAxis(*operands[t2], static_cast<int>(b));
+            T10_CHECK(!(missing1 && missing2 && fop[b] > 1))
+                << "co-rotating tensors share missing axis " << axes[b].name;
+          }
+        }
+      }
+    }
+  }
+
+  // Map rotated axes to their loop (for step counters).
+  std::vector<int> axis_loop(num_axes, -1);
+  std::vector<std::int64_t> axis_rp(num_axes, 0);
+  for (std::size_t i = 0; i < plan.loops().size(); ++i) {
+    axis_loop[plan.loops()[i].axis] = static_cast<int>(i);
+    axis_rp[plan.loops()[i].axis] = plan.loops()[i].pace;
+  }
+
+  // Per-core geometry.
+  const std::int64_t num_cores = plan.cores_used();
+  struct CoreState {
+    std::vector<std::int64_t> coord;   // Grid coordinate per axis.
+    std::vector<std::int64_t> offset;  // Global offset per axis.
+    std::vector<std::int64_t> phase;   // phi_a per axis (0 when not rotated).
+  };
+  std::vector<CoreState> cores(static_cast<std::size_t>(num_cores));
+  for (std::int64_t c = 0; c < num_cores; ++c) {
+    CoreState& core = cores[static_cast<std::size_t>(c)];
+    core.coord.resize(num_axes);
+    core.offset.resize(num_axes);
+    std::int64_t rest = c;
+    for (std::size_t a = num_axes; a-- > 0;) {
+      core.coord[a] = rest % fop[a];
+      rest /= fop[a];
+      core.offset[a] = core.coord[a] * slice[a];
+    }
+    core.phase.assign(num_axes, 0);
+    for (std::size_t ti = 0; ti < operands.size(); ++ti) {
+      const RTensorPlan& tp = plan.tensors()[ti];
+      if (tp.rotating_dims.empty()) {
+        continue;
+      }
+      // Rank of this core within the tensor's sharing group (row-major over
+      // missing axes), then ring position and per-dim window indices.
+      std::int64_t rank = 0;
+      for (std::size_t a = 0; a < num_axes; ++a) {
+        if (!Operator::TensorUsesAxis(*operands[ti], static_cast<int>(a))) {
+          rank = rank * fop[a] + core.coord[a];
+        }
+      }
+      std::int64_t ring_pos = rank % tp.ring_size;
+      // Decompose ring position over rotating dims, innermost last.
+      std::vector<std::int64_t> pos(tp.rotating_dims.size());
+      for (std::size_t k = tp.rotating_dims.size(); k-- > 0;) {
+        const std::int64_t ft = tp.temporal[static_cast<std::size_t>(tp.rotating_dims[k])];
+        pos[k] = ring_pos % ft;
+        ring_pos /= ft;
+      }
+      for (std::size_t k = 0; k < tp.rotating_dims.size(); ++k) {
+        const int d = tp.rotating_dims[k];
+        const int a = operands[ti]->dims[d].axis;
+        const std::int64_t w = tp.window[static_cast<std::size_t>(d)];
+        core.phase[static_cast<std::size_t>(a)] =
+            (core.phase[static_cast<std::size_t>(a)] + pos[k] * w) % slice[a];
+      }
+    }
+  }
+
+  HostTensor out = HostTensor::Zeros(TensorShape(axes, op.output()));
+  FunctionalStats local_stats;
+
+  // Loop strides: stride[i] = product of steps of loops inside loop i.
+  const std::vector<RotationLoop>& loops = plan.loops();
+  std::vector<std::int64_t> stride(loops.size() + 1, 1);
+  for (std::size_t i = loops.size(); i-- > 0;) {
+    stride[i] = stride[i + 1] * loops[i].steps;
+  }
+  const std::int64_t total_steps = plan.total_steps();
+  local_stats.steps = total_steps;
+
+  for (std::int64_t s = 0; s < total_steps; ++s) {
+    std::vector<std::int64_t> counter(loops.size());
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      counter[i] = (s / stride[i + 1]) % loops[i].steps;
+    }
+    for (const CoreState& core : cores) {
+      // Sub-task block start (local coordinates) and extents per axis.
+      std::vector<std::int64_t> block_start(num_axes);
+      std::vector<std::int64_t> extent(num_axes);
+      for (std::size_t a = 0; a < num_axes; ++a) {
+        if (axis_loop[a] >= 0) {
+          block_start[a] =
+              (core.phase[a] + counter[static_cast<std::size_t>(axis_loop[a])] * axis_rp[a]) %
+              slice[a];
+          extent[a] = axis_rp[a];
+        } else {
+          block_start[a] = 0;
+          extent[a] = slice[a];
+        }
+      }
+      ForEachTuple(extent, [&](const std::vector<std::int64_t>& tuple) {
+        // Local (within the core's sub-operator slice) and global axis values.
+        std::vector<std::int64_t> local(num_axes);
+        std::vector<std::int64_t> global(num_axes);
+        for (std::size_t a = 0; a < num_axes; ++a) {
+          local[a] = (block_start[a] + tuple[a]) % slice[a];
+          global[a] = core.offset[a] + local[a];
+          if (global[a] >= axes[a].length) {
+            return;  // Padding region: no work.
+          }
+        }
+        // Locality check: every operand element must be within the core's
+        // current windows.
+        for (std::size_t ti = 0; ti < operands.size(); ++ti) {
+          const RTensorPlan& tp = plan.tensors()[ti];
+          for (std::size_t d = 0; d < operands[ti]->dims.size(); ++d) {
+            const DimRef& dim = operands[ti]->dims[d];
+            std::int64_t local_coord = local[static_cast<std::size_t>(dim.axis)];
+            if (dim.compound()) {
+              local_coord =
+                  dim.stride * local_coord + local[static_cast<std::size_t>(dim.minor_axis)];
+            }
+            const std::int64_t sub_len = tp.sub_shape[d];
+            const std::int64_t w = tp.window[d];
+            if (w == sub_len) {
+              T10_CHECK_LT(local_coord, sub_len) << op.name();
+            } else {
+              const int a = dim.axis;
+              const std::int64_t wstart =
+                  (core.phase[static_cast<std::size_t>(a)] +
+                   counter[static_cast<std::size_t>(axis_loop[static_cast<std::size_t>(a)])] *
+                       axis_rp[static_cast<std::size_t>(a)]) %
+                  sub_len;
+              const std::int64_t rel = ((local_coord - wstart) % sub_len + sub_len) % sub_len;
+              T10_CHECK_LT(rel, w)
+                  << "locality violation: op " << op.name() << " tensor " << operands[ti]->name
+                  << " dim " << d << " step " << s;
+            }
+            ++local_stats.locality_checks;
+          }
+        }
+        // Compute.
+        auto operand_value = [&](std::size_t ti) {
+          std::vector<std::int64_t> index;
+          const TensorRef& t = *operands[ti];
+          index.reserve(t.dims.size());
+          for (const DimRef& dim : t.dims) {
+            std::int64_t v = global[static_cast<std::size_t>(dim.axis)];
+            if (dim.compound()) {
+              v = dim.stride * v + global[static_cast<std::size_t>(dim.minor_axis)];
+            }
+            index.push_back(v);
+          }
+          return inputs[ti].at(index);
+        };
+        float value;
+        if (op.kind() == OpKind::kContraction) {
+          value = 1.0f;
+          for (std::size_t ti = 0; ti < inputs.size(); ++ti) {
+            value *= operand_value(ti);
+          }
+        } else {
+          value = operand_value(0);
+          if (inputs.size() > 1) {
+            value += operand_value(1);
+          }
+        }
+        std::vector<std::int64_t> out_index;
+        out_index.reserve(op.output().dims.size());
+        for (const DimRef& dim : op.output().dims) {
+          out_index.push_back(global[static_cast<std::size_t>(dim.axis)]);
+        }
+        out.at(out_index) += value;
+      });
+    }
+    // Shift accounting: loop i advances after step s iff (s+1) is a multiple
+    // of its inner stride.
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      if ((s + 1) % stride[i + 1] != 0) {
+        continue;
+      }
+      for (std::size_t ti = 0; ti < operands.size(); ++ti) {
+        const RTensorPlan& tp = plan.tensors()[ti];
+        for (int d : tp.rotating_dims) {
+          if (operands[ti]->dims[d].axis != loops[i].axis) {
+            continue;
+          }
+          const std::int64_t w = tp.window[static_cast<std::size_t>(d)];
+          local_stats.shift_bytes_per_core += tp.window_bytes * loops[i].pace / w;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return out;
+}
+
+}  // namespace t10

@@ -1,0 +1,185 @@
+#include "src/core/inter_op.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Total idle weight bytes under the current idle choices.
+std::int64_t TotalIdleBytes(const std::vector<InterOpOperator>& ops,
+                            const std::vector<int>& idle) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    total += ops[i].options[static_cast<std::size_t>(idle[i])].weight_bytes;
+  }
+  return total;
+}
+
+// For every operator, picks the fastest active plan that fits in
+// budget - (idle bytes of all *other* operators), and computes the end-to-end
+// time. Returns infinity if some operator has no fitting plan.
+double AssignActivePlans(const std::vector<InterOpOperator>& ops, const ChipSpec& chip,
+                         std::int64_t budget, const std::vector<int>& idle,
+                         std::vector<int>& active_out) {
+  const std::int64_t total_idle = TotalIdleBytes(ops, idle);
+  double total_seconds = 0.0;
+  active_out.assign(ops.size(), -1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OpPlanOption& idle_opt = ops[i].options[static_cast<std::size_t>(idle[i])];
+    const std::int64_t others_idle = total_idle - idle_opt.weight_bytes;
+    const std::int64_t available = budget - others_idle;
+    double best_time = kInfinity;
+    int best = -1;
+    for (std::size_t j = 0; j < ops[i].options.size(); ++j) {
+      const OpPlanOption& option = ops[i].options[j];
+      if (option.active_bytes > available) {
+        continue;
+      }
+      const double time = option.exec_seconds + SetupSeconds(idle_opt, option, chip);
+      if (time < best_time) {
+        best_time = time;
+        best = static_cast<int>(j);
+      }
+    }
+    if (best < 0) {
+      return kInfinity;
+    }
+    active_out[i] = best;
+    total_seconds += best_time;
+  }
+  return total_seconds;
+}
+
+}  // namespace
+
+std::int64_t SetupFetchBytes(const OpPlanOption& idle, const OpPlanOption& active) {
+  if (idle.plan_index == active.plan_index) {
+    return 0;
+  }
+  T10_CHECK_EQ(idle.weight_windows.size(), active.weight_windows.size());
+  std::int64_t fetch_bytes = 0;
+  for (std::size_t w = 0; w < active.weight_windows.size(); ++w) {
+    // A core's active window is filled from data already on chip; whatever
+    // its idle window already covers need not move.
+    fetch_bytes += std::max<std::int64_t>(0, active.weight_windows[w] - idle.weight_windows[w]);
+  }
+  return fetch_bytes;
+}
+
+double SetupSeconds(const OpPlanOption& idle, const OpPlanOption& active, const ChipSpec& chip) {
+  const std::int64_t fetch_bytes = SetupFetchBytes(idle, active);
+  if (fetch_bytes == 0) {
+    return 0.0;
+  }
+  return chip.sync_latency_seconds +
+         static_cast<double>(fetch_bytes) / chip.EffectiveLinkBandwidth();
+}
+
+InterOpSchedule ReconcileInterOp(const std::vector<InterOpOperator>& ops, const ChipSpec& chip,
+                                 std::int64_t memory_budget_per_core, int max_steps) {
+  InterOpSchedule schedule;
+  if (ops.empty()) {
+    schedule.feasible = true;
+    return schedule;
+  }
+  for (const InterOpOperator& op : ops) {
+    T10_CHECK(!op.options.empty()) << op.name << " has no plan options";
+  }
+
+  // Line 2-3: start every operator at its most memory-efficient idle layout.
+  std::vector<int> idle(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    int best = 0;
+    for (std::size_t j = 1; j < ops[i].options.size(); ++j) {
+      if (ops[i].options[j].weight_bytes <
+          ops[i].options[static_cast<std::size_t>(best)].weight_bytes) {
+        best = static_cast<int>(j);
+      }
+    }
+    idle[i] = best;
+  }
+
+  double best_time = kInfinity;
+  std::vector<int> best_idle;
+  std::vector<int> best_active;
+
+  std::vector<int> active;
+  int steps_taken = 0;
+  while (max_steps < 0 || steps_taken++ < max_steps) {
+    const std::int64_t idle_bytes = TotalIdleBytes(ops, idle);
+    if (idle_bytes > memory_budget_per_core) {
+      break;  // Line 6 guard.
+    }
+    // Lines 7-9: refit active plans, estimate end-to-end time.
+    const double time = AssignActivePlans(ops, chip, memory_budget_per_core, idle, active);
+    schedule.trajectory.push_back(ReconcileStep{idle_bytes, time, time < kInfinity});
+    if (time < best_time) {  // Lines 10-12.
+      best_time = time;
+      best_idle = idle;
+      best_active = active;
+    }
+
+    // Line 13: the operator whose next idle layout buys the most setup time
+    // per byte of idle memory.
+    double best_ratio = -1.0;
+    std::size_t best_op = ops.size();
+    int best_option = -1;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (active.empty() || active[i] < 0) {
+        continue;
+      }
+      const OpPlanOption& current_idle = ops[i].options[static_cast<std::size_t>(idle[i])];
+      const OpPlanOption& current_active = ops[i].options[static_cast<std::size_t>(active[i])];
+      const double current_setup = SetupSeconds(current_idle, current_active, chip);
+      for (std::size_t j = 0; j < ops[i].options.size(); ++j) {
+        const OpPlanOption& candidate = ops[i].options[j];
+        const std::int64_t delta_mem = candidate.weight_bytes - current_idle.weight_bytes;
+        if (delta_mem <= 0) {
+          continue;
+        }
+        const double delta_setup =
+            current_setup - SetupSeconds(candidate, current_active, chip);
+        if (delta_setup <= 0.0) {
+          continue;
+        }
+        const double ratio = delta_setup / static_cast<double>(delta_mem);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_op = i;
+          best_option = static_cast<int>(j);
+        }
+      }
+    }
+    if (best_op == ops.size()) {
+      break;  // No operator can trade memory for setup time any more.
+    }
+    idle[best_op] = best_option;  // Lines 14-15.
+  }
+
+  if (best_time == kInfinity) {
+    schedule.feasible = false;
+    return schedule;
+  }
+  schedule.feasible = true;
+  schedule.total_seconds = best_time;
+  schedule.idle_bytes_per_core = TotalIdleBytes(ops, best_idle);
+  schedule.per_op.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    OpSchedule& s = schedule.per_op[i];
+    s.idle_option = best_idle[i];
+    s.active_option = best_active[i];
+    const OpPlanOption& idle_opt = ops[i].options[static_cast<std::size_t>(s.idle_option)];
+    const OpPlanOption& active_opt = ops[i].options[static_cast<std::size_t>(s.active_option)];
+    s.setup_seconds = SetupSeconds(idle_opt, active_opt, chip);
+    s.exec_seconds = active_opt.exec_seconds;
+    schedule.setup_seconds += s.setup_seconds;
+  }
+  return schedule;
+}
+
+}  // namespace t10

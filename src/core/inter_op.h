@@ -1,0 +1,83 @@
+// Holistic inter-operator memory reconciliation (paper §4.3.2, Algorithm 1).
+//
+// Every operator holds its persistent weights on-chip even while idle. Each
+// operator therefore gets two plans: an *idle* weight layout (minimal memory)
+// and an *active* execution plan (minimal latency). Turning idle into active
+// costs a setup phase that re-distributes weight partitions over the
+// inter-core links. Algorithm 1 greedily spends idle memory where it buys the
+// most setup time: each step moves the operator with the best
+// -dT_setup/dM_idle ratio to a roomier idle layout, re-fits every operator's
+// active plan into the remaining memory, and keeps the best end-to-end
+// configuration seen.
+
+#ifndef T10_SRC_CORE_INTER_OP_H_
+#define T10_SRC_CORE_INTER_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hardware/chip_spec.h"
+
+namespace t10 {
+
+// One Pareto-optimal plan of an operator, reduced to what Algorithm 1 needs.
+struct OpPlanOption {
+  int plan_index = -1;         // Index into the operator's Pareto set.
+  double exec_seconds = 0.0;   // Predicted execution time when active.
+  std::int64_t active_bytes = 0;  // Per-core footprint while executing.
+  std::int64_t weight_bytes = 0;  // Per-core persistent weight footprint.
+  // Per-weight-operand window bytes under this plan's layout (used to price
+  // the idle->active transition).
+  std::vector<std::int64_t> weight_windows;
+};
+
+struct InterOpOperator {
+  std::string name;
+  std::vector<OpPlanOption> options;  // The operator's Pareto frontier.
+};
+
+// Chosen states for one operator.
+struct OpSchedule {
+  int idle_option = -1;    // Weight layout while idle.
+  int active_option = -1;  // Execution plan while active.
+  double setup_seconds = 0.0;
+  double exec_seconds = 0.0;
+};
+
+// One point of the greedy search trajectory (Fig 20 plots these).
+struct ReconcileStep {
+  std::int64_t idle_bytes_per_core = 0;
+  double total_seconds = 0.0;
+  bool feasible = false;
+};
+
+struct InterOpSchedule {
+  std::vector<OpSchedule> per_op;
+  double total_seconds = 0.0;          // Sum of setup + exec across operators.
+  double setup_seconds = 0.0;
+  std::int64_t idle_bytes_per_core = 0;
+  bool feasible = false;
+  std::vector<ReconcileStep> trajectory;
+};
+
+// Per-core bytes a core must fetch to morph a weight layout from `idle` to
+// `active` (whatever its idle window already covers need not move).
+std::int64_t SetupFetchBytes(const OpPlanOption& idle, const OpPlanOption& active);
+
+// Seconds to morph a weight layout from `idle` to `active` on one chip: every
+// core fetches the missing part of its active window over its link.
+double SetupSeconds(const OpPlanOption& idle, const OpPlanOption& active, const ChipSpec& chip);
+
+// Algorithm 1. `memory_budget_per_core` is the scratchpad capacity available
+// to this model (normally chip.core_memory_bytes). Returns the best schedule
+// found; `feasible` is false if even minimal layouts exceed memory.
+// `max_steps` bounds the greedy loop: 1 evaluates only the all-minimal-idle
+// configuration (the Roller-style policy, used for ablation), < 0 runs to
+// convergence.
+InterOpSchedule ReconcileInterOp(const std::vector<InterOpOperator>& ops, const ChipSpec& chip,
+                                 std::int64_t memory_budget_per_core, int max_steps = -1);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_INTER_OP_H_

@@ -1,0 +1,65 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+
+std::string PipelineEstimate::DebugString() const {
+  std::ostringstream out;
+  if (!feasible) {
+    return "pipeline: infeasible";
+  }
+  out << "pipeline: " << num_layers << " layers over " << num_chips << " chips ("
+      << layers_per_chip << "/chip), token latency " << end_to_end_seconds * 1e3 << "ms, "
+      << tokens_per_second << " tokens/s";
+  return out.str();
+}
+
+PipelineEstimate EstimatePipeline(const CompiledModel& layer, const Graph& graph, int num_layers,
+                                  const ChipSpec& chip) {
+  PipelineEstimate estimate;
+  estimate.num_layers = num_layers;
+  if (!layer.fits || layer.ops.empty() || num_layers <= 0) {
+    return estimate;
+  }
+
+  // How many layers' idle layouts fit one chip while leaving room for the
+  // single active operator (largest active footprint across the layer).
+  std::int64_t max_active = 0;
+  for (const CompiledOp& op : layer.ops) {
+    max_active = std::max(max_active, op.measured.per_core_bytes);
+  }
+  const std::int64_t idle = std::max<std::int64_t>(layer.idle_bytes_per_core, 1);
+  const std::int64_t usable = chip.core_memory_bytes - max_active;
+  if (usable < idle) {
+    return estimate;  // Not even one resident layer plus working space.
+  }
+  estimate.layers_per_chip = static_cast<int>(usable / idle);
+  estimate.layers_per_chip = std::min(estimate.layers_per_chip, num_layers);
+  estimate.num_chips =
+      static_cast<int>(CeilDiv(num_layers, estimate.layers_per_chip));
+
+  // Boundary tensor: the layer's graph outputs cross to the next chip.
+  for (const std::string& name : graph.OutputNames()) {
+    estimate.boundary_bytes += graph.tensor(name).bytes;
+  }
+  estimate.interchip_seconds =
+      1e-6 + static_cast<double>(estimate.boundary_bytes) / chip.interchip_bandwidth;
+
+  estimate.layer_seconds = layer.TotalSeconds();
+  estimate.end_to_end_seconds =
+      static_cast<double>(num_layers) * estimate.layer_seconds +
+      static_cast<double>(estimate.num_chips - 1) * estimate.interchip_seconds;
+  const double stage_seconds =
+      static_cast<double>(estimate.layers_per_chip) * estimate.layer_seconds +
+      estimate.interchip_seconds;
+  estimate.tokens_per_second = 1.0 / stage_seconds;
+  estimate.feasible = true;
+  return estimate;
+}
+
+}  // namespace t10

@@ -1,0 +1,40 @@
+// Multi-chip pipeline estimation (paper §6.7 and §7 "Apply T10 to multiple
+// chips"). The paper serves full LLMs by pipelining layers across chips and
+// argues single-chip layer performance determines the whole model because
+// the inter-chip boundary tensors are tiny (e.g. 131 KB/token for
+// Llama2-13B). This module packs as many compiled layers per chip as the
+// distributed memory holds (idle layouts resident, one layer active at a
+// time) and derives end-to-end latency and steady-state decode throughput.
+
+#ifndef T10_SRC_CORE_PIPELINE_H_
+#define T10_SRC_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/compiler.h"
+
+namespace t10 {
+
+struct PipelineEstimate {
+  bool feasible = false;
+  int num_layers = 0;
+  int layers_per_chip = 0;
+  int num_chips = 0;
+  std::int64_t boundary_bytes = 0;       // Activation crossing each chip boundary.
+  double interchip_seconds = 0.0;        // Per boundary crossing.
+  double layer_seconds = 0.0;            // One layer on one chip.
+  double end_to_end_seconds = 0.0;       // One token through all layers.
+  double tokens_per_second = 0.0;        // Steady-state pipeline throughput.
+
+  std::string DebugString() const;
+};
+
+// `layer` must be the compiled single-layer model (as in §6.7), `graph` its
+// graph. `num_layers` is the full model's depth.
+PipelineEstimate EstimatePipeline(const CompiledModel& layer, const Graph& graph, int num_layers,
+                                  const ChipSpec& chip);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PIPELINE_H_

@@ -1,0 +1,133 @@
+#include "src/core/placement.h"
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+PlanGeometry::PlanGeometry(const ExecutionPlan& plan) : plan_(&plan) {
+  const Operator& op = plan.op();
+  const std::vector<Axis>& axes = op.axes();
+  const std::vector<std::int64_t>& fop = plan.fop();
+  const std::vector<std::int64_t>& slice = plan.axis_slices();
+  const std::size_t num_axes = axes.size();
+  const int cores = num_cores();
+
+  for (const TensorRef& input : op.inputs()) {
+    operands_.push_back(&input);
+  }
+  operands_.push_back(&op.output());
+
+  // Loop lookup tables.
+  axis_loop_.assign(num_axes, -1);
+  for (std::size_t i = 0; i < plan.loops().size(); ++i) {
+    axis_loop_[plan.loops()[i].axis] = static_cast<int>(i);
+  }
+  loop_stride_.assign(plan.loops().size() + 1, 1);
+  for (std::size_t i = plan.loops().size(); i-- > 0;) {
+    loop_stride_[i] = loop_stride_[i + 1] * plan.loops()[i].steps;
+  }
+
+  coords_.resize(cores);
+  offsets_.resize(cores);
+  phases_.resize(cores);
+  sharing_rank_.assign(operands_.size(), std::vector<std::int64_t>(cores, 0));
+  subtensor_idx_.assign(operands_.size(), std::vector<std::int64_t>(cores, 0));
+
+  for (int c = 0; c < cores; ++c) {
+    std::vector<std::int64_t>& coord = coords_[c];
+    coord.resize(num_axes);
+    std::int64_t rest = c;
+    for (std::size_t a = num_axes; a-- > 0;) {
+      coord[a] = rest % fop[a];
+      rest /= fop[a];
+    }
+    offsets_[c].resize(num_axes);
+    for (std::size_t a = 0; a < num_axes; ++a) {
+      offsets_[c][a] = coord[a] * slice[a];
+    }
+
+    phases_[c].assign(num_axes, 0);
+    for (std::size_t ti = 0; ti < operands_.size(); ++ti) {
+      const RTensorPlan& tp = plan.tensors()[ti];
+      // Sharing rank (over missing axes) and sub-tensor index (over used
+      // axes), both row-major in axis order.
+      std::int64_t rank = 0;
+      std::int64_t sub_index = 0;
+      for (std::size_t a = 0; a < num_axes; ++a) {
+        if (Operator::TensorUsesAxis(*operands_[ti], static_cast<int>(a))) {
+          sub_index = sub_index * fop[a] + coord[a];
+        } else {
+          rank = rank * fop[a] + coord[a];
+        }
+      }
+      sharing_rank_[ti][c] = rank;
+      subtensor_idx_[ti][c] = sub_index;
+
+      if (tp.rotating_dims.empty()) {
+        continue;
+      }
+      std::int64_t ring_pos = rank % tp.ring_size;
+      std::vector<std::int64_t> pos(tp.rotating_dims.size());
+      for (std::size_t k = tp.rotating_dims.size(); k-- > 0;) {
+        const std::int64_t ft = tp.temporal[static_cast<std::size_t>(tp.rotating_dims[k])];
+        pos[k] = ring_pos % ft;
+        ring_pos /= ft;
+      }
+      for (std::size_t k = 0; k < tp.rotating_dims.size(); ++k) {
+        const int d = tp.rotating_dims[k];
+        const int a = operands_[ti]->dims[d].axis;
+        const std::int64_t w = tp.window[static_cast<std::size_t>(d)];
+        phases_[c][static_cast<std::size_t>(a)] =
+            (phases_[c][static_cast<std::size_t>(a)] + pos[k] * w) % slice[a];
+      }
+    }
+  }
+}
+
+const std::vector<std::int64_t>& PlanGeometry::Coord(int core) const {
+  return coords_[static_cast<std::size_t>(core)];
+}
+
+const std::vector<std::int64_t>& PlanGeometry::Offset(int core) const {
+  return offsets_[static_cast<std::size_t>(core)];
+}
+
+const std::vector<std::int64_t>& PlanGeometry::Phase(int core) const {
+  return phases_[static_cast<std::size_t>(core)];
+}
+
+std::int64_t PlanGeometry::SharingRank(int operand, int core) const {
+  return sharing_rank_[static_cast<std::size_t>(operand)][static_cast<std::size_t>(core)];
+}
+
+std::int64_t PlanGeometry::RingIndex(int operand, int core) const {
+  const RTensorPlan& tp = plan_->tensors()[static_cast<std::size_t>(operand)];
+  return SharingRank(operand, core) / tp.ring_size;
+}
+
+std::int64_t PlanGeometry::RingPosition(int operand, int core) const {
+  const RTensorPlan& tp = plan_->tensors()[static_cast<std::size_t>(operand)];
+  return SharingRank(operand, core) % tp.ring_size;
+}
+
+std::int64_t PlanGeometry::SubTensorIndex(int operand, int core) const {
+  return subtensor_idx_[static_cast<std::size_t>(operand)][static_cast<std::size_t>(core)];
+}
+
+std::vector<std::int64_t> PlanGeometry::StepCounters(std::int64_t step) const {
+  std::vector<std::int64_t> counters(plan_->loops().size());
+  for (std::size_t i = 0; i < plan_->loops().size(); ++i) {
+    counters[i] = (step / loop_stride_[i + 1]) % plan_->loops()[i].steps;
+  }
+  return counters;
+}
+
+int PlanGeometry::LoopOfAxis(int axis) const {
+  return axis_loop_[static_cast<std::size_t>(axis)];
+}
+
+const TensorRef& PlanGeometry::Operand(int operand) const {
+  return *operands_[static_cast<std::size_t>(operand)];
+}
+
+}  // namespace t10

@@ -1,0 +1,144 @@
+// Compute-shift execution plans (paper §4.1-§4.2).
+//
+// A plan for one operator is defined by:
+//   - F_op: the operator partition factor — how many spatial slices each
+//     iteration axis is cut into. prod(F_op) sub-operators map 1:1 to cores.
+//   - f_t per tensor: the temporal partition factor — how each shared
+//     sub-tensor is split into a rotation ring among the cores that share it.
+//   - rp per axis: the rotating pace, derived as the minimum window length of
+//     the tensors rotating on that axis (paper: "T10 designates the rp as the
+//     minimum of the sub-tensor partition lengths"), which maximizes compute
+//     intensity while keeping every sub-task local.
+//
+// Derivation (paper §4.2 "Partitioning rTensors"): the spatial factor f_s of
+// each tensor follows from F_op through the dimension-to-axis map. A tensor
+// that lacks some axis of F_op is shared by P = prod(F_op over missing axes)
+// cores; f_t splits its sub-tensor into prod(f_t) window partitions, forming
+// P / prod(f_t) rotation rings, each ring holding one replica.
+//
+// Simplification vs the paper (documented in DESIGN.md): output tensors are
+// never temporally partitioned. When reduction axes are spatially partitioned
+// (group size G > 1), each core accumulates a private partial output and a
+// ring reduce-scatter epilogue merges the G partials. The paper's worked
+// examples (Figs 3, 7, 9, 10) all rotate inputs only.
+
+#ifndef T10_SRC_CORE_PLAN_H_
+#define T10_SRC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hardware/chip_spec.h"
+#include "src/hardware/timing_source.h"
+#include "src/ir/operator.h"
+
+namespace t10 {
+
+// Derived partitioning geometry of one tensor operand under a plan.
+struct RTensorPlan {
+  std::vector<std::int64_t> spatial;    // f_s per dim (compound dims: product).
+  std::vector<std::int64_t> temporal;   // f_t per dim.
+  std::vector<std::int64_t> sub_shape;  // Sub-tensor lengths per dim (padded).
+  std::vector<std::int64_t> window;     // Per-core held window per dim.
+  std::int64_t share_cores = 1;         // P: cores sharing one sub-tensor.
+  std::int64_t ring_size = 1;           // prod(f_t): cores per rotation ring.
+  std::int64_t replicas = 1;            // P / ring_size: rings (= data copies).
+  std::int64_t sub_bytes = 0;           // Bytes of one sub-tensor.
+  std::int64_t window_bytes = 0;        // Bytes held per core.
+  std::vector<int> rotating_dims;       // Dims with f_t > 1.
+};
+
+// One level of the compute-shift loop nest, outermost first.
+struct RotationLoop {
+  int axis = -1;          // Operator axis index.
+  std::int64_t pace = 0;  // rp along this axis.
+  std::int64_t steps = 0; // l_axis / rp iterations.
+};
+
+// Cost/footprint summary of a plan under a given TimingSource.
+struct PlanMetrics {
+  std::int64_t cores_used = 0;
+  std::int64_t steps = 0;                 // Compute-shift steps (no epilogue).
+  double compute_seconds = 0.0;
+  double exchange_seconds = 0.0;          // Rotation shifts.
+  double epilogue_seconds = 0.0;          // Reduce-scatter of partial outputs.
+  std::int64_t per_core_bytes = 0;        // Active memory footprint per core.
+  std::int64_t shift_bytes_per_core = 0;  // Total bytes each core sends.
+  double padding_ratio = 1.0;             // 1.0 = no padding waste.
+
+  double total_seconds() const {
+    return compute_seconds + exchange_seconds + epilogue_seconds;
+  }
+  // Average per-core link bandwidth achieved while shifting (Fig 14).
+  double ExchangeBandwidth() const {
+    double transfer = exchange_seconds + epilogue_seconds;
+    if (transfer <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(shift_bytes_per_core) / transfer;
+  }
+};
+
+class ExecutionPlan {
+ public:
+  // Builds a plan from F_op (one factor per operator axis) and per-tensor
+  // temporal factors (inputs first, output last; the output entry must be all
+  // ones). Returns nullopt if the combination violates an alignment or
+  // divisibility rule — enumeration treats that as "not a plan" rather than
+  // an error.
+  static std::optional<ExecutionPlan> Create(
+      const Operator& op, std::vector<std::int64_t> fop,
+      std::vector<std::vector<std::int64_t>> temporal_factors);
+
+  const Operator& op() const { return *op_; }
+  const std::vector<std::int64_t>& fop() const { return fop_; }
+  // Padded per-core slice length of each axis: l_a = ceil(L_a / F_op[a]).
+  const std::vector<std::int64_t>& axis_slices() const { return axis_slice_; }
+  // Tensor plans: inputs in operator order, then the output.
+  const std::vector<RTensorPlan>& tensors() const { return tensors_; }
+  const RTensorPlan& output_plan() const { return tensors_.back(); }
+  const std::vector<RotationLoop>& loops() const { return loops_; }
+  std::int64_t cores_used() const { return cores_used_; }
+  double padding_ratio() const { return padding_ratio_; }
+  // G: number of cores holding partial outputs that the epilogue merges.
+  std::int64_t reduce_group() const { return reduce_group_; }
+  std::int64_t total_steps() const;
+
+  // The shape of the per-step sub-task each core executes.
+  SubTaskShape StepSubTask() const;
+
+  // Active per-core memory footprint: all tensor windows + the output
+  // sub-tensor + the reserved shift buffer.
+  std::int64_t PerCoreBytes(const ChipSpec& chip) const;
+
+  // Per-core bytes attributable to a specific operand (for idle-state weight
+  // layouts). `tensor_index` follows tensors() ordering.
+  std::int64_t OperandWindowBytes(int tensor_index) const;
+
+  // Full cost evaluation under a timing source (ground truth = "measured",
+  // fitted cost model = "predicted").
+  PlanMetrics Evaluate(const TimingSource& timing, const ChipSpec& chip) const;
+
+  std::string DebugString() const;
+
+  // Default-constructed plans are invalid placeholders (op() is unset); only
+  // plans returned by Create() may be evaluated.
+  ExecutionPlan() = default;
+
+ private:
+  const Operator* op_ = nullptr;
+  std::vector<std::int64_t> fop_;
+  std::vector<std::int64_t> axis_slice_;  // l_a per axis.
+  std::vector<RTensorPlan> tensors_;
+  std::vector<RotationLoop> loops_;
+  std::vector<std::int64_t> axis_pace_;  // rp per axis (0 = not rotated).
+  std::int64_t cores_used_ = 0;
+  std::int64_t reduce_group_ = 1;
+  double padding_ratio_ = 1.0;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PLAN_H_

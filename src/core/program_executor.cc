@@ -1,0 +1,366 @@
+#include "src/core/program_executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+namespace {
+
+// Row-major layout of one operand's per-core window, with the (at most one)
+// rotating dim factored out as outer x w_r x inner.
+struct OperandLayout {
+  int rot_dim = -1;
+  int rot_axis = -1;
+  std::int64_t w_r = 1;
+  std::int64_t outer = 1;
+  std::int64_t inner = 1;
+  std::int64_t window_elems = 1;
+  std::vector<std::int64_t> strides;  // Row-major strides over window dims.
+};
+
+OperandLayout MakeLayout(const TensorRef& ref, const RTensorPlan& tp) {
+  OperandLayout layout;
+  T10_CHECK_LE(tp.rotating_dims.size(), 1u)
+      << "program executor supports one temporally-split dim per tensor";
+  if (!tp.rotating_dims.empty()) {
+    layout.rot_dim = tp.rotating_dims.front();
+    layout.rot_axis = ref.dims[layout.rot_dim].axis;
+    layout.w_r = tp.window[static_cast<std::size_t>(layout.rot_dim)];
+  }
+  const std::size_t rank = tp.window.size();
+  layout.strides.assign(rank, 1);
+  for (std::size_t d = rank; d-- > 0;) {
+    if (d + 1 < rank) {
+      layout.strides[d] = layout.strides[d + 1] * tp.window[d + 1];
+    }
+  }
+  for (std::size_t d = 0; d < rank; ++d) {
+    layout.window_elems *= tp.window[d];
+    if (layout.rot_dim >= 0) {
+      if (static_cast<int>(d) < layout.rot_dim) {
+        layout.outer *= tp.window[d];
+      } else if (static_cast<int>(d) > layout.rot_dim) {
+        layout.inner *= tp.window[d];
+      }
+    }
+  }
+  if (layout.rot_dim < 0) {
+    layout.inner = layout.window_elems;
+  }
+  return layout;
+}
+
+// Iterates an odometer over `extents`.
+template <typename Fn>
+void ForEachTuple(const std::vector<std::int64_t>& extents, Fn&& fn) {
+  std::vector<std::int64_t> tuple(extents.size(), 0);
+  while (true) {
+    fn(tuple);
+    std::size_t d = extents.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++tuple[d] < extents[d]) {
+        done = false;
+        break;
+      }
+      tuple[d] = 0;
+    }
+    if (done) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan)
+    : machine_(machine), plan_(plan), program_(LowerPlan(plan)), geometry_(plan) {
+  T10_CHECK_GE(machine.num_cores(), static_cast<int>(plan.cores_used()));
+  const Operator& op = plan.op();
+  T10_CHECK(op.kind() == OpKind::kContraction || op.kind() == OpKind::kElementwise ||
+            op.kind() == OpKind::kReduceSum)
+      << "unsupported kind for byte-level execution: " << OpKindName(op.kind());
+  for (int ti = 0; ti < geometry_.num_operands(); ++ti) {
+    T10_CHECK(geometry_.Operand(ti).dtype == DataType::kF32)
+        << "program executor runs FP32 operands";
+  }
+}
+
+HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRunStats* stats) {
+  const Operator& op = plan_.op();
+  T10_CHECK_EQ(inputs.size(), op.inputs().size());
+  const std::vector<Axis>& axes = op.axes();
+  const std::vector<std::int64_t>& slice = plan_.axis_slices();
+  const int cores = geometry_.num_cores();
+  const int operands = geometry_.num_operands();
+  machine_.ResetTrafficCounters();
+
+  std::vector<OperandLayout> layouts;
+  for (int ti = 0; ti < operands; ++ti) {
+    layouts.push_back(
+        MakeLayout(geometry_.Operand(ti), plan_.tensors()[static_cast<std::size_t>(ti)]));
+  }
+
+  // allocate: window buffers + one staging buffer (the pseudo-shift buffer of
+  // paper §5) per core.
+  std::vector<std::vector<BufferHandle>> windows(operands);
+  std::vector<BufferHandle> staging(cores);
+  for (int ti = 0; ti < operands; ++ti) {
+    const RTensorPlan& tp = plan_.tensors()[static_cast<std::size_t>(ti)];
+    windows[ti].resize(cores);
+    for (int c = 0; c < cores; ++c) {
+      windows[ti][c] = machine_.Allocate(c, std::max<std::int64_t>(tp.window_bytes, 8));
+    }
+  }
+  for (int c = 0; c < cores; ++c) {
+    staging[c] = machine_.Allocate(c, machine_.spec().shift_buffer_bytes);
+  }
+  ProgramRunStats run_stats;
+  for (int c = 0; c < cores; ++c) {
+    run_stats.peak_core_bytes =
+        std::max(run_stats.peak_core_bytes, machine_.memory(c).used_bytes());
+  }
+
+  auto window_floats = [&](int ti, int core) {
+    return reinterpret_cast<float*>(machine_.Data(windows[ti][core]));
+  };
+
+  // Window start along the rotating dim after `advance` elements of rotation.
+  auto window_start = [&](int ti, int core, std::int64_t advance) {
+    const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
+    const std::int64_t sub_len = slice[layout.rot_axis];
+    return (geometry_.Phase(core)[static_cast<std::size_t>(layout.rot_axis)] + advance) %
+           sub_len;
+  };
+
+  // --- Upload: place each core's initial windows from the host tensors. ---
+  for (int ti = 0; ti < static_cast<int>(inputs.size()); ++ti) {
+    const TensorRef& ref = geometry_.Operand(ti);
+    const RTensorPlan& tp = plan_.tensors()[static_cast<std::size_t>(ti)];
+    const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
+    for (int c = 0; c < cores; ++c) {
+      float* buffer = window_floats(ti, c);
+      const std::vector<std::int64_t>& offset = geometry_.Offset(c);
+      ForEachTuple(tp.window, [&](const std::vector<std::int64_t>& j) {
+        // Window index -> sub-tensor coordinate -> global index.
+        bool valid = true;
+        std::vector<std::int64_t> global(ref.dims.size());
+        for (std::size_t d = 0; d < ref.dims.size(); ++d) {
+          std::int64_t sub_c = j[d];
+          if (static_cast<int>(d) == layout.rot_dim) {
+            const std::int64_t sub_len = tp.sub_shape[d];
+            sub_c = (window_start(ti, c, 0) + j[d]) % sub_len;
+          }
+          const DimRef& dim = ref.dims[d];
+          std::int64_t base = offset[static_cast<std::size_t>(dim.axis)];
+          if (dim.compound()) {
+            base = dim.stride * base + offset[static_cast<std::size_t>(dim.minor_axis)];
+          }
+          global[d] = base + sub_c;
+          valid = valid && global[d] < inputs[static_cast<std::size_t>(ti)].shape[d];
+        }
+        std::int64_t phys = 0;
+        for (std::size_t d = 0; d < ref.dims.size(); ++d) {
+          phys += j[d] * layout.strides[d];
+        }
+        buffer[phys] = valid ? inputs[static_cast<std::size_t>(ti)].at(global) : 0.0f;
+      });
+    }
+  }
+  // Zero the output accumulators.
+  const int out_ti = operands - 1;
+  for (int c = 0; c < cores; ++c) {
+    std::memset(machine_.Data(windows[out_ti][c]), 0, windows[out_ti][c].bytes);
+  }
+
+  // --- Main compute-shift loop. ---
+  std::vector<std::int64_t> pace(axes.size(), 0);
+  for (const RotationLoop& loop : plan_.loops()) {
+    pace[static_cast<std::size_t>(loop.axis)] = loop.pace;
+  }
+  const std::int64_t total_steps = plan_.total_steps();
+  run_stats.steps = total_steps;
+
+  for (std::int64_t s = 0; s < total_steps; ++s) {
+    const std::vector<std::int64_t> counters = geometry_.StepCounters(s);
+    std::vector<std::int64_t> advance(axes.size(), 0);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const int loop = geometry_.LoopOfAxis(static_cast<int>(a));
+      if (loop >= 0) {
+        advance[a] = counters[static_cast<std::size_t>(loop)] * pace[a];
+      }
+    }
+
+    // ComputeSet: every core runs its sub-task vertex on local windows only.
+    std::vector<std::int64_t> extents(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      extents[a] = pace[a] > 0 ? pace[a] : slice[a];
+    }
+    for (int c = 0; c < cores; ++c) {
+      const std::vector<std::int64_t>& offset = geometry_.Offset(c);
+      const std::vector<std::int64_t>& phase = geometry_.Phase(c);
+      float* out_buffer = window_floats(out_ti, c);
+      ForEachTuple(extents, [&](const std::vector<std::int64_t>& tuple) {
+        std::vector<std::int64_t> local(axes.size());
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+          local[a] = pace[a] > 0 ? (phase[a] + advance[a] + tuple[a]) % slice[a] : tuple[a];
+          if (offset[a] + local[a] >= axes[a].length) {
+            return;  // Padding lane.
+          }
+        }
+        auto physical_index = [&](int ti) {
+          const TensorRef& ref = geometry_.Operand(ti);
+          const RTensorPlan& tp = plan_.tensors()[static_cast<std::size_t>(ti)];
+          const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
+          std::int64_t phys = 0;
+          for (std::size_t d = 0; d < ref.dims.size(); ++d) {
+            const DimRef& dim = ref.dims[d];
+            std::int64_t sub_c = local[static_cast<std::size_t>(dim.axis)];
+            if (dim.compound()) {
+              sub_c = dim.stride * sub_c + local[static_cast<std::size_t>(dim.minor_axis)];
+            }
+            std::int64_t j = sub_c;
+            if (static_cast<int>(d) == layout.rot_dim) {
+              const std::int64_t sub_len = tp.sub_shape[d];
+              j = ((sub_c - window_start(ti, c, advance[static_cast<std::size_t>(
+                                                    layout.rot_axis)])) %
+                       sub_len +
+                   sub_len) %
+                  sub_len;
+              T10_CHECK_LT(j, layout.w_r) << "window miss in " << op.name();
+            }
+            phys += j * layout.strides[d];
+          }
+          return phys;
+        };
+        float value;
+        if (op.kind() == OpKind::kContraction) {
+          value = 1.0f;
+          for (int ti = 0; ti < static_cast<int>(inputs.size()); ++ti) {
+            value *= window_floats(ti, c)[physical_index(ti)];
+          }
+        } else {
+          value = window_floats(0, c)[physical_index(0)];
+          if (inputs.size() > 1) {
+            value += window_floats(1, c)[physical_index(1)];
+          }
+        }
+        out_buffer[physical_index(out_ti)] += value;
+      });
+    }
+
+    // ShiftSets: every rotating tensor ships its head slab downstream, then
+    // compacts its window and appends the received slab at the tail.
+    for (const ShiftSet& shift : program_.steps[static_cast<std::size_t>(s)].shifts) {
+      const int ti = shift.operand;
+      const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
+      const std::int64_t rp = pace[static_cast<std::size_t>(layout.rot_axis)];
+      const std::int64_t run_elems = rp * layout.inner;
+      const std::int64_t slab_elems = layout.outer * run_elems;
+      T10_CHECK_EQ(slab_elems * 4, shift.slab_bytes);
+
+      for (const std::vector<int>& ring : program_.allocations[static_cast<std::size_t>(ti)]
+                                              .rings) {
+        const int n = static_cast<int>(ring.size());
+        // Phase 1: collect each member's outgoing head slab.
+        std::vector<std::vector<float>> outgoing(static_cast<std::size_t>(n));
+        for (int p = 0; p < n; ++p) {
+          outgoing[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(slab_elems));
+          const float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
+          for (std::int64_t o = 0; o < layout.outer; ++o) {
+            std::memcpy(outgoing[static_cast<std::size_t>(p)].data() + o * run_elems,
+                        buffer + o * layout.w_r * layout.inner,
+                        static_cast<std::size_t>(run_elems) * 4);
+          }
+        }
+        // Phase 2: local compaction (drop the head, make room at the tail).
+        for (int p = 0; p < n; ++p) {
+          float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
+          for (std::int64_t o = 0; o < layout.outer; ++o) {
+            std::memmove(buffer + o * layout.w_r * layout.inner,
+                         buffer + o * layout.w_r * layout.inner + run_elems,
+                         static_cast<std::size_t>((layout.w_r - rp) * layout.inner) * 4);
+          }
+        }
+        // Phase 3: deliver slabs downstream (position p -> p-1) through the
+        // bounded staging buffer, in as many rounds as needed.
+        const std::int64_t chunk_bytes = machine_.spec().shift_buffer_bytes;
+        for (int p = 0; p < n; ++p) {
+          const int src_core = ring[static_cast<std::size_t>(p)];
+          const int dst_core = ring[static_cast<std::size_t>((p - 1 + n) % n)];
+          float* dst_buffer = window_floats(ti, dst_core);
+          for (std::int64_t o = 0; o < layout.outer; ++o) {
+            const float* src = outgoing[static_cast<std::size_t>(p)].data() + o * run_elems;
+            float* dst = dst_buffer + (o * layout.w_r + (layout.w_r - rp)) * layout.inner;
+            std::int64_t done = 0;
+            while (done < run_elems * 4) {
+              const std::int64_t len = std::min(chunk_bytes, run_elems * 4 - done);
+              std::memcpy(machine_.Data(staging[static_cast<std::size_t>(src_core)]),
+                          reinterpret_cast<const std::byte*>(src) + done,
+                          static_cast<std::size_t>(len));
+              BufferHandle stage_view{src_core, staging[static_cast<std::size_t>(src_core)].offset,
+                                      len};
+              BufferHandle dst_view{dst_core,
+                                    windows[ti][static_cast<std::size_t>(dst_core)].offset +
+                                        (reinterpret_cast<std::byte*>(dst) -
+                                         machine_.Data(windows[ti][static_cast<std::size_t>(
+                                             dst_core)])) +
+                                        done,
+                                    len};
+              machine_.Copy(stage_view, dst_view);
+              done += len;
+              ++run_stats.shift_rounds;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Download: merge per-core output windows (partials sum across the
+  // reduce group; the on-chip reduce-scatter epilogue is modelled in
+  // Evaluate and exercised by sim_machine_test). ---
+  HostTensor out = HostTensor::Zeros(TensorShape(axes, op.output()));
+  const TensorRef& out_ref = op.output();
+  const RTensorPlan& out_tp = plan_.tensors().back();
+  const OperandLayout& out_layout = layouts[static_cast<std::size_t>(out_ti)];
+  for (int c = 0; c < cores; ++c) {
+    const float* buffer = window_floats(out_ti, c);
+    const std::vector<std::int64_t>& offset = geometry_.Offset(c);
+    ForEachTuple(out_tp.window, [&](const std::vector<std::int64_t>& j) {
+      std::vector<std::int64_t> global(out_ref.dims.size());
+      for (std::size_t d = 0; d < out_ref.dims.size(); ++d) {
+        T10_CHECK(!out_ref.dims[d].compound());
+        global[d] = offset[static_cast<std::size_t>(out_ref.dims[d].axis)] + j[d];
+        if (global[d] >= out.shape[d]) {
+          return;  // Padding lane.
+        }
+      }
+      std::int64_t phys = 0;
+      for (std::size_t d = 0; d < out_ref.dims.size(); ++d) {
+        phys += j[d] * out_layout.strides[d];
+      }
+      out.at(global) += buffer[phys];
+    });
+  }
+
+  run_stats.bytes_sent_total = machine_.total_bytes_sent();
+  // Release all device memory.
+  for (int c = 0; c < cores; ++c) {
+    machine_.Free(staging[static_cast<std::size_t>(c)]);
+  }
+  for (int ti = 0; ti < operands; ++ti) {
+    for (int c = 0; c < cores; ++c) {
+      machine_.Free(windows[ti][static_cast<std::size_t>(c)]);
+    }
+  }
+  if (stats != nullptr) {
+    *stats = run_stats;
+  }
+  return out;
+}
+
+}  // namespace t10

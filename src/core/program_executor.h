@@ -1,0 +1,56 @@
+// ProgramExecutor: binds a lowered DeviceProgram to a functional Machine and
+// runs it with real bytes — per-core window buffers in the simulated
+// scratchpads, slab shifts through bounded staging buffers, local window
+// compaction, and per-core sub-task vertices reading exclusively from local
+// memory. This is the byte-level counterpart of the locality-checked
+// interpreter in functional.h: where that one asserts locality against
+// global arrays, this one *cannot* cheat, because each vertex only sees its
+// core's buffers.
+//
+// Supported: FP32 operands, kContraction / kElementwise / kReduceSum, at
+// most one temporally-split dim per tensor (all plans the default search
+// emits; multi-dim f_t plans are exercised by the interpreter-level tests).
+// The reduce-scatter epilogue is folded into the host-side output merge; its
+// cost is modelled by ExecutionPlan::Evaluate and its byte mechanics by the
+// ring tests in sim_machine_test.
+
+#ifndef T10_SRC_CORE_PROGRAM_EXECUTOR_H_
+#define T10_SRC_CORE_PROGRAM_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/core/device_program.h"
+#include "src/core/functional.h"
+#include "src/core/placement.h"
+#include "src/sim/machine.h"
+
+namespace t10 {
+
+struct ProgramRunStats {
+  std::int64_t steps = 0;
+  std::int64_t shift_rounds = 0;        // Bounded-buffer delivery rounds.
+  std::int64_t bytes_sent_total = 0;    // Sum over cores, from the Machine.
+  std::int64_t peak_core_bytes = 0;     // Max scratchpad use observed.
+};
+
+class ProgramExecutor {
+ public:
+  // The machine must have at least plan.cores_used() cores; buffers are
+  // allocated in Run() and released before it returns.
+  ProgramExecutor(Machine& machine, const ExecutionPlan& plan);
+
+  // Executes the program over the operator's inputs; returns the output.
+  HostTensor Run(const std::vector<HostTensor>& inputs, ProgramRunStats* stats = nullptr);
+
+  const DeviceProgram& program() const { return program_; }
+
+ private:
+  Machine& machine_;
+  const ExecutionPlan& plan_;
+  DeviceProgram program_;
+  PlanGeometry geometry_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PROGRAM_EXECUTOR_H_

@@ -1,0 +1,35 @@
+#include "src/core/trace_export.h"
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph) {
+  TraceWriter trace;
+  double cursor = 0.0;
+  for (const CompiledOp& op : model.ops) {
+    const std::string& name = graph.op(op.op_index).name();
+    if (op.transition_seconds > 0.0) {
+      trace.Add(name + " relayout", "exchange", cursor, op.transition_seconds);
+      cursor += op.transition_seconds;
+    }
+    if (op.setup_seconds > 0.0) {
+      trace.Add(name + " setup", "setup", cursor, op.setup_seconds);
+      cursor += op.setup_seconds;
+    }
+    if (op.measured.compute_seconds > 0.0) {
+      trace.Add(name + " compute (" + std::to_string(op.measured.steps) + " steps)", "compute",
+                cursor, op.measured.compute_seconds);
+    }
+    const double exchange = op.measured.exchange_seconds + op.measured.epilogue_seconds;
+    if (exchange > 0.0) {
+      // Exchange interleaves with compute step-by-step; the timeline shows
+      // the two phases side by side over the operator's execution window.
+      trace.Add(name + " exchange", "exchange", cursor, exchange);
+    }
+    cursor += op.measured.total_seconds();
+  }
+  return trace;
+}
+
+}  // namespace t10

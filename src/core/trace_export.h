@@ -1,0 +1,17 @@
+// Builds a Chrome-tracing timeline from a compiled model: per operator, its
+// setup phase, inter-operator transition, compute steps and inter-core
+// exchange time appear on separate lanes in execution order.
+
+#ifndef T10_SRC_CORE_TRACE_EXPORT_H_
+#define T10_SRC_CORE_TRACE_EXPORT_H_
+
+#include "src/core/compiler.h"
+#include "src/sim/trace.h"
+
+namespace t10 {
+
+TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_TRACE_EXPORT_H_

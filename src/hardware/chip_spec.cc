@@ -1,0 +1,71 @@
+#include "src/hardware/chip_spec.h"
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+namespace {
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kIpuCoreMemory = 624 * kKiB;
+constexpr int kIpuCores = 1472;
+}  // namespace
+
+double ChipSpec::EffectiveLinkBandwidth() const {
+  if (num_chips() <= 1) {
+    return link_bandwidth;
+  }
+  // Paper §6.5: with rings spanning chips the average effective inter-core
+  // bandwidth drops by 26%-33%. Two chips sit at the low end of the range,
+  // four chips at the high end.
+  double drop = num_chips() >= 4 ? 0.33 : 0.26;
+  return link_bandwidth * (1.0 - drop);
+}
+
+ChipSpec ChipSpec::IpuMk2() {
+  ChipSpec spec;
+  spec.name = "IPU-MK2";
+  spec.num_cores = kIpuCores;
+  spec.cores_per_chip = kIpuCores;
+  spec.core_memory_bytes = kIpuCoreMemory;
+  spec.link_bandwidth = 5.5e9;
+  spec.interchip_bandwidth = 160e9;
+  spec.core_flops = 250e12 / kIpuCores;
+  spec.local_memory_bandwidth = 120e9;
+  spec.sync_latency_seconds = 0.15e-6;
+  spec.shift_buffer_bytes = 8 * kKiB;
+  spec.offchip_bandwidth = 8e9;
+  spec.amp_alignment = 16;
+  return spec;
+}
+
+ChipSpec ChipSpec::VIpu(int chips) {
+  T10_CHECK_GE(chips, 1);
+  ChipSpec spec = IpuMk2();
+  spec.name = "V-IPU-x" + std::to_string(chips);
+  spec.num_cores = kIpuCores * chips;
+  return spec;
+}
+
+ChipSpec ChipSpec::ScaledIpu(int cores) {
+  T10_CHECK_GE(cores, 1);
+  T10_CHECK_LE(cores, kIpuCores);
+  ChipSpec spec = IpuMk2();
+  spec.name = "IPU-" + std::to_string(cores) + "c";
+  spec.num_cores = cores;
+  spec.cores_per_chip = cores;
+  return spec;
+}
+
+GpuSpec GpuSpec::A100() {
+  GpuSpec spec;
+  spec.name = "A100";
+  spec.peak_flops = 312e12;
+  spec.hbm_bandwidth = 2.0e12;
+  spec.l2_bytes = 40LL * 1024 * 1024;
+  spec.kernel_launch_seconds = 4e-6;
+  spec.flops_efficiency = 0.62;
+  spec.hbm_efficiency = 0.78;
+  return spec;
+}
+
+}  // namespace t10

@@ -1,0 +1,71 @@
+// Hardware descriptions for inter-core connected chips (and the A100 used as
+// the shared-memory comparison point). Numbers follow Table 3 of the paper.
+
+#ifndef T10_SRC_HARDWARE_CHIP_SPEC_H_
+#define T10_SRC_HARDWARE_CHIP_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace t10 {
+
+// An inter-core connected intelligence processor: `num_cores` cores, each
+// with a private scratchpad of `core_memory_bytes`, connected all-to-all at
+// `link_bandwidth` bytes/sec per core. Multi-chip (V-IPU) configurations
+// expose several chips as one device whose inter-chip traffic is bottlenecked
+// by the IPU-Link (paper §6.5).
+struct ChipSpec {
+  std::string name;
+  int num_cores = 0;
+  int cores_per_chip = 0;
+  std::int64_t core_memory_bytes = 0;
+  double link_bandwidth = 0.0;        // Per-core inter-core link, bytes/sec.
+  double interchip_bandwidth = 0.0;   // Aggregate between two chips, bytes/sec.
+  double core_flops = 0.0;            // Peak FP16 FLOP/s of one core.
+  double local_memory_bandwidth = 0.0;  // Scratchpad bytes/sec within a core.
+  double sync_latency_seconds = 0.0;  // One BSP barrier.
+  std::int64_t shift_buffer_bytes = 0;  // Pseudo-shift temp buffer (paper §5).
+  double offchip_bandwidth = 0.0;     // Host/off-chip DDR streaming, bytes/sec.
+  int amp_alignment = 16;             // Matrix-unit tile alignment (paper §4.3.1).
+
+  int num_chips() const { return cores_per_chip == 0 ? 1 : num_cores / cores_per_chip; }
+
+  // Peak FP16 FLOP/s of the whole device.
+  double TotalFlops() const { return core_flops * num_cores; }
+
+  // Total distributed on-chip memory.
+  std::int64_t TotalMemoryBytes() const { return core_memory_bytes * num_cores; }
+
+  // Per-core link bandwidth after the inter-chip degradation observed in
+  // §6.5 (26%-33% drop once rings span chips; grows mildly with chip count).
+  double EffectiveLinkBandwidth() const;
+
+  // The Graphcore IPU MK2: 1,472 cores x 624 KB, 5.5 GB/s per-core links,
+  // 250 TFLOPS FP16, 8 GB/s off-chip.
+  static ChipSpec IpuMk2();
+
+  // V-IPU: `chips` IPU MK2 chips exposed as one device (2 or 4 in the paper).
+  static ChipSpec VIpu(int chips);
+
+  // An IPU MK2 restricted to `cores` cores (Fig 21's smaller configurations).
+  static ChipSpec ScaledIpu(int cores);
+};
+
+// A shared-memory GPU modelled with a roofline (paper §6.6): execution time
+// per operator = max(flops / peak_flops, hbm_bytes / hbm_bandwidth) + launch
+// overhead, with weight reuse through the L2 when tensors fit.
+struct GpuSpec {
+  std::string name;
+  double peak_flops = 0.0;       // FP16 TensorCore FLOP/s.
+  double hbm_bandwidth = 0.0;    // Bytes/sec.
+  std::int64_t l2_bytes = 0;     // Global cache (40 MB on A100).
+  double kernel_launch_seconds = 0.0;
+  double flops_efficiency = 0.0;  // Achievable fraction of peak FLOPs.
+  double hbm_efficiency = 0.0;    // Achievable fraction of peak bandwidth.
+
+  static GpuSpec A100();
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_HARDWARE_CHIP_SPEC_H_

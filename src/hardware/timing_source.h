@@ -1,0 +1,49 @@
+// TimingSource: the interface through which plan evaluation obtains per-core
+// kernel and shift times. Two implementations exist:
+//   - KernelGroundTruth (this directory): the "hardware" — what actually
+//     happens when a plan runs on the simulated chip.
+//   - FittedCostModel (src/core/cost_model.h): T10's linear-regression
+//     predictor fitted from profiled sub-tasks (paper §4.3.1).
+// Figure 8 is precisely the comparison of these two sources on the same
+// sub-task shapes.
+
+#ifndef T10_SRC_HARDWARE_TIMING_SOURCE_H_
+#define T10_SRC_HARDWARE_TIMING_SOURCE_H_
+
+#include <cstdint>
+
+#include "src/hardware/kernel_truth.h"
+
+namespace t10 {
+
+class TimingSource {
+ public:
+  virtual ~TimingSource() = default;
+
+  // Wall time (seconds) of one core executing one sub-task.
+  virtual double SubTaskSeconds(const SubTaskShape& shape) const = 0;
+
+  // Wall time (seconds) for one core to shift `bytes` to a ring neighbour.
+  virtual double ShiftSeconds(std::int64_t bytes) const = 0;
+};
+
+// Adapter exposing the ground truth through the TimingSource interface.
+class GroundTruthTiming final : public TimingSource {
+ public:
+  explicit GroundTruthTiming(const ChipSpec& chip) : truth_(chip) {}
+  explicit GroundTruthTiming(KernelGroundTruth truth) : truth_(std::move(truth)) {}
+
+  double SubTaskSeconds(const SubTaskShape& shape) const override {
+    return truth_.SubTaskSeconds(shape);
+  }
+  double ShiftSeconds(std::int64_t bytes) const override { return truth_.ShiftSeconds(bytes); }
+
+  const KernelGroundTruth& truth() const { return truth_; }
+
+ private:
+  KernelGroundTruth truth_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_HARDWARE_TIMING_SOURCE_H_

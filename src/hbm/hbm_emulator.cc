@@ -1,0 +1,95 @@
+#include "src/hbm/hbm_emulator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace {
+
+// Weight bytes consumed by one operator of a graph.
+std::int64_t OpWeightBytes(const Graph& graph, const Operator& op) {
+  std::int64_t bytes = 0;
+  for (const TensorRef& input : op.inputs()) {
+    if (graph.tensor(input.name).is_weight) {
+      bytes += graph.tensor(input.name).bytes;
+    }
+  }
+  return bytes;
+}
+
+// Pipelined schedule over units (ops or groups): load unit 0, then at each
+// stage overlap executing unit i with loading unit i+1.
+HbmResult Pipeline(const std::vector<HbmOp>& units, const HbmConfig& config) {
+  HbmResult result;
+  result.num_groups = static_cast<int>(units.size());
+  if (units.empty()) {
+    return result;
+  }
+  auto load_time = [&](const HbmOp& unit) {
+    return static_cast<double>(unit.weight_bytes) / config.bandwidth;
+  };
+  result.total_seconds = load_time(units.front());
+  result.load_seconds = load_time(units.front());
+  result.stall_seconds = load_time(units.front());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const double exec = units[i].exec_seconds;
+    const double next_load = i + 1 < units.size() ? load_time(units[i + 1]) : 0.0;
+    result.total_seconds += std::max(exec, next_load);
+    result.stall_seconds += std::max(0.0, next_load - exec);
+    result.load_seconds += next_load;
+  }
+  return result;
+}
+
+}  // namespace
+
+HbmResult EmulateSingleOp(const std::vector<HbmOp>& ops, const HbmConfig& config) {
+  T10_CHECK_GT(config.bandwidth, 0.0);
+  return Pipeline(ops, config);
+}
+
+HbmResult EmulateInterOp(const std::vector<HbmOp>& ops, const HbmConfig& config) {
+  T10_CHECK_GT(config.bandwidth, 0.0);
+  // Greedy grouping: extend the current group while its weights fit the
+  // prefetch buffer (single oversized ops become singleton groups).
+  std::vector<HbmOp> groups;
+  for (const HbmOp& op : ops) {
+    if (!groups.empty() &&
+        groups.back().weight_bytes + op.weight_bytes <= config.prefetch_buffer_bytes) {
+      groups.back().exec_seconds += op.exec_seconds;
+      groups.back().weight_bytes += op.weight_bytes;
+    } else {
+      groups.push_back(op);
+      groups.back().name = "group" + std::to_string(groups.size() - 1);
+    }
+  }
+  return Pipeline(groups, config);
+}
+
+std::vector<HbmOp> HbmOpsFromCompiled(const CompiledModel& model, const Graph& graph) {
+  std::vector<HbmOp> out;
+  for (const CompiledOp& op : model.ops) {
+    HbmOp h;
+    h.name = graph.op(op.op_index).name();
+    h.exec_seconds = op.TotalSeconds();
+    h.weight_bytes = OpWeightBytes(graph, graph.op(op.op_index));
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::vector<HbmOp> HbmOpsFromVgm(const VgmModelResult& model, const Graph& graph) {
+  std::vector<HbmOp> out;
+  T10_CHECK_EQ(static_cast<int>(model.per_op.size()), graph.num_ops());
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    HbmOp h;
+    h.name = graph.op(i).name();
+    h.exec_seconds = model.per_op[static_cast<std::size_t>(i)].total_seconds();
+    h.weight_bytes = OpWeightBytes(graph, graph.op(i));
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace t10

@@ -1,0 +1,60 @@
+// Emulated off-chip HBM (paper §6.8).
+//
+// The IPU has no HBM; the paper emulates one by delaying each operator by the
+// roofline time of loading its weights at a given bandwidth, with double
+// buffering overlapping execution and prefetch. Two policies:
+//   - Single Op: prefetch the next operator's weights while the current one
+//     executes.
+//   - Inter Op: prefetch whole groups of operators (grouped so each group's
+//     minimum weight footprint fits the prefetch buffer); grouping mixes
+//     compute-heavy and bandwidth-heavy operators, balancing execution
+//     against prefetching when the HBM is slow.
+// The default split of the 896 MB on-chip memory is 596 MB execution buffer /
+// 298 MB prefetch buffer, as in the paper.
+
+#ifndef T10_SRC_HBM_HBM_EMULATOR_H_
+#define T10_SRC_HBM_HBM_EMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/baselines/vgm.h"
+#include "src/core/compiler.h"
+
+namespace t10 {
+
+// One operator as the HBM emulator sees it.
+struct HbmOp {
+  std::string name;
+  double exec_seconds = 0.0;      // On-chip execution time (compiler output).
+  std::int64_t weight_bytes = 0;  // Weights streamed from HBM.
+};
+
+struct HbmConfig {
+  double bandwidth = 450e9;  // Bytes/sec of the emulated HBM.
+  std::int64_t exec_buffer_bytes = 596LL * 1024 * 1024;
+  std::int64_t prefetch_buffer_bytes = 298LL * 1024 * 1024;
+};
+
+struct HbmResult {
+  double total_seconds = 0.0;
+  double load_seconds = 0.0;   // Pure HBM transfer time (sum over ops).
+  double stall_seconds = 0.0;  // Time execution waited on the HBM.
+  int num_groups = 0;          // 1 group per op for the Single-Op policy.
+};
+
+// Single Op: execute operator i while prefetching operator i+1.
+HbmResult EmulateSingleOp(const std::vector<HbmOp>& ops, const HbmConfig& config);
+
+// Inter Op: greedily group consecutive operators while the group's weights
+// fit the prefetch buffer; prefetch group g+1 while executing group g.
+HbmResult EmulateInterOp(const std::vector<HbmOp>& ops, const HbmConfig& config);
+
+// Adapters from the two compilers' outputs.
+std::vector<HbmOp> HbmOpsFromCompiled(const CompiledModel& model, const Graph& graph);
+std::vector<HbmOp> HbmOpsFromVgm(const VgmModelResult& model, const Graph& graph);
+
+}  // namespace t10
+
+#endif  // T10_SRC_HBM_HBM_EMULATOR_H_

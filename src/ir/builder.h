@@ -1,0 +1,79 @@
+// Factory helpers for common DNN operators.
+
+#ifndef T10_SRC_IR_BUILDER_H_
+#define T10_SRC_IR_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/operator.h"
+
+namespace t10 {
+
+// C[m, n] += A[m, k] * B[k, n].
+Operator MatMulOp(const std::string& name, std::int64_t m, std::int64_t k, std::int64_t n,
+                  DataType dtype, const std::string& a_name, const std::string& b_name,
+                  const std::string& c_name);
+
+// C[b, m, n] += A[b, m, k] * B[b, k, n].
+Operator BatchedMatMulOp(const std::string& name, std::int64_t batch, std::int64_t m,
+                         std::int64_t k, std::int64_t n, DataType dtype,
+                         const std::string& a_name, const std::string& b_name,
+                         const std::string& c_name);
+
+// O[b, f, h, w] += I[b, c, s*h+kh, s*w+kw] * W[f, c, kh, kw]: valid conv over
+// a pre-padded input with stride `s`, matching the paper's compound-axis
+// example (Equation 2) generalized to strided convolutions.
+Operator Conv2dOp(const std::string& name, std::int64_t batch, std::int64_t in_channels,
+                  std::int64_t out_channels, std::int64_t out_h, std::int64_t out_w,
+                  std::int64_t kernel_h, std::int64_t kernel_w, DataType dtype,
+                  const std::string& input_name, const std::string& weight_name,
+                  const std::string& output_name, std::int64_t stride = 1);
+
+// Unary pointwise op over the given shape; `cost` = flops per element
+// (e.g. 1 for ReLU, ~8 for GELU/exp-heavy ops).
+Operator ElementwiseOp(const std::string& name, const std::vector<std::int64_t>& shape,
+                       DataType dtype, const std::string& input_name,
+                       const std::string& output_name, double cost = 1.0);
+
+// Binary pointwise op (e.g. residual add) over the given shape.
+Operator BinaryOp(const std::string& name, const std::vector<std::int64_t>& shape, DataType dtype,
+                  const std::string& lhs_name, const std::string& rhs_name,
+                  const std::string& output_name, double cost = 1.0);
+
+// O[rows] = sum_cols I[rows, cols]; reduces the trailing dimension.
+Operator ReduceOp(const std::string& name, const std::vector<std::int64_t>& shape, DataType dtype,
+                  const std::string& input_name, const std::string& output_name);
+
+// O[n, e] = T[idx[n], e]: embedding lookup as a one-hot contraction with
+// reduction axis v = vocab.
+Operator GatherOp(const std::string& name, std::int64_t n, std::int64_t vocab, std::int64_t embed,
+                  DataType dtype, const std::string& indices_name, const std::string& table_name,
+                  const std::string& output_name);
+
+// Opaque vendor-library op over the given shape (e.g. Sort).
+Operator VendorOp(const std::string& name, const std::vector<std::int64_t>& shape, DataType dtype,
+                  const std::string& input_name, const std::string& output_name);
+
+// A tensor operand described by axis names, for the generic builders below.
+struct NamedOperand {
+  std::string name;
+  std::vector<std::string> dims;  // One axis name per tensor dimension.
+};
+
+// Generic contraction: out[dims] += prod_i in_i[dims], summing over every
+// axis absent from the output. Used by the model zoo to express attention
+// with explicit batch/head axes, e.g.
+//   S[b,e,s,t] += Q[b,s,e,d] * K[b,t,e,d].
+Operator ContractionOp(const std::string& name, std::vector<Axis> axes,
+                       const std::vector<NamedOperand>& inputs, const NamedOperand& output,
+                       DataType dtype);
+
+// Generic reduction: out[dims] += in[dims] over the axes absent from the
+// output (e.g. average pooling's spatial sum).
+Operator ReduceAxesOp(const std::string& name, std::vector<Axis> axes, const NamedOperand& input,
+                      const NamedOperand& output, DataType dtype);
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_BUILDER_H_

@@ -1,0 +1,47 @@
+#include "src/ir/dtype.h"
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+std::int64_t DataTypeSize(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF16:
+      return 2;
+    case DataType::kF32:
+      return 4;
+    case DataType::kI32:
+      return 4;
+  }
+  T10_CHECK(false) << "unreachable";
+  return 0;
+}
+
+std::string DataTypeName(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF16:
+      return "f16";
+    case DataType::kF32:
+      return "f32";
+    case DataType::kI32:
+      return "i32";
+  }
+  T10_CHECK(false) << "unreachable";
+  return "";
+}
+
+DataType DataTypeFromName(const std::string& name) {
+  if (name == "f16") {
+    return DataType::kF16;
+  }
+  if (name == "f32") {
+    return DataType::kF32;
+  }
+  if (name == "i32") {
+    return DataType::kI32;
+  }
+  T10_CHECK(false) << "unknown dtype: " << name;
+  return DataType::kF32;
+}
+
+}  // namespace t10

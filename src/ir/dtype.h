@@ -1,0 +1,27 @@
+// Element data types supported by the compiler and simulator.
+
+#ifndef T10_SRC_IR_DTYPE_H_
+#define T10_SRC_IR_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace t10 {
+
+enum class DataType {
+  kF16,
+  kF32,
+  kI32,
+};
+
+// Size of one element in bytes.
+std::int64_t DataTypeSize(DataType dtype);
+
+std::string DataTypeName(DataType dtype);
+
+// Parses "f16" / "f32" / "i32"; CHECK-fails on anything else.
+DataType DataTypeFromName(const std::string& name);
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_DTYPE_H_

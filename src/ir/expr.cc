@@ -1,0 +1,42 @@
+#include "src/ir/expr.h"
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+std::int64_t DimLength(const std::vector<Axis>& axes, const DimRef& dim) {
+  T10_CHECK_GE(dim.axis, 0);
+  T10_CHECK_LT(static_cast<std::size_t>(dim.axis), axes.size());
+  std::int64_t length = axes[dim.axis].length;
+  if (dim.compound()) {
+    T10_CHECK_LT(static_cast<std::size_t>(dim.minor_axis), axes.size());
+    T10_CHECK_GE(dim.stride, 1);
+    // A dimension indexed by s*a + b with a in [0, A) and b in [0, B) spans
+    // s*(A-1) + B distinct values.
+    length = dim.stride * (length - 1) + axes[dim.minor_axis].length;
+  }
+  return length;
+}
+
+std::int64_t NumElements(const std::vector<Axis>& axes, const TensorRef& tensor) {
+  std::int64_t elements = 1;
+  for (const DimRef& dim : tensor.dims) {
+    elements *= DimLength(axes, dim);
+  }
+  return elements;
+}
+
+std::int64_t ByteSize(const std::vector<Axis>& axes, const TensorRef& tensor) {
+  return NumElements(axes, tensor) * DataTypeSize(tensor.dtype);
+}
+
+std::vector<std::int64_t> TensorShape(const std::vector<Axis>& axes, const TensorRef& tensor) {
+  std::vector<std::int64_t> shape;
+  shape.reserve(tensor.dims.size());
+  for (const DimRef& dim : tensor.dims) {
+    shape.push_back(DimLength(axes, dim));
+  }
+  return shape;
+}
+
+}  // namespace t10

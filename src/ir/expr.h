@@ -1,0 +1,63 @@
+// Tensor-expression representation (paper §4.2, "Operator representation").
+//
+// An operator is described by a set of named iteration axes and, per tensor,
+// a map from tensor dimensions to those axes. For example MatMul
+//     C[m, n] += A[m, k] * B[k, n]
+// has axes {m, n, k} (k is a reduction axis); tensor A maps its two dims to
+// (m, k). 2D convolution
+//     O[b, f, h, w] += I[b, c, h+kh, w+kw] * W[f, c, kh, kw]
+// uses *compound* dimensions: I's third dim maps to the axis pair (h, kh)
+// with length len(h) + len(kh) - 1 (paper §5, "Compound axis").
+
+#ifndef T10_SRC_IR_EXPR_H_
+#define T10_SRC_IR_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/dtype.h"
+
+namespace t10 {
+
+// One iteration axis of an operator.
+struct Axis {
+  std::string name;
+  std::int64_t length = 0;
+  // Reduction axes appear only on input tensors; output values sum over them.
+  bool reduction = false;
+};
+
+// Maps one tensor dimension to an operator axis, or to a pair of axes for
+// compound dimensions like stride*h + kh (strided convolution input windows).
+struct DimRef {
+  int axis = -1;          // Index into Operator::axes.
+  int minor_axis = -1;    // Second axis of a compound dim, or -1.
+  std::int64_t stride = 1;  // Multiplier of the major axis in a compound dim.
+
+  bool compound() const { return minor_axis >= 0; }
+};
+
+// A tensor operand of an operator: a name (graph-level identity), an element
+// type, and the dimension-to-axis map.
+struct TensorRef {
+  std::string name;
+  DataType dtype = DataType::kF16;
+  std::vector<DimRef> dims;
+};
+
+// Dimension length of `dim` given the operator's axes.
+std::int64_t DimLength(const std::vector<Axis>& axes, const DimRef& dim);
+
+// Total element count of a tensor operand.
+std::int64_t NumElements(const std::vector<Axis>& axes, const TensorRef& tensor);
+
+// Total byte size of a tensor operand.
+std::int64_t ByteSize(const std::vector<Axis>& axes, const TensorRef& tensor);
+
+// Concrete dimension lengths of a tensor operand.
+std::vector<std::int64_t> TensorShape(const std::vector<Axis>& axes, const TensorRef& tensor);
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_EXPR_H_

@@ -1,0 +1,166 @@
+#include "src/ir/graph.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+void Graph::Add(Operator op) {
+  const int index = static_cast<int>(ops_.size());
+  auto register_tensor = [&](const TensorRef& ref, bool is_output) {
+    std::vector<std::int64_t> shape = TensorShape(op.axes(), ref);
+    // Convolution-style operands read their input through compound (halo)
+    // dims; the producing operator emits the un-padded tensor. Such uses may
+    // legitimately disagree with the recorded shape by the halo amount.
+    bool halo_use = false;
+    for (const DimRef& dim : ref.dims) {
+      halo_use = halo_use || dim.compound();
+    }
+    auto it = tensors_.find(ref.name);
+    if (it == tensors_.end()) {
+      TensorInfo info;
+      info.name = ref.name;
+      info.dtype = ref.dtype;
+      info.shape = shape;
+      info.bytes = ByteSize(op.axes(), ref);
+      info.producer = is_output ? index : -1;
+      if (!is_output) {
+        info.consumers.push_back(index);
+      }
+      tensors_.emplace(ref.name, std::move(info));
+      return;
+    }
+    TensorInfo& info = it->second;
+    if (info.shape != shape) {
+      // Tolerated only around halo reads of the same rank where one shape
+      // dominates the other; the tensor is recorded at its padded extent, and
+      // later halo-free consumers may read the un-padded interior.
+      bool tolerated = (halo_use || info.halo_padded) && info.shape.size() == shape.size();
+      bool grows = true;
+      bool shrinks = true;
+      for (std::size_t d = 0; tolerated && d < shape.size(); ++d) {
+        grows = grows && shape[d] >= info.shape[d];
+        shrinks = shrinks && shape[d] <= info.shape[d];
+      }
+      tolerated = tolerated && (grows || shrinks);
+      T10_CHECK(tolerated) << "shape mismatch for tensor " << ref.name << " at op " << op.name();
+      if (halo_use) {
+        info.halo_padded = true;
+      }
+      if (grows) {
+        info.shape = shape;
+        info.bytes = ByteSize(op.axes(), ref);
+      }
+    }
+    T10_CHECK(info.dtype == ref.dtype) << "dtype mismatch for tensor " << ref.name;
+    if (is_output) {
+      T10_CHECK_EQ(info.producer, -1) << "tensor " << ref.name << " produced twice";
+      T10_CHECK(info.consumers.empty() || !info.is_weight);
+      info.producer = index;
+    } else {
+      info.consumers.push_back(index);
+    }
+  };
+  for (const TensorRef& input : op.inputs()) {
+    register_tensor(input, /*is_output=*/false);
+  }
+  register_tensor(op.output(), /*is_output=*/true);
+  ops_.push_back(std::move(op));
+}
+
+void Graph::MarkWeight(const std::string& tensor_name) {
+  auto it = tensors_.find(tensor_name);
+  T10_CHECK(it != tensors_.end()) << "unknown tensor " << tensor_name;
+  T10_CHECK_EQ(it->second.producer, -1) << "weight tensor " << tensor_name << " has a producer";
+  it->second.is_weight = true;
+}
+
+const Operator& Graph::op(int index) const {
+  T10_CHECK_GE(index, 0);
+  T10_CHECK_LT(index, num_ops());
+  return ops_[index];
+}
+
+bool Graph::HasTensor(const std::string& tensor_name) const {
+  return tensors_.count(tensor_name) > 0;
+}
+
+const TensorInfo& Graph::tensor(const std::string& tensor_name) const {
+  auto it = tensors_.find(tensor_name);
+  T10_CHECK(it != tensors_.end()) << "unknown tensor " << tensor_name;
+  return it->second;
+}
+
+std::int64_t Graph::WeightBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& [name, info] : tensors_) {
+    if (info.is_weight) {
+      bytes += info.bytes;
+    }
+  }
+  return bytes;
+}
+
+std::int64_t Graph::TotalTensorBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& [name, info] : tensors_) {
+    bytes += info.bytes;
+  }
+  return bytes;
+}
+
+std::vector<std::string> Graph::InputNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : tensors_) {
+    if (info.producer == -1 && !info.is_weight) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Graph::OutputNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : tensors_) {
+    if (info.producer != -1 && info.consumers.empty()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::set<std::string>> Graph::LiveSets() const {
+  std::vector<std::set<std::string>> live(ops_.size());
+  for (const auto& [name, info] : tensors_) {
+    int first = info.producer == -1 ? 0 : info.producer;
+    int last = info.producer == -1 ? -1 : info.producer;
+    for (int consumer : info.consumers) {
+      last = std::max(last, consumer);
+    }
+    if (info.producer != -1 && info.consumers.empty()) {
+      // Graph output: stays live to the end.
+      last = static_cast<int>(ops_.size()) - 1;
+    }
+    if (info.is_weight) {
+      first = 0;
+      last = static_cast<int>(ops_.size()) - 1;
+    }
+    for (int i = first; i <= last; ++i) {
+      live[i].insert(name);
+    }
+  }
+  return live;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph " << name_ << " (" << ops_.size() << " ops, weights "
+      << WeightBytes() << "B)\n";
+  for (const Operator& op : ops_) {
+    out << "  " << op.DebugString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace t10

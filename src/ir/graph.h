@@ -1,0 +1,81 @@
+// Operator graph (the DNN model representation consumed by the compiler).
+//
+// Operators are stored in topological (execution) order. Tensors are linked
+// by name: a tensor produced by one operator feeds any later operator that
+// names it as an input. Tensors with no producer are either model weights
+// (persistent, resident on-chip in the paper's deployment model) or graph
+// inputs (streamed from off-chip).
+
+#ifndef T10_SRC_IR_GRAPH_H_
+#define T10_SRC_IR_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/operator.h"
+
+namespace t10 {
+
+struct TensorInfo {
+  std::string name;
+  DataType dtype = DataType::kF16;
+  std::vector<std::int64_t> shape;
+  std::int64_t bytes = 0;
+  bool is_weight = false;
+  // True if some consumer reads this tensor through a compound (halo) dim,
+  // growing its recorded extent to the padded shape.
+  bool halo_padded = false;
+  int producer = -1;           // Operator index, or -1 for graph inputs/weights.
+  std::vector<int> consumers;  // Operator indices.
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  // Appends an operator. Operators must be added in execution order: every
+  // non-weight input must already exist (as a weight, graph input, or the
+  // output of an earlier operator). Shapes of same-named tensors must agree.
+  void Add(Operator op);
+
+  // Declares that the named tensor (which must be an input of some operator,
+  // never produced) holds persistent model weights.
+  void MarkWeight(const std::string& tensor_name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Operator>& ops() const { return ops_; }
+  const Operator& op(int index) const;
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+
+  bool HasTensor(const std::string& tensor_name) const;
+  const TensorInfo& tensor(const std::string& tensor_name) const;
+  const std::map<std::string, TensorInfo>& tensors() const { return tensors_; }
+
+  // Total bytes of persistent weights / of all tensors.
+  std::int64_t WeightBytes() const;
+  std::int64_t TotalTensorBytes() const;
+
+  // Graph inputs: tensors with no producer that are not weights.
+  std::vector<std::string> InputNames() const;
+  // Graph outputs: produced tensors with no consumer.
+  std::vector<std::string> OutputNames() const;
+
+  // For each operator index, the set of tensor names that are live (already
+  // produced or persistent, and still needed by this or a later operator)
+  // while that operator executes. Used for memory planning.
+  std::vector<std::set<std::string>> LiveSets() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::string name_;
+  std::vector<Operator> ops_;
+  std::map<std::string, TensorInfo> tensors_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_GRAPH_H_

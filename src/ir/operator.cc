@@ -1,0 +1,155 @@
+#include "src/ir/operator.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+std::string OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kContraction:
+      return "Contraction";
+    case OpKind::kElementwise:
+      return "Elementwise";
+    case OpKind::kReduceSum:
+      return "ReduceSum";
+    case OpKind::kGather:
+      return "Gather";
+    case OpKind::kVendor:
+      return "Vendor";
+  }
+  return "?";
+}
+
+Operator::Operator(std::string name, OpKind kind, std::vector<Axis> axes,
+                   std::vector<TensorRef> inputs, TensorRef output)
+    : name_(std::move(name)),
+      kind_(kind),
+      axes_(std::move(axes)),
+      inputs_(std::move(inputs)),
+      output_(std::move(output)) {
+  Validate();
+}
+
+void Operator::Validate() const {
+  T10_CHECK(!axes_.empty()) << name_;
+  for (const Axis& axis : axes_) {
+    T10_CHECK_GT(axis.length, 0) << name_ << " axis " << axis.name;
+  }
+  auto check_tensor = [&](const TensorRef& t) {
+    for (const DimRef& dim : t.dims) {
+      T10_CHECK_GE(dim.axis, 0) << name_ << " tensor " << t.name;
+      T10_CHECK_LT(static_cast<std::size_t>(dim.axis), axes_.size());
+      if (dim.compound()) {
+        T10_CHECK_LT(static_cast<std::size_t>(dim.minor_axis), axes_.size());
+      }
+    }
+  };
+  for (const TensorRef& t : inputs_) {
+    check_tensor(t);
+  }
+  check_tensor(output_);
+  // The output of an operator never carries reduction axes.
+  for (const DimRef& dim : output_.dims) {
+    T10_CHECK(!axes_[dim.axis].reduction) << name_ << ": output uses reduction axis";
+    if (dim.compound()) {
+      T10_CHECK(!axes_[dim.minor_axis].reduction) << name_;
+    }
+  }
+}
+
+double Operator::Flops() const {
+  double domain = 1.0;
+  for (const Axis& axis : axes_) {
+    domain *= static_cast<double>(axis.length);
+  }
+  switch (kind_) {
+    case OpKind::kContraction:
+      return 2.0 * domain;  // One multiply + one add per point of the domain.
+    case OpKind::kElementwise:
+      return domain * elementwise_cost_;
+    case OpKind::kReduceSum:
+      return domain;
+    case OpKind::kGather:
+      // Pure data movement; costed as one element copy per output element.
+      return domain / [this] {
+        double reduction = 1.0;
+        for (const Axis& axis : axes_) {
+          if (axis.reduction) {
+            reduction *= static_cast<double>(axis.length);
+          }
+        }
+        return reduction;
+      }();
+    case OpKind::kVendor:
+      return domain;
+  }
+  return domain;
+}
+
+std::int64_t Operator::InputBytes() const {
+  std::int64_t bytes = 0;
+  for (const TensorRef& t : inputs_) {
+    bytes += ByteSize(axes_, t);
+  }
+  return bytes;
+}
+
+std::int64_t Operator::OutputBytes() const { return ByteSize(axes_, output_); }
+
+int Operator::FindAxis(const std::string& axis_name) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].name == axis_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Operator::ReductionAxes() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].reduction) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool Operator::TensorUsesAxis(const TensorRef& t, int axis) {
+  for (const DimRef& dim : t.dims) {
+    if (dim.axis == axis || dim.minor_axis == axis) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Operator::DebugString() const {
+  std::ostringstream out;
+  out << name_ << ": " << OpKindName(kind_) << " " << output_.name << "[";
+  for (std::size_t i = 0; i < output_.dims.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << axes_[output_.dims[i].axis].name;
+    if (output_.dims[i].compound()) {
+      out << "+" << axes_[output_.dims[i].minor_axis].name;
+    }
+  }
+  out << "] axes{";
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << axes_[i].name << "=" << axes_[i].length;
+    if (axes_[i].reduction) {
+      out << "(r)";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace t10

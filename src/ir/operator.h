@@ -1,0 +1,83 @@
+// Operator: one node of a DNN graph, described as a tensor expression.
+
+#ifndef T10_SRC_IR_OPERATOR_H_
+#define T10_SRC_IR_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace t10 {
+
+enum class OpKind {
+  // output[out_axes] += prod_i input_i[axes]; reduction axes are summed.
+  // Covers MatMul, batched MatMul and Conv2D (via compound dims).
+  kContraction,
+  // Pointwise map over all axes; 1..2 inputs, no reduction axes.
+  kElementwise,
+  // output[out_axes] = sum over reduction axes of input[axes].
+  kReduceSum,
+  // Embedding lookup expressed as a one-hot contraction: axes {n, e} plus a
+  // reduction axis v; input 0 is an i32 index vector over n, input 1 the
+  // [v, e] table. Planned like a contraction, costed like data movement.
+  kGather,
+  // Opaque operator executed by the vendor library (paper §4.2: e.g. Sort).
+  // T10 does not partition these; they get a fixed cost and footprint.
+  kVendor,
+};
+
+std::string OpKindName(OpKind kind);
+
+class Operator {
+ public:
+  Operator() = default;
+  Operator(std::string name, OpKind kind, std::vector<Axis> axes, std::vector<TensorRef> inputs,
+           TensorRef output);
+
+  const std::string& name() const { return name_; }
+  OpKind kind() const { return kind_; }
+  const std::vector<Axis>& axes() const { return axes_; }
+  const std::vector<TensorRef>& inputs() const { return inputs_; }
+  const TensorRef& output() const { return output_; }
+
+  // For kElementwise: arithmetic operations per output element (e.g. GELU is
+  // costed as several flops per element). Defaults to 1.
+  double elementwise_cost() const { return elementwise_cost_; }
+  void set_elementwise_cost(double cost) { elementwise_cost_ = cost; }
+
+  // Total floating-point operations for one execution of this operator.
+  double Flops() const;
+
+  // Bytes of all inputs / of the output.
+  std::int64_t InputBytes() const;
+  std::int64_t OutputBytes() const;
+
+  // Index of the axis with the given name; -1 if absent.
+  int FindAxis(const std::string& axis_name) const;
+
+  // Indices of reduction axes.
+  std::vector<int> ReductionAxes() const;
+
+  // True if tensor `t` uses axis `axis` in any of its dims (directly or as
+  // part of a compound dim).
+  static bool TensorUsesAxis(const TensorRef& t, int axis);
+
+  // Human-readable summary, e.g. "fc1: MatMul C[m=128,n=512] += ...".
+  std::string DebugString() const;
+
+ private:
+  void Validate() const;
+
+  std::string name_;
+  OpKind kind_ = OpKind::kElementwise;
+  std::vector<Axis> axes_;
+  std::vector<TensorRef> inputs_;
+  TensorRef output_;
+  double elementwise_cost_ = 1.0;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_OPERATOR_H_

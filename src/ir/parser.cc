@@ -1,0 +1,200 @@
+#include "src/ir/parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/ir/builder.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace {
+
+// One parsed directive: a verb and its key=value arguments.
+struct Line {
+  int number = 0;
+  std::string verb;
+  std::map<std::string, std::string> args;
+};
+
+std::vector<Line> Tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream stream(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw = raw.substr(0, hash);
+    }
+    std::istringstream line_stream(raw);
+    Line line;
+    line.number = number;
+    if (!(line_stream >> line.verb)) {
+      continue;  // Blank line.
+    }
+    std::string token;
+    while (line_stream >> token) {
+      std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        // `model <name>` style positional argument.
+        line.args["_pos"] = token;
+        continue;
+      }
+      line.args[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const Line& line) : line_(line) {}
+
+  std::string Str(const std::string& key) const {
+    auto it = line_.args.find(key);
+    T10_CHECK(it != line_.args.end())
+        << "line " << line_.number << ": missing argument '" << key << "'";
+    return it->second;
+  }
+
+  std::string StrOr(const std::string& key, const std::string& fallback) const {
+    auto it = line_.args.find(key);
+    return it == line_.args.end() ? fallback : it->second;
+  }
+
+  std::int64_t Int(const std::string& key) const {
+    const std::string value = Str(key);
+    char* end = nullptr;
+    std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+    T10_CHECK(end != nullptr && *end == '\0')
+        << "line " << line_.number << ": bad integer '" << value << "' for " << key;
+    return parsed;
+  }
+
+  double Real(const std::string& key, double fallback) const {
+    auto it = line_.args.find(key);
+    if (it == line_.args.end()) {
+      return fallback;
+    }
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  DataType Dtype() const { return DataTypeFromName(StrOr("dtype", "f16")); }
+
+  std::vector<std::int64_t> Shape(const std::string& key) const {
+    std::vector<std::int64_t> shape;
+    std::string value = Str(key);
+    std::size_t pos = 0;
+    while (pos < value.size()) {
+      std::size_t x = value.find('x', pos);
+      std::string part = value.substr(pos, x == std::string::npos ? std::string::npos : x - pos);
+      shape.push_back(std::strtoll(part.c_str(), nullptr, 10));
+      T10_CHECK_GT(shape.back(), 0) << "line " << line_.number << ": bad shape " << value;
+      if (x == std::string::npos) {
+        break;
+      }
+      pos = x + 1;
+    }
+    T10_CHECK(!shape.empty()) << "line " << line_.number;
+    return shape;
+  }
+
+  // Comma-separated list; empty if the key is absent.
+  std::vector<std::string> List(const std::string& key) const {
+    std::vector<std::string> out;
+    auto it = line_.args.find(key);
+    if (it == line_.args.end()) {
+      return out;
+    }
+    const std::string& value = it->second;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+      std::size_t comma = value.find(',', pos);
+      out.push_back(value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos));
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  const Line& line_;
+};
+
+}  // namespace
+
+Graph ParseModelText(const std::string& text) {
+  std::vector<Line> lines = Tokenize(text);
+  std::string model_name = "model";
+  std::vector<std::pair<Operator, std::vector<std::string>>> ops;
+  for (const Line& line : lines) {
+    LineReader r(line);
+    if (line.verb == "model") {
+      model_name = r.StrOr("_pos", model_name);
+      continue;
+    }
+    std::vector<std::string> weights = r.List("weight");
+    if (line.verb == "matmul") {
+      ops.emplace_back(MatMulOp(r.Str("name"), r.Int("m"), r.Int("k"), r.Int("n"), r.Dtype(),
+                                r.Str("a"), r.Str("b"), r.Str("c")),
+                       weights);
+    } else if (line.verb == "bmm") {
+      ops.emplace_back(BatchedMatMulOp(r.Str("name"), r.Int("batch"), r.Int("m"), r.Int("k"),
+                                       r.Int("n"), r.Dtype(), r.Str("a"), r.Str("b"), r.Str("c")),
+                       weights);
+    } else if (line.verb == "conv2d") {
+      const std::int64_t stride =
+          static_cast<std::int64_t>(r.Real("stride", 1.0));
+      ops.emplace_back(
+          Conv2dOp(r.Str("name"), r.Int("batch"), r.Int("cin"), r.Int("cout"), r.Int("h"),
+                   r.Int("w"), r.Int("kh"), r.Int("kw"), r.Dtype(), r.Str("in"), r.Str("wt"),
+                   r.Str("out"), stride),
+          weights);
+    } else if (line.verb == "unary") {
+      ops.emplace_back(ElementwiseOp(r.Str("name"), r.Shape("shape"), r.Dtype(), r.Str("in"),
+                                     r.Str("out"), r.Real("cost", 1.0)),
+                       weights);
+    } else if (line.verb == "binary") {
+      ops.emplace_back(BinaryOp(r.Str("name"), r.Shape("shape"), r.Dtype(), r.Str("lhs"),
+                                r.Str("rhs"), r.Str("out"), r.Real("cost", 1.0)),
+                       weights);
+    } else if (line.verb == "reduce") {
+      ops.emplace_back(ReduceOp(r.Str("name"), r.Shape("shape"), r.Dtype(), r.Str("in"),
+                                r.Str("out")),
+                       weights);
+    } else if (line.verb == "gather") {
+      ops.emplace_back(GatherOp(r.Str("name"), r.Int("n"), r.Int("vocab"), r.Int("embed"),
+                                r.Dtype(), r.Str("idx"), r.Str("table"), r.Str("out")),
+                       weights);
+    } else if (line.verb == "vendor") {
+      ops.emplace_back(VendorOp(r.Str("name"), r.Shape("shape"), r.Dtype(), r.Str("in"),
+                                r.Str("out")),
+                       weights);
+    } else {
+      T10_CHECK(false) << "line " << line.number << ": unknown directive '" << line.verb << "'";
+    }
+  }
+  Graph graph(model_name);
+  for (auto& [op, weights] : ops) {
+    graph.Add(std::move(op));
+    for (const std::string& w : weights) {
+      graph.MarkWeight(w);
+    }
+  }
+  return graph;
+}
+
+Graph ParseModelFile(const std::string& path) {
+  std::ifstream file(path);
+  T10_CHECK(file.good()) << "cannot open model file " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseModelText(buffer.str());
+}
+
+}  // namespace t10

@@ -1,0 +1,35 @@
+// A compact text format for describing operator graphs, standing in for the
+// paper's ONNX front end (see DESIGN.md, substitutions).
+//
+// Format: one directive per line, `#` comments, blank lines ignored.
+//
+//   model <name>
+//   matmul  name=<op> m=<M> k=<K> n=<N> a=<t> b=<t> c=<t> [dtype=f16] [weight=<t>,<t>]
+//   bmm     name=<op> batch=<B> m= k= n= a= b= c= [dtype] [weight=...]
+//   conv2d  name=<op> batch= cin= cout= h= w= kh= kw= in= wt= out= [dtype] [weight=...]
+//   unary   name=<op> shape=<d0xd1x...> in= out= [cost=<flops/elem>] [dtype]
+//   binary  name=<op> shape= lhs= rhs= out= [cost=] [dtype] [weight=...]
+//   reduce  name=<op> shape= in= out= [dtype]
+//   gather  name=<op> n= vocab= embed= idx= table= out= [dtype] [weight=...]
+//   vendor  name=<op> shape= in= out= [dtype]
+
+#ifndef T10_SRC_IR_PARSER_H_
+#define T10_SRC_IR_PARSER_H_
+
+#include <string>
+
+#include "src/ir/graph.h"
+
+namespace t10 {
+
+// Parses the text format into a Graph. CHECK-fails with a line number on
+// malformed input (this is a developer-facing tool, not an untrusted-input
+// parser).
+Graph ParseModelText(const std::string& text);
+
+// Reads a file and parses it.
+Graph ParseModelFile(const std::string& path);
+
+}  // namespace t10
+
+#endif  // T10_SRC_IR_PARSER_H_

@@ -1,0 +1,35 @@
+// NeRF-style MLP (Mildenhall et al., Table 2 lists 24K parameters): a small
+// fully-connected network evaluated over a very large batch of ray samples.
+// The interesting property for T10 is the inverse of the LLM case: tiny
+// weights shared across all cores, huge stationary activations.
+
+#include <string>
+
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+
+Graph BuildNerf(std::int64_t batch, int num_layers) {
+  Graph graph("NeRF");
+  const DataType f16 = DataType::kF16;
+  // One batch unit = 16384 ray samples; width 64 gives
+  // 5 * 64 * 64 + in/out heads ~ 24K parameters.
+  const std::int64_t samples = batch * 16384;
+  const std::int64_t width = 64;
+
+  std::string x = "samples";  // Positional-encoded inputs [samples, width].
+  for (int layer = 0; layer < num_layers; ++layer) {
+    const std::string p = "fc" + std::to_string(layer);
+    graph.Add(MatMulOp(p, samples, width, width, f16, x, p + "_w", p + "_y"));
+    graph.MarkWeight(p + "_w");
+    graph.Add(ElementwiseOp(p + "_relu", {samples, width}, f16, p + "_y", p + "_a", 1.0));
+    x = p + "_a";
+  }
+  // RGB + density head.
+  graph.Add(MatMulOp("head", samples, width, 4, f16, x, "head_w", "rgba"));
+  graph.MarkWeight("head_w");
+  return graph;
+}
+
+}  // namespace t10

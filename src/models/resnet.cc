@@ -1,0 +1,80 @@
+// ResNet-18 at 224x224 (He et al.), expressed with strided compound-axis
+// convolutions. Documented deviations (DESIGN.md): the stem conv + maxpool
+// pair collapses into one stride-4 7x7 convolution, and the 1x1 downsample
+// projections are modelled as 3x3 so both residual branches read the same
+// padded input tensor.
+
+#include <string>
+
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+constexpr double kReluCost = 1.0;
+
+// conv + relu; returns the activation name.
+std::string ConvRelu(Graph& graph, const std::string& name, const std::string& input,
+                     std::int64_t batch, std::int64_t cin, std::int64_t cout, std::int64_t hw,
+                     std::int64_t stride, bool relu = true) {
+  graph.Add(Conv2dOp(name, batch, cin, cout, hw, hw, 3, 3, DataType::kF16, input, name + "_w",
+                     name + "_y", stride));
+  graph.MarkWeight(name + "_w");
+  if (!relu) {
+    return name + "_y";
+  }
+  graph.Add(ElementwiseOp(name + "_relu", {batch, cout, hw, hw}, DataType::kF16, name + "_y",
+                          name + "_a", kReluCost));
+  return name + "_a";
+}
+
+// One basic block: conv-relu-conv (+ optional downsample) + add + relu.
+std::string BasicBlock(Graph& graph, const std::string& name, const std::string& input,
+                       std::int64_t batch, std::int64_t cin, std::int64_t cout, std::int64_t hw,
+                       std::int64_t stride) {
+  std::string a = ConvRelu(graph, name + "_c1", input, batch, cin, cout, hw, stride);
+  std::string b = ConvRelu(graph, name + "_c2", a, batch, cout, cout, hw, 1, /*relu=*/false);
+  std::string skip = input;
+  if (stride != 1 || cin != cout) {
+    skip = ConvRelu(graph, name + "_down", input, batch, cin, cout, hw, stride, /*relu=*/false);
+  }
+  graph.Add(BinaryOp(name + "_add", {batch, cout, hw, hw}, DataType::kF16, b, skip,
+                     name + "_sum"));
+  graph.Add(ElementwiseOp(name + "_relu", {batch, cout, hw, hw}, DataType::kF16, name + "_sum",
+                          name + "_out", kReluCost));
+  return name + "_out";
+}
+
+}  // namespace
+
+Graph BuildResNet18(std::int64_t batch) {
+  Graph graph("ResNet");
+  const DataType f16 = DataType::kF16;
+
+  // Stem: 7x7 stride-4 (conv + maxpool folded), 224 -> 56.
+  graph.Add(Conv2dOp("stem", batch, 3, 64, 56, 56, 7, 7, f16, "image", "stem_w", "stem_y", 4));
+  graph.MarkWeight("stem_w");
+  graph.Add(ElementwiseOp("stem_relu", {batch, 64, 56, 56}, f16, "stem_y", "stem_a", kReluCost));
+
+  std::string x = "stem_a";
+  x = BasicBlock(graph, "s1b1", x, batch, 64, 64, 56, 1);
+  x = BasicBlock(graph, "s1b2", x, batch, 64, 64, 56, 1);
+  x = BasicBlock(graph, "s2b1", x, batch, 64, 128, 28, 2);
+  x = BasicBlock(graph, "s2b2", x, batch, 128, 128, 28, 1);
+  x = BasicBlock(graph, "s3b1", x, batch, 128, 256, 14, 2);
+  x = BasicBlock(graph, "s3b2", x, batch, 256, 256, 14, 1);
+  x = BasicBlock(graph, "s4b1", x, batch, 256, 512, 7, 2);
+  x = BasicBlock(graph, "s4b2", x, batch, 512, 512, 7, 1);
+
+  // Global average pool (spatial sum) + classifier.
+  graph.Add(ReduceAxesOp("avgpool",
+                         {{"b", batch, false}, {"f", 512, false}, {"h", 7, false},
+                          {"w", 7, false}},
+                         {x, {"b", "f", "h", "w"}}, {"pooled", {"b", "f"}}, f16));
+  graph.Add(MatMulOp("fc", batch, 512, 1000, f16, "pooled", "fc_w", "logits"));
+  graph.MarkWeight("fc_w");
+  return graph;
+}
+
+}  // namespace t10

@@ -1,0 +1,27 @@
+#include "src/models/zoo.h"
+
+namespace t10 {
+
+const std::vector<ModelInfo>& EvaluationModels() {
+  static const std::vector<ModelInfo>* models = new std::vector<ModelInfo>{
+      {"BERT", [](std::int64_t b) { return BuildBertLarge(b); }, {1, 2, 4, 8, 16}},
+      {"ViT", [](std::int64_t b) { return BuildVitBase(b); }, {1, 2, 4, 8, 16, 32}},
+      {"ResNet", [](std::int64_t b) { return BuildResNet18(b); }, {1, 2, 4, 8, 16, 32, 64}},
+      {"NeRF", [](std::int64_t b) { return BuildNerf(b); }, {1, 2, 4, 8, 16}},
+  };
+  return *models;
+}
+
+const std::vector<ModelInfo>& LlmModels() {
+  static const std::vector<ModelInfo>* models = new std::vector<ModelInfo>{
+      {"OPT-1.3B", BuildOpt1p3b, {1, 4, 16, 64}},
+      {"OPT-6.7B", BuildOpt6p7b, {1, 4, 16, 64}},
+      {"OPT-13B", BuildOpt13b, {1, 4, 16, 64}},
+      {"Llama2-7B", BuildLlama2_7b, {1, 4, 16, 64}},
+      {"Llama2-13B", BuildLlama2_13b, {1, 4, 16, 64}},
+      {"RetNet-1.3B", BuildRetNet1p3b, {1, 4, 16, 64}},
+  };
+  return *models;
+}
+
+}  // namespace t10

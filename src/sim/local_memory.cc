@@ -1,0 +1,71 @@
+#include "src/sim/local_memory.h"
+
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+
+namespace {
+constexpr std::int64_t kAlignment = 8;
+}
+
+LocalMemory::LocalMemory(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+  T10_CHECK_GT(capacity_bytes, 0);
+  free_blocks_[0] = capacity_bytes;
+}
+
+std::optional<std::int64_t> LocalMemory::Allocate(std::int64_t bytes) {
+  T10_CHECK_GT(bytes, 0);
+  bytes = RoundUp(bytes, kAlignment);
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second < bytes) {
+      continue;
+    }
+    const std::int64_t offset = it->first;
+    const std::int64_t block_size = it->second;
+    free_blocks_.erase(it);
+    if (block_size > bytes) {
+      free_blocks_[offset + bytes] = block_size - bytes;
+    }
+    allocated_[offset] = bytes;
+    used_ += bytes;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void LocalMemory::Free(std::int64_t offset) {
+  auto it = allocated_.find(offset);
+  T10_CHECK(it != allocated_.end()) << "free of unallocated offset " << offset;
+  std::int64_t size = it->second;
+  allocated_.erase(it);
+  used_ -= size;
+
+  // Insert and coalesce with neighbours.
+  auto [inserted, ok] = free_blocks_.emplace(offset, size);
+  T10_CHECK(ok);
+  // Merge with next block.
+  auto next = std::next(inserted);
+  if (next != free_blocks_.end() && inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_blocks_.erase(next);
+  }
+  // Merge with previous block.
+  if (inserted != free_blocks_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_blocks_.erase(inserted);
+    }
+  }
+}
+
+std::int64_t LocalMemory::LargestFreeBlock() const {
+  std::int64_t largest = 0;
+  for (const auto& [offset, size] : free_blocks_) {
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+}  // namespace t10

@@ -1,0 +1,51 @@
+// Per-core scratchpad allocator.
+//
+// Each simulated core owns a fixed-size local memory. The compiler's
+// `allocate` device interface (paper §4.4) lands here: tensor partitions,
+// shift buffers, and VGM reserves are carved out of this space, and
+// exceeding the 624 KB capacity is a hard compile/run failure exactly as on
+// the real chip. First-fit with free-list coalescing so liveness-based reuse
+// across operators works.
+
+#ifndef T10_SRC_SIM_LOCAL_MEMORY_H_
+#define T10_SRC_SIM_LOCAL_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace t10 {
+
+class LocalMemory {
+ public:
+  explicit LocalMemory(std::int64_t capacity_bytes);
+
+  // Allocates `bytes` (rounded up to 8-byte alignment). Returns the offset,
+  // or nullopt if no free region is large enough.
+  std::optional<std::int64_t> Allocate(std::int64_t bytes);
+
+  // Frees a previously allocated offset; CHECK-fails on double free or
+  // unknown offsets.
+  void Free(std::int64_t offset);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t free_bytes() const { return capacity_ - used_; }
+
+  // Largest single allocation that would currently succeed.
+  std::int64_t LargestFreeBlock() const;
+
+  // Number of live allocations (diagnostics).
+  int num_allocations() const { return static_cast<int>(allocated_.size()); }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::map<std::int64_t, std::int64_t> free_blocks_;  // offset -> size.
+  std::map<std::int64_t, std::int64_t> allocated_;    // offset -> size.
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_SIM_LOCAL_MEMORY_H_

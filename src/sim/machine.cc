@@ -1,0 +1,115 @@
+#include "src/sim/machine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+
+Machine::Machine(const ChipSpec& spec) : spec_(spec) {
+  T10_CHECK_GT(spec_.num_cores, 0);
+  memories_.reserve(spec_.num_cores);
+  storage_.reserve(spec_.num_cores);
+  bytes_sent_.assign(spec_.num_cores, 0);
+  for (int i = 0; i < spec_.num_cores; ++i) {
+    memories_.emplace_back(spec_.core_memory_bytes);
+    storage_.emplace_back(static_cast<std::size_t>(spec_.core_memory_bytes));
+  }
+}
+
+BufferHandle Machine::Allocate(int core, std::int64_t bytes) {
+  T10_CHECK_GE(core, 0);
+  T10_CHECK_LT(core, num_cores());
+  std::optional<std::int64_t> offset = memories_[core].Allocate(bytes);
+  T10_CHECK(offset.has_value()) << "core " << core << " out of scratchpad memory allocating "
+                                << bytes << "B (used " << memories_[core].used_bytes() << "/"
+                                << memories_[core].capacity() << ")";
+  return BufferHandle{core, *offset, bytes};
+}
+
+void Machine::Free(const BufferHandle& handle) {
+  T10_CHECK(handle.valid());
+  memories_[handle.core].Free(handle.offset);
+}
+
+std::byte* Machine::Data(const BufferHandle& handle) {
+  T10_CHECK(handle.valid());
+  return storage_[handle.core].data() + handle.offset;
+}
+
+const std::byte* Machine::Data(const BufferHandle& handle) const {
+  T10_CHECK(handle.valid());
+  return storage_[handle.core].data() + handle.offset;
+}
+
+LocalMemory& Machine::memory(int core) {
+  T10_CHECK_GE(core, 0);
+  T10_CHECK_LT(core, num_cores());
+  return memories_[core];
+}
+
+const LocalMemory& Machine::memory(int core) const {
+  T10_CHECK_GE(core, 0);
+  T10_CHECK_LT(core, num_cores());
+  return memories_[core];
+}
+
+void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
+  if (ring.size() < 2) {
+    return;
+  }
+  const std::int64_t bytes = ring.front().bytes;
+  for (const BufferHandle& h : ring) {
+    T10_CHECK(h.valid());
+    T10_CHECK_EQ(h.bytes, bytes) << "ring buffers must be homogeneous";
+  }
+  const std::int64_t chunk = std::min<std::int64_t>(bytes, spec_.shift_buffer_bytes);
+  T10_CHECK_GT(chunk, 0);
+  const int n = static_cast<int>(ring.size());
+
+  // Temp buffers model the reserved shift buffer in each participating core.
+  std::vector<std::vector<std::byte>> temp(n, std::vector<std::byte>(chunk));
+  for (std::int64_t pos = 0; pos < bytes; pos += chunk) {
+    const std::int64_t len = std::min(chunk, bytes - pos);
+    // Phase 1: every core stages its outgoing chunk into the shift buffer.
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(temp[i].data(), Data(ring[i]) + pos, len);
+    }
+    // Phase 2 (after a barrier on hardware): deliver to the downstream slot.
+    for (int i = 0; i < n; ++i) {
+      const int dst = (i + 1) % n;
+      std::memcpy(Data(ring[dst]) + pos, temp[i].data(), len);
+      bytes_sent_[ring[i].core] += len;
+    }
+  }
+}
+
+void Machine::Copy(const BufferHandle& src, const BufferHandle& dst) {
+  T10_CHECK(src.valid());
+  T10_CHECK(dst.valid());
+  T10_CHECK_LE(src.bytes, dst.bytes);
+  std::memcpy(Data(dst), Data(src), src.bytes);
+  if (src.core != dst.core) {
+    bytes_sent_[src.core] += src.bytes;
+  }
+}
+
+std::int64_t Machine::bytes_sent(int core) const {
+  T10_CHECK_GE(core, 0);
+  T10_CHECK_LT(core, num_cores());
+  return bytes_sent_[core];
+}
+
+std::int64_t Machine::total_bytes_sent() const {
+  std::int64_t total = 0;
+  for (std::int64_t b : bytes_sent_) {
+    total += b;
+  }
+  return total;
+}
+
+void Machine::ResetTrafficCounters() { bytes_sent_.assign(num_cores(), 0); }
+
+}  // namespace t10

@@ -1,0 +1,74 @@
+#include "src/sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace {
+
+// Minimal JSON string escaping (names are op identifiers, but be safe).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceWriter::Add(const std::string& name, const std::string& lane, double start_seconds,
+                      double duration_seconds) {
+  T10_CHECK_GE(start_seconds, 0.0);
+  T10_CHECK_GE(duration_seconds, 0.0);
+  spans_.push_back(TraceSpan{name, lane, start_seconds, duration_seconds});
+}
+
+std::string TraceWriter::ToJson() const {
+  std::ostringstream out;
+  out << "[\n";
+  // Stable lane -> tid mapping in first-seen order.
+  std::vector<std::string> lanes;
+  auto tid_of = [&](const std::string& lane) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i] == lane) {
+        return i;
+      }
+    }
+    lanes.push_back(lane);
+    return lanes.size() - 1;
+  };
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    out << "  {\"name\": \"" << Escape(span.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << tid_of(span.lane) << ", \"ts\": " << span.start_seconds * 1e6
+        << ", \"dur\": " << span.duration_seconds * 1e6 << "}";
+    out << (i + 1 < spans_.size() ? ",\n" : "\n");
+  }
+  // Lane naming metadata.
+  if (!spans_.empty()) {
+    out.seekp(-1, std::ios_base::end);
+    out << ",\n";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << i
+          << ", \"args\": {\"name\": \"" << Escape(lanes[i]) << "\"}}";
+      out << (i + 1 < lanes.size() ? ",\n" : "\n");
+    }
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void TraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  T10_CHECK(file.good()) << "cannot open trace file " << path;
+  file << ToJson();
+}
+
+}  // namespace t10

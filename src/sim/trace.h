@@ -1,0 +1,42 @@
+// Execution trace export in the Chrome tracing (chrome://tracing /
+// Perfetto) JSON format. Each compiled operator contributes setup, compute,
+// exchange and transition spans on a per-phase lane, giving a visual
+// timeline of where a model's time goes on the simulated chip.
+
+#ifndef T10_SRC_SIM_TRACE_H_
+#define T10_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t10 {
+
+struct TraceSpan {
+  std::string name;
+  std::string lane;       // Thread-like grouping ("compute", "exchange", ...).
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+class TraceWriter {
+ public:
+  void Add(const std::string& name, const std::string& lane, double start_seconds,
+           double duration_seconds);
+
+  // Serializes to the Trace Event Format (JSON array of "X" events with
+  // microsecond timestamps).
+  std::string ToJson() const;
+
+  // Writes the JSON to a file; CHECK-fails if the file cannot be opened.
+  void WriteFile(const std::string& path) const;
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_SIM_TRACE_H_

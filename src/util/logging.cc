@@ -1,0 +1,80 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace t10 {
+namespace {
+
+std::atomic<int> g_min_severity{-1};
+
+int InitialSeverityFromEnv() {
+  const char* env = std::getenv("T10_LOG_LEVEL");
+  if (env == nullptr) {
+    return static_cast<int>(LogSeverity::kWarning);
+  }
+  int value = std::atoi(env);
+  if (value < 0) {
+    value = 0;
+  }
+  if (value > 3) {
+    value = 3;
+  }
+  return value;
+}
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  int value = g_min_severity.load(std::memory_order_relaxed);
+  if (value < 0) {
+    value = InitialSeverityFromEnv();
+    g_min_severity.store(value, std::memory_order_relaxed);
+  }
+  return static_cast<LogSeverity>(value);
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity()) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << "[CHECK FAILED " << file << ":" << line << "] " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::cerr.flush();
+  std::abort();
+}
+
+}  // namespace log_internal
+}  // namespace t10

@@ -1,0 +1,91 @@
+// Minimal logging and invariant-checking support used across the T10 codebase.
+//
+// The library is designed to run headless inside tests and benchmark binaries,
+// so logging writes to stderr and CHECK failures abort after printing the
+// failing condition and location.
+
+#ifndef T10_SRC_UTIL_LOGGING_H_
+#define T10_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace t10 {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the process-wide minimum severity that is actually emitted.
+// Controlled by the T10_LOG_LEVEL environment variable (0-3); defaults to
+// kWarning so tests and benchmarks stay quiet.
+LogSeverity MinLogSeverity();
+
+// Overrides the minimum severity programmatically (examples use this to show
+// compiler progress).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression when a log statement is compiled out.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define T10_LOG(severity)                                                              \
+  ::t10::log_internal::LogMessage(::t10::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define T10_CHECK(condition)                                                     \
+  (condition) ? (void)0                                                          \
+              : ::t10::log_internal::Voidify() &                                 \
+                    ::t10::log_internal::CheckFailure(#condition, __FILE__, __LINE__).stream()
+
+#define T10_CHECK_OP(lhs, op, rhs) T10_CHECK((lhs)op(rhs)) << " (" << (lhs) << " vs " << (rhs) << ")"
+
+#define T10_CHECK_EQ(lhs, rhs) T10_CHECK_OP(lhs, ==, rhs)
+#define T10_CHECK_NE(lhs, rhs) T10_CHECK_OP(lhs, !=, rhs)
+#define T10_CHECK_LT(lhs, rhs) T10_CHECK_OP(lhs, <, rhs)
+#define T10_CHECK_LE(lhs, rhs) T10_CHECK_OP(lhs, <=, rhs)
+#define T10_CHECK_GT(lhs, rhs) T10_CHECK_OP(lhs, >, rhs)
+#define T10_CHECK_GE(lhs, rhs) T10_CHECK_OP(lhs, >=, rhs)
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the repository (kernel-timing noise, sampling planners, test data)
+// threads an explicit Rng through so runs are reproducible.
+
+#ifndef T10_SRC_UTIL_RNG_H_
+#define T10_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    T10_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Picks a random element index for a container of the given size.
+  std::size_t Index(std::size_t size) {
+    T10_CHECK_GT(size, 0u);
+    return static_cast<std::size_t>(Uniform(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_RNG_H_

@@ -1,0 +1,80 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+double Mean(const std::vector<double>& values) {
+  T10_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double GeoMean(const std::vector<double>& values) {
+  T10_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    T10_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Min(const std::vector<double>& values) {
+  T10_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  T10_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double StdDev(const std::vector<double>& values) {
+  T10_CHECK(!values.empty());
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  T10_CHECK(!values.empty());
+  T10_CHECK_GE(p, 0.0);
+  T10_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values.front();
+  }
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted) {
+  T10_CHECK_EQ(actual.size(), predicted.size());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == 0.0) {
+      continue;
+    }
+    sum += std::fabs((predicted[i] - actual[i]) / actual[i]);
+    ++count;
+  }
+  T10_CHECK_GT(count, 0u);
+  return 100.0 * sum / static_cast<double>(count);
+}
+
+}  // namespace t10

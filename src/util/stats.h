@@ -1,0 +1,27 @@
+// Summary statistics used by the benchmark harnesses.
+
+#ifndef T10_SRC_UTIL_STATS_H_
+#define T10_SRC_UTIL_STATS_H_
+
+#include <vector>
+
+namespace t10 {
+
+double Mean(const std::vector<double>& values);
+double GeoMean(const std::vector<double>& values);  // Requires all values > 0.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// The p-th percentile (p in [0, 100]) using linear interpolation between
+// closest ranks.
+double Percentile(std::vector<double> values, double p);
+
+// Mean absolute percentage error between predictions and ground truth, in
+// percent. Ground-truth entries of zero are skipped.
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_STATS_H_

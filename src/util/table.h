@@ -1,0 +1,41 @@
+// ASCII table and series printers. Every figure-reproduction benchmark emits
+// its rows through these so bench output is uniform and diffable.
+
+#ifndef T10_SRC_UTIL_TABLE_H_
+#define T10_SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t10 {
+
+// Formats a byte count with a binary suffix, e.g. "623.5KiB".
+std::string FormatBytes(std::int64_t bytes);
+
+// Formats a duration in seconds with an adaptive unit, e.g. "1.24ms".
+std::string FormatSeconds(double seconds);
+
+// Fixed-point formatting helper ("%.*f").
+std::string FormatDouble(double value, int precision);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with column alignment and a header separator.
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_TABLE_H_

@@ -1,0 +1,55 @@
+#include "src/baselines/gpu_roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+Graph DecodeMatMul(std::int64_t batch) {
+  Graph g("decode");
+  g.Add(MatMulOp("fc", batch, 4096, 4096, DataType::kF16, "x", "w", "y"));
+  g.MarkWeight("w");
+  return g;
+}
+
+TEST(GpuRooflineTest, SmallBatchIsMemoryBound) {
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  Graph g = DecodeMatMul(1);
+  GpuModelResult result = gpu.Run(g);
+  ASSERT_EQ(result.per_op.size(), 1u);
+  EXPECT_TRUE(result.per_op[0].memory_bound());
+  // Weight streaming dominates: ~32MB at ~1.56TB/s effective.
+  EXPECT_GT(result.per_op[0].hbm_bytes, 32 * 1024 * 1024);
+}
+
+TEST(GpuRooflineTest, LargeBatchBecomesComputeBound) {
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  GpuModelResult small = gpu.Run(DecodeMatMul(1));
+  Graph big = DecodeMatMul(4096);
+  GpuModelResult large = gpu.Run(big);
+  EXPECT_FALSE(large.per_op[0].memory_bound());
+  // Time grows far less than 4096x thanks to weight reuse.
+  EXPECT_LT(large.TotalSeconds() / small.TotalSeconds(), 512.0);
+}
+
+TEST(GpuRooflineTest, MemoryBoundFraction) {
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  EXPECT_DOUBLE_EQ(gpu.Run(DecodeMatMul(1)).MemoryBoundFraction(), 1.0);
+  Graph big = DecodeMatMul(8192);
+  EXPECT_DOUBLE_EQ(gpu.Run(big).MemoryBoundFraction(), 0.0);
+}
+
+TEST(GpuRooflineTest, LlmLayerDominatedByWeights) {
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  Graph g = BuildOpt13b(1);
+  GpuModelResult result = gpu.Run(g);
+  // Decode at batch 1: essentially all matmul time is HBM streaming.
+  EXPECT_GT(result.MemoryBoundFraction(), 0.6);
+  EXPECT_GT(result.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,134 @@
+#include "src/baselines/vgm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec TestChip(int cores = 64) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+Graph Mlp(std::int64_t batch = 32) {
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", batch, 256, 512, DataType::kF16, "x", "w1", "h1"));
+  g.Add(ElementwiseOp("gelu", {batch, 512}, DataType::kF16, "h1", "h2", 8.0));
+  g.Add(MatMulOp("fc2", batch, 512, 256, DataType::kF16, "h2", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  return g;
+}
+
+TEST(VgmTest, ReserveCoversWeightsAndActivations) {
+  VgmCompiler compiler(TestChip(), VgmPlanner::kRoller);
+  Graph g = Mlp();
+  std::int64_t reserve = compiler.VgmReserveBytes(g);
+  // At least the sharded weights.
+  EXPECT_GE(reserve * 64, g.WeightBytes());
+  EXPECT_LT(reserve, TestChip().core_memory_bytes);
+}
+
+TEST(VgmTest, RollerCompilesMlp) {
+  VgmCompiler compiler(TestChip(), VgmPlanner::kRoller);
+  VgmModelResult result = compiler.Compile(Mlp());
+  ASSERT_TRUE(result.fits);
+  ASSERT_EQ(result.per_op.size(), 3u);
+  EXPECT_GT(result.TotalSeconds(), 0.0);
+  EXPECT_GT(result.TransferSeconds(), 0.0);
+  for (const VgmOpCost& op : result.per_op) {
+    EXPECT_GE(op.waves, 1);
+    EXPECT_GT(op.tile_bytes, 0);
+  }
+}
+
+TEST(VgmTest, TransferDominatesLikePaper) {
+  // Fig 13: VGM-based execution spends a large share of time in transfers.
+  VgmCompiler compiler(TestChip(1472), VgmPlanner::kRoller);
+  VgmModelResult result = compiler.Compile(Mlp(128));
+  ASSERT_TRUE(result.fits);
+  double fraction = result.TransferSeconds() / result.TotalSeconds();
+  EXPECT_GT(fraction, 0.3);
+}
+
+TEST(VgmTest, BandwidthUtilizationBelowRoofline) {
+  // Fig 14: Roller achieves well under the 5.5 GB/s per-core roofline.
+  VgmCompiler compiler(TestChip(1472), VgmPlanner::kRoller);
+  VgmModelResult result = compiler.Compile(Mlp(128));
+  ASSERT_TRUE(result.fits);
+  double bw = result.AverageExchangeBandwidth();
+  EXPECT_GT(bw, 1.5e9);
+  EXPECT_LT(bw, 4.5e9);
+}
+
+TEST(VgmTest, PopartSlowerThanRoller) {
+  Graph g = Mlp(64);
+  VgmModelResult roller = VgmCompiler(TestChip(), VgmPlanner::kRoller).Compile(g);
+  VgmModelResult popart = VgmCompiler(TestChip(), VgmPlanner::kPopart).Compile(g);
+  ASSERT_TRUE(roller.fits);
+  ASSERT_TRUE(popart.fits);
+  EXPECT_GT(popart.TotalSeconds(), roller.TotalSeconds());
+}
+
+TEST(VgmTest, AnsorWithinRangeOfRoller) {
+  // Paper §6.2: Ansor and Roller "have similar performance by exploring the
+  // same optimization space".
+  Graph g = Mlp(64);
+  VgmModelResult roller = VgmCompiler(TestChip(), VgmPlanner::kRoller).Compile(g);
+  VgmModelResult ansor = VgmCompiler(TestChip(), VgmPlanner::kAnsor).Compile(g);
+  ASSERT_TRUE(roller.fits);
+  ASSERT_TRUE(ansor.fits);
+  double ratio = ansor.TotalSeconds() / roller.TotalSeconds();
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(VgmTest, OversizedModelDoesNotFit) {
+  ChipSpec chip = TestChip(4);
+  chip.core_memory_bytes = 16 * 1024;
+  VgmCompiler compiler(chip, VgmPlanner::kRoller);
+  Graph g("big");
+  g.Add(MatMulOp("fc", 64, 2048, 2048, DataType::kF16, "x", "w", "y"));
+  g.MarkWeight("w");
+  VgmModelResult result = compiler.Compile(g);
+  EXPECT_FALSE(result.fits);
+}
+
+TEST(VgmTest, TileRespectsBudget) {
+  VgmCompiler compiler(TestChip(), VgmPlanner::kRoller);
+  Operator op = MatMulOp("mm", 256, 256, 256, DataType::kF16, "A", "B", "C");
+  const std::int64_t budget = 64 * 1024;
+  auto cost = compiler.PlanOp(op, budget);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_LE(cost->tile_bytes, budget);
+  // Roller grows tiles toward the budget: at least half used.
+  EXPECT_GT(cost->tile_bytes, budget / 4);
+}
+
+TEST(VgmTest, NoTileFitsReturnsNullopt) {
+  VgmCompiler compiler(TestChip(), VgmPlanner::kRoller);
+  Operator op = MatMulOp("mm", 256, 4096, 256, DataType::kF16, "A", "B", "C");
+  // Budget below even a unit tile's operands (3 f16 elements).
+  EXPECT_FALSE(compiler.PlanOp(op, 4).has_value());
+}
+
+TEST(VgmTest, PopartFailsBeforeRollerUnderMemoryPressure) {
+  // The vendor runtime reserves extra working space, so it OOMs at sizes
+  // Roller still handles (paper: PopART fails the largest batch sizes).
+  ChipSpec chip = TestChip(64);
+  chip.core_memory_bytes = 96 * 1024;
+  Graph g("pressure");
+  g.Add(MatMulOp("fc", 256, 1024, 1024, DataType::kF16, "x", "w", "y"));
+  g.MarkWeight("w");
+  VgmModelResult roller = VgmCompiler(chip, VgmPlanner::kRoller).Compile(g);
+  VgmModelResult popart = VgmCompiler(chip, VgmPlanner::kPopart).Compile(g);
+  EXPECT_TRUE(roller.fits);
+  EXPECT_FALSE(popart.fits);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,77 @@
+#include "src/core/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec SmallChip() {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 64;
+  chip.cores_per_chip = 64;
+  return chip;
+}
+
+TEST(CodegenTest, Figure7KernelStructure) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF16, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  std::string code = GenerateKernelCode(*plan);
+  // Vertex class with the accumulating loop nest over the rp-sized k block.
+  EXPECT_NE(code.find("class mm_ContractionVertex : public Vertex"), std::string::npos) << code;
+  EXPECT_NE(code.find("for (int k = 0; k < 2; ++k) {  // reduction"), std::string::npos) << code;
+  EXPECT_NE(code.find("C[m][n] += A[m][k] * B[k][n];"), std::string::npos) << code;
+  // Ring mappings and per-step shifts for both rotating tensors.
+  EXPECT_NE(code.find("A.window(0).mapToRing("), std::string::npos) << code;
+  EXPECT_NE(code.find("B.window(0).mapToRing("), std::string::npos) << code;
+  EXPECT_NE(code.find("for (int step = 0; step < 3; ++step)"), std::string::npos) << code;
+  EXPECT_NE(code.find("Shift(A, 4"), std::string::npos) << code;
+  EXPECT_NE(code.find("Shift(B, 4"), std::string::npos) << code;
+  EXPECT_EQ(code.find("ReduceScatter"), std::string::npos);
+}
+
+TEST(CodegenTest, ReduceGroupEmitsEpilogue) {
+  Operator op = MatMulOp("mm", 4, 32, 4, DataType::kF16, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 1, 4}, {{1, 1}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  std::string code = GenerateKernelCode(*plan);
+  EXPECT_NE(code.find("ReduceScatter(C, /*rounds=*/3"), std::string::npos) << code;
+}
+
+TEST(CodegenTest, StridedConvIndexing) {
+  Operator op =
+      Conv2dOp("c1", 1, 2, 4, 4, 4, 3, 3, DataType::kF16, "I", "W", "O", /*stride=*/2);
+  std::vector<std::int64_t> fop(op.axes().size(), 1);
+  fop[static_cast<std::size_t>(op.FindAxis("f"))] = 2;
+  std::vector<std::vector<std::int64_t>> ft = {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}};
+  auto plan = ExecutionPlan::Create(op, fop, ft);
+  ASSERT_TRUE(plan.has_value());
+  std::string code = GenerateKernelCode(*plan);
+  // Strided compound index of the input window.
+  EXPECT_NE(code.find("I[b][c][2*h+kh][2*w+kw]"), std::string::npos) << code;
+  EXPECT_NE(code.find("half"), std::string::npos);
+}
+
+TEST(CodegenTest, ModelCodeCoversAllOps) {
+  Compiler compiler(SmallChip());
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", 32, 256, 512, DataType::kF16, "x", "w1", "h1"));
+  g.Add(ElementwiseOp("act", {32, 512}, DataType::kF16, "h1", "h2"));
+  g.Add(MatMulOp("fc2", 32, 512, 256, DataType::kF16, "h2", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  std::string code = GenerateModelCode(model, g);
+  EXPECT_NE(code.find("build_fc1"), std::string::npos);
+  EXPECT_NE(code.find("build_act"), std::string::npos);
+  EXPECT_NE(code.find("build_fc2"), std::string::npos);
+  EXPECT_NE(code.find("MapVertex"), std::string::npos);
+  // The model header reports memory figures.
+  EXPECT_NE(code.find("idle weights"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t10

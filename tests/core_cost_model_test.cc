@@ -1,0 +1,103 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace t10 {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : truth_(ChipSpec::IpuMk2()), model_(FittedCostModel::Fit(truth_, 300, 17)) {}
+
+  KernelGroundTruth truth_;
+  FittedCostModel model_;
+};
+
+TEST_F(CostModelTest, ClassifyRoutesKernels) {
+  SubTaskShape mm;
+  mm.kind = OpKind::kContraction;
+  mm.kernel_volume = 1;
+  EXPECT_EQ(ClassifySubTask(mm), KernelClass::kMatMul);
+  mm.kernel_volume = 9;
+  EXPECT_EQ(ClassifySubTask(mm), KernelClass::kConv);
+  SubTaskShape ew;
+  ew.kind = OpKind::kElementwise;
+  EXPECT_EQ(ClassifySubTask(ew), KernelClass::kElementwise);
+}
+
+// Fig 8: near-perfect accuracy for MatMul/elementwise/reduce, visibly worse
+// for convolution (vendor black-box behaviour).
+TEST_F(CostModelTest, MatMulFitNearPerfect) {
+  EXPECT_GT(model_.RSquared(KernelClass::kMatMul), 0.995);
+  EXPECT_GT(model_.RSquared(KernelClass::kElementwise), 0.995);
+  EXPECT_GT(model_.RSquared(KernelClass::kReduce), 0.99);
+}
+
+TEST_F(CostModelTest, ConvFitWorseThanMatMul) {
+  EXPECT_LT(model_.RSquared(KernelClass::kConv), model_.RSquared(KernelClass::kMatMul));
+  // Still a usable signal (the paper: "even with slight inaccuracy, T10 can
+  // still find sufficiently good execution plans").
+  EXPECT_GT(model_.RSquared(KernelClass::kConv), 0.5);
+}
+
+TEST_F(CostModelTest, HeldOutMatMulErrorSmall) {
+  auto samples = model_.HeldOutSamples(truth_, KernelClass::kMatMul, 100, 999);
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const auto& s : samples) {
+    actual.push_back(s.actual_seconds);
+    predicted.push_back(s.predicted_seconds);
+  }
+  EXPECT_LT(MeanAbsolutePercentageError(actual, predicted), 8.0);
+}
+
+TEST_F(CostModelTest, HeldOutConvErrorLarger) {
+  auto mm = model_.HeldOutSamples(truth_, KernelClass::kMatMul, 100, 999);
+  auto conv = model_.HeldOutSamples(truth_, KernelClass::kConv, 100, 999);
+  auto mape = [](const std::vector<FittedCostModel::Sample>& samples) {
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (const auto& s : samples) {
+      actual.push_back(s.actual_seconds);
+      predicted.push_back(s.predicted_seconds);
+    }
+    return MeanAbsolutePercentageError(actual, predicted);
+  };
+  EXPECT_GT(mape(conv), mape(mm));
+}
+
+TEST_F(CostModelTest, ShiftModelAccurate) {
+  for (std::int64_t bytes : {64, 1024, 8192, 12000, 65536}) {
+    double actual = truth_.ShiftSeconds(bytes);
+    double predicted = model_.ShiftSeconds(bytes);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.05) << bytes << " bytes";
+  }
+  EXPECT_DOUBLE_EQ(model_.ShiftSeconds(0), 0.0);
+}
+
+TEST_F(CostModelTest, PredictionsArePositive) {
+  Rng rng(5);
+  for (int c = 0; c < kNumKernelClasses; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      SubTaskShape shape = FittedCostModel::RandomShape(static_cast<KernelClass>(c), rng);
+      EXPECT_GT(model_.SubTaskSeconds(shape), 0.0);
+    }
+  }
+}
+
+TEST_F(CostModelTest, CustomKernelOverrides) {
+  FittedCostModel model = FittedCostModel::Fit(truth_, 100, 3);
+  model.SetCustomKernel(KernelClass::kVendor,
+                        [](const SubTaskShape&) { return 42.0; });
+  SubTaskShape shape;
+  shape.kind = OpKind::kVendor;
+  shape.flops = 100;
+  EXPECT_DOUBLE_EQ(model.SubTaskSeconds(shape), 42.0);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,207 @@
+// Numerical validation of compute-shift plans: every plan executed here runs
+// the full per-core, per-step schedule with window-locality assertions and
+// must reproduce the single-core reference bit-for-bit (FP32, tolerance for
+// accumulation-order differences).
+
+#include "src/core/functional.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/search.h"
+#include "src/ir/builder.h"
+#include "src/util/math_util.h"
+
+namespace t10 {
+namespace {
+
+void ExpectTensorsNear(const HostTensor& a, const HostTensor& b, double tolerance = 1e-4) {
+  ASSERT_EQ(a.shape, b.shape);
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_NEAR(a.data[i], b.data[i], tolerance) << "element " << i;
+  }
+}
+
+std::vector<HostTensor> RandomInputs(const Operator& op, std::uint64_t seed) {
+  std::vector<HostTensor> inputs;
+  for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+    inputs.push_back(RandomHostTensor(TensorShape(op.axes(), op.inputs()[i]), seed + i));
+  }
+  return inputs;
+}
+
+void CheckPlan(const Operator& op, const std::vector<std::int64_t>& fop,
+               const std::vector<std::vector<std::int64_t>>& ft, std::uint64_t seed = 7) {
+  auto plan = ExecutionPlan::Create(op, fop, ft);
+  ASSERT_TRUE(plan.has_value()) << op.DebugString();
+  std::vector<HostTensor> inputs = RandomInputs(op, seed);
+  FunctionalStats stats;
+  HostTensor got = ExecutePlanFunctionally(*plan, inputs, &stats);
+  HostTensor want = ReferenceExecute(op, inputs);
+  ExpectTensorsNear(got, want);
+  EXPECT_EQ(stats.steps, plan->total_steps());
+}
+
+TEST(FunctionalTest, PaperFigure7MatMul) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulMismatchedWindows) {
+  // Windows of length 2 (A) and 3 (B) with rp = 2: the Fig 7(d) alignment.
+  Operator op = MatMulOp("mm", 4, 12, 6, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulReplicatedWeights) {
+  Operator op = MatMulOp("mm", 8, 8, 8, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {4, 1, 1}, {{1, 1}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulSpatialReduction) {
+  // k partitioned 4-way: partial sums accumulate across the reduce group.
+  Operator op = MatMulOp("mm", 4, 16, 4, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {2, 2, 4}, {{1, 1}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulRotationWithReduction) {
+  // Both rotation (A along k) and a reduce group (k split 2-way).
+  Operator op = MatMulOp("mm", 2, 8, 4, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {2, 2, 2}, {{1, 2}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulTwoRotatingAxes) {
+  Operator op = MatMulOp("mm", 4, 8, 8, DataType::kF32, "A", "B", "C");
+  // A rotates along k (ring over n), B rotates along n (ring over m).
+  CheckPlan(op, {4, 2, 1}, {{1, 2}, {1, 2}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulMultiDimTemporal) {
+  // A split along both m and k: a 2x2 ring of 4 cores.
+  Operator op = MatMulOp("mm", 8, 8, 8, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {1, 4, 1}, {{2, 2}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, MatMulWithPadding) {
+  // m=5 split 2-way pads to 6; padded lanes must not contribute. A rotates
+  // along k on the ring formed by the 3 n-partitions.
+  Operator op = MatMulOp("mm", 5, 6, 3, DataType::kF32, "A", "B", "C");
+  CheckPlan(op, {2, 3, 1}, {{1, 3}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, Conv2dSpatialOnly) {
+  Operator op = Conv2dOp("conv", 1, 2, 4, 6, 6, 3, 3, DataType::kF32, "I", "W", "O");
+  // Partition f and h.
+  std::vector<std::int64_t> fop = {1, 2, 2, 1, 1, 1, 1};  // b,f,h,w,c,kh,kw.
+  CheckPlan(op, fop, {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}});
+}
+
+TEST(FunctionalTest, Conv2dWeightRotation) {
+  // Weight shared across h-partitions and rotated along its f dim.
+  Operator op = Conv2dOp("conv", 1, 2, 4, 8, 4, 3, 3, DataType::kF32, "I", "W", "O");
+  std::vector<std::int64_t> fop = {1, 1, 4, 1, 1, 1, 1};
+  CheckPlan(op, fop, {{1, 1, 1, 1}, {4, 1, 1, 1}, {1, 1, 1, 1}});
+}
+
+TEST(FunctionalTest, Conv2dStrided) {
+  // Stride-2 convolution: input windows are s*h + kh.
+  Operator op =
+      Conv2dOp("conv_s2", 1, 2, 4, 4, 4, 3, 3, DataType::kF32, "I", "W", "O", /*stride=*/2);
+  // Input spatial dims: 2*(4-1)+3 = 9.
+  EXPECT_EQ(TensorShape(op.axes(), op.inputs()[0]),
+            (std::vector<std::int64_t>{1, 2, 9, 9}));
+  std::vector<std::int64_t> fop = {1, 2, 2, 1, 1, 1, 1};
+  CheckPlan(op, fop, {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}});
+  // With weight rotation across the h-partitions.
+  std::vector<std::int64_t> fop2 = {1, 1, 4, 1, 1, 1, 1};
+  CheckPlan(op, fop2, {{1, 1, 1, 1}, {2, 1, 1, 1}, {1, 1, 1, 1}});
+}
+
+TEST(FunctionalTest, ElementwiseAndBinary) {
+  Operator unary = ElementwiseOp("relu", {4, 6}, DataType::kF32, "x", "y");
+  CheckPlan(unary, {2, 3}, {{1, 1}, {1, 1}});
+  Operator binary = BinaryOp("add", {4, 6}, DataType::kF32, "a", "b", "c");
+  CheckPlan(binary, {4, 2}, {{1, 1}, {1, 1}, {1, 1}});
+}
+
+TEST(FunctionalTest, ReduceSum) {
+  Operator op = ReduceOp("sum", {4, 8}, DataType::kF32, "x", "y");
+  CheckPlan(op, {2, 4}, {{1, 1}, {1}});
+}
+
+TEST(FunctionalTest, ShiftAccountingMatchesEvaluate) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 16;
+  GroundTruthTiming timing(chip);
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  std::vector<HostTensor> inputs = RandomInputs(op, 3);
+  FunctionalStats stats;
+  ExecutePlanFunctionally(*plan, inputs, &stats);
+  PlanMetrics metrics = plan->Evaluate(timing, chip);
+  EXPECT_EQ(stats.shift_bytes_per_core, metrics.shift_bytes_per_core);
+}
+
+TEST(FunctionalTest, ReferenceMatMulMatchesManual) {
+  Operator op = MatMulOp("mm", 2, 3, 2, DataType::kF32, "A", "B", "C");
+  HostTensor a = HostTensor::Zeros({2, 3});
+  HostTensor b = HostTensor::Zeros({3, 2});
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    a.data[i] = static_cast<float>(i + 1);
+  }
+  for (std::size_t i = 0; i < b.data.size(); ++i) {
+    b.data[i] = static_cast<float>(i);
+  }
+  HostTensor c = ReferenceExecute(op, {a, b});
+  // C[0,0] = 1*0 + 2*2 + 3*4 = 16; C[1,1] = 4*1 + 5*3 + 6*5 = 49.
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 16.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 49.0f);
+}
+
+// Property sweep: every plan the intra-op search proposes for a set of small
+// operators must execute functionally and match the reference. This ties the
+// whole planning stack to ground-truth semantics.
+class SearchPlansAreExecutable : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchPlansAreExecutable, AllParetoPlansMatchReference) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 12;
+  chip.cores_per_chip = 12;
+  GroundTruthTiming timing(chip);
+
+  Operator op = [&]() -> Operator {
+    switch (GetParam()) {
+      case 0:
+        return MatMulOp("mm", 6, 12, 4, DataType::kF32, "A", "B", "C");
+      case 1:
+        return MatMulOp("skinny", 1, 24, 12, DataType::kF32, "A", "B", "C");
+      case 2:
+        return Conv2dOp("conv", 1, 2, 6, 6, 6, 3, 3, DataType::kF32, "I", "W", "O");
+      case 3:
+        return BatchedMatMulOp("bmm", 2, 4, 6, 4, DataType::kF32, "A", "B", "C");
+      default:
+        return ReduceOp("sum", {6, 12}, DataType::kF32, "x", "y");
+    }
+  }();
+
+  SearchConstraints constraints;
+  constraints.parallelism_fraction = 0.5;  // Widen the frontier a bit.
+  IntraOpResult result = SearchOperatorPlans(op, chip, timing, constraints);
+  ASSERT_FALSE(result.pareto.empty());
+
+  std::vector<HostTensor> inputs = RandomInputs(op, 11 + GetParam());
+  HostTensor want = ReferenceExecute(op, inputs);
+  int executed = 0;
+  for (const PlanCandidate& candidate : result.pareto) {
+    FunctionalStats stats;
+    HostTensor got = ExecutePlanFunctionally(candidate.plan, inputs, &stats);
+    ExpectTensorsNear(got, want, 1e-3);
+    ++executed;
+  }
+  EXPECT_GT(executed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, SearchPlansAreExecutable, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,120 @@
+#include "src/core/memory_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec SmallChip(int cores = 64) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+Graph DeepMlp(int layers, std::int64_t batch = 32) {
+  Graph g("deep-mlp");
+  std::string x = "x";
+  for (int i = 0; i < layers; ++i) {
+    const std::string p = "fc" + std::to_string(i);
+    g.Add(MatMulOp(p, batch, 256, 256, DataType::kF16, x, p + "_w", p + "_y"));
+    g.MarkWeight(p + "_w");
+    g.Add(ElementwiseOp(p + "_act", {batch, 256}, DataType::kF16, p + "_y", p + "_a"));
+    x = p + "_a";
+  }
+  return g;
+}
+
+TEST(MemoryPlannerTest, PlanFitsAndReusesMemory) {
+  ChipSpec chip = SmallChip();
+  Compiler compiler(chip);
+  Graph graph = DeepMlp(8);
+  CompiledModel model = compiler.Compile(graph);
+  ASSERT_TRUE(model.fits);
+  MemoryPlan plan = PlanMemory(model, graph, chip);
+  ASSERT_TRUE(plan.fits);
+  EXPECT_LE(plan.peak_bytes, chip.core_memory_bytes);
+  EXPECT_GT(plan.persistent_bytes, chip.shift_buffer_bytes);
+  // Liveness reuse: the peak is well below a reuse-free layout, because the
+  // 8 layers' activations never coexist.
+  EXPECT_LT(plan.peak_bytes, plan.NaiveBytes());
+}
+
+TEST(MemoryPlannerTest, IntervalsCoverAllTensors) {
+  ChipSpec chip = SmallChip();
+  Compiler compiler(chip);
+  Graph graph = DeepMlp(3);
+  CompiledModel model = compiler.Compile(graph);
+  ASSERT_TRUE(model.fits);
+  MemoryPlan plan = PlanMemory(model, graph, chip);
+  // shift buffer + 3 idle weight layouts + (maybe) setup deltas + 7
+  // activation intervals (x, y/a per layer).
+  int persistent = 0;
+  int activations = 0;
+  for (const MemoryInterval& interval : plan.intervals) {
+    EXPECT_GE(interval.offset, 0) << interval.label;
+    EXPECT_GT(interval.bytes, 0) << interval.label;
+    EXPECT_LE(interval.first_op, interval.last_op) << interval.label;
+    if (interval.persistent) {
+      ++persistent;
+    }
+    if (interval.label.find("weights") == std::string::npos &&
+        interval.label != "shift_buffer") {
+      ++activations;
+    }
+  }
+  EXPECT_EQ(persistent, 1 + 3);  // Shift buffer + 3 weight layouts.
+  EXPECT_EQ(activations, 7);     // x + 3x(y, a).
+}
+
+TEST(MemoryPlannerTest, NonOverlappingLiveIntervals) {
+  ChipSpec chip = SmallChip();
+  Compiler compiler(chip);
+  Graph graph = DeepMlp(5);
+  CompiledModel model = compiler.Compile(graph);
+  ASSERT_TRUE(model.fits);
+  MemoryPlan plan = PlanMemory(model, graph, chip);
+  ASSERT_TRUE(plan.fits);
+  // Any two intervals live at the same op must not overlap in address space.
+  for (std::size_t i = 0; i < plan.intervals.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.intervals.size(); ++j) {
+      const MemoryInterval& a = plan.intervals[i];
+      const MemoryInterval& b = plan.intervals[j];
+      const bool time_overlap = a.first_op <= b.last_op && b.first_op <= a.last_op;
+      if (!time_overlap) {
+        continue;
+      }
+      const bool space_overlap = a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      EXPECT_FALSE(space_overlap) << a.label << " overlaps " << b.label;
+    }
+  }
+}
+
+TEST(MemoryPlannerTest, WeightsDominatePersistentForLlm) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler compiler(chip);
+  Graph graph = BuildOpt1p3b(4);
+  CompiledModel model = compiler.Compile(graph);
+  ASSERT_TRUE(model.fits);
+  MemoryPlan plan = PlanMemory(model, graph, chip);
+  ASSERT_TRUE(plan.fits);
+  EXPECT_GT(plan.persistent_bytes, plan.peak_bytes / 2);
+}
+
+TEST(MemoryPlannerTest, UnfitModelReported) {
+  ChipSpec chip = SmallChip(4);
+  chip.core_memory_bytes = 48 * 1024;
+  Compiler compiler(chip);
+  Graph g("big");
+  g.Add(MatMulOp("fc", 64, 2048, 2048, DataType::kF16, "x", "w", "y"));
+  g.MarkWeight("w");
+  CompiledModel model = compiler.Compile(g);
+  MemoryPlan plan = PlanMemory(model, g, chip);
+  EXPECT_FALSE(plan.fits);
+}
+
+}  // namespace
+}  // namespace t10

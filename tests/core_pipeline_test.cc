@@ -1,0 +1,70 @@
+#include "src/core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+TEST(PipelineTest, Opt13bAcrossChips) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler compiler(chip);
+  Graph layer = BuildOpt13b(1);
+  CompiledModel model = compiler.Compile(layer);
+  ASSERT_TRUE(model.fits);
+  // OPT-13B has 40 layers at ~650MB each: several chips needed.
+  PipelineEstimate estimate = EstimatePipeline(model, layer, 40, chip);
+  ASSERT_TRUE(estimate.feasible);
+  EXPECT_GE(estimate.num_chips, 20);
+  EXPECT_LE(estimate.num_chips, 40);
+  EXPECT_EQ(estimate.layers_per_chip * estimate.num_chips >= 40, true);
+  // Inter-chip boundary is tiny relative to layer latency (paper §6.7:
+  // "the inter-chip communication overhead between pipeline stages is
+  // negligible").
+  EXPECT_LT(estimate.interchip_seconds, 0.1 * estimate.layer_seconds);
+  EXPECT_GT(estimate.tokens_per_second, 0.0);
+  // End-to-end dominated by per-layer time.
+  EXPECT_NEAR(estimate.end_to_end_seconds, 40.0 * estimate.layer_seconds,
+              0.15 * estimate.end_to_end_seconds);
+}
+
+TEST(PipelineTest, SmallModelFitsOneChip) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler compiler(chip);
+  Graph layer = BuildRetNet1p3b(1);
+  CompiledModel model = compiler.Compile(layer);
+  ASSERT_TRUE(model.fits);
+  PipelineEstimate estimate = EstimatePipeline(model, layer, 4, chip);
+  ASSERT_TRUE(estimate.feasible);
+  EXPECT_EQ(estimate.num_chips, 1);
+  EXPECT_EQ(estimate.layers_per_chip, 4);
+}
+
+TEST(PipelineTest, ThroughputImprovesWithMoreChips) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  Compiler compiler(chip);
+  Graph layer = BuildOpt6p7b(1);
+  CompiledModel model = compiler.Compile(layer);
+  ASSERT_TRUE(model.fits);
+  PipelineEstimate shallow = EstimatePipeline(model, layer, 8, chip);
+  PipelineEstimate deep = EstimatePipeline(model, layer, 32, chip);
+  ASSERT_TRUE(shallow.feasible);
+  ASSERT_TRUE(deep.feasible);
+  // More layers -> more chips, but steady-state throughput per stage is
+  // unchanged (same layers per chip).
+  EXPECT_GT(deep.num_chips, shallow.num_chips);
+  EXPECT_NEAR(deep.tokens_per_second, shallow.tokens_per_second,
+              0.3 * shallow.tokens_per_second);
+}
+
+TEST(PipelineTest, InfeasibleWithoutFit) {
+  CompiledModel unfit;
+  unfit.fits = false;
+  Graph g("empty");
+  PipelineEstimate estimate = EstimatePipeline(unfit, g, 10, ChipSpec::IpuMk2());
+  EXPECT_FALSE(estimate.feasible);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,234 @@
+// Lowering (§4.4) and byte-level execution tests: plans are lowered to
+// device programs (allocations, rings, ComputeSets, ShiftSets) and executed
+// on the functional Machine with real scratchpad buffers and bounded-buffer
+// slab delivery. Outputs must match both the single-core reference and the
+// locality-checked interpreter, and the traffic observed on the machine must
+// match the plan's analytic accounting.
+
+#include "src/core/program_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/search.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec TinyChip(int cores) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.name = "tiny";
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+std::vector<HostTensor> RandomInputs(const Operator& op, std::uint64_t seed) {
+  std::vector<HostTensor> inputs;
+  for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+    inputs.push_back(RandomHostTensor(TensorShape(op.axes(), op.inputs()[i]), seed + i));
+  }
+  return inputs;
+}
+
+void ExpectTensorsNear(const HostTensor& a, const HostTensor& b, double tolerance = 1e-3) {
+  ASSERT_EQ(a.shape, b.shape);
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_NEAR(a.data[i], b.data[i], tolerance) << "element " << i;
+  }
+}
+
+void CheckProgram(const Operator& op, const std::vector<std::int64_t>& fop,
+                  const std::vector<std::vector<std::int64_t>>& ft) {
+  auto plan = ExecutionPlan::Create(op, fop, ft);
+  ASSERT_TRUE(plan.has_value()) << op.DebugString();
+  ChipSpec chip = TinyChip(static_cast<int>(plan->cores_used()));
+  Machine machine(chip);
+  ProgramExecutor executor(machine, *plan);
+  std::vector<HostTensor> inputs = RandomInputs(op, 21);
+  ProgramRunStats stats;
+  HostTensor got = executor.Run(inputs, &stats);
+  HostTensor want = ReferenceExecute(op, inputs);
+  ExpectTensorsNear(got, want);
+  EXPECT_EQ(stats.steps, plan->total_steps());
+  // Machine memory fully released.
+  for (int c = 0; c < machine.num_cores(); ++c) {
+    EXPECT_EQ(machine.memory(c).used_bytes(), 0) << "core " << c;
+  }
+}
+
+TEST(LoweringTest, Figure7ProgramStructure) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  DeviceProgram program = LowerPlan(*plan);
+  EXPECT_EQ(program.cores_used, 6);
+  ASSERT_EQ(program.steps.size(), 3u);
+  // Each step shifts both A and B.
+  for (const ProgramStep& step : program.steps) {
+    EXPECT_EQ(step.compute.vertices, 6);
+    ASSERT_EQ(step.shifts.size(), 2u);
+  }
+  // A: 2 rings of 3 cores (one per m-slice); B: 3 rings of 2 (one per n-slice).
+  EXPECT_EQ(program.allocations[0].rings.size(), 2u);
+  EXPECT_EQ(program.allocations[0].rings.front().size(), 3u);
+  EXPECT_EQ(program.allocations[1].rings.size(), 3u);
+  EXPECT_EQ(program.allocations[1].rings.front().size(), 2u);
+  // C never rotates.
+  EXPECT_TRUE(program.allocations[2].rings.empty());
+  EXPECT_EQ(program.epilogue_rounds, 0);
+  // Per-core traffic matches Evaluate()'s accounting.
+  ChipSpec chip = TinyChip(6);
+  GroundTruthTiming timing(chip);
+  EXPECT_EQ(program.BytesSentPerCore(), plan->Evaluate(timing, chip).shift_bytes_per_core);
+}
+
+TEST(LoweringTest, ReduceGroupGetsEpilogue) {
+  Operator op = MatMulOp("mm", 4, 32, 4, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 1, 4}, {{1, 1}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  DeviceProgram program = LowerPlan(*plan);
+  EXPECT_EQ(program.epilogue_rounds, 3);
+  EXPECT_GT(program.epilogue_chunk_bytes, 0);
+}
+
+TEST(LoweringTest, RingsPartitionTheSharingGroup) {
+  // P = 8 sharing cores, ring size 4 -> 2 replicas (rings) per sub-tensor.
+  Operator op = MatMulOp("mm", 8, 16, 8, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 8, 1}, {{1, 4}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  DeviceProgram program = LowerPlan(*plan);
+  const TensorAllocation& a = program.allocations[0];
+  EXPECT_EQ(a.rings.size(), 2u);  // 1 sub-tensor x 2 replicas.
+  std::set<int> seen;
+  for (const auto& ring : a.rings) {
+    EXPECT_EQ(ring.size(), 4u);
+    for (int core : ring) {
+      EXPECT_TRUE(seen.insert(core).second) << "core in two rings";
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ProgramExecutorTest, Figure7MatMul) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, MismatchedWindows) {
+  Operator op = MatMulOp("mm", 4, 12, 6, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, ReplicatedNoRotation) {
+  Operator op = MatMulOp("mm", 8, 8, 8, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {4, 1, 1}, {{1, 1}, {1, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, SpatialReduction) {
+  Operator op = MatMulOp("mm", 4, 16, 4, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {2, 2, 4}, {{1, 1}, {1, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, RotationPlusReduction) {
+  Operator op = MatMulOp("mm", 2, 8, 4, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {2, 2, 2}, {{1, 2}, {1, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, TwoRotatingTensors) {
+  Operator op = MatMulOp("mm", 4, 8, 8, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {4, 2, 1}, {{1, 2}, {1, 2}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, PaddedAxes) {
+  Operator op = MatMulOp("mm", 5, 6, 3, DataType::kF32, "A", "B", "C");
+  CheckProgram(op, {2, 3, 1}, {{1, 3}, {1, 1}, {1, 1}});
+}
+
+TEST(ProgramExecutorTest, ConvWithWeightRotation) {
+  Operator op = Conv2dOp("conv", 1, 2, 4, 8, 4, 3, 3, DataType::kF32, "I", "W", "O");
+  std::vector<std::int64_t> fop = {1, 1, 4, 1, 1, 1, 1};
+  CheckProgram(op, fop, {{1, 1, 1, 1}, {4, 1, 1, 1}, {1, 1, 1, 1}});
+}
+
+TEST(ProgramExecutorTest, StridedConv) {
+  Operator op =
+      Conv2dOp("conv_s2", 1, 2, 4, 4, 4, 3, 3, DataType::kF32, "I", "W", "O", /*stride=*/2);
+  std::vector<std::int64_t> fop = {1, 2, 2, 1, 1, 1, 1};
+  CheckProgram(op, fop, {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}});
+}
+
+TEST(ProgramExecutorTest, ElementwiseAndReduce) {
+  Operator unary = ElementwiseOp("relu", {4, 6}, DataType::kF32, "x", "y");
+  CheckProgram(unary, {2, 3}, {{1, 1}, {1, 1}});
+  Operator reduce = ReduceOp("sum", {4, 8}, DataType::kF32, "x", "y");
+  CheckProgram(reduce, {2, 4}, {{1, 1}, {1}});
+}
+
+TEST(ProgramExecutorTest, TinyShiftBufferStillCorrect) {
+  // Slab (12 floats = 48B) far above the 16B staging buffer: many rounds.
+  Operator op = MatMulOp("mm", 4, 12, 4, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 4, 1}, {{1, 2}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  ChipSpec chip = TinyChip(4);
+  chip.shift_buffer_bytes = 16;
+  Machine machine(chip);
+  ProgramExecutor executor(machine, *plan);
+  std::vector<HostTensor> inputs = RandomInputs(op, 5);
+  ProgramRunStats stats;
+  HostTensor got = executor.Run(inputs, &stats);
+  ExpectTensorsNear(got, ReferenceExecute(op, inputs));
+  EXPECT_GT(stats.shift_rounds, stats.steps);  // Chunking happened.
+}
+
+TEST(ProgramExecutorTest, TrafficMatchesMachineCounters) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  Machine machine(TinyChip(6));
+  ProgramExecutor executor(machine, *plan);
+  std::vector<HostTensor> inputs = RandomInputs(op, 9);
+  ProgramRunStats stats;
+  executor.Run(inputs, &stats);
+  // Every core sends program.BytesSentPerCore() minus the host-merged
+  // epilogue; with 6 cores:
+  EXPECT_EQ(stats.bytes_sent_total,
+            6 * executor.program().BytesSentPerCore());
+}
+
+// Every search-produced plan with <= 1 rotating dim per tensor must execute
+// byte-identically to the reference through the full lowering pipeline.
+class SearchedProgramsExecute : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchedProgramsExecute, MatchesReference) {
+  ChipSpec chip = TinyChip(12);
+  GroundTruthTiming timing(chip);
+  Operator op = [&]() -> Operator {
+    switch (GetParam()) {
+      case 0:
+        return MatMulOp("mm", 6, 12, 4, DataType::kF32, "A", "B", "C");
+      case 1:
+        return MatMulOp("skinny", 1, 24, 12, DataType::kF32, "A", "B", "C");
+      default:
+        return BatchedMatMulOp("bmm", 2, 4, 6, 4, DataType::kF32, "A", "B", "C");
+    }
+  }();
+  SearchConstraints constraints;
+  constraints.parallelism_fraction = 0.5;
+  constraints.max_rotating_dims = 1;
+  IntraOpResult result = SearchOperatorPlans(op, chip, timing, constraints);
+  ASSERT_FALSE(result.pareto.empty());
+  std::vector<HostTensor> inputs = RandomInputs(op, 31 + GetParam());
+  HostTensor want = ReferenceExecute(op, inputs);
+  Machine machine(chip);
+  for (const PlanCandidate& candidate : result.pareto) {
+    ProgramExecutor executor(machine, candidate.plan);
+    HostTensor got = executor.Run(inputs);
+    ExpectTensorsNear(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, SearchedProgramsExecute, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,139 @@
+#include "src/core/search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/cost_model.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : chip_([] {
+          ChipSpec chip = ChipSpec::IpuMk2();
+          chip.num_cores = 64;
+          chip.cores_per_chip = 64;
+          return chip;
+        }()),
+        timing_(chip_) {}
+
+  ChipSpec chip_;
+  GroundTruthTiming timing_;
+};
+
+TEST_F(SearchTest, ParetoFrontierIsMinimal) {
+  Operator op = MatMulOp("mm", 64, 256, 64, DataType::kF16, "A", "B", "C");
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_);
+  ASSERT_GE(result.pareto.size(), 2u) << "expected a memory/time trade-off";
+  for (std::size_t i = 1; i < result.pareto.size(); ++i) {
+    // Sorted by memory ascending, and strictly improving in time.
+    EXPECT_GT(result.pareto[i].predicted.per_core_bytes,
+              result.pareto[i - 1].predicted.per_core_bytes);
+    EXPECT_LT(result.pareto[i].predicted.total_seconds(),
+              result.pareto[i - 1].predicted.total_seconds());
+  }
+}
+
+TEST_F(SearchTest, AllPlansRespectChipLimits) {
+  Operator op = MatMulOp("mm", 32, 128, 96, DataType::kF16, "A", "B", "C");
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_);
+  for (const PlanCandidate& c : result.pareto) {
+    EXPECT_LE(c.predicted.per_core_bytes, chip_.core_memory_bytes);
+    EXPECT_LE(c.plan.cores_used(), chip_.num_cores);
+    EXPECT_GE(c.plan.padding_ratio(), 0.9 - 1e-9);
+  }
+}
+
+TEST_F(SearchTest, ParallelismConstraintHolds) {
+  Operator op = MatMulOp("mm", 64, 64, 64, DataType::kF16, "A", "B", "C");
+  SearchConstraints constraints;
+  constraints.parallelism_fraction = 0.9;
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_, constraints);
+  for (const PlanCandidate& c : result.pareto) {
+    EXPECT_GE(c.plan.cores_used(), static_cast<std::int64_t>(0.9 * 64));
+  }
+}
+
+TEST_F(SearchTest, LooserConstraintsEnlargeFilteredSpace) {
+  Operator op = MatMulOp("mm", 48, 96, 80, DataType::kF16, "A", "B", "C");
+  SearchConstraints strict;
+  strict.parallelism_fraction = 0.95;
+  strict.padding_threshold = 0.95;
+  SearchConstraints loose;
+  loose.parallelism_fraction = 0.5;
+  loose.padding_threshold = 0.8;
+  IntraOpResult strict_result = SearchOperatorPlans(op, chip_, timing_, strict);
+  IntraOpResult loose_result = SearchOperatorPlans(op, chip_, timing_, loose);
+  EXPECT_GT(loose_result.filtered_count, strict_result.filtered_count);
+}
+
+TEST_F(SearchTest, CompleteSpaceVastlyExceedsFiltered) {
+  Operator op = Conv2dOp("conv", 8, 64, 64, 28, 28, 3, 3, DataType::kF16, "I", "W", "O");
+  SearchConstraints constraints;
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_, constraints);
+  // Fig 18: complete space is astronomically larger than the filtered space.
+  EXPECT_GT(result.complete_space_log10, 10.0);
+  EXPECT_GT(result.filtered_count, 0);
+  EXPECT_LT(std::log10(static_cast<double>(result.filtered_count)),
+            result.complete_space_log10 - 3.0);
+  // Final Pareto sets are small (paper: < 50 for most operators).
+  EXPECT_LE(result.pareto.size(), 200u);
+}
+
+TEST_F(SearchTest, TinyOperatorRelaxesConstraints) {
+  // A 4-element op cannot use 90% of 64 cores; the search must relax rather
+  // than fail.
+  Operator op = ElementwiseOp("tiny", {2, 2}, DataType::kF16, "x", "y");
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_);
+  ASSERT_FALSE(result.pareto.empty());
+  EXPECT_LE(result.pareto.front().plan.cores_used(), 4);
+}
+
+TEST_F(SearchTest, VendorOpGetsSingleFixedPlan) {
+  Operator op = VendorOp("sort", {1024}, DataType::kF16, "x", "y");
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_);
+  ASSERT_EQ(result.pareto.size(), 1u);
+  EXPECT_GT(result.pareto.front().plan.cores_used(), 1);
+}
+
+TEST_F(SearchTest, SkinnyMatMulUsesReductionPartitioning) {
+  // LLM-decode style m=1: parallel axes alone (1 x 64) cannot fill 64 cores
+  // beyond n; k-partitioning should appear somewhere in the frontier.
+  Operator op = MatMulOp("decode", 1, 512, 64, DataType::kF16, "A", "B", "C");
+  IntraOpResult result = SearchOperatorPlans(op, chip_, timing_);
+  ASSERT_FALSE(result.pareto.empty());
+  bool uses_reduction_split = false;
+  for (const PlanCandidate& c : result.pareto) {
+    if (c.plan.reduce_group() > 1) {
+      uses_reduction_split = true;
+    }
+  }
+  EXPECT_TRUE(uses_reduction_split);
+}
+
+TEST(ParetoFrontierTest, FiltersDominatedPlans) {
+  Operator op = MatMulOp("mm", 4, 4, 4, DataType::kF16, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 1, 1}, {{1, 1}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  auto make = [&](std::int64_t bytes, double seconds) {
+    PlanCandidate c;
+    c.plan = *plan;
+    c.predicted.per_core_bytes = bytes;
+    c.predicted.compute_seconds = seconds;
+    return c;
+  };
+  auto frontier = ParetoFrontier({make(100, 5.0), make(200, 5.0), make(150, 4.0),
+                                  make(300, 1.0), make(50, 10.0), make(400, 2.0)});
+  ASSERT_EQ(frontier.size(), 4u);
+  EXPECT_EQ(frontier[0].predicted.per_core_bytes, 50);
+  EXPECT_EQ(frontier[1].predicted.per_core_bytes, 100);
+  EXPECT_EQ(frontier[2].predicted.per_core_bytes, 150);
+  EXPECT_EQ(frontier[3].predicted.per_core_bytes, 300);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,112 @@
+// Edge cases across the stack: vendor/gather operators end-to-end, halo
+// tolerance rules, single-core chips, degenerate shapes, debug strings.
+
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/ir/builder.h"
+#include "src/ir/graph.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec SmallChip(int cores = 64) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+TEST(EdgeCaseTest, VendorOpCompilesInGraph) {
+  Compiler compiler(SmallChip());
+  Graph g("with-vendor");
+  g.Add(MatMulOp("fc", 32, 64, 64, DataType::kF16, "x", "w", "h"));
+  g.Add(VendorOp("topk", {32, 64}, DataType::kF16, "h", "y"));
+  g.MarkWeight("w");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  // Vendor op gets exactly one plan (no search).
+  EXPECT_EQ(model.ops[1].pareto_count, 1);
+  EXPECT_GT(model.ops[1].measured.compute_seconds, 0.0);
+}
+
+TEST(EdgeCaseTest, GatherCompilesOnChip) {
+  Compiler compiler(SmallChip());
+  Graph g("embedding");
+  g.Add(GatherOp("emb", 256, 30000, 128, DataType::kF16, "ids", "table", "e"));
+  g.MarkWeight("table");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  // The 30000x128 table cannot be replicated; the plan must shard it.
+  const RTensorPlan& table = model.ops[0].active_plan.tensors()[1];
+  EXPECT_LT(table.window_bytes, 30000 * 128 * 2);
+}
+
+TEST(EdgeCaseTest, SingleCoreChip) {
+  ChipSpec chip = SmallChip(1);
+  Compiler compiler(chip);
+  Graph g("tiny");
+  g.Add(MatMulOp("fc", 8, 16, 8, DataType::kF16, "x", "w", "y"));
+  g.MarkWeight("w");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  EXPECT_EQ(model.ops[0].measured.cores_used, 1);
+  EXPECT_DOUBLE_EQ(model.ops[0].measured.exchange_seconds, 0.0);
+}
+
+TEST(EdgeCaseTest, UnitAxesEverywhere) {
+  auto op = MatMulOp("mv", 1, 1, 1, DataType::kF32, "A", "B", "C");
+  auto plan = ExecutionPlan::Create(op, {1, 1, 1}, {{1, 1}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->total_steps(), 1);
+  EXPECT_EQ(plan->cores_used(), 1);
+}
+
+TEST(EdgeCaseTest, HaloToleranceRequiresCompoundDim) {
+  // A non-halo consumer cannot silently grow a tensor's shape.
+  Graph g("strict");
+  g.Add(ElementwiseOp("e1", {4, 4}, DataType::kF16, "x", "y"));
+  EXPECT_DEATH(g.Add(ElementwiseOp("e2", {4, 8}, DataType::kF16, "y", "z")), "shape mismatch");
+}
+
+TEST(EdgeCaseTest, HaloGrowthThenInteriorRead) {
+  Graph g("halo");
+  // Producer emits [1,4,6,6]; conv consumes with a 3x3 halo -> [1,4,8,8];
+  // a later elementwise reads the original interior.
+  g.Add(Conv2dOp("c0", 1, 3, 4, 6, 6, 3, 3, DataType::kF16, "img", "k0", "f0"));
+  g.Add(Conv2dOp("c1", 1, 4, 4, 6, 6, 3, 3, DataType::kF16, "f0", "k1", "f1"));
+  g.Add(BinaryOp("skip", {1, 4, 6, 6}, DataType::kF16, "f0", "f1", "out"));
+  g.MarkWeight("k0");
+  g.MarkWeight("k1");
+  EXPECT_TRUE(g.tensor("f0").halo_padded);
+  EXPECT_EQ(g.tensor("f0").shape, (std::vector<std::int64_t>{1, 4, 8, 8}));
+  // Liveness covers f0 through the skip connection.
+  auto live = g.LiveSets();
+  EXPECT_TRUE(live[2].count("f0"));
+}
+
+TEST(EdgeCaseTest, DebugStringsAreInformative) {
+  Operator op = MatMulOp("mm", 2, 6, 3, DataType::kF16, "A", "B", "C");
+  EXPECT_NE(op.DebugString().find("k=6(r)"), std::string::npos);
+  auto plan = ExecutionPlan::Create(op, {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  ASSERT_TRUE(plan.has_value());
+  const std::string s = plan->DebugString();
+  EXPECT_NE(s.find("F_op=[m:2,n:3,k:1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("steps=3"), std::string::npos) << s;
+}
+
+TEST(EdgeCaseTest, ReductionOnlyParallelismStillWorks) {
+  // m = n = 1: the only way to use many cores is splitting k.
+  ChipSpec chip = SmallChip(16);
+  Compiler compiler(chip);
+  Graph g("dot");
+  g.Add(MatMulOp("dot", 1, 4096, 1, DataType::kF16, "a", "b", "c"));
+  g.MarkWeight("b");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  EXPECT_GT(model.ops[0].active_plan.reduce_group(), 1);
+  EXPECT_GT(model.ops[0].measured.cores_used, 8);
+}
+
+}  // namespace
+}  // namespace t10

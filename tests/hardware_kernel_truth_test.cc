@@ -1,0 +1,84 @@
+#include "src/hardware/kernel_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+SubTaskShape MatMulShape(std::int64_t m, std::int64_t k, std::int64_t n) {
+  SubTaskShape s;
+  s.kind = OpKind::kContraction;
+  s.flops = 2.0 * static_cast<double>(m * k * n);
+  s.in_bytes = (m * k + k * n) * 2;
+  s.out_bytes = m * n * 2;
+  s.inner_length = n;
+  s.kernel_volume = 1;
+  return s;
+}
+
+TEST(KernelTruthTest, DeterministicAcrossCalls) {
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  SubTaskShape s = MatMulShape(64, 64, 64);
+  EXPECT_DOUBLE_EQ(truth.SubTaskSeconds(s), truth.SubTaskSeconds(s));
+  EXPECT_DOUBLE_EQ(truth.ShiftSeconds(4096), truth.ShiftSeconds(4096));
+}
+
+TEST(KernelTruthTest, MonotonicInWork) {
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  double small = truth.SubTaskSeconds(MatMulShape(16, 16, 16));
+  double big = truth.SubTaskSeconds(MatMulShape(128, 128, 128));
+  EXPECT_GT(big, small);
+}
+
+TEST(KernelTruthTest, ComputeTimeNearRoofline) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  KernelGroundTruth truth(chip);
+  SubTaskShape s = MatMulShape(128, 128, 128);
+  double t = truth.SubTaskSeconds(s);
+  double roofline = s.flops / chip.core_flops;
+  // Must be above the pure roofline but within a small constant factor.
+  EXPECT_GT(t, roofline);
+  EXPECT_LT(t, 4.0 * roofline);
+}
+
+TEST(KernelTruthTest, ConvCarriesBlackBoxPenalty) {
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  SubTaskShape mm = MatMulShape(64, 9 * 16, 64);
+  SubTaskShape conv = mm;
+  conv.kernel_volume = 9 * 16;  // 3x3 kernel, 16 channels.
+  // Identical arithmetic, but the conv path pays the vendor black-box term.
+  EXPECT_GT(truth.SubTaskSeconds(conv), truth.SubTaskSeconds(mm));
+}
+
+TEST(KernelTruthTest, ElementwiseSlowerPerFlopThanMatMul) {
+  KernelGroundTruth truth(ChipSpec::IpuMk2());
+  SubTaskShape mm = MatMulShape(64, 64, 64);
+  SubTaskShape ew;
+  ew.kind = OpKind::kElementwise;
+  ew.flops = mm.flops;
+  ew.in_bytes = mm.in_bytes;
+  ew.out_bytes = mm.out_bytes;
+  ew.inner_length = 64;
+  EXPECT_GT(truth.SubTaskSeconds(ew), truth.SubTaskSeconds(mm));
+}
+
+TEST(KernelTruthTest, ShiftTimeLinearInBytes) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  KernelGroundTruth truth(chip);
+  double t1 = truth.ShiftSeconds(1024);
+  double t64 = truth.ShiftSeconds(64 * 1024);
+  // Subtracting the fixed sync latency, time scales ~linearly with bytes.
+  double per_byte1 = (t1 - chip.sync_latency_seconds) / 1024.0;
+  double per_byte64 = (t64 - chip.sync_latency_seconds) / (64.0 * 1024.0);
+  EXPECT_NEAR(per_byte64 / per_byte1, 1.0, 0.2);
+  EXPECT_DOUBLE_EQ(truth.ShiftSeconds(0), 0.0);
+}
+
+TEST(KernelTruthTest, MultiChipShiftSlower) {
+  KernelGroundTruth one(ChipSpec::IpuMk2());
+  KernelGroundTruth two(ChipSpec::VIpu(2));
+  EXPECT_GT(two.ShiftSeconds(64 * 1024), one.ShiftSeconds(64 * 1024));
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,54 @@
+#include "src/hardware/chip_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+TEST(ChipSpecTest, IpuMk2MatchesTable3) {
+  ChipSpec ipu = ChipSpec::IpuMk2();
+  EXPECT_EQ(ipu.num_cores, 1472);
+  EXPECT_EQ(ipu.core_memory_bytes, 624 * 1024);
+  // 896 MB total local memory (Table 3).
+  EXPECT_NEAR(static_cast<double>(ipu.TotalMemoryBytes()) / (1024.0 * 1024.0), 896.0, 1.0);
+  // ~8 TB/s aggregate inter-core bandwidth (paper §2.1).
+  EXPECT_NEAR(ipu.link_bandwidth * ipu.num_cores / 1e12, 8.1, 0.2);
+  // 250 TFLOPS FP16.
+  EXPECT_NEAR(ipu.TotalFlops() / 1e12, 250.0, 0.1);
+  EXPECT_EQ(ipu.num_chips(), 1);
+  EXPECT_DOUBLE_EQ(ipu.EffectiveLinkBandwidth(), ipu.link_bandwidth);
+}
+
+TEST(ChipSpecTest, VIpuScalesCoresAndDegradesLinks) {
+  ChipSpec two = ChipSpec::VIpu(2);
+  EXPECT_EQ(two.num_cores, 2944);
+  EXPECT_EQ(two.num_chips(), 2);
+  // 26%-33% bandwidth drop (paper §6.5).
+  double drop2 = 1.0 - two.EffectiveLinkBandwidth() / two.link_bandwidth;
+  EXPECT_GE(drop2, 0.25);
+  EXPECT_LE(drop2, 0.34);
+
+  ChipSpec four = ChipSpec::VIpu(4);
+  EXPECT_EQ(four.num_cores, 5888);
+  double drop4 = 1.0 - four.EffectiveLinkBandwidth() / four.link_bandwidth;
+  EXPECT_GT(drop4, drop2);
+  EXPECT_LE(drop4, 0.34);
+}
+
+TEST(ChipSpecTest, ScaledIpuKeepsPerCoreResources) {
+  ChipSpec small = ChipSpec::ScaledIpu(368);
+  EXPECT_EQ(small.num_cores, 368);
+  EXPECT_EQ(small.num_chips(), 1);
+  EXPECT_EQ(small.core_memory_bytes, ChipSpec::IpuMk2().core_memory_bytes);
+  EXPECT_DOUBLE_EQ(small.core_flops, ChipSpec::IpuMk2().core_flops);
+}
+
+TEST(GpuSpecTest, A100MatchesTable3) {
+  GpuSpec a100 = GpuSpec::A100();
+  EXPECT_NEAR(a100.peak_flops / 1e12, 312.0, 0.1);
+  EXPECT_NEAR(a100.hbm_bandwidth / 1e9, 2000.0, 1.0);
+  EXPECT_EQ(a100.l2_bytes, 40LL * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,91 @@
+#include "src/hbm/hbm_emulator.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+HbmOp Op(double exec, std::int64_t weights) {
+  HbmOp op;
+  op.exec_seconds = exec;
+  op.weight_bytes = weights;
+  return op;
+}
+
+HbmConfig Config(double bandwidth) {
+  HbmConfig config;
+  config.bandwidth = bandwidth;
+  return config;
+}
+
+TEST(HbmTest, SingleOpOverlapsComputeAndLoad) {
+  // Two ops, each 1 GB of weights at 1 GB/s -> 1 s load each.
+  std::vector<HbmOp> ops = {Op(2.0, 1 << 30), Op(2.0, 1 << 30)};
+  HbmResult r = EmulateSingleOp(ops, Config(static_cast<double>(1 << 30)));
+  // load0 (1s) + max(exec0, load1) (2s) + exec1 (2s) = 5s.
+  EXPECT_NEAR(r.total_seconds, 5.0, 1e-9);
+  EXPECT_EQ(r.num_groups, 2);
+}
+
+TEST(HbmTest, BandwidthBoundWhenLoadsDominate) {
+  std::vector<HbmOp> ops = {Op(0.1, 1 << 30), Op(0.1, 1 << 30), Op(0.1, 1 << 30)};
+  HbmResult r = EmulateSingleOp(ops, Config(static_cast<double>(1 << 30)));
+  // 1 + 1 + 1 + 0.1: every stage stalls on the next load.
+  EXPECT_NEAR(r.total_seconds, 3.1, 1e-9);
+  EXPECT_GT(r.stall_seconds, 2.5);
+}
+
+TEST(HbmTest, ComputeBoundWhenHbmFast) {
+  std::vector<HbmOp> ops = {Op(1.0, 1 << 20), Op(1.0, 1 << 20)};
+  HbmResult r = EmulateSingleOp(ops, Config(1e12));
+  EXPECT_NEAR(r.total_seconds, 2.0, 1e-4);
+  EXPECT_LT(r.stall_seconds, 1e-4);
+}
+
+TEST(HbmTest, InterOpGroupingHelpsAtLowBandwidth) {
+  // Two consecutive weight-heavy operators followed by one compute-heavy
+  // operator (the LLM layer pattern): single-op prefetch stalls on the
+  // back-to-back loads, while grouping overlaps the whole group's load with
+  // the whole group's execution (paper §6.8).
+  std::vector<HbmOp> ops;
+  for (int i = 0; i < 6; ++i) {
+    ops.push_back(Op(0.1, 100 << 20));  // Weight-heavy (1s load at 100MB/s).
+    ops.push_back(Op(0.1, 100 << 20));
+    ops.push_back(Op(2.0, 1 << 20));    // Compute-heavy.
+  }
+  HbmConfig config = Config(100.0 * (1 << 20));  // Slow HBM: 100 MiB/s.
+  HbmResult single = EmulateSingleOp(ops, config);
+  HbmResult grouped = EmulateInterOp(ops, config);
+  EXPECT_LT(grouped.num_groups, static_cast<int>(ops.size()));
+  EXPECT_LT(grouped.total_seconds, single.total_seconds);
+  EXPECT_LT(grouped.stall_seconds, single.stall_seconds);
+}
+
+TEST(HbmTest, InterOpSlightlyWorseWhenComputeBound) {
+  // Paper §6.8: with fast HBM, Inter Op is not better than Single Op (the
+  // pipeline is compute-bound either way; grouping only coarsens it).
+  std::vector<HbmOp> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(Op(1.0, 1 << 20));
+  }
+  HbmConfig config = Config(1e12);
+  HbmResult single = EmulateSingleOp(ops, config);
+  HbmResult grouped = EmulateInterOp(ops, config);
+  EXPECT_GE(grouped.total_seconds, single.total_seconds - 1e-9);
+}
+
+TEST(HbmTest, OversizedOpBecomesSingletonGroup) {
+  HbmConfig config = Config(1e9);
+  std::vector<HbmOp> ops = {Op(1.0, config.prefetch_buffer_bytes + 1),
+                            Op(1.0, 1 << 20)};
+  HbmResult r = EmulateInterOp(ops, config);
+  EXPECT_EQ(r.num_groups, 2);
+}
+
+TEST(HbmTest, EmptyModel) {
+  HbmResult r = EmulateSingleOp({}, Config(1e9));
+  EXPECT_DOUBLE_EQ(r.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,54 @@
+#include "src/ir/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+std::vector<Axis> MatMulAxes() {
+  return {{"m", 128, false}, {"n", 256, false}, {"k", 64, true}};
+}
+
+TEST(ExprTest, SimpleDimLength) {
+  auto axes = MatMulAxes();
+  EXPECT_EQ(DimLength(axes, DimRef{0}), 128);
+  EXPECT_EQ(DimLength(axes, DimRef{2}), 64);
+}
+
+TEST(ExprTest, CompoundDimLength) {
+  // h + kh with len(h)=10, len(kh)=3 spans 12 values.
+  std::vector<Axis> axes = {{"h", 10, false}, {"kh", 3, true}};
+  EXPECT_EQ(DimLength(axes, DimRef{0, 1}), 12);
+}
+
+TEST(ExprTest, NumElementsAndBytes) {
+  auto axes = MatMulAxes();
+  TensorRef a{"A", DataType::kF16, {DimRef{0}, DimRef{2}}};
+  EXPECT_EQ(NumElements(axes, a), 128 * 64);
+  EXPECT_EQ(ByteSize(axes, a), 128 * 64 * 2);
+  TensorRef a32{"A", DataType::kF32, {DimRef{0}, DimRef{2}}};
+  EXPECT_EQ(ByteSize(axes, a32), 128 * 64 * 4);
+}
+
+TEST(ExprTest, TensorShape) {
+  auto axes = MatMulAxes();
+  TensorRef c{"C", DataType::kF16, {DimRef{0}, DimRef{1}}};
+  EXPECT_EQ(TensorShape(axes, c), (std::vector<std::int64_t>{128, 256}));
+}
+
+TEST(ExprTest, ScalarTensorHasOneElement) {
+  auto axes = MatMulAxes();
+  TensorRef s{"s", DataType::kF32, {}};
+  EXPECT_EQ(NumElements(axes, s), 1);
+}
+
+TEST(DataTypeTest, SizesAndNames) {
+  EXPECT_EQ(DataTypeSize(DataType::kF16), 2);
+  EXPECT_EQ(DataTypeSize(DataType::kF32), 4);
+  EXPECT_EQ(DataTypeSize(DataType::kI32), 4);
+  EXPECT_EQ(DataTypeName(DataType::kF16), "f16");
+  EXPECT_EQ(DataTypeFromName("f32"), DataType::kF32);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,88 @@
+#include "src/ir/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+Graph TwoLayerMlp() {
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", 32, 128, 256, DataType::kF16, "x", "w1", "h1"));
+  g.Add(ElementwiseOp("relu", {32, 256}, DataType::kF16, "h1", "h2"));
+  g.Add(MatMulOp("fc2", 32, 256, 64, DataType::kF16, "h2", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  return g;
+}
+
+TEST(GraphTest, TensorsAndLinks) {
+  Graph g = TwoLayerMlp();
+  EXPECT_EQ(g.num_ops(), 3);
+  const TensorInfo& h1 = g.tensor("h1");
+  EXPECT_EQ(h1.producer, 0);
+  EXPECT_EQ(h1.consumers, (std::vector<int>{1}));
+  EXPECT_EQ(h1.bytes, 32 * 256 * 2);
+  EXPECT_TRUE(g.tensor("w1").is_weight);
+  EXPECT_FALSE(g.tensor("x").is_weight);
+}
+
+TEST(GraphTest, WeightBytes) {
+  Graph g = TwoLayerMlp();
+  EXPECT_EQ(g.WeightBytes(), (128 * 256 + 256 * 64) * 2);
+  EXPECT_GT(g.TotalTensorBytes(), g.WeightBytes());
+}
+
+TEST(GraphTest, InputsAndOutputs) {
+  Graph g = TwoLayerMlp();
+  EXPECT_EQ(g.InputNames(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(g.OutputNames(), (std::vector<std::string>{"y"}));
+}
+
+TEST(GraphTest, LiveSets) {
+  Graph g = TwoLayerMlp();
+  auto live = g.LiveSets();
+  ASSERT_EQ(live.size(), 3u);
+  // Weights are live everywhere.
+  for (const auto& set : live) {
+    EXPECT_TRUE(set.count("w1"));
+    EXPECT_TRUE(set.count("w2"));
+  }
+  // h1 is live during op 0 (produced) and op 1 (consumed), dead after.
+  EXPECT_TRUE(live[0].count("h1"));
+  EXPECT_TRUE(live[1].count("h1"));
+  EXPECT_FALSE(live[2].count("h1"));
+  // Graph output y stays live to the end.
+  EXPECT_TRUE(live[2].count("y"));
+}
+
+TEST(GraphTest, SharedWeightConsumedTwice) {
+  Graph g("tied");
+  g.Add(MatMulOp("a", 8, 16, 16, DataType::kF16, "x", "w", "h"));
+  g.Add(MatMulOp("b", 8, 16, 16, DataType::kF16, "h", "w", "y"));
+  g.MarkWeight("w");
+  EXPECT_EQ(g.tensor("w").consumers, (std::vector<int>{0, 1}));
+}
+
+TEST(GraphDeathTest, ShapeMismatchRejected) {
+  Graph g("bad");
+  g.Add(MatMulOp("fc1", 32, 128, 256, DataType::kF16, "x", "w1", "h1"));
+  EXPECT_DEATH(g.Add(MatMulOp("fc2", 32, 999, 64, DataType::kF16, "h1", "w2", "y")),
+               "shape mismatch");
+}
+
+TEST(GraphDeathTest, DoubleProducerRejected) {
+  Graph g("bad");
+  g.Add(ElementwiseOp("e1", {4}, DataType::kF16, "x", "y"));
+  EXPECT_DEATH(g.Add(ElementwiseOp("e2", {4}, DataType::kF16, "x", "y")), "produced twice");
+}
+
+TEST(GraphDeathTest, WeightWithProducerRejected) {
+  Graph g("bad");
+  g.Add(ElementwiseOp("e1", {4}, DataType::kF16, "x", "y"));
+  EXPECT_DEATH(g.MarkWeight("y"), "producer");
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,95 @@
+#include "src/ir/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+TEST(OperatorTest, MatMulStructure) {
+  Operator op = MatMulOp("mm", 128, 64, 256, DataType::kF16, "A", "B", "C");
+  EXPECT_EQ(op.kind(), OpKind::kContraction);
+  EXPECT_EQ(op.axes().size(), 3u);
+  EXPECT_EQ(op.FindAxis("m"), 0);
+  EXPECT_EQ(op.FindAxis("k"), 2);
+  EXPECT_EQ(op.FindAxis("zzz"), -1);
+  EXPECT_EQ(op.ReductionAxes(), (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(op.Flops(), 2.0 * 128 * 64 * 256);
+  EXPECT_EQ(op.OutputBytes(), 128 * 256 * 2);
+  EXPECT_EQ(op.InputBytes(), (128 * 64 + 64 * 256) * 2);
+}
+
+TEST(OperatorTest, TensorUsesAxis) {
+  Operator op = MatMulOp("mm", 8, 8, 8, DataType::kF16, "A", "B", "C");
+  const TensorRef& a = op.inputs()[0];
+  EXPECT_TRUE(Operator::TensorUsesAxis(a, 0));   // m.
+  EXPECT_FALSE(Operator::TensorUsesAxis(a, 1));  // n.
+  EXPECT_TRUE(Operator::TensorUsesAxis(a, 2));   // k.
+}
+
+TEST(OperatorTest, Conv2dCompoundDims) {
+  Operator op =
+      Conv2dOp("conv", 1, 3, 64, 112, 112, 7, 7, DataType::kF16, "in", "w", "out");
+  EXPECT_EQ(op.kind(), OpKind::kContraction);
+  // Input dim 2 maps to h+kh.
+  const TensorRef& input = op.inputs()[0];
+  EXPECT_TRUE(input.dims[2].compound());
+  EXPECT_EQ(DimLength(op.axes(), input.dims[2]), 112 + 7 - 1);
+  EXPECT_TRUE(Operator::TensorUsesAxis(input, op.FindAxis("kh")));
+  // Weight is [f, c, kh, kw].
+  EXPECT_EQ(NumElements(op.axes(), op.inputs()[1]), 64 * 3 * 7 * 7);
+  // 2 * b*f*h*w*c*kh*kw flops.
+  EXPECT_DOUBLE_EQ(op.Flops(), 2.0 * 64 * 112 * 112 * 3 * 7 * 7);
+}
+
+TEST(OperatorTest, ElementwiseCost) {
+  Operator op = ElementwiseOp("gelu", {32, 1024}, DataType::kF16, "x", "y", 8.0);
+  EXPECT_DOUBLE_EQ(op.Flops(), 8.0 * 32 * 1024);
+  EXPECT_EQ(op.OutputBytes(), 32 * 1024 * 2);
+}
+
+TEST(OperatorTest, BinaryShapesMatch) {
+  Operator op = BinaryOp("add", {4, 4}, DataType::kF32, "a", "b", "c");
+  EXPECT_EQ(op.inputs().size(), 2u);
+  EXPECT_EQ(op.InputBytes(), 2 * 4 * 4 * 4);
+}
+
+TEST(OperatorTest, ReduceDropsTrailingAxis) {
+  Operator op = ReduceOp("sum", {16, 64}, DataType::kF32, "x", "y");
+  EXPECT_EQ(op.kind(), OpKind::kReduceSum);
+  EXPECT_EQ(op.output().dims.size(), 1u);
+  EXPECT_EQ(op.ReductionAxes().size(), 1u);
+  EXPECT_EQ(NumElements(op.axes(), op.output()), 16);
+}
+
+TEST(OperatorTest, GatherIsOneHotContraction) {
+  Operator op = GatherOp("emb", 128, 50000, 768, DataType::kF16, "ids", "table", "out");
+  EXPECT_EQ(op.kind(), OpKind::kGather);
+  EXPECT_EQ(op.inputs()[0].dtype, DataType::kI32);
+  EXPECT_EQ(NumElements(op.axes(), op.inputs()[1]), 50000 * 768);
+  // Gather flops = output elements (data movement).
+  EXPECT_DOUBLE_EQ(op.Flops(), 128.0 * 768.0);
+}
+
+TEST(OperatorTest, BatchedMatMul) {
+  Operator op = BatchedMatMulOp("bmm", 12, 128, 64, 128, DataType::kF16, "q", "k", "s");
+  EXPECT_EQ(op.axes().size(), 4u);
+  EXPECT_DOUBLE_EQ(op.Flops(), 2.0 * 12 * 128 * 64 * 128);
+}
+
+TEST(OperatorDeathTest, OutputWithReductionAxisRejected) {
+  std::vector<Axis> axes = {{"m", 4, false}, {"k", 4, true}};
+  TensorRef in{"A", DataType::kF16, {DimRef{0}, DimRef{1}}};
+  TensorRef out{"C", DataType::kF16, {DimRef{0}, DimRef{1}}};
+  EXPECT_DEATH(Operator("bad", OpKind::kContraction, axes, {in}, out), "reduction");
+}
+
+TEST(OperatorDeathTest, ZeroLengthAxisRejected) {
+  std::vector<Axis> axes = {{"m", 0, false}};
+  TensorRef t{"A", DataType::kF16, {DimRef{0}}};
+  EXPECT_DEATH(Operator("bad", OpKind::kElementwise, axes, {t}, t), "length");
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,89 @@
+#include "src/ir/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+TEST(ParserTest, ParsesMlp) {
+  const char* text = R"(
+    # A two-layer MLP.
+    model tiny-mlp
+    matmul name=fc1 m=32 k=128 n=256 a=x b=w1 c=h1 weight=w1
+    unary  name=relu shape=32x256 in=h1 out=h2
+    matmul name=fc2 m=32 k=256 n=64 a=h2 b=w2 c=y weight=w2 dtype=f16
+  )";
+  Graph g = ParseModelText(text);
+  EXPECT_EQ(g.name(), "tiny-mlp");
+  EXPECT_EQ(g.num_ops(), 3);
+  EXPECT_TRUE(g.tensor("w1").is_weight);
+  EXPECT_TRUE(g.tensor("w2").is_weight);
+  EXPECT_EQ(g.tensor("h2").shape, (std::vector<std::int64_t>{32, 256}));
+}
+
+TEST(ParserTest, AllOpKinds) {
+  const char* text = R"(
+    model kinds
+    gather name=emb n=16 vocab=100 embed=32 idx=ids table=tbl out=e0 weight=tbl
+    unary  name=act shape=16x32 in=e0 out=e1 cost=8
+    binary name=add shape=16x32 lhs=e1 rhs=e0 out=e2
+    reduce name=sum shape=16x32 in=e2 out=e3
+    vendor name=sort shape=16 in=e3 out=e4
+    conv2d name=c1 batch=1 cin=4 cout=8 h=6 w=6 kh=3 kw=3 in=img wt=k1 out=fm weight=k1
+    bmm    name=att batch=2 m=16 k=8 n=16 a=q b=kk c=s
+  )";
+  Graph g = ParseModelText(text);
+  EXPECT_EQ(g.num_ops(), 7);
+  EXPECT_EQ(g.op(0).kind(), OpKind::kGather);
+  EXPECT_EQ(g.op(1).kind(), OpKind::kElementwise);
+  EXPECT_DOUBLE_EQ(g.op(1).elementwise_cost(), 8.0);
+  EXPECT_EQ(g.op(2).kind(), OpKind::kElementwise);
+  EXPECT_EQ(g.op(3).kind(), OpKind::kReduceSum);
+  EXPECT_EQ(g.op(4).kind(), OpKind::kVendor);
+  EXPECT_EQ(g.op(5).kind(), OpKind::kContraction);
+  EXPECT_EQ(g.op(6).kind(), OpKind::kContraction);
+  // Conv input is pre-padded: 6+3-1 = 8.
+  EXPECT_EQ(g.tensor("img").shape, (std::vector<std::int64_t>{1, 4, 8, 8}));
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  Graph g = ParseModelText("\n# only comments\n\nmodel empty\n");
+  EXPECT_EQ(g.num_ops(), 0);
+  EXPECT_EQ(g.name(), "empty");
+}
+
+TEST(ParserTest, MultipleWeightsOnOneLine) {
+  const char* text = R"(
+    binary name=scale shape=8 lhs=g0 rhs=beta out=y weight=g0,beta
+  )";
+  Graph g = ParseModelText(text);
+  EXPECT_TRUE(g.tensor("g0").is_weight);
+  EXPECT_TRUE(g.tensor("beta").is_weight);
+}
+
+// The sample model files shipped under models/ must parse and stay
+// well-formed (they are the t10c driver's demo inputs).
+TEST(ParserTest, ShippedModelFilesParse) {
+  const std::string root = T10_SOURCE_DIR;
+  Graph mlp = ParseModelFile(root + "/models/mlp.t10");
+  EXPECT_EQ(mlp.num_ops(), 5);
+  EXPECT_EQ(mlp.WeightBytes(), (512 * 1024 + 1024 * 1024 + 1024 * 512) * 2);
+  Graph block = ParseModelFile(root + "/models/transformer_block.t10");
+  EXPECT_EQ(block.num_ops(), 14);
+  EXPECT_TRUE(block.tensor("wq").is_weight);
+  Graph conv = ParseModelFile(root + "/models/conv_stack.t10");
+  EXPECT_EQ(conv.num_ops(), 8);
+  // Stride-2 stem reads a 5x5 window over a 2x-strided grid: 2*31+5 = 67.
+  EXPECT_EQ(conv.tensor("image").shape, (std::vector<std::int64_t>{4, 3, 67, 67}));
+}
+
+TEST(ParserDeathTest, MissingArgument) {
+  EXPECT_DEATH(ParseModelText("matmul name=x m=4 k=4"), "missing argument");
+}
+
+TEST(ParserDeathTest, UnknownDirective) {
+  EXPECT_DEATH(ParseModelText("frobnicate name=x"), "unknown directive");
+}
+
+}  // namespace
+}  // namespace t10

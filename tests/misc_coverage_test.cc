@@ -1,0 +1,150 @@
+// Cross-module coverage: HBM adapters, GPU roofline sweeps, VGM tile
+// properties, setup-byte accounting, and RNG determinism — behaviours used
+// by the benches but not pinned elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/gpu_roofline.h"
+#include "src/baselines/vgm.h"
+#include "src/core/compiler.h"
+#include "src/hbm/hbm_emulator.h"
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+#include "src/util/rng.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec SmallChip(int cores = 64) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+TEST(HbmAdapterTest, CompiledAndVgmAdaptersAgreeOnWeights) {
+  ChipSpec chip = SmallChip();
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", 32, 256, 512, DataType::kF16, "x", "w1", "h1"));
+  g.Add(MatMulOp("fc2", 32, 512, 256, DataType::kF16, "h1", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  Compiler compiler(chip);
+  CompiledModel t10m = compiler.Compile(g);
+  ASSERT_TRUE(t10m.fits);
+  VgmModelResult roller = VgmCompiler(chip, VgmPlanner::kRoller).Compile(g);
+  ASSERT_TRUE(roller.fits);
+
+  auto a = HbmOpsFromCompiled(t10m, g);
+  auto b = HbmOpsFromVgm(roller, g);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].weight_bytes, b[i].weight_bytes) << i;  // Same graph weights.
+    EXPECT_GT(a[i].exec_seconds, 0.0);
+  }
+  EXPECT_EQ(a[0].weight_bytes, 256 * 512 * 2);
+}
+
+TEST(GpuRooflineTest, LatencyMonotoneInBatch) {
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  double previous = 0.0;
+  for (std::int64_t batch : {1, 4, 16, 64, 256}) {
+    Graph g("fc");
+    g.Add(MatMulOp("fc", batch, 2048, 2048, DataType::kF16, "x", "w", "y"));
+    g.MarkWeight("w");
+    const double t = gpu.Run(g).TotalSeconds();
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+TEST(GpuRooflineTest, CrossoverBatchExists) {
+  // Somewhere between batch 1 and 4096 the matmul flips from HBM- to
+  // FLOPs-bound (the mechanism behind Fig 22's crossover).
+  GpuRooflineExecutor gpu(GpuSpec::A100());
+  bool seen_memory_bound = false;
+  bool seen_flops_bound = false;
+  for (std::int64_t batch = 1; batch <= 4096; batch *= 4) {
+    Graph g("fc");
+    g.Add(MatMulOp("fc", batch, 2048, 2048, DataType::kF16, "x", "w", "y"));
+    g.MarkWeight("w");
+    GpuModelResult result = gpu.Run(g);
+    if (result.per_op[0].memory_bound()) {
+      EXPECT_FALSE(seen_flops_bound) << "regime must flip once";
+      seen_memory_bound = true;
+    } else {
+      seen_flops_bound = true;
+    }
+  }
+  EXPECT_TRUE(seen_memory_bound);
+  EXPECT_TRUE(seen_flops_bound);
+}
+
+TEST(VgmTileTest, TilesAreDivisorAligned) {
+  VgmCompiler compiler(SmallChip(), VgmPlanner::kRoller);
+  Operator op = MatMulOp("mm", 96, 384, 160, DataType::kF16, "A", "B", "C");
+  auto cost = compiler.PlanOp(op, 128 * 1024);
+  ASSERT_TRUE(cost.has_value());
+  for (std::size_t a = 0; a < op.axes().size(); ++a) {
+    EXPECT_EQ(op.axes()[a].length % cost->tile[a], 0) << "axis " << a;
+  }
+  EXPECT_EQ(cost->num_tiles * 1,
+            (96 / cost->tile[0]) * (160 / cost->tile[1]) * (384 / cost->tile[2]));
+}
+
+TEST(VgmTileTest, LargerBudgetNeverSlower) {
+  VgmCompiler compiler(SmallChip(1472), VgmPlanner::kRoller);
+  Operator op = MatMulOp("mm", 512, 1024, 512, DataType::kF16, "A", "B", "C");
+  double previous = 1e9;
+  for (std::int64_t budget : {16 * 1024, 64 * 1024, 256 * 1024}) {
+    auto cost = compiler.PlanOp(op, budget);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_LE(cost->total_seconds(), previous * 1.05) << budget;
+    previous = cost->total_seconds();
+  }
+}
+
+TEST(SetupBytesTest, MatchesWindowGrowth) {
+  OpPlanOption idle;
+  idle.plan_index = 0;
+  idle.weight_windows = {100, 4000};
+  OpPlanOption active;
+  active.plan_index = 1;
+  active.weight_windows = {700, 1000};
+  // Only growth is fetched: (700-100) + 0.
+  EXPECT_EQ(SetupFetchBytes(idle, active), 600);
+  EXPECT_EQ(SetupFetchBytes(active, idle), 3000);
+  EXPECT_EQ(SetupFetchBytes(idle, idle), 0);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+  Rng c(100);
+  bool differs = false;
+  Rng a2(99);
+  for (int i = 0; i < 10; ++i) {
+    differs = differs || (a2.Uniform(0, 1000000) != c.Uniform(0, 1000000));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CompilerDeterminismTest, RepeatCompilesIdentical) {
+  ChipSpec chip = SmallChip();
+  Graph g = BuildNerf(1);
+  CompiledModel first = Compiler(chip).Compile(g);
+  CompiledModel second = Compiler(chip).Compile(g);
+  ASSERT_EQ(first.fits, second.fits);
+  ASSERT_EQ(first.ops.size(), second.ops.size());
+  EXPECT_DOUBLE_EQ(first.TotalSeconds(), second.TotalSeconds());
+  EXPECT_EQ(first.idle_bytes_per_core, second.idle_bytes_per_core);
+  for (std::size_t i = 0; i < first.ops.size(); ++i) {
+    EXPECT_EQ(first.ops[i].active_plan.fop(), second.ops[i].active_plan.fop()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/core/memory_planner.h"
+#include "src/models/zoo.h"
+
+namespace t10 {
+namespace {
+
+TEST(TrainingTest, GraphShape) {
+  Graph g = BuildMlpTrainingStep(32, 3, 128);
+  // Per layer: fwd, relu, dact, dw, dx, sgd = 6 ops; + loss grad.
+  EXPECT_EQ(g.num_ops(), 3 * 6 + 1);
+  // Weights consumed by forward, dx and sgd.
+  EXPECT_EQ(g.tensor("l0_w").consumers.size(), 3u);
+  // The forward activation is re-consumed by the backward pass: long live
+  // range across the whole step.
+  const TensorInfo& h0 = g.tensor("l0_h");
+  EXPECT_EQ(h0.consumers.size(), 2u);
+}
+
+TEST(TrainingTest, BackwardContractionsWellFormed) {
+  Graph g = BuildMlpTrainingStep(16, 2, 64);
+  for (const Operator& op : g.ops()) {
+    if (op.name().find("_dw") != std::string::npos) {
+      // dW reduces over the batch axis.
+      ASSERT_EQ(op.ReductionAxes().size(), 1u) << op.name();
+      EXPECT_EQ(op.axes()[op.ReductionAxes()[0]].name, "m");
+      EXPECT_DOUBLE_EQ(op.Flops(), 2.0 * 16 * 64 * 64);
+    }
+    if (op.name().find("_dx") != std::string::npos) {
+      // dX reduces over the output-feature axis.
+      ASSERT_EQ(op.ReductionAxes().size(), 1u) << op.name();
+      EXPECT_EQ(op.axes()[op.ReductionAxes()[0]].name, "n");
+    }
+  }
+}
+
+TEST(TrainingTest, TrainingStepCompilesEndToEnd) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 128;
+  chip.cores_per_chip = 128;
+  Compiler compiler(chip);
+  Graph g = BuildMlpTrainingStep(64, 4, 256);
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  EXPECT_EQ(static_cast<int>(model.ops.size()), g.num_ops());
+  // The kept-for-backward activations stretch the memory plan but it still
+  // fits, and reuse still helps.
+  MemoryPlan plan = PlanMemory(model, g, chip);
+  EXPECT_TRUE(plan.fits) << plan.DebugString();
+  EXPECT_LT(plan.peak_bytes, plan.NaiveBytes());
+}
+
+TEST(TrainingTest, BackwardCostsRoughlyTwiceForward) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 128;
+  chip.cores_per_chip = 128;
+  Compiler compiler(chip);
+  Graph g = BuildMlpTrainingStep(64, 4, 256);
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  double forward = 0.0;
+  double backward = 0.0;
+  for (const CompiledOp& op : model.ops) {
+    const std::string& name = g.op(op.op_index).name();
+    if (name.find("_fwd") != std::string::npos) {
+      forward += op.measured.total_seconds();
+    }
+    if (name.find("_dw") != std::string::npos || name.find("_dx") != std::string::npos) {
+      backward += op.measured.total_seconds();
+    }
+  }
+  EXPECT_GT(backward, 1.2 * forward);
+  EXPECT_LT(backward, 4.0 * forward);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,93 @@
+#include "src/sim/local_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace t10 {
+namespace {
+
+TEST(LocalMemoryTest, AllocateAndFree) {
+  LocalMemory mem(1024);
+  auto a = mem.Allocate(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(mem.used_bytes(), 104);  // 8-byte aligned.
+  mem.Free(*a);
+  EXPECT_EQ(mem.used_bytes(), 0);
+  EXPECT_EQ(mem.free_bytes(), 1024);
+}
+
+TEST(LocalMemoryTest, ExhaustionReturnsNullopt) {
+  LocalMemory mem(256);
+  auto a = mem.Allocate(200);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(mem.Allocate(100).has_value());
+  // Smaller request still fits in the tail.
+  EXPECT_TRUE(mem.Allocate(48).has_value());
+}
+
+TEST(LocalMemoryTest, CoalescesAdjacentFreeBlocks) {
+  LocalMemory mem(300);
+  auto a = mem.Allocate(96);
+  auto b = mem.Allocate(96);
+  auto c = mem.Allocate(96);
+  ASSERT_TRUE(a && b && c);
+  // Free middle then neighbours; after all frees one 288-byte region remains.
+  mem.Free(*b);
+  EXPECT_FALSE(mem.Allocate(200).has_value());  // Fragmented.
+  mem.Free(*a);
+  mem.Free(*c);
+  EXPECT_EQ(mem.LargestFreeBlock(), 300);
+  EXPECT_TRUE(mem.Allocate(296).has_value());
+}
+
+TEST(LocalMemoryTest, FirstFitReusesEarliestHole) {
+  LocalMemory mem(1024);
+  auto a = mem.Allocate(128);
+  auto b = mem.Allocate(128);
+  (void)b;
+  mem.Free(*a);
+  auto c = mem.Allocate(64);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 0);  // Fills the first hole.
+}
+
+TEST(LocalMemoryDeathTest, DoubleFree) {
+  LocalMemory mem(128);
+  auto a = mem.Allocate(64);
+  mem.Free(*a);
+  EXPECT_DEATH(mem.Free(*a), "unallocated");
+}
+
+// Randomized stress: allocations never overlap and accounting stays exact.
+TEST(LocalMemoryTest, RandomizedStress) {
+  LocalMemory mem(64 * 1024);
+  Rng rng(42);
+  std::vector<std::pair<std::int64_t, std::int64_t>> live;  // offset, size.
+  for (int iter = 0; iter < 2000; ++iter) {
+    if (live.empty() || rng.Uniform(0, 1) == 0) {
+      std::int64_t request = rng.Uniform(1, 2048);
+      auto offset = mem.Allocate(request);
+      if (offset.has_value()) {
+        for (const auto& [o, s] : live) {
+          EXPECT_TRUE(*offset + request <= o || o + s <= *offset)
+              << "overlap at iteration " << iter;
+        }
+        live.emplace_back(*offset, request);
+      }
+    } else {
+      std::size_t pick = rng.Index(live.size());
+      mem.Free(live[pick].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  for (const auto& [o, s] : live) {
+    mem.Free(o);
+  }
+  EXPECT_EQ(mem.used_bytes(), 0);
+  EXPECT_EQ(mem.LargestFreeBlock(), 64 * 1024);
+}
+
+}  // namespace
+}  // namespace t10

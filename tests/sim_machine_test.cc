@@ -1,0 +1,117 @@
+#include "src/sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+namespace t10 {
+namespace {
+
+ChipSpec TinyChip(int cores, std::int64_t memory = 64 * 1024) {
+  ChipSpec spec = ChipSpec::IpuMk2();
+  spec.name = "tiny";
+  spec.num_cores = cores;
+  spec.cores_per_chip = cores;
+  spec.core_memory_bytes = memory;
+  return spec;
+}
+
+TEST(MachineTest, AllocateWriteRead) {
+  Machine machine(TinyChip(2));
+  BufferHandle h = machine.Allocate(0, 16);
+  float values[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::memcpy(machine.Data(h), values, sizeof(values));
+  float back[4];
+  std::memcpy(back, machine.Data(h), sizeof(back));
+  EXPECT_EQ(back[2], 3.0f);
+  machine.Free(h);
+  EXPECT_EQ(machine.memory(0).used_bytes(), 0);
+}
+
+TEST(MachineTest, RotateRingMovesDataDownstream) {
+  Machine machine(TinyChip(4));
+  std::vector<BufferHandle> ring;
+  for (int core = 0; core < 4; ++core) {
+    BufferHandle h = machine.Allocate(core, sizeof(int));
+    int value = core * 10;
+    std::memcpy(machine.Data(h), &value, sizeof(value));
+    ring.push_back(h);
+  }
+  machine.RotateRing(ring);
+  // After one rotation, core i holds what core i-1 held.
+  for (int core = 0; core < 4; ++core) {
+    int value = -1;
+    std::memcpy(&value, machine.Data(ring[core]), sizeof(value));
+    EXPECT_EQ(value, ((core + 3) % 4) * 10);
+  }
+  // Four rotations return to the start.
+  for (int i = 0; i < 3; ++i) {
+    machine.RotateRing(ring);
+  }
+  for (int core = 0; core < 4; ++core) {
+    int value = -1;
+    std::memcpy(&value, machine.Data(ring[core]), sizeof(value));
+    EXPECT_EQ(value, core * 10);
+  }
+}
+
+TEST(MachineTest, RotateLargerThanShiftBufferUsesChunks) {
+  ChipSpec spec = TinyChip(3, 256 * 1024);
+  spec.shift_buffer_bytes = 64;  // Force many chunked iterations.
+  Machine machine(spec);
+  const std::int64_t bytes = 1000;  // Not a multiple of the chunk size.
+  std::vector<BufferHandle> ring;
+  for (int core = 0; core < 3; ++core) {
+    BufferHandle h = machine.Allocate(core, bytes);
+    for (std::int64_t i = 0; i < bytes; ++i) {
+      machine.Data(h)[i] = static_cast<std::byte>((core * 37 + i) % 251);
+    }
+    ring.push_back(h);
+  }
+  machine.RotateRing(ring);
+  for (int core = 0; core < 3; ++core) {
+    int src = (core + 2) % 3;
+    for (std::int64_t i = 0; i < bytes; ++i) {
+      ASSERT_EQ(machine.Data(ring[core])[i], static_cast<std::byte>((src * 37 + i) % 251))
+          << "core " << core << " byte " << i;
+    }
+  }
+  // Every ring member sent exactly `bytes`.
+  for (int core = 0; core < 3; ++core) {
+    EXPECT_EQ(machine.bytes_sent(core), bytes);
+  }
+}
+
+TEST(MachineTest, CopyAccountsCrossCoreTrafficOnly) {
+  Machine machine(TinyChip(2));
+  BufferHandle a = machine.Allocate(0, 64);
+  BufferHandle b = machine.Allocate(1, 64);
+  BufferHandle c = machine.Allocate(0, 64);
+  std::memset(machine.Data(a), 7, 64);
+  machine.Copy(a, b);
+  machine.Copy(a, c);  // Same-core copy: no link traffic.
+  EXPECT_EQ(machine.Data(b)[63], static_cast<std::byte>(7));
+  EXPECT_EQ(machine.bytes_sent(0), 64);
+  EXPECT_EQ(machine.bytes_sent(1), 0);
+  EXPECT_EQ(machine.total_bytes_sent(), 64);
+  machine.ResetTrafficCounters();
+  EXPECT_EQ(machine.total_bytes_sent(), 0);
+}
+
+TEST(MachineTest, SingleElementRingIsNoOp) {
+  Machine machine(TinyChip(2));
+  BufferHandle h = machine.Allocate(0, 8);
+  std::memset(machine.Data(h), 9, 8);
+  machine.RotateRing({h});
+  EXPECT_EQ(machine.Data(h)[0], static_cast<std::byte>(9));
+  EXPECT_EQ(machine.total_bytes_sent(), 0);
+}
+
+TEST(MachineDeathTest, OverCapacityAllocationDies) {
+  Machine machine(TinyChip(1, 1024));
+  EXPECT_DEATH(machine.Allocate(0, 4096), "out of scratchpad");
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,83 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/core/trace_export.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+TEST(TraceWriterTest, EmitsValidEventObjects) {
+  TraceWriter trace;
+  trace.Add("op1 compute", "compute", 0.0, 10e-6);
+  trace.Add("op1 exchange", "exchange", 0.0, 4e-6);
+  trace.Add("op2 compute", "compute", 10e-6, 7e-6);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\": \"op1 compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 10"), std::string::npos);
+  // Lane metadata present with stable tids.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"exchange\""), std::string::npos);
+}
+
+TEST(TraceWriterTest, EscapesQuotes) {
+  TraceWriter trace;
+  trace.Add("weird\"name", "lane", 0.0, 1e-6);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+}
+
+TEST(TraceWriterTest, EmptyTraceIsValidJson) {
+  TraceWriter trace;
+  EXPECT_EQ(trace.ToJson(), "[\n]\n");
+}
+
+TEST(TraceExportTest, CompiledModelProducesOrderedSpans) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 64;
+  chip.cores_per_chip = 64;
+  Compiler compiler(chip);
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", 32, 256, 512, DataType::kF16, "x", "w1", "h1"));
+  g.Add(MatMulOp("fc2", 32, 512, 256, DataType::kF16, "h1", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  TraceWriter trace = TraceCompiledModel(model, g);
+  ASSERT_GE(trace.spans().size(), 2u);
+  // Spans are in non-decreasing start order, and the compute spans of the
+  // two ops do not overlap.
+  double fc1_end = 0.0;
+  double fc2_start = -1.0;
+  double prev_start = 0.0;
+  for (const TraceSpan& span : trace.spans()) {
+    EXPECT_GE(span.start_seconds, prev_start);
+    prev_start = span.start_seconds;
+    if (span.name.find("fc1 compute") != std::string::npos) {
+      fc1_end = span.start_seconds + span.duration_seconds;
+    }
+    if (span.name.find("fc2 compute") != std::string::npos) {
+      fc2_start = span.start_seconds;
+    }
+  }
+  ASSERT_GE(fc2_start, 0.0);
+  EXPECT_GE(fc2_start, fc1_end - 1e-12);
+}
+
+TEST(TraceExportTest, WritesFile) {
+  TraceWriter trace;
+  trace.Add("x", "lane", 0.0, 1e-6);
+  const std::string path = ::testing::TempDir() + "/t10_trace_test.json";
+  trace.WriteFile(path);
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,106 @@
+#include "src/util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace t10 {
+namespace {
+
+TEST(CeilDivTest, ExactAndInexact) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(8, 4), 2);
+  EXPECT_EQ(CeilDiv(9, 4), 3);
+  EXPECT_EQ(CeilDiv(1, 1472), 1);
+}
+
+TEST(RoundUpTest, Basic) {
+  EXPECT_EQ(RoundUp(0, 8), 0);
+  EXPECT_EQ(RoundUp(1, 8), 8);
+  EXPECT_EQ(RoundUp(16, 8), 16);
+  EXPECT_EQ(RoundUp(17, 16), 32);
+}
+
+TEST(ProductTest, Basic) {
+  EXPECT_EQ(Product({}), 1);
+  EXPECT_EQ(Product({2, 3, 4}), 24);
+  EXPECT_EQ(Product({5, 0, 7}), 0);
+}
+
+TEST(DivisorsTest, SortedAndComplete) {
+  EXPECT_EQ(Divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(Divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(Divisors(13), (std::vector<std::int64_t>{1, 13}));
+  // Perfect square: no duplicated sqrt divisor.
+  EXPECT_EQ(Divisors(36), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(OrderedFactorizationsTest, SmallCases) {
+  auto fs = OrderedFactorizations(6, 2);
+  // (1,6) (2,3) (3,2) (6,1).
+  EXPECT_EQ(fs.size(), 4u);
+  for (const auto& f : fs) {
+    EXPECT_EQ(f[0] * f[1], 6);
+  }
+  EXPECT_EQ(OrderedFactorizations(1, 3).size(), 1u);
+}
+
+TEST(OrderedFactorizationsTest, CountMatchesEnumeration) {
+  for (std::int64_t n : {1, 2, 12, 60, 64, 97}) {
+    for (int k : {1, 2, 3, 4}) {
+      EXPECT_EQ(CountOrderedFactorizations(n, k),
+                static_cast<std::int64_t>(OrderedFactorizations(n, k).size()))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(OrderedFactorizationsTest, EveryTupleMultipliesToN) {
+  for (const auto& f : OrderedFactorizations(60, 3)) {
+    EXPECT_EQ(std::accumulate(f.begin(), f.end(), std::int64_t{1}, std::multiplies<>()), 60);
+  }
+}
+
+TEST(GcdLcmTest, Basic) {
+  EXPECT_EQ(Gcd(12, 18), 6);
+  EXPECT_EQ(Gcd(7, 13), 1);
+  EXPECT_EQ(Gcd(0, 5), 5);
+  EXPECT_EQ(Lcm(4, 6), 12);
+  EXPECT_EQ(Lcm(7, 13), 91);
+}
+
+TEST(IsPowerOfTwoTest, Basic) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(LargestDivisorAtMostTest, Basic) {
+  EXPECT_EQ(LargestDivisorAtMost(24, 10), 8);
+  EXPECT_EQ(LargestDivisorAtMost(24, 24), 24);
+  EXPECT_EQ(LargestDivisorAtMost(13, 12), 1);
+}
+
+// Property sweep: every divisor divides, count is multiplicative-ish sanity.
+class DivisorsProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DivisorsProperty, AllDivide) {
+  const std::int64_t n = GetParam();
+  auto ds = Divisors(n);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds.front(), 1);
+  EXPECT_EQ(ds.back(), n);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(n % ds[i], 0);
+    if (i > 0) {
+      EXPECT_LT(ds[i - 1], ds[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivisorsProperty,
+                         ::testing::Values(1, 2, 3, 16, 24, 97, 128, 1000, 1472, 5888));
+
+}  // namespace
+}  // namespace t10

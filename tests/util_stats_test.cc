@@ -1,0 +1,40 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+TEST(StatsTest, MeanMinMax) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 4.0);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 10.0);
+}
+
+TEST(StatsTest, GeoMean) {
+  EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, StdDev) {
+  EXPECT_NEAR(StdDev({2.0, 2.0}), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev({0.0, 2.0}), 1.0, 1e-12);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+}
+
+TEST(StatsTest, Mape) {
+  EXPECT_NEAR(MeanAbsolutePercentageError({100, 200}, {110, 180}), 10.0, 1e-9);
+  // Zero ground-truth entries are skipped.
+  EXPECT_NEAR(MeanAbsolutePercentageError({0, 100}, {5, 90}), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,33 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace t10 {
+namespace {
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(1024), "1.0KiB");
+  EXPECT_EQ(FormatBytes(638976), "624.0KiB");
+  EXPECT_EQ(FormatBytes(896LL * 1024 * 1024), "896.0MiB");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.500s");
+  EXPECT_EQ(FormatSeconds(0.00123), "1.230ms");
+  EXPECT_EQ(FormatSeconds(4.2e-6), "4.200us");
+  EXPECT_EQ(FormatSeconds(3e-9), "3.0ns");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"op", "time"});
+  t.AddRow({"matmul", "1.2ms"});
+  t.AddRow({"c", "33.0ms"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| op     | time   |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| matmul | 1.2ms  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| c      | 33.0ms |"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace t10
