@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_operator_dist.dir/bench_fig15_operator_dist.cc.o"
+  "CMakeFiles/bench_fig15_operator_dist.dir/bench_fig15_operator_dist.cc.o.d"
+  "bench_fig15_operator_dist"
+  "bench_fig15_operator_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_operator_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

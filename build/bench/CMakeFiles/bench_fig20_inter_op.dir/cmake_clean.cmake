@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_inter_op.dir/bench_fig20_inter_op.cc.o"
+  "CMakeFiles/bench_fig20_inter_op.dir/bench_fig20_inter_op.cc.o.d"
+  "bench_fig20_inter_op"
+  "bench_fig20_inter_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_inter_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_llm.dir/bench_fig23_llm.cc.o"
+  "CMakeFiles/bench_fig23_llm.dir/bench_fig23_llm.cc.o.d"
+  "bench_fig23_llm"
+  "bench_fig23_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_hbm.dir/bench_fig24_hbm.cc.o"
+  "CMakeFiles/bench_fig24_hbm.dir/bench_fig24_hbm.cc.o.d"
+  "bench_fig24_hbm"
+  "bench_fig24_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/llm_decode.cpp" "examples/CMakeFiles/llm_decode.dir/llm_decode.cpp.o" "gcc" "examples/CMakeFiles/llm_decode.dir/llm_decode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/t10_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/t10_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/t10_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/t10_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/t10_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_decode.dir/llm_decode.cpp.o"
+  "CMakeFiles/llm_decode.dir/llm_decode.cpp.o.d"
+  "llm_decode"
+  "llm_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

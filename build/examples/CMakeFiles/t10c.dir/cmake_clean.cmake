@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10c.dir/t10c.cpp.o"
+  "CMakeFiles/t10c.dir/t10c.cpp.o.d"
+  "t10c"
+  "t10c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_baselines.dir/gpu_roofline.cc.o"
+  "CMakeFiles/t10_baselines.dir/gpu_roofline.cc.o.d"
+  "CMakeFiles/t10_baselines.dir/vgm.cc.o"
+  "CMakeFiles/t10_baselines.dir/vgm.cc.o.d"
+  "libt10_baselines.a"
+  "libt10_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cc" "src/core/CMakeFiles/t10_core.dir/codegen.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/codegen.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/t10_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/t10_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/device_program.cc" "src/core/CMakeFiles/t10_core.dir/device_program.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/device_program.cc.o.d"
+  "/root/repo/src/core/functional.cc" "src/core/CMakeFiles/t10_core.dir/functional.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/functional.cc.o.d"
+  "/root/repo/src/core/inter_op.cc" "src/core/CMakeFiles/t10_core.dir/inter_op.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/inter_op.cc.o.d"
+  "/root/repo/src/core/memory_planner.cc" "src/core/CMakeFiles/t10_core.dir/memory_planner.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/memory_planner.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/t10_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/t10_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/t10_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/program_executor.cc" "src/core/CMakeFiles/t10_core.dir/program_executor.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/program_executor.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/t10_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/search.cc.o.d"
+  "/root/repo/src/core/trace_export.cc" "src/core/CMakeFiles/t10_core.dir/trace_export.cc.o" "gcc" "src/core/CMakeFiles/t10_core.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/t10_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/t10_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t10_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

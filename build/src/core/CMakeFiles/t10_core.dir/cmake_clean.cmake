@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_core.dir/codegen.cc.o"
+  "CMakeFiles/t10_core.dir/codegen.cc.o.d"
+  "CMakeFiles/t10_core.dir/compiler.cc.o"
+  "CMakeFiles/t10_core.dir/compiler.cc.o.d"
+  "CMakeFiles/t10_core.dir/cost_model.cc.o"
+  "CMakeFiles/t10_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/t10_core.dir/device_program.cc.o"
+  "CMakeFiles/t10_core.dir/device_program.cc.o.d"
+  "CMakeFiles/t10_core.dir/functional.cc.o"
+  "CMakeFiles/t10_core.dir/functional.cc.o.d"
+  "CMakeFiles/t10_core.dir/inter_op.cc.o"
+  "CMakeFiles/t10_core.dir/inter_op.cc.o.d"
+  "CMakeFiles/t10_core.dir/memory_planner.cc.o"
+  "CMakeFiles/t10_core.dir/memory_planner.cc.o.d"
+  "CMakeFiles/t10_core.dir/pipeline.cc.o"
+  "CMakeFiles/t10_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/t10_core.dir/placement.cc.o"
+  "CMakeFiles/t10_core.dir/placement.cc.o.d"
+  "CMakeFiles/t10_core.dir/plan.cc.o"
+  "CMakeFiles/t10_core.dir/plan.cc.o.d"
+  "CMakeFiles/t10_core.dir/program_executor.cc.o"
+  "CMakeFiles/t10_core.dir/program_executor.cc.o.d"
+  "CMakeFiles/t10_core.dir/search.cc.o"
+  "CMakeFiles/t10_core.dir/search.cc.o.d"
+  "CMakeFiles/t10_core.dir/trace_export.cc.o"
+  "CMakeFiles/t10_core.dir/trace_export.cc.o.d"
+  "libt10_core.a"
+  "libt10_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_hardware.dir/chip_spec.cc.o"
+  "CMakeFiles/t10_hardware.dir/chip_spec.cc.o.d"
+  "CMakeFiles/t10_hardware.dir/kernel_truth.cc.o"
+  "CMakeFiles/t10_hardware.dir/kernel_truth.cc.o.d"
+  "libt10_hardware.a"
+  "libt10_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_hbm.dir/hbm_emulator.cc.o"
+  "CMakeFiles/t10_hbm.dir/hbm_emulator.cc.o.d"
+  "libt10_hbm.a"
+  "libt10_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

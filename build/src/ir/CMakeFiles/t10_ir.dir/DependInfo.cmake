@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/t10_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/dtype.cc" "src/ir/CMakeFiles/t10_ir.dir/dtype.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/dtype.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/t10_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/ir/CMakeFiles/t10_ir.dir/graph.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/graph.cc.o.d"
+  "/root/repo/src/ir/operator.cc" "src/ir/CMakeFiles/t10_ir.dir/operator.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/operator.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/t10_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/t10_ir.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_ir.dir/builder.cc.o"
+  "CMakeFiles/t10_ir.dir/builder.cc.o.d"
+  "CMakeFiles/t10_ir.dir/dtype.cc.o"
+  "CMakeFiles/t10_ir.dir/dtype.cc.o.d"
+  "CMakeFiles/t10_ir.dir/expr.cc.o"
+  "CMakeFiles/t10_ir.dir/expr.cc.o.d"
+  "CMakeFiles/t10_ir.dir/graph.cc.o"
+  "CMakeFiles/t10_ir.dir/graph.cc.o.d"
+  "CMakeFiles/t10_ir.dir/operator.cc.o"
+  "CMakeFiles/t10_ir.dir/operator.cc.o.d"
+  "CMakeFiles/t10_ir.dir/parser.cc.o"
+  "CMakeFiles/t10_ir.dir/parser.cc.o.d"
+  "libt10_ir.a"
+  "libt10_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/llm.cc" "src/models/CMakeFiles/t10_models.dir/llm.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/llm.cc.o.d"
+  "/root/repo/src/models/nerf.cc" "src/models/CMakeFiles/t10_models.dir/nerf.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/nerf.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/t10_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/training.cc" "src/models/CMakeFiles/t10_models.dir/training.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/training.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/models/CMakeFiles/t10_models.dir/transformer.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/transformer.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/t10_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/t10_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/t10_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_models.dir/llm.cc.o"
+  "CMakeFiles/t10_models.dir/llm.cc.o.d"
+  "CMakeFiles/t10_models.dir/nerf.cc.o"
+  "CMakeFiles/t10_models.dir/nerf.cc.o.d"
+  "CMakeFiles/t10_models.dir/resnet.cc.o"
+  "CMakeFiles/t10_models.dir/resnet.cc.o.d"
+  "CMakeFiles/t10_models.dir/training.cc.o"
+  "CMakeFiles/t10_models.dir/training.cc.o.d"
+  "CMakeFiles/t10_models.dir/transformer.cc.o"
+  "CMakeFiles/t10_models.dir/transformer.cc.o.d"
+  "CMakeFiles/t10_models.dir/zoo.cc.o"
+  "CMakeFiles/t10_models.dir/zoo.cc.o.d"
+  "libt10_models.a"
+  "libt10_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_sim.dir/local_memory.cc.o"
+  "CMakeFiles/t10_sim.dir/local_memory.cc.o.d"
+  "CMakeFiles/t10_sim.dir/machine.cc.o"
+  "CMakeFiles/t10_sim.dir/machine.cc.o.d"
+  "CMakeFiles/t10_sim.dir/trace.cc.o"
+  "CMakeFiles/t10_sim.dir/trace.cc.o.d"
+  "libt10_sim.a"
+  "libt10_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libt10_sim.a"
+)

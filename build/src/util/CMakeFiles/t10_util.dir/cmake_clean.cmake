@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t10_util.dir/logging.cc.o"
+  "CMakeFiles/t10_util.dir/logging.cc.o.d"
+  "CMakeFiles/t10_util.dir/math_util.cc.o"
+  "CMakeFiles/t10_util.dir/math_util.cc.o.d"
+  "CMakeFiles/t10_util.dir/regression.cc.o"
+  "CMakeFiles/t10_util.dir/regression.cc.o.d"
+  "CMakeFiles/t10_util.dir/stats.cc.o"
+  "CMakeFiles/t10_util.dir/stats.cc.o.d"
+  "CMakeFiles/t10_util.dir/table.cc.o"
+  "CMakeFiles/t10_util.dir/table.cc.o.d"
+  "libt10_util.a"
+  "libt10_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t10_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

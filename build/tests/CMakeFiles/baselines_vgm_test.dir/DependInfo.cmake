@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_vgm_test.cc" "tests/CMakeFiles/baselines_vgm_test.dir/baselines_vgm_test.cc.o" "gcc" "tests/CMakeFiles/baselines_vgm_test.dir/baselines_vgm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/t10_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/t10_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/t10_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

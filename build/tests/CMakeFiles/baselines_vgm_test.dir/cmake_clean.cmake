@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_vgm_test.dir/baselines_vgm_test.cc.o"
+  "CMakeFiles/baselines_vgm_test.dir/baselines_vgm_test.cc.o.d"
+  "baselines_vgm_test"
+  "baselines_vgm_test.pdb"
+  "baselines_vgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_vgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_codegen_test.dir/core_codegen_test.cc.o"
+  "CMakeFiles/core_codegen_test.dir/core_codegen_test.cc.o.d"
+  "core_codegen_test"
+  "core_codegen_test.pdb"
+  "core_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_inter_op_test.dir/core_inter_op_test.cc.o"
+  "CMakeFiles/core_inter_op_test.dir/core_inter_op_test.cc.o.d"
+  "core_inter_op_test"
+  "core_inter_op_test.pdb"
+  "core_inter_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_inter_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

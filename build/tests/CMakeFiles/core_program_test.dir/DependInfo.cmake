@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_program_test.cc" "tests/CMakeFiles/core_program_test.dir/core_program_test.cc.o" "gcc" "tests/CMakeFiles/core_program_test.dir/core_program_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/t10_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/t10_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/t10_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/t10_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

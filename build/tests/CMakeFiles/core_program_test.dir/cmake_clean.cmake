@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_program_test.dir/core_program_test.cc.o"
+  "CMakeFiles/core_program_test.dir/core_program_test.cc.o.d"
+  "core_program_test"
+  "core_program_test.pdb"
+  "core_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_kernel_truth_test.dir/hardware_kernel_truth_test.cc.o"
+  "CMakeFiles/hardware_kernel_truth_test.dir/hardware_kernel_truth_test.cc.o.d"
+  "hardware_kernel_truth_test"
+  "hardware_kernel_truth_test.pdb"
+  "hardware_kernel_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_kernel_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

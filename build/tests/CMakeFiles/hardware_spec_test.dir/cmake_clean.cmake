@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_spec_test.dir/hardware_spec_test.cc.o"
+  "CMakeFiles/hardware_spec_test.dir/hardware_spec_test.cc.o.d"
+  "hardware_spec_test"
+  "hardware_spec_test.pdb"
+  "hardware_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbm_emulator_test.dir/hbm_emulator_test.cc.o"
+  "CMakeFiles/hbm_emulator_test.dir/hbm_emulator_test.cc.o.d"
+  "hbm_emulator_test"
+  "hbm_emulator_test.pdb"
+  "hbm_emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbm_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_graph_test.dir/ir_graph_test.cc.o"
+  "CMakeFiles/ir_graph_test.dir/ir_graph_test.cc.o.d"
+  "ir_graph_test"
+  "ir_graph_test.pdb"
+  "ir_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_operator_test.dir/ir_operator_test.cc.o"
+  "CMakeFiles/ir_operator_test.dir/ir_operator_test.cc.o.d"
+  "ir_operator_test"
+  "ir_operator_test.pdb"
+  "ir_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_training_test.dir/models_training_test.cc.o"
+  "CMakeFiles/models_training_test.dir/models_training_test.cc.o.d"
+  "models_training_test"
+  "models_training_test.pdb"
+  "models_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

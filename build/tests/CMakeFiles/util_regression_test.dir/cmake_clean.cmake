@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_regression_test.dir/util_regression_test.cc.o"
+  "CMakeFiles/util_regression_test.dir/util_regression_test.cc.o.d"
+  "util_regression_test"
+  "util_regression_test.pdb"
+  "util_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
