@@ -10,15 +10,40 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/table.h"
 
 namespace t10 {
 namespace bench {
 
+// Writes a snapshot of the global metrics registry (compiler phase timings,
+// search/cache statistics, simulator traffic) to `path`.
+inline void DumpMetrics(const std::string& path) {
+  obs::MetricsRegistry::Global().WriteFile(path);
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+}
+
+namespace internal {
+inline std::string& MetricsPath() {
+  static std::string path;
+  return path;
+}
+}  // namespace internal
+
 inline void Header(const std::string& figure, const std::string& description) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure.c_str(), description.c_str());
   std::printf("==============================================================\n");
+  // T10_METRICS=<path>: every bench binary dumps a metrics snapshot next to
+  // its results on exit, so figure runs are measurable without code changes.
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    if (const char* path = std::getenv("T10_METRICS"); path != nullptr && path[0] != '\0') {
+      internal::MetricsPath() = path;
+      std::atexit([] { DumpMetrics(internal::MetricsPath()); });
+    }
+  }
 }
 
 inline void Note(const std::string& text) { std::printf("NOTE: %s\n\n", text.c_str()); }

@@ -1,10 +1,13 @@
 // t10c: a command-line compiler driver. Reads a model in the text format,
 // compiles it for a simulated inter-core connected chip, and prints a
-// report; optionally emits the generated kernel program and an execution
-// trace.
+// report; optionally emits the generated kernel program, an execution
+// trace (Perfetto spans + counter tracks), and a metrics snapshot of the
+// compile itself.
 //
 //   $ ./examples/t10c model.t10 [--cores N] [--code out.cpp] [--trace out.json]
+//                     [--metrics out.json]
 //   $ ./examples/t10c --demo          # built-in demo model
+//   $ ./examples/t10c --help
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +19,7 @@
 #include "src/core/memory_planner.h"
 #include "src/core/trace_export.h"
 #include "src/ir/parser.h"
+#include "src/obs/metrics.h"
 #include "src/util/table.h"
 
 namespace {
@@ -29,8 +33,18 @@ matmul name=fc2 m=64 k=1024 n=512 a=h2 b=w2 c=y weight=w2
 
 void Usage() {
   std::printf(
-      "usage: t10c <model.t10> [--cores N] [--code out.cpp] [--trace out.json]\n"
-      "       t10c --demo\n");
+      "usage: t10c <model.t10> [options]\n"
+      "       t10c --demo [options]\n"
+      "\n"
+      "options:\n"
+      "  --demo             compile the built-in demo MLP instead of a model file\n"
+      "  --cores N          compile for a scaled chip with N cores (default 1472, IPU Mk2)\n"
+      "  --code out.cpp     write the generated kernel program\n"
+      "  --trace out.json   write a Perfetto/chrome://tracing timeline (spans +\n"
+      "                     memory/link-traffic/link-utilisation counter tracks)\n"
+      "  --metrics out.json write a JSON metrics snapshot of the compile (phase wall\n"
+      "                     times, search/cache statistics, per-core traffic totals)\n"
+      "  --help             show this message\n");
 }
 
 }  // namespace
@@ -40,20 +54,48 @@ int main(int argc, char** argv) {
   std::string model_path;
   std::string code_path;
   std::string trace_path;
+  std::string metrics_path;
   int cores = 1472;
   bool demo = false;
+
+  // Flags taking a value; reports a clear error when the value is missing
+  // instead of silently consuming the next flag or the model path.
+  auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "t10c: %s requires a value\n\n", flag);
+      Usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--demo") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
-    } else if (std::strcmp(argv[i], "--cores") == 0 && i + 1 < argc) {
-      cores = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--code") == 0 && i + 1 < argc) {
-      code_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (argv[i][0] != '-') {
+    } else if (std::strcmp(argv[i], "--cores") == 0) {
+      cores = std::atoi(flag_value(i, "--cores"));
+      if (cores <= 0) {
+        std::fprintf(stderr, "t10c: --cores expects a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--code") == 0) {
+      code_path = flag_value(i, "--code");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = flag_value(i, "--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = flag_value(i, "--metrics");
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "t10c: unknown flag '%s'\n\n", argv[i]);
+      Usage();
+      return 2;
+    } else if (model_path.empty()) {
       model_path = argv[i];
     } else {
+      std::fprintf(stderr, "t10c: unexpected extra argument '%s' (model is '%s')\n\n", argv[i],
+                   model_path.c_str());
       Usage();
       return 2;
     }
@@ -61,6 +103,16 @@ int main(int argc, char** argv) {
   if (!demo && model_path.empty()) {
     Usage();
     return 2;
+  }
+
+  // Fail fast on unwritable output paths before spending time compiling.
+  for (const std::string& out : {code_path, trace_path, metrics_path}) {
+    if (out.empty()) continue;
+    std::ofstream probe(out, std::ios::app);
+    if (!probe.good()) {
+      std::fprintf(stderr, "t10c: cannot open output file '%s' for writing\n", out.c_str());
+      return 2;
+    }
   }
 
   Graph graph = demo ? ParseModelText(kDemoModel) : ParseModelFile(model_path);
@@ -98,8 +150,12 @@ int main(int argc, char** argv) {
     std::printf("kernel program written to %s\n", code_path.c_str());
   }
   if (!trace_path.empty()) {
-    TraceCompiledModel(model, graph).WriteFile(trace_path);
+    TraceCompiledModel(model, graph, &chip).WriteFile(trace_path);
     std::printf("execution trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().WriteFile(metrics_path);
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

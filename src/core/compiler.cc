@@ -4,11 +4,19 @@
 #include <sstream>
 
 #include "src/core/memory_planner.h"
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
 
 namespace t10 {
 namespace {
+
+// Wraps the one-time cost-model fit so its wall time lands in the phase
+// histogram even though it runs in the constructor's init list.
+FittedCostModel TimedCostModelFit(const GroundTruthTiming& truth, int samples) {
+  obs::ScopedTimer timer("compiler.phase.cost_model_fit.seconds");
+  return FittedCostModel::Fit(truth.truth(), samples);
+}
 
 // True if the producing plan's output layout equals the consuming plan's
 // expectation for the same tensor (same spatial slicing, same windows, same
@@ -81,7 +89,21 @@ Compiler::Compiler(const ChipSpec& chip, CompileOptions options)
     : chip_(chip),
       options_(options),
       truth_(chip),
-      cost_model_(FittedCostModel::Fit(truth_.truth(), options.cost_model_samples)) {}
+      cost_model_(TimedCostModelFit(truth_, options.cost_model_samples)) {
+  // Pre-register the compiler's counter schema so metrics snapshots always
+  // contain the full set (at zero) even when a compile never exercises a
+  // path — e.g. a model with all-distinct signatures records no cache hits.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("compiler.cache.hits");
+  metrics.GetCounter("compiler.cache.misses");
+  metrics.GetCounter("compiler.search.searches");
+  metrics.GetCounter("compiler.search.evaluations");
+  metrics.GetCounter("compiler.search.fop_visited");
+  metrics.GetCounter("compiler.search.filtered_plans");
+  metrics.GetCounter("compiler.search.pareto_plans");
+  metrics.GetCounter("compiler.search.relaxations");
+  metrics.GetCounter("compiler.reconcile.steps");
+}
 
 std::string Compiler::OpSignature(const Operator& op) {
   std::ostringstream sig;
@@ -109,6 +131,7 @@ IntraOpResult Compiler::SearchOp(const Operator& op) {
   const std::string signature = OpSignature(op);
   auto it = cache_.find(signature);
   if (it != cache_.end()) {
+    obs::MetricsRegistry::Global().GetCounter("compiler.cache.hits").Increment();
     const CachedSearch& cached = it->second;
     IntraOpResult result;
     result.complete_space_log10 = cached.complete_space_log10;
@@ -122,6 +145,7 @@ IntraOpResult Compiler::SearchOp(const Operator& op) {
     return result;
   }
 
+  obs::MetricsRegistry::Global().GetCounter("compiler.cache.misses").Increment();
   IntraOpResult result = SearchOperatorPlans(op, chip_, cost_model_, options_.constraints);
   CachedSearch cached;
   cached.complete_space_log10 = result.complete_space_log10;
@@ -140,20 +164,25 @@ IntraOpResult Compiler::SearchOp(const Operator& op) {
 
 CompiledModel Compiler::Compile(const Graph& graph) {
   const auto start = std::chrono::steady_clock::now();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("compiler.compiles").Increment();
   CompiledModel out;
   out.model_name = graph.name();
 
   // Stage 1: intra-operator Pareto search (cached by signature).
   std::vector<IntraOpResult> searches;
   searches.reserve(static_cast<std::size_t>(graph.num_ops()));
-  for (const Operator& op : graph.ops()) {
-    searches.push_back(SearchOp(op));
-    if (searches.back().pareto.empty()) {
-      // Some operator cannot fit the distributed memory under any plan.
-      out.fits = false;
-      out.compile_wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      return out;
+  {
+    obs::ScopedTimer timer("compiler.phase.intra_search.seconds");
+    for (const Operator& op : graph.ops()) {
+      searches.push_back(SearchOp(op));
+      if (searches.back().pareto.empty()) {
+        // Some operator cannot fit the distributed memory under any plan.
+        out.fits = false;
+        out.compile_wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return out;
+      }
     }
   }
 
@@ -190,8 +219,10 @@ CompiledModel Compiler::Compile(const Graph& graph) {
   std::int64_t budget = chip_.core_memory_bytes;
   std::int64_t last_shrink = 0;
   for (int attempt = 0;; ++attempt) {
-    InterOpSchedule schedule = ReconcileInterOp(inter_ops, chip_, budget,
-                                                options_.inter_op_reconcile ? -1 : 1);
+    InterOpSchedule schedule = [&] {
+      obs::ScopedTimer timer("compiler.phase.reconcile.seconds");
+      return ReconcileInterOp(inter_ops, chip_, budget, options_.inter_op_reconcile ? -1 : 1);
+    }();
     out.fits = schedule.feasible;
     out.reconcile_trajectory = schedule.trajectory;
     out.idle_bytes_per_core = schedule.idle_bytes_per_core;
@@ -199,8 +230,14 @@ CompiledModel Compiler::Compile(const Graph& graph) {
       break;
     }
     out.ops.clear();
-    MaterializeOps(graph, searches, inter_ops, schedule, out);
-    const MemoryPlan memory_plan = PlanMemory(out, graph, chip_);
+    {
+      obs::ScopedTimer timer("compiler.phase.materialize.seconds");
+      MaterializeOps(graph, searches, inter_ops, schedule, out);
+    }
+    const MemoryPlan memory_plan = [&] {
+      obs::ScopedTimer timer("compiler.phase.memory_plan.seconds");
+      return PlanMemory(out, graph, chip_);
+    }();
     out.memory_peak_bytes = memory_plan.peak_bytes;
     if (memory_plan.fits) {
       break;
@@ -221,6 +258,27 @@ CompiledModel Compiler::Compile(const Graph& graph) {
   }
   out.compile_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  metrics.GetHistogram("compiler.phase.total.seconds").Record(out.compile_wall_seconds);
+
+  // Per-core traffic totals of the compiled model: what each core moves over
+  // its links for rotations/epilogues, setup fetches and layout transitions.
+  if (out.fits) {
+    std::int64_t shift_bytes = 0;
+    std::int64_t setup_bytes = 0;
+    std::int64_t transition_bytes = 0;
+    for (const CompiledOp& op : out.ops) {
+      shift_bytes += op.measured.shift_bytes_per_core;
+      setup_bytes += op.setup_bytes;
+      transition_bytes += op.transition_bytes;
+    }
+    metrics.GetCounter("compiler.model.traffic.shift_bytes_per_core").Add(shift_bytes);
+    metrics.GetCounter("compiler.model.traffic.setup_bytes_per_core").Add(setup_bytes);
+    metrics.GetCounter("compiler.model.traffic.transition_bytes_per_core").Add(transition_bytes);
+    metrics.GetGauge("compiler.model.memory_peak_bytes")
+        .Set(static_cast<double>(out.memory_peak_bytes));
+    metrics.GetGauge("compiler.model.idle_bytes_per_core")
+        .Set(static_cast<double>(out.idle_bytes_per_core));
+  }
   return out;
 }
 

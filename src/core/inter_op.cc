@@ -1,8 +1,10 @@
 #include "src/core/inter_op.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace t10 {
@@ -117,6 +119,21 @@ InterOpSchedule ReconcileInterOp(const std::vector<InterOpOperator>& ops, const 
     }
     // Lines 7-9: refit active plans, estimate end-to-end time.
     const double time = AssignActivePlans(ops, chip, memory_budget_per_core, idle, active);
+    // Per-step ΔT/ΔM telemetry: how much end-to-end time the last idle-layout
+    // upgrade bought, and how much idle memory it spent (Fig 20's slope).
+    if (!schedule.trajectory.empty()) {
+      const ReconcileStep& prev = schedule.trajectory.back();
+      obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+      metrics.GetCounter("compiler.reconcile.steps").Increment();
+      const double delta_m = static_cast<double>(idle_bytes - prev.idle_bytes_per_core);
+      metrics.GetGauge("compiler.reconcile.delta_idle_bytes").Set(delta_m);
+      metrics.GetHistogram("compiler.reconcile.delta_idle_bytes.dist").Record(delta_m);
+      if (std::isfinite(time) && std::isfinite(prev.total_seconds)) {
+        const double delta_t = prev.total_seconds - time;  // Positive = faster.
+        obs::MetricsRegistry::Global().GetGauge("compiler.reconcile.delta_seconds").Set(delta_t);
+        metrics.GetHistogram("compiler.reconcile.delta_seconds.dist").Record(std::abs(delta_t));
+      }
+    }
     schedule.trajectory.push_back(ReconcileStep{idle_bytes, time, time < kInfinity});
     if (time < best_time) {  // Lines 10-12.
       best_time = time;

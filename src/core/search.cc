@@ -1,8 +1,10 @@
 #include "src/core/search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
 
@@ -120,6 +122,10 @@ struct EnumerationState {
   std::vector<PlanCandidate> candidates;
   std::int64_t evaluations = 0;  // Enumeration attempts (budget control).
   std::int64_t fop_count = 0;
+  // Phase wall-time split, accumulated per evaluation and published once per
+  // search (compiler.phase.{filtering,cost_eval}.seconds).
+  double filter_seconds = 0.0;
+  double cost_eval_seconds = 0.0;
 };
 
 void EvaluateFop(EnumerationState& state) {
@@ -167,14 +173,18 @@ void EvaluateFop(EnumerationState& state) {
     }
     if (input_index == op.inputs().size()) {
       ++state.evaluations;
+      const auto t0 = std::chrono::steady_clock::now();
       auto plan = ExecutionPlan::Create(op, state.fop, chosen);
-      if (!plan.has_value()) {
-        return;
-      }
-      if (plan->PerCoreBytes(*state.chip) > state.chip->core_memory_bytes) {
+      const bool filtered =
+          !plan.has_value() || plan->PerCoreBytes(*state.chip) > state.chip->core_memory_bytes;
+      const auto t1 = std::chrono::steady_clock::now();
+      state.filter_seconds += std::chrono::duration<double>(t1 - t0).count();
+      if (filtered) {
         return;
       }
       PlanCandidate candidate{*plan, plan->Evaluate(*state.cost, *state.chip)};
+      state.cost_eval_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
       state.candidates.push_back(std::move(candidate));
       return;
     }
@@ -235,6 +245,8 @@ std::vector<PlanCandidate> ParetoFrontier(std::vector<PlanCandidate> candidates)
 IntraOpResult SearchOperatorPlans(const Operator& op, const ChipSpec& chip,
                                   const TimingSource& cost_model,
                                   const SearchConstraints& constraints) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("compiler.search.searches").Increment();
   IntraOpResult result;
   result.complete_space_log10 = EstimateCompleteSpace(op, chip);
 
@@ -277,19 +289,37 @@ IntraOpResult SearchOperatorPlans(const Operator& op, const ChipSpec& chip,
                                                                       : tail * axis_max;
     }
 
+    const auto enum_start = std::chrono::steady_clock::now();
     EnumerateFop(state, 0, 1);
+    const double enum_total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - enum_start).count();
     // The filtered space is the set of *valid* plans that passed every
     // rule-based constraint and were costed (Fig 18's middle bar);
     // enumeration attempts that fail an alignment/divisibility rule are not
     // plans.
     result.filtered_count = static_cast<std::int64_t>(state.candidates.size());
     result.fop_count = state.fop_count;
+
+    metrics.GetCounter("compiler.search.evaluations").Add(state.evaluations);
+    metrics.GetCounter("compiler.search.fop_visited").Add(state.fop_count);
+    metrics.GetCounter("compiler.search.filtered_plans").Add(result.filtered_count);
+    metrics.GetHistogram("compiler.phase.filtering.seconds").Record(state.filter_seconds);
+    metrics.GetHistogram("compiler.phase.cost_eval.seconds").Record(state.cost_eval_seconds);
+    // Pure enumeration time = walking the F_op/f_t tree minus the per-plan
+    // filter and cost work accounted above.
+    metrics.GetHistogram("compiler.phase.enumeration.seconds")
+        .Record(std::max(0.0, enum_total - state.filter_seconds - state.cost_eval_seconds));
+
     if (!state.candidates.empty()) {
+      obs::ScopedTimer pareto_timer("compiler.phase.pareto.seconds");
       result.pareto = ParetoFrontier(std::move(state.candidates));
+      metrics.GetCounter("compiler.search.pareto_plans")
+          .Add(static_cast<std::int64_t>(result.pareto.size()));
       return result;
     }
     // No plan satisfied the constraints (tiny or awkwardly-shaped operator):
     // relax and retry, as a user would (paper §6.3 studies this knob).
+    metrics.GetCounter("compiler.search.relaxations").Increment();
     T10_LOG(Info) << op.name() << ": relaxing search constraints (attempt " << attempt + 1 << ")";
     active.parallelism_fraction *= 0.5;
     active.padding_threshold *= 0.8;

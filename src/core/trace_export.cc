@@ -1,22 +1,67 @@
 #include "src/core/trace_export.h"
 
+#include <string>
+
 #include "src/util/logging.h"
 
 namespace t10 {
+namespace {
 
-TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph) {
+// Counter track names. Perfetto renders each as an area chart above the
+// span lanes.
+constexpr char kMemoryTrack[] = "memory bytes/core";
+constexpr char kTrafficTrack[] = "link bytes/core (cumulative)";
+constexpr char kUtilisationTrack[] = "link utilisation";
+
+}  // namespace
+
+TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph,
+                               const ChipSpec* chip) {
   TraceWriter trace;
   double cursor = 0.0;
+  // Cumulative per-core link traffic, stepped up at the end of every phase
+  // that moves bytes.
+  double traffic = 0.0;
+  const double link_bandwidth = chip != nullptr ? chip->EffectiveLinkBandwidth() : 0.0;
+
+  trace.AddCounter(kTrafficTrack, 0.0, 0.0);
+  if (chip != nullptr) {
+    trace.AddCounter(kUtilisationTrack, 0.0, 0.0);
+  }
+  trace.AddCounter(kMemoryTrack, 0.0, static_cast<double>(model.idle_bytes_per_core));
+
+  // A phase window [start, start+duration) that moves `bytes` per core:
+  // cumulative traffic steps at the window end, utilisation is a square
+  // pulse of achieved/effective bandwidth over the window.
+  auto traffic_phase = [&](double start, double duration, double bytes) {
+    if (bytes <= 0.0 || duration <= 0.0) {
+      return;
+    }
+    traffic += bytes;
+    trace.AddCounter(kTrafficTrack, start + duration, traffic);
+    if (chip != nullptr && link_bandwidth > 0.0) {
+      trace.AddCounter(kUtilisationTrack, start, bytes / duration / link_bandwidth);
+      trace.AddCounter(kUtilisationTrack, start + duration, 0.0);
+    }
+  };
+
   for (const CompiledOp& op : model.ops) {
     const std::string& name = graph.op(op.op_index).name();
     if (op.transition_seconds > 0.0) {
       trace.Add(name + " relayout", "exchange", cursor, op.transition_seconds);
+      traffic_phase(cursor, op.transition_seconds, static_cast<double>(op.transition_bytes));
       cursor += op.transition_seconds;
     }
     if (op.setup_seconds > 0.0) {
       trace.Add(name + " setup", "setup", cursor, op.setup_seconds);
+      traffic_phase(cursor, op.setup_seconds, static_cast<double>(op.setup_bytes));
       cursor += op.setup_seconds;
     }
+    // Scratchpad occupancy while the operator executes: its active footprint
+    // on top of every operator's idle weights.
+    trace.AddCounter(kMemoryTrack, cursor,
+                     static_cast<double>(model.idle_bytes_per_core +
+                                         op.measured.per_core_bytes));
     if (op.measured.compute_seconds > 0.0) {
       trace.Add(name + " compute (" + std::to_string(op.measured.steps) + " steps)", "compute",
                 cursor, op.measured.compute_seconds);
@@ -26,8 +71,10 @@ TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph) {
       // Exchange interleaves with compute step-by-step; the timeline shows
       // the two phases side by side over the operator's execution window.
       trace.Add(name + " exchange", "exchange", cursor, exchange);
+      traffic_phase(cursor, exchange, static_cast<double>(op.measured.shift_bytes_per_core));
     }
     cursor += op.measured.total_seconds();
+    trace.AddCounter(kMemoryTrack, cursor, static_cast<double>(model.idle_bytes_per_core));
   }
   return trace;
 }

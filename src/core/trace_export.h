@@ -1,6 +1,9 @@
 // Builds a Chrome-tracing timeline from a compiled model: per operator, its
 // setup phase, inter-operator transition, compute steps and inter-core
-// exchange time appear on separate lanes in execution order.
+// exchange time appear on separate lanes in execution order. Counter tracks
+// accompany the spans: per-core memory occupancy, cumulative per-core link
+// traffic, and (when the chip is supplied) instantaneous link utilisation as
+// a fraction of the effective link bandwidth.
 
 #ifndef T10_SRC_CORE_TRACE_EXPORT_H_
 #define T10_SRC_CORE_TRACE_EXPORT_H_
@@ -10,7 +13,10 @@
 
 namespace t10 {
 
-TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph);
+// `chip` may be null: span and byte-counter tracks are always emitted, the
+// "link utilisation" track needs the chip's link bandwidth.
+TraceWriter TraceCompiledModel(const CompiledModel& model, const Graph& graph,
+                               const ChipSpec* chip = nullptr);
 
 }  // namespace t10
 

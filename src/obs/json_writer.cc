@@ -1,0 +1,138 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace t10 {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";  // JSON has no Inf/NaN.
+  }
+  // %.17g round-trips doubles but litters snapshots with noise digits; %g
+  // with 12 significant digits is exact for every metric we emit (counts,
+  // byte totals, microsecond-scale timings).
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void JsonWriter::Indent() {
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Value follows "key": on the same line.
+  }
+  if (counts_.back() > 0) {
+    out_ << ",";
+  }
+  if (counts_.size() > 1 || counts_.back() > 0) {
+    out_ << "\n";
+  }
+  Indent();
+  ++counts_.back();
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ << "{";
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "}";
+  ++counts_.back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ << "[";
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "]";
+  ++counts_.back();
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Separate();
+  out_ << "\"" << JsonEscape(name) << "\": ";
+  // The value that follows completes this element on the same line; its
+  // Separate() call is suppressed via pending_key_.
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separate();
+  out_ << "\"" << JsonEscape(value) << "\"";
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Separate();
+  out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  out_ << JsonNumber(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ << (value ? "true" : "false");
+}
+
+}  // namespace obs
+}  // namespace t10

@@ -1,0 +1,64 @@
+// Minimal hand-rolled JSON emitter for metrics snapshots and trace files.
+//
+// Deliberately tiny: objects, arrays, string/number/bool scalars, and
+// stable key ordering left to the caller. No parsing, no dependencies —
+// the observability layer must not pull a JSON library into every target
+// that links t10_core.
+
+#ifndef T10_SRC_OBS_JSON_WRITER_H_
+#define T10_SRC_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace t10 {
+namespace obs {
+
+// Escapes a string for inclusion inside a JSON string literal (quotes,
+// backslashes, and control characters).
+std::string JsonEscape(const std::string& s);
+
+// Formats a double the way JSON expects: finite values in shortest
+// round-trippable form, non-finite values as null.
+std::string JsonNumber(double value);
+
+// Streaming writer producing pretty-printed JSON. Usage:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("counters"); w.BeginObject(); w.Key("x"); w.Int(1); w.EndObject();
+//   w.EndObject();
+//   std::string out = w.str();
+//
+// The writer tracks nesting and inserts commas/indentation; it does not
+// validate that keys are only used inside objects.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(std::int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Separate();  // Comma + newline between siblings, indentation.
+  void Indent();
+
+  std::ostringstream out_;
+  // Per-depth element count; top-level is depth 0.
+  std::vector<int> counts_{0};
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace t10
+
+#endif  // T10_SRC_OBS_JSON_WRITER_H_

@@ -1,0 +1,228 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "src/obs/json_writer.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace obs {
+
+void Gauge::SetMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  T10_CHECK_GE(bucket, 0);
+  T10_CHECK_LT(bucket, kNumBuckets);
+  if (bucket == kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::pow(10.0, bucket - 9);  // 1e-9 .. 1e9.
+}
+
+void Histogram::Record(double value) {
+  int bucket = kNumBuckets - 1;
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (value <= BucketUpperBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket];
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::cumulative_count(int bucket) const {
+  T10_CHECK_GE(bucket, 0);
+  T10_CHECK_LT(bucket, kNumBuckets);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (int i = 0; i <= bucket; ++i) {
+    total += buckets_[i];
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.fill(0);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never destroyed.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kCounter);
+  T10_CHECK(it->second == Kind::kCounter) << name << " already registered as a different kind";
+  if (inserted) {
+    counters_.emplace(name, std::make_unique<Counter>());
+  }
+  return *counters_.at(name);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kGauge);
+  T10_CHECK(it->second == Kind::kGauge) << name << " already registered as a different kind";
+  if (inserted) {
+    gauges_.emplace(name, std::make_unique<Gauge>());
+  }
+  return *gauges_.at(name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kHistogram);
+  T10_CHECK(it->second == Kind::kHistogram) << name << " already registered as a different kind";
+  if (inserted) {
+    histograms_.emplace(name, std::make_unique<Histogram>());
+  }
+  return *histograms_.at(name);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name);
+    w.Int(counter->value());
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name);
+    w.Double(gauge->value());
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Int(histogram->count());
+    w.Key("sum");
+    w.Double(histogram->sum());
+    w.Key("min");
+    w.Double(histogram->min());
+    w.Key("max");
+    w.Double(histogram->max());
+    w.Key("mean");
+    w.Double(histogram->mean());
+    w.Key("buckets");
+    w.BeginArray();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      // Skip leading empty buckets to keep snapshots readable; cumulative
+      // counts make the omission lossless.
+      if (histogram->cumulative_count(b) == 0 && b + 1 < Histogram::kNumBuckets) {
+        continue;
+      }
+      w.BeginObject();
+      w.Key("le");
+      w.Double(Histogram::BucketUpperBound(b));
+      w.Key("count");
+      w.Int(histogram->cumulative_count(b));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+void MetricsRegistry::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  T10_CHECK(file.good()) << "cannot open metrics file " << path;
+  file << ToJson();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+int MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(kinds_.size());
+}
+
+ScopedTimer::ScopedTimer(const std::string& histogram_name, MetricsRegistry& registry)
+    : ScopedTimer(registry.GetHistogram(histogram_name)) {}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() { histogram_.Record(ElapsedSeconds()); }
+
+double ScopedTimer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+}  // namespace obs
+}  // namespace t10

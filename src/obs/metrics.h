@@ -1,0 +1,161 @@
+// Process-wide observability: a thread-safe metrics registry with counters,
+// gauges, histograms and RAII scoped timers, plus JSON snapshot export.
+//
+// T10's determinism thesis (paper §4.3) only pays off if compiles and
+// simulated runs are measurable: the compiler reports per-phase wall time
+// and cache behaviour, the intra-op search reports how many plans it
+// enumerated/filtered/costed, the functional machine reports inter-core
+// traffic and scratchpad high-water marks, and the inter-op reconciler
+// reports each ΔT/ΔM trade it makes. All of it lands here under a dotted
+// naming scheme:
+//
+//   compiler.phase.<phase>.seconds     histogram   one record per compile
+//   compiler.cache.{hits,misses}       counter     signature cache behaviour
+//   compiler.search.*                  counter     enumeration statistics
+//   compiler.reconcile.*               gauge/ctr   Algorithm-1 trajectory
+//   sim.machine.*                      counter/gauge  byte-level simulator
+//
+// Handles returned by the registry are stable for the registry's lifetime,
+// so hot paths resolve them once and bump atomics thereafter. Snapshots
+// (`ToJson`/`WriteFile`) serialize every instrument sorted by name; t10c
+// exposes them via `--metrics out.json` and every bench dumps one when
+// T10_METRICS is set.
+
+#ifndef T10_SRC_OBS_METRICS_H_
+#define T10_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace t10 {
+namespace obs {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Last-written-value metric (also supports monotone max updates, used for
+// high-water marks).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  // Raises the gauge to `value` if larger (scratchpad peaks etc.).
+  void SetMax(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution metric: count/sum/min/max plus decade (power-of-ten) buckets
+// covering 1e-9 .. 1e9, which spans everything we record (nanosecond timers
+// to multi-gigabyte traffic totals).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 20;  // le 1e-9, 1e-8, ..., le 1e9, +inf.
+
+  void Record(double value);
+
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty.
+  double max() const;  // 0 when empty.
+  double mean() const;
+  // Cumulative count of samples <= the bucket's upper bound.
+  std::int64_t cumulative_count(int bucket) const;
+  // Upper bound of bucket `i` (last bucket is +inf).
+  static double BucketUpperBound(int bucket);
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::int64_t, kNumBuckets> buckets_ = {};  // Non-cumulative.
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by the instrumented compiler/simulator.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. References stay valid for the registry's lifetime.
+  // Registering the same name as two different instrument kinds CHECK-fails.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Snapshot of every instrument as a JSON document:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  //    min, max, mean, buckets: [{le, count}, ...]}}}
+  // Names sort lexicographically, so output is deterministic.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; CHECK-fails if the file cannot be opened.
+  void WriteFile(const std::string& path) const;
+
+  // Zeroes every instrument (tests; bench warm-up separation). Handles stay
+  // valid.
+  void Reset();
+
+  int num_instruments() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII timer recording elapsed wall seconds into a histogram on
+// destruction. Name the histogram with a ".seconds" suffix by convention:
+//
+//   { ScopedTimer t("compiler.phase.reconcile.seconds"); Reconcile(...); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& histogram_name,
+                       MetricsRegistry& registry = MetricsRegistry::Global());
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Seconds elapsed so far (without stopping the timer).
+  double ElapsedSeconds() const;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace t10
+
+#endif  // T10_SRC_OBS_METRICS_H_

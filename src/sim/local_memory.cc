@@ -1,5 +1,7 @@
 #include "src/sim/local_memory.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
 
@@ -29,6 +31,7 @@ std::optional<std::int64_t> LocalMemory::Allocate(std::int64_t bytes) {
     }
     allocated_[offset] = bytes;
     used_ += bytes;
+    peak_ = std::max(peak_, used_);
     return offset;
   }
   return std::nullopt;

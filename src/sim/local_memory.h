@@ -32,6 +32,9 @@ class LocalMemory {
   std::int64_t capacity() const { return capacity_; }
   std::int64_t used_bytes() const { return used_; }
   std::int64_t free_bytes() const { return capacity_ - used_; }
+  // High-water mark: the largest used_bytes() ever observed (scratchpad
+  // occupancy metric; never decreases).
+  std::int64_t peak_bytes() const { return peak_; }
 
   // Largest single allocation that would currently succeed.
   std::int64_t LargestFreeBlock() const;
@@ -42,6 +45,7 @@ class LocalMemory {
  private:
   std::int64_t capacity_;
   std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
   std::map<std::int64_t, std::int64_t> free_blocks_;  // offset -> size.
   std::map<std::int64_t, std::int64_t> allocated_;    // offset -> size.
 };

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/trace.h"
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
 
 namespace t10 {
 
-Machine::Machine(const ChipSpec& spec) : spec_(spec) {
+Machine::Machine(const ChipSpec& spec)
+    : spec_(spec),
+      metric_bytes_sent_(obs::MetricsRegistry::Global().GetCounter("sim.machine.bytes_sent")),
+      metric_rotations_(obs::MetricsRegistry::Global().GetCounter("sim.machine.rotations")),
+      metric_rotation_steps_(
+          obs::MetricsRegistry::Global().GetCounter("sim.machine.rotation_steps")),
+      metric_copies_(obs::MetricsRegistry::Global().GetCounter("sim.machine.copies")),
+      metric_scratch_peak_(
+          obs::MetricsRegistry::Global().GetGauge("sim.machine.scratchpad_peak_bytes")) {
   T10_CHECK_GT(spec_.num_cores, 0);
   memories_.reserve(spec_.num_cores);
   storage_.reserve(spec_.num_cores);
@@ -26,6 +35,7 @@ BufferHandle Machine::Allocate(int core, std::int64_t bytes) {
   T10_CHECK(offset.has_value()) << "core " << core << " out of scratchpad memory allocating "
                                 << bytes << "B (used " << memories_[core].used_bytes() << "/"
                                 << memories_[core].capacity() << ")";
+  metric_scratch_peak_.SetMax(static_cast<double>(memories_[core].peak_bytes()));
   return BufferHandle{core, *offset, bytes};
 }
 
@@ -56,6 +66,17 @@ const LocalMemory& Machine::memory(int core) const {
   return memories_[core];
 }
 
+void Machine::TraceTraffic(int core) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  // Synthetic clock: one microsecond per traffic event keeps samples of one
+  // core's track strictly ordered without a real time source.
+  trace_->AddCounter("sim.core" + std::to_string(core) + ".bytes_sent",
+                     static_cast<double>(trace_tick_) * 1e-6,
+                     static_cast<double>(bytes_sent_[core]));
+}
+
 void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
   if (ring.size() < 2) {
     return;
@@ -69,10 +90,12 @@ void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
   T10_CHECK_GT(chunk, 0);
   const int n = static_cast<int>(ring.size());
 
+  metric_rotations_.Increment();
   // Temp buffers model the reserved shift buffer in each participating core.
   std::vector<std::vector<std::byte>> temp(n, std::vector<std::byte>(chunk));
   for (std::int64_t pos = 0; pos < bytes; pos += chunk) {
     const std::int64_t len = std::min(chunk, bytes - pos);
+    metric_rotation_steps_.Increment();
     // Phase 1: every core stages its outgoing chunk into the shift buffer.
     for (int i = 0; i < n; ++i) {
       std::memcpy(temp[i].data(), Data(ring[i]) + pos, len);
@@ -83,6 +106,13 @@ void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
       std::memcpy(Data(ring[dst]) + pos, temp[i].data(), len);
       bytes_sent_[ring[i].core] += len;
     }
+    metric_bytes_sent_.Add(static_cast<std::int64_t>(n) * len);
+  }
+  if (trace_ != nullptr) {
+    ++trace_tick_;
+    for (const BufferHandle& h : ring) {
+      TraceTraffic(h.core);
+    }
   }
 }
 
@@ -91,8 +121,14 @@ void Machine::Copy(const BufferHandle& src, const BufferHandle& dst) {
   T10_CHECK(dst.valid());
   T10_CHECK_LE(src.bytes, dst.bytes);
   std::memcpy(Data(dst), Data(src), src.bytes);
+  metric_copies_.Increment();
   if (src.core != dst.core) {
     bytes_sent_[src.core] += src.bytes;
+    metric_bytes_sent_.Add(src.bytes);
+    if (trace_ != nullptr) {
+      ++trace_tick_;
+      TraceTraffic(src.core);
+    }
   }
 }
 
@@ -111,5 +147,24 @@ std::int64_t Machine::total_bytes_sent() const {
 }
 
 void Machine::ResetTrafficCounters() { bytes_sent_.assign(num_cores(), 0); }
+
+std::int64_t Machine::peak_scratchpad_bytes() const {
+  std::int64_t peak = 0;
+  for (const LocalMemory& memory : memories_) {
+    peak = std::max(peak, memory.peak_bytes());
+  }
+  return peak;
+}
+
+void Machine::PublishMetrics(obs::MetricsRegistry& registry) const {
+  obs::Histogram& per_core = registry.GetHistogram("sim.machine.per_core_bytes_sent");
+  for (int core = 0; core < num_cores(); ++core) {
+    if (bytes_sent_[core] > 0) {
+      per_core.Record(static_cast<double>(bytes_sent_[core]));
+    }
+  }
+  registry.GetGauge("sim.machine.scratchpad_peak_bytes")
+      .SetMax(static_cast<double>(peak_scratchpad_bytes()));
+}
 
 }  // namespace t10

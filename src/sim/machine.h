@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "src/hardware/chip_spec.h"
+#include "src/obs/metrics.h"
 #include "src/sim/local_memory.h"
 
 namespace t10 {
+
+class TraceWriter;
 
 // Opaque handle to one allocation on one core.
 struct BufferHandle {
@@ -62,12 +65,40 @@ class Machine {
   std::int64_t total_bytes_sent() const;
   void ResetTrafficCounters();
 
+  // Largest scratchpad high-water mark across all cores.
+  std::int64_t peak_scratchpad_bytes() const;
+
+  // Attaches a trace writer: every rotation/copy appends per-core
+  // "sim.core<i>.bytes_sent" counter samples, giving each participating
+  // core its own lane on the Perfetto timeline. Pass nullptr to detach.
+  // The writer must outlive the machine (or be detached first). Event
+  // timestamps are a synthetic microsecond tick per traffic event, since
+  // the functional machine has no clock.
+  void AttachTrace(TraceWriter* trace) { trace_ = trace; }
+
+  // Publishes per-core aggregate metrics (traffic histogram across cores,
+  // scratchpad peak) into `registry`, complementing the counters that are
+  // updated online.
+  void PublishMetrics(obs::MetricsRegistry& registry = obs::MetricsRegistry::Global()) const;
+
  private:
+  void TraceTraffic(int core);
+
   ChipSpec spec_;
   std::vector<LocalMemory> memories_;
   // One backing store per core; buffers address into it by offset.
   std::vector<std::vector<std::byte>> storage_;
   std::vector<std::int64_t> bytes_sent_;
+  TraceWriter* trace_ = nullptr;
+  std::int64_t trace_tick_ = 0;
+
+  // Registry handles are resolved once: the rotation inner loop must not
+  // pay a map lookup per call.
+  obs::Counter& metric_bytes_sent_;
+  obs::Counter& metric_rotations_;
+  obs::Counter& metric_rotation_steps_;
+  obs::Counter& metric_copies_;
+  obs::Gauge& metric_scratch_peak_;
 };
 
 }  // namespace t10

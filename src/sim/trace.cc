@@ -30,9 +30,12 @@ void TraceWriter::Add(const std::string& name, const std::string& lane, double s
   spans_.push_back(TraceSpan{name, lane, start_seconds, duration_seconds});
 }
 
+void TraceWriter::AddCounter(const std::string& track, double time_seconds, double value) {
+  T10_CHECK_GE(time_seconds, 0.0);
+  counters_.push_back(TraceCounterSample{track, time_seconds, value});
+}
+
 std::string TraceWriter::ToJson() const {
-  std::ostringstream out;
-  out << "[\n";
   // Stable lane -> tid mapping in first-seen order.
   std::vector<std::string> lanes;
   auto tid_of = [&](const std::string& lane) {
@@ -44,22 +47,36 @@ std::string TraceWriter::ToJson() const {
     lanes.push_back(lane);
     return lanes.size() - 1;
   };
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
-    const TraceSpan& span = spans_[i];
-    out << "  {\"name\": \"" << Escape(span.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
-        << tid_of(span.lane) << ", \"ts\": " << span.start_seconds * 1e6
-        << ", \"dur\": " << span.duration_seconds * 1e6 << "}";
-    out << (i + 1 < spans_.size() ? ",\n" : "\n");
+
+  std::vector<std::string> events;
+  events.reserve(spans_.size() + counters_.size());
+  for (const TraceSpan& span : spans_) {
+    std::ostringstream e;
+    e << "{\"name\": \"" << Escape(span.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+      << tid_of(span.lane) << ", \"ts\": " << span.start_seconds * 1e6
+      << ", \"dur\": " << span.duration_seconds * 1e6 << "}";
+    events.push_back(e.str());
   }
   // Lane naming metadata.
-  if (!spans_.empty()) {
-    out.seekp(-1, std::ios_base::end);
-    out << ",\n";
-    for (std::size_t i = 0; i < lanes.size(); ++i) {
-      out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << i
-          << ", \"args\": {\"name\": \"" << Escape(lanes[i]) << "\"}}";
-      out << (i + 1 < lanes.size() ? ",\n" : "\n");
-    }
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    std::ostringstream e;
+    e << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << i
+      << ", \"args\": {\"name\": \"" << Escape(lanes[i]) << "\"}}";
+    events.push_back(e.str());
+  }
+  // Counter tracks. Perfetto keys counter series by (pid, name), so the
+  // track name alone identifies the series; tid is ignored for "C" events.
+  for (const TraceCounterSample& sample : counters_) {
+    std::ostringstream e;
+    e << "{\"name\": \"" << Escape(sample.track) << "\", \"ph\": \"C\", \"pid\": 1, \"ts\": "
+      << sample.time_seconds * 1e6 << ", \"args\": {\"value\": " << sample.value << "}}";
+    events.push_back(e.str());
+  }
+
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << "  " << events[i] << (i + 1 < events.size() ? ",\n" : "\n");
   }
   out << "]\n";
   return out.str();

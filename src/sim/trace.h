@@ -1,7 +1,10 @@
 // Execution trace export in the Chrome tracing (chrome://tracing /
 // Perfetto) JSON format. Each compiled operator contributes setup, compute,
 // exchange and transition spans on a per-phase lane, giving a visual
-// timeline of where a model's time goes on the simulated chip.
+// timeline of where a model's time goes on the simulated chip. Counter
+// ("C") tracks ride alongside the spans so continuous quantities — per-core
+// memory occupancy, cumulative link traffic, instantaneous link utilisation,
+// per-core bytes sent — render as area charts on the same timeline.
 
 #ifndef T10_SRC_SIM_TRACE_H_
 #define T10_SRC_SIM_TRACE_H_
@@ -19,22 +22,37 @@ struct TraceSpan {
   double duration_seconds = 0.0;
 };
 
+// One sample of a Perfetto counter track. Tracks are identified by name;
+// all samples of one name form a single time series.
+struct TraceCounterSample {
+  std::string track;
+  double time_seconds = 0.0;
+  double value = 0.0;
+};
+
 class TraceWriter {
  public:
   void Add(const std::string& name, const std::string& lane, double start_seconds,
            double duration_seconds);
 
-  // Serializes to the Trace Event Format (JSON array of "X" events with
-  // microsecond timestamps).
+  // Appends one sample to the counter track `track` (Trace Event Format
+  // "C" phase). Samples may arrive out of time order; Perfetto sorts by ts.
+  void AddCounter(const std::string& track, double time_seconds, double value);
+
+  // Serializes to the Trace Event Format (JSON array of "X" span events,
+  // "C" counter events, and "M" lane-naming metadata, with microsecond
+  // timestamps).
   std::string ToJson() const;
 
   // Writes the JSON to a file; CHECK-fails if the file cannot be opened.
   void WriteFile(const std::string& path) const;
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceCounterSample>& counters() const { return counters_; }
 
  private:
   std::vector<TraceSpan> spans_;
+  std::vector<TraceCounterSample> counters_;
 };
 
 }  // namespace t10

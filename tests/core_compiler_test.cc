@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "src/ir/builder.h"
 #include "src/ir/parser.h"
+#include "src/obs/metrics.h"
 
 namespace t10 {
 namespace {
@@ -75,6 +78,31 @@ TEST(CompilerTest, SignatureCacheReusesSearches) {
   EXPECT_LT(warm, cold);
   // Cached plans reference the *new* operator.
   EXPECT_EQ(&second.pareto.front().plan.op(), &g.op(1));
+}
+
+TEST(CompilerTest, CacheCountersMatchCachedSignatures) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& hits = metrics.GetCounter("compiler.cache.hits");
+  obs::Counter& misses = metrics.GetCounter("compiler.cache.misses");
+  const std::int64_t hits_before = hits.value();
+  const std::int64_t misses_before = misses.value();
+
+  Compiler compiler(SmallChip());
+  Graph g("stack");
+  // Four identical layers and one distinct one: 2 misses, 3 hits.
+  for (int i = 0; i < 4; ++i) {
+    std::string in = i == 0 ? "x" : "h" + std::to_string(i - 1);
+    g.Add(MatMulOp("fc" + std::to_string(i), 16, 128, 128, DataType::kF16, in,
+                   "w" + std::to_string(i), "h" + std::to_string(i)));
+    g.MarkWeight("w" + std::to_string(i));
+  }
+  g.Add(ElementwiseOp("act", {16, 128}, DataType::kF16, "h3", "y", 4.0));
+  for (const Operator& op : g.ops()) {
+    compiler.SearchOp(op);
+  }
+  EXPECT_EQ(misses.value() - misses_before, compiler.num_cached_signatures());
+  EXPECT_EQ(compiler.num_cached_signatures(), 2);
+  EXPECT_EQ(hits.value() - hits_before, 3);
 }
 
 TEST(CompilerTest, OversizedModelDoesNotFit) {

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <numeric>
 
+#include "src/obs/metrics.h"
+#include "src/sim/trace.h"
+
 namespace t10 {
 namespace {
 
@@ -111,6 +114,58 @@ TEST(MachineTest, SingleElementRingIsNoOp) {
 TEST(MachineDeathTest, OverCapacityAllocationDies) {
   Machine machine(TinyChip(1, 1024));
   EXPECT_DEATH(machine.Allocate(0, 4096), "out of scratchpad");
+}
+
+TEST(MachineTest, ScratchpadHighWaterMarkSurvivesFrees) {
+  Machine machine(TinyChip(1));
+  BufferHandle a = machine.Allocate(0, 1000);
+  BufferHandle b = machine.Allocate(0, 2000);
+  machine.Free(a);
+  machine.Free(b);
+  EXPECT_EQ(machine.memory(0).used_bytes(), 0);
+  // Peak reflects the moment both were live (sizes round up to 8 bytes).
+  EXPECT_GE(machine.peak_scratchpad_bytes(), 3000);
+  EXPECT_LE(machine.peak_scratchpad_bytes(), 3016);
+}
+
+TEST(MachineTest, AttachedTraceRecordsPerCoreCounterLanes) {
+  Machine machine(TinyChip(3));
+  TraceWriter trace;
+  machine.AttachTrace(&trace);
+  std::vector<BufferHandle> ring;
+  for (int core = 0; core < 3; ++core) {
+    ring.push_back(machine.Allocate(core, 64));
+  }
+  machine.RotateRing(ring);
+  machine.Copy(ring[0], ring[1]);
+  machine.AttachTrace(nullptr);
+  ASSERT_FALSE(trace.counters().empty());
+  bool saw_core0 = false;
+  bool saw_core2 = false;
+  for (const TraceCounterSample& sample : trace.counters()) {
+    if (sample.track == "sim.core0.bytes_sent") {
+      saw_core0 = true;
+    }
+    if (sample.track == "sim.core2.bytes_sent") {
+      saw_core2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_core0);
+  EXPECT_TRUE(saw_core2);
+  // The trace serializes with counter ("C") events.
+  EXPECT_NE(trace.ToJson().find("\"ph\": \"C\""), std::string::npos);
+}
+
+TEST(MachineTest, PublishMetricsRecordsTrafficHistogram) {
+  obs::MetricsRegistry registry;
+  Machine machine(TinyChip(2));
+  BufferHandle src = machine.Allocate(0, 128);
+  BufferHandle dst = machine.Allocate(1, 128);
+  machine.Copy(src, dst);
+  machine.PublishMetrics(registry);
+  EXPECT_EQ(registry.GetHistogram("sim.machine.per_core_bytes_sent").count(), 1);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("sim.machine.per_core_bytes_sent").sum(), 128.0);
+  EXPECT_GE(registry.GetGauge("sim.machine.scratchpad_peak_bytes").value(), 128.0);
 }
 
 }  // namespace

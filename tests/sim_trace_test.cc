@@ -37,6 +37,33 @@ TEST(TraceWriterTest, EmptyTraceIsValidJson) {
   EXPECT_EQ(trace.ToJson(), "[\n]\n");
 }
 
+TEST(TraceWriterTest, EmitsCounterEvents) {
+  TraceWriter trace;
+  trace.AddCounter("memory bytes/core", 0.0, 1024.0);
+  trace.AddCounter("memory bytes/core", 5e-6, 2048.0);
+  ASSERT_EQ(trace.counters().size(), 2u);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"memory bytes/core\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 1024}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 2048}"), std::string::npos);
+  // Timestamps are microseconds.
+  EXPECT_NE(json.find("\"ts\": 5"), std::string::npos);
+}
+
+TEST(TraceWriterTest, MixedSpansAndCountersStayValidJson) {
+  TraceWriter trace;
+  trace.Add("op compute", "compute", 0.0, 1e-6);
+  trace.AddCounter("link utilisation", 0.0, 0.8);
+  std::string json = trace.ToJson();
+  // Every event object is comma-separated: no ",]" or "}{" artifacts.
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find("}{"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
 TEST(TraceExportTest, CompiledModelProducesOrderedSpans) {
   ChipSpec chip = ChipSpec::IpuMk2();
   chip.num_cores = 64;
@@ -68,6 +95,57 @@ TEST(TraceExportTest, CompiledModelProducesOrderedSpans) {
   }
   ASSERT_GE(fc2_start, 0.0);
   EXPECT_GE(fc2_start, fc1_end - 1e-12);
+}
+
+TEST(TraceExportTest, CompiledModelEmitsCounterTracks) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.num_cores = 64;
+  chip.cores_per_chip = 64;
+  Compiler compiler(chip);
+  Graph g("mlp");
+  g.Add(MatMulOp("fc1", 32, 256, 512, DataType::kF16, "x", "w1", "h1"));
+  g.Add(MatMulOp("fc2", 32, 512, 256, DataType::kF16, "h1", "w2", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  CompiledModel model = compiler.Compile(g);
+  ASSERT_TRUE(model.fits);
+  TraceWriter trace = TraceCompiledModel(model, g, &chip);
+  ASSERT_FALSE(trace.counters().empty());
+  bool saw_memory = false;
+  bool saw_traffic = false;
+  bool saw_utilisation = false;
+  for (const TraceCounterSample& sample : trace.counters()) {
+    EXPECT_GE(sample.time_seconds, 0.0);
+    if (sample.track == "memory bytes/core") {
+      saw_memory = true;
+      // Occupancy never exceeds the scratchpad.
+      EXPECT_LE(sample.value, static_cast<double>(chip.core_memory_bytes));
+    }
+    if (sample.track == "link bytes/core (cumulative)") {
+      saw_traffic = true;
+      EXPECT_GE(sample.value, 0.0);
+    }
+    if (sample.track == "link utilisation") {
+      saw_utilisation = true;
+      EXPECT_GE(sample.value, 0.0);
+      EXPECT_LE(sample.value, 1.0 + 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_memory);
+  EXPECT_TRUE(saw_traffic);
+  EXPECT_TRUE(saw_utilisation);
+  // Cumulative traffic is non-decreasing over time for the traffic track.
+  double last_ts = -1.0;
+  double last_value = -1.0;
+  for (const TraceCounterSample& sample : trace.counters()) {
+    if (sample.track != "link bytes/core (cumulative)") {
+      continue;
+    }
+    EXPECT_GE(sample.time_seconds, last_ts);
+    EXPECT_GE(sample.value, last_value);
+    last_ts = sample.time_seconds;
+    last_value = sample.value;
+  }
 }
 
 TEST(TraceExportTest, WritesFile) {
