@@ -4,8 +4,8 @@
 // trace (Perfetto spans + counter tracks), and a metrics snapshot of the
 // compile itself.
 //
-//   $ ./examples/t10c model.t10 [--cores N] [--code out.cpp] [--trace out.json]
-//                     [--metrics out.json]
+//   $ ./examples/t10c model.t10 [--cores N] [--verify[=strict]] [--code out.cpp]
+//                     [--trace out.json] [--metrics out.json]
 //   $ ./examples/t10c --demo          # built-in demo model
 //   $ ./examples/t10c --help
 
@@ -21,6 +21,7 @@
 #include "src/ir/parser.h"
 #include "src/obs/metrics.h"
 #include "src/util/table.h"
+#include "src/verify/verifier.h"
 
 namespace {
 
@@ -39,6 +40,10 @@ void Usage() {
       "options:\n"
       "  --demo             compile the built-in demo MLP instead of a model file\n"
       "  --cores N          compile for a scaled chip with N cores (default 1472, IPU Mk2)\n"
+      "  --verify           run the static verifier on the compiled model (graph, plans,\n"
+      "                     lowered programs, memory plan); print diagnostics to stderr\n"
+      "                     and exit 3 if any rule fails\n"
+      "  --verify=strict    as --verify, but warnings also fail verification\n"
       "  --code out.cpp     write the generated kernel program\n"
       "  --trace out.json   write a Perfetto/chrome://tracing timeline (spans +\n"
       "                     memory/link-traffic/link-utilisation counter tracks)\n"
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   int cores = 1472;
   bool demo = false;
+  bool run_verify = false;
+  bool verify_strict = false;
 
   // Flags taking a value; reports a clear error when the value is missing
   // instead of silently consuming the next flag or the model path.
@@ -81,6 +88,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "t10c: --cores expects a positive integer\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      run_verify = true;
+    } else if (std::strcmp(argv[i], "--verify=strict") == 0) {
+      run_verify = true;
+      verify_strict = true;
+    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
+      std::fprintf(stderr, "t10c: unknown --verify mode '%s' (expected 'strict')\n\n",
+                   argv[i] + 9);
+      Usage();
+      return 2;
     } else if (std::strcmp(argv[i], "--code") == 0) {
       code_path = flag_value(i, "--code");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -143,6 +160,22 @@ int main(int argc, char** argv) {
               FormatSeconds(model.ExchangeSeconds()).c_str(),
               FormatSeconds(model.compile_wall_seconds).c_str(),
               FormatBytes(memory.peak_bytes).c_str());
+
+  if (run_verify) {
+    const verify::Verifier verifier(chip, verify::VerifyOptions{verify_strict});
+    const verify::VerifyResult result = verifier.VerifyAll(model, graph);
+    if (!result.ok(verifier.fail_threshold())) {
+      std::fprintf(stderr, "%s", result.Listing().c_str());
+      std::fprintf(stderr, "t10c: verification failed for '%s'\n", graph.name().c_str());
+      return 3;
+    }
+    if (!result.empty()) {
+      std::fprintf(stderr, "%s", result.Listing().c_str());
+    }
+    std::printf("verify: %s passed (%d diagnostic(s))\n",
+                verify_strict ? "strict" : "default",
+                static_cast<int>(result.diagnostics().size()));
+  }
 
   if (!code_path.empty()) {
     std::ofstream file(code_path);

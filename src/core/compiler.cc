@@ -7,6 +7,7 @@
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
+#include "src/verify/verifier.h"
 
 namespace t10 {
 namespace {
@@ -278,6 +279,16 @@ CompiledModel Compiler::Compile(const Graph& graph) {
         .Set(static_cast<double>(out.memory_peak_bytes));
     metrics.GetGauge("compiler.model.idle_bytes_per_core")
         .Set(static_cast<double>(out.idle_bytes_per_core));
+  }
+
+  // Cross-check against the static verifier (the same rules behind
+  // `t10c --verify`); on in debug builds, off otherwise, with the
+  // T10_INTERNAL_VERIFY environment variable overriding either way.
+  if (out.fits && verify::InternalVerifyEnabled()) {
+    const verify::VerifyResult result = verify::Verifier(chip_).VerifyAll(out, graph);
+    T10_CHECK(result.ok()) << "compiled model fails static verification for " << graph.name()
+                           << ":\n"
+                           << result.Listing();
   }
   return out;
 }

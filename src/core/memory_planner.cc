@@ -5,6 +5,7 @@
 
 #include "src/sim/local_memory.h"
 #include "src/util/logging.h"
+#include "src/verify/verifier.h"
 
 namespace t10 {
 
@@ -136,6 +137,13 @@ MemoryPlan PlanMemory(const CompiledModel& model, const Graph& graph, const Chip
     }
   }
   plan.fits = plan.peak_bytes <= plan.capacity;
+
+  // Cross-check: the interval set must be overlap-free and its recomputed
+  // high-water mark must match what the allocator observed.
+  if (verify::InternalVerifyEnabled()) {
+    const verify::VerifyResult result = verify::Verifier(chip).VerifyMemoryPlan(plan);
+    T10_CHECK(result.ok()) << "memory plan fails static verification:\n" << result.Listing();
+  }
   return plan;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
+#include "src/verify/verifier.h"
 
 namespace t10 {
 namespace {
@@ -87,6 +88,15 @@ ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan)
     T10_CHECK(geometry_.Operand(ti).dtype == DataType::kF32)
         << "program executor runs FP32 operands";
   }
+  // Cross-check: refuse to execute a plan/program pair the static verifier
+  // rejects (same rules as `t10c --verify`; debug builds / T10_INTERNAL_VERIFY).
+  if (verify::InternalVerifyEnabled()) {
+    const verify::Verifier verifier(machine.spec());
+    verify::VerifyResult result = verifier.VerifyPlan(plan_);
+    result.Merge(verifier.VerifyProgram(program_, plan_));
+    T10_CHECK(result.ok()) << "lowered program fails static verification:\n"
+                           << result.Listing();
+  }
 }
 
 HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRunStats* stats) {
@@ -106,6 +116,12 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
 
   // allocate: window buffers + one staging buffer (the pseudo-shift buffer of
   // paper §5) per core.
+  std::vector<std::int64_t> base_used;
+  if (verify::InternalVerifyEnabled()) {
+    for (int c = 0; c < cores; ++c) {
+      base_used.push_back(machine_.memory(c).used_bytes());
+    }
+  }
   std::vector<std::vector<BufferHandle>> windows(operands);
   std::vector<BufferHandle> staging(cores);
   for (int ti = 0; ti < operands; ++ti) {
@@ -122,6 +138,16 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
   for (int c = 0; c < cores; ++c) {
     run_stats.peak_core_bytes =
         std::max(run_stats.peak_core_bytes, machine_.memory(c).used_bytes());
+  }
+  // Cross-check: the verifier's footprint model must match what was just
+  // allocated, byte for byte, or capacity checking has drifted from reality.
+  if (!base_used.empty()) {
+    const std::int64_t footprint = verify::ProgramFootprintBytes(plan_, machine_.spec());
+    for (int c = 0; c < cores; ++c) {
+      T10_CHECK_EQ(machine_.memory(c).used_bytes() - base_used[static_cast<std::size_t>(c)],
+                   footprint)
+          << "executor allocations disagree with verify::ProgramFootprintBytes on core " << c;
+    }
   }
 
   auto window_floats = [&](int ti, int core) {

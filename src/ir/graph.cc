@@ -92,6 +92,12 @@ const TensorInfo& Graph::tensor(const std::string& tensor_name) const {
   return it->second;
 }
 
+TensorInfo& Graph::mutable_tensor(const std::string& tensor_name) {
+  auto it = tensors_.find(tensor_name);
+  T10_CHECK(it != tensors_.end()) << "unknown tensor " << tensor_name;
+  return it->second;
+}
+
 std::int64_t Graph::WeightBytes() const {
   std::int64_t bytes = 0;
   for (const auto& [name, info] : tensors_) {

@@ -52,6 +52,9 @@ class Graph {
 
   bool HasTensor(const std::string& tensor_name) const;
   const TensorInfo& tensor(const std::string& tensor_name) const;
+  // Mutable bookkeeping access; exists so tests can corrupt a graph and
+  // assert the static verifier (src/verify) catches it.
+  TensorInfo& mutable_tensor(const std::string& tensor_name);
   const std::map<std::string, TensorInfo>& tensors() const { return tensors_; }
 
   // Total bytes of persistent weights / of all tensors.

@@ -1,0 +1,124 @@
+#include "src/verify/diagnostics.h"
+
+#include <utility>
+
+namespace t10::verify {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::Format() const {
+  std::ostringstream out;
+  out << SeverityName(severity) << "[" << rule << "] " << object;
+  if (step >= 0) {
+    out << " step " << step;
+  }
+  if (core >= 0) {
+    out << " core " << core;
+  }
+  if (operand >= 0) {
+    out << " operand " << operand;
+  }
+  out << ": " << message;
+  if (!hint.empty()) {
+    out << " (hint: " << hint << ")";
+  }
+  return out.str();
+}
+
+bool VerifyResult::ok(Severity fail_at) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= fail_at) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int VerifyResult::errors() const {
+  int count = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    count += d.severity == Severity::kError ? 1 : 0;
+  }
+  return count;
+}
+
+int VerifyResult::warnings() const {
+  int count = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    count += d.severity == Severity::kWarning ? 1 : 0;
+  }
+  return count;
+}
+
+bool VerifyResult::HasRule(const std::string& rule) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VerifyResult::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void VerifyResult::Merge(VerifyResult other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+std::string VerifyResult::Listing() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics_) {
+    out << d.Format() << "\n";
+  }
+  out << errors() << " error(s), " << warnings() << " warning(s)\n";
+  return out.str();
+}
+
+DiagnosticBuilder::DiagnosticBuilder(VerifyResult& result, std::string rule, std::string object,
+                                     Severity severity)
+    : result_(result) {
+  diagnostic_.severity = severity;
+  diagnostic_.rule = std::move(rule);
+  diagnostic_.object = std::move(object);
+}
+
+DiagnosticBuilder::~DiagnosticBuilder() {
+  diagnostic_.message = message_.str();
+  result_.Add(std::move(diagnostic_));
+}
+
+DiagnosticBuilder& DiagnosticBuilder::Step(int step) {
+  diagnostic_.step = step;
+  return *this;
+}
+
+DiagnosticBuilder& DiagnosticBuilder::Core(int core) {
+  diagnostic_.core = core;
+  return *this;
+}
+
+DiagnosticBuilder& DiagnosticBuilder::Operand(int operand) {
+  diagnostic_.operand = operand;
+  return *this;
+}
+
+DiagnosticBuilder& DiagnosticBuilder::Hint(std::string hint) {
+  diagnostic_.hint = std::move(hint);
+  return *this;
+}
+
+}  // namespace t10::verify

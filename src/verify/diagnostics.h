@@ -1,0 +1,100 @@
+// Structured diagnostics for the static verifier (verifier.h).
+//
+// Every violated rule produces one Diagnostic carrying a severity, a stable
+// rule id (e.g. "program.ring-conservation"), the location of the violation
+// (object name plus optional step / core / operand indices), a human-readable
+// message, and a fix hint. VerifyResult aggregates diagnostics across rules
+// and renders the compiler-style listing that `t10c --verify` prints.
+
+#ifndef T10_SRC_VERIFY_DIAGNOSTICS_H_
+#define T10_SRC_VERIFY_DIAGNOSTICS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace t10::verify {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+// One rule violation (or advisory finding) at one location.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     // Stable id, "<layer>.<rule>"; see DESIGN.md catalogue.
+  std::string object;   // Operator / program / tensor / model name.
+  int step = -1;        // Program step index, or -1.
+  int core = -1;        // Core id, or -1.
+  int operand = -1;     // Operand index (inputs..., output), or -1.
+  std::string message;
+  std::string hint;     // How to fix, when the rule has generic advice.
+
+  // "error[program.capacity] fc1 step 3: <message> (hint: <hint>)".
+  std::string Format() const;
+};
+
+// Aggregated outcome of one or more verification passes.
+class VerifyResult {
+ public:
+  // True iff no diagnostic reaches `fail_at` (kError by default; strict mode
+  // passes kWarning so advisory findings also fail the build).
+  bool ok(Severity fail_at = Severity::kError) const;
+
+  int errors() const;
+  int warnings() const;
+  bool empty() const { return diagnostics_.empty(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // True if some diagnostic carries exactly this rule id.
+  bool HasRule(const std::string& rule) const;
+
+  void Add(Diagnostic diagnostic);
+  void Merge(VerifyResult other);
+
+  // Multi-line listing of every diagnostic plus a one-line summary.
+  std::string Listing() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// Builder used by the rule implementations: streams the message, commits the
+// diagnostic on destruction.
+//
+//   DiagnosticBuilder(result, "plan.capacity", op.name())
+//       .Hint("loosen the search memory constraint")
+//       << footprint << "B exceeds the " << capacity << "B scratchpad";
+class DiagnosticBuilder {
+ public:
+  DiagnosticBuilder(VerifyResult& result, std::string rule, std::string object,
+                    Severity severity = Severity::kError);
+  ~DiagnosticBuilder();
+
+  DiagnosticBuilder(const DiagnosticBuilder&) = delete;
+  DiagnosticBuilder& operator=(const DiagnosticBuilder&) = delete;
+
+  DiagnosticBuilder& Step(int step);
+  DiagnosticBuilder& Core(int core);
+  DiagnosticBuilder& Operand(int operand);
+  DiagnosticBuilder& Hint(std::string hint);
+
+  template <typename T>
+  DiagnosticBuilder& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  VerifyResult& result_;
+  Diagnostic diagnostic_;
+  std::ostringstream message_;
+};
+
+}  // namespace t10::verify
+
+#endif  // T10_SRC_VERIFY_DIAGNOSTICS_H_

@@ -18,7 +18,6 @@ namespace {
 
 void CheckGeometry(const ExecutionPlan& plan) {
   PlanGeometry geometry(plan);
-  const Operator& op = plan.op();
   const int cores = geometry.num_cores();
 
   // Coordinates decode/encode consistently and offsets are slice-aligned.

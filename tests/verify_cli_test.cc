@@ -1,0 +1,60 @@
+// Exit-code and output contract of `t10c --verify`: the demo model and the
+// checked-in model files must verify clean (exit 0, "verify: ... passed"),
+// and malformed --verify modes are flag errors (exit 2), reserving exit 3
+// for genuine verification failures. The binary path is injected by CMake
+// as T10_T10C_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace t10 {
+namespace {
+
+int RunT10c(const std::string& args) {
+  const std::string command = std::string(T10_T10C_BIN) + " " + args;
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(VerifyCliTest, DemoModelPassesVerification) {
+  EXPECT_EQ(RunT10c("--demo --verify > /dev/null 2>&1"), 0);
+}
+
+TEST(VerifyCliTest, DemoModelPassesStrictVerification) {
+  EXPECT_EQ(RunT10c("--demo --verify=strict > /dev/null 2>&1"), 0);
+}
+
+TEST(VerifyCliTest, CheckedInModelsPassVerification) {
+  const std::string models_dir = std::string(T10_SOURCE_DIR) + "/models";
+  for (const char* model : {"mlp.t10", "conv_stack.t10", "transformer_block.t10"}) {
+    EXPECT_EQ(RunT10c(models_dir + "/" + model + " --verify > /dev/null 2>&1"), 0)
+        << model;
+  }
+}
+
+TEST(VerifyCliTest, VerifyReportsPassOnStdout) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_verify_out.txt";
+  ASSERT_EQ(RunT10c("--demo --verify > " + out_path + " 2>/dev/null"), 0);
+  std::string contents;
+  {
+    std::FILE* file = std::fopen(out_path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  EXPECT_NE(contents.find("verify: default passed"), std::string::npos) << contents;
+}
+
+TEST(VerifyCliTest, UnknownVerifyModeIsFlagError) {
+  EXPECT_EQ(RunT10c("--demo --verify=bogus > /dev/null 2>&1"), 2);
+}
+
+}  // namespace
+}  // namespace t10

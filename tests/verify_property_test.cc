@@ -1,0 +1,107 @@
+// Property test for the static verifier: every plan the intra-op search
+// emits — and every model the compiler produces — must verify clean. The
+// verifier re-derives each invariant independently (ring coverage, slab
+// arithmetic, step counts, memory accounting), so this cross-checks the
+// search, the lowering and the reconciliation against a second
+// implementation of the paper's rules.
+//
+// The in-pipeline debug hooks are force-enabled for the whole binary via
+// T10_INTERNAL_VERIFY, so Compile / LowerPlan paths here also self-check.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/search.h"
+#include "src/ir/builder.h"
+#include "src/models/zoo.h"
+#include "src/verify/verifier.h"
+
+namespace t10 {
+namespace {
+
+// Runs before main(): InternalVerifyEnabled caches its first read.
+const bool kForceInternalVerify = [] {
+  ::setenv("T10_INTERNAL_VERIFY", "1", 1);
+  return true;
+}();
+
+ChipSpec SmallChip(int cores = 64) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.name = "small";
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+TEST(VerifyPropertyTest, InternalVerifyForcedOn) {
+  ASSERT_TRUE(kForceInternalVerify);
+  EXPECT_TRUE(verify::InternalVerifyEnabled());
+}
+
+TEST(VerifyPropertyTest, EverySearchEmittedPlanVerifies) {
+  const ChipSpec chip = SmallChip();
+  GroundTruthTiming timing(chip);
+  const verify::Verifier verifier(chip);
+  const std::vector<Operator> ops = {
+      MatMulOp("mm", 64, 256, 64, DataType::kF16, "A", "B", "C"),
+      MatMulOp("skinny", 1, 2048, 512, DataType::kF16, "A", "B", "C"),
+      BatchedMatMulOp("bmm", 8, 32, 64, 32, DataType::kF16, "A", "B", "C"),
+      Conv2dOp("conv", 4, 16, 16, 28, 28, 3, 3, DataType::kF16, "I", "K", "O"),
+      ElementwiseOp("gelu", {64, 512}, DataType::kF16, "x", "y", 8.0),
+      ReduceOp("rsum", {64, 512}, DataType::kF16, "x", "y"),
+  };
+  int plans_checked = 0;
+  for (const Operator& op : ops) {
+    const IntraOpResult search = SearchOperatorPlans(op, chip, timing);
+    ASSERT_FALSE(search.pareto.empty()) << op.DebugString();
+    for (const PlanCandidate& candidate : search.pareto) {
+      verify::VerifyResult result = verifier.VerifyPlan(candidate.plan);
+      result.Merge(verifier.VerifyProgram(LowerPlan(candidate.plan), candidate.plan));
+      EXPECT_TRUE(result.ok()) << op.name() << ":\n" << result.Listing();
+      ++plans_checked;
+    }
+  }
+  EXPECT_GT(plans_checked, 10);
+}
+
+TEST(VerifyPropertyTest, CompiledModelsVerifyClean) {
+  // The full IPU Mk2: the zoo models are sized for it.
+  const ChipSpec chip = ChipSpec::IpuMk2();
+  const verify::Verifier verifier(chip);
+  std::vector<Graph> graphs;
+  {
+    Graph mlp("mlp");
+    mlp.Add(MatMulOp("fc1", 32, 256, 512, DataType::kF16, "x", "w1", "h1"));
+    mlp.Add(ElementwiseOp("gelu", {32, 512}, DataType::kF16, "h1", "h2", 8.0));
+    mlp.Add(MatMulOp("fc2", 32, 512, 256, DataType::kF16, "h2", "w2", "y"));
+    mlp.MarkWeight("w1");
+    mlp.MarkWeight("w2");
+    graphs.push_back(std::move(mlp));
+  }
+  graphs.push_back(BuildNerf(64));
+  graphs.push_back(BuildMlpTrainingStep(16, 2, 128));
+  for (const Graph& graph : graphs) {
+    Compiler compiler(chip);
+    const CompiledModel model = compiler.Compile(graph);
+    ASSERT_TRUE(model.fits) << graph.name();
+    const verify::VerifyResult result = verifier.VerifyAll(model, graph);
+    EXPECT_TRUE(result.ok()) << graph.name() << ":\n" << result.Listing();
+  }
+}
+
+TEST(VerifyPropertyTest, StrictModeAcceptsCompiledModels) {
+  const ChipSpec chip = ChipSpec::IpuMk2();
+  const verify::Verifier strict(chip, verify::VerifyOptions{/*strict=*/true});
+  const Graph graph = BuildNerf(64);
+  Compiler compiler(chip);
+  const CompiledModel model = compiler.Compile(graph);
+  ASSERT_TRUE(model.fits);
+  const verify::VerifyResult result = strict.VerifyAll(model, graph);
+  EXPECT_TRUE(result.ok(strict.fail_threshold())) << result.Listing();
+}
+
+}  // namespace
+}  // namespace t10
