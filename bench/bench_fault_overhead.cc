@@ -1,0 +1,68 @@
+// Fault-tolerance overhead: the same FP32 model executed byte-level through
+// the fault campaign twice — once on a perfect fabric and once with 1%
+// transient link corruption — comparing the reliability layer's cost (retry
+// re-sends, exponential-backoff penalty) against the model's simulated
+// runtime. Not a paper figure: T10 itself assumes a perfect fabric; this
+// quantifies what the checksum/retry/checkpoint extension adds.
+
+#include "bench/common.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+Graph BenchModel(std::int64_t batch) {
+  Graph g("fault-bench-mlp");
+  g.Add(MatMulOp("fc1", batch, 64, 128, DataType::kF32, "x", "w1", "h1"));
+  g.Add(ElementwiseOp("relu1", {batch, 128}, DataType::kF32, "h1", "h2"));
+  g.Add(MatMulOp("fc2", batch, 128, 64, DataType::kF32, "h2", "w2", "h3"));
+  g.Add(ElementwiseOp("relu2", {batch, 64}, DataType::kF32, "h3", "h4"));
+  g.Add(MatMulOp("fc3", batch, 64, 32, DataType::kF32, "h4", "w3", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  g.MarkWeight("w3");
+  return g;
+}
+
+void Run() {
+  bench::Header("Fault overhead",
+                "Reliability-layer cost: fault-free vs 1% transient corruption");
+  const ChipSpec chip = ChipSpec::ScaledIpu(32);
+  const std::int64_t batch = bench::QuickMode() ? 8 : 16;
+  const Graph graph = BenchModel(batch);
+  const bench::FaultOverhead overhead = bench::MeasureFaultOverhead(chip, graph, 0.01);
+
+  Table table({"Config", "ops", "events", "injected", "retries", "penalty", "bit-identical"});
+  for (const auto* run : {&overhead.clean, &overhead.faulted}) {
+    table.AddRow({run == &overhead.clean ? "fault-free" : "corrupt=1%",
+                  std::to_string(run->executed),
+                  std::to_string(run->fault_events),
+                  std::to_string(run->faults_injected),
+                  std::to_string(run->retries),
+                  bench::Ms(run->fault_penalty_seconds),
+                  run->AllIdentical() ? "yes" : "NO"});
+  }
+  table.Print();
+
+  T10_CHECK(overhead.clean.AllIdentical());
+  T10_CHECK(overhead.faulted.AllIdentical());
+  // Re-sent slabs are the traffic cost of recovery; the clean run's event
+  // count is the fault-free baseline for the same schedules.
+  const double extra_events =
+      static_cast<double>(overhead.faulted.fault_events - overhead.clean.fault_events);
+  std::printf("recovery overhead: %lld retried transfers (%s extra transfer events), %s backoff\n",
+              static_cast<long long>(overhead.extra_retries()),
+              bench::Pct(extra_events / static_cast<double>(overhead.clean.fault_events)).c_str(),
+              bench::Ms(overhead.penalty_seconds()).c_str());
+  bench::Note(
+      "Every op stays bit-identical under 1% corruption: the checksummed "
+      "retry layer converts silent data corruption into bounded time overhead.");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

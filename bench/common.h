@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
+#include "src/fault/campaign.h"
 #include "src/obs/metrics.h"
 #include "src/util/table.h"
 
@@ -61,6 +63,40 @@ inline std::string Gbps(double bytes_per_second) {
 }
 
 inline std::string Pct(double fraction) { return FormatDouble(fraction * 100.0, 1) + "%"; }
+
+// Fault-overhead measurement: the same fault campaign run fault-free and
+// under transient corruption, so a bench can report what the reliability
+// layer (checksummed transfers, retry backoff, checkpoints) costs. Both runs
+// flow through the instrumented machine, so with T10_METRICS set the
+// sim.fault.* / exec.fault.* counters land in the snapshot written at exit.
+struct FaultOverhead {
+  fault::CampaignResult clean;    // corrupt rate 0: reliability layer only.
+  fault::CampaignResult faulted;  // injected corruption: retries + backoff.
+  double corrupt_rate = 0.0;
+
+  std::int64_t extra_retries() const { return faulted.retries - clean.retries; }
+  double penalty_seconds() const {
+    return faulted.fault_penalty_seconds - clean.fault_penalty_seconds;
+  }
+};
+
+inline FaultOverhead MeasureFaultOverhead(const ChipSpec& chip, const Graph& graph,
+                                          double corrupt_rate = 0.01,
+                                          std::uint64_t seed = 0x7105eed) {
+  FaultOverhead overhead;
+  overhead.corrupt_rate = corrupt_rate;
+  fault::FaultSpec clean_spec;
+  clean_spec.seed = seed;
+  fault::FaultSpec faulty_spec = clean_spec;
+  faulty_spec.corrupt_rate = corrupt_rate;
+  StatusOr<fault::CampaignResult> clean = fault::RunFaultCampaign(chip, graph, clean_spec);
+  StatusOr<fault::CampaignResult> faulted = fault::RunFaultCampaign(chip, graph, faulty_spec);
+  T10_CHECK(clean.ok()) << clean.status().ToString();
+  T10_CHECK(faulted.ok()) << faulted.status().ToString();
+  overhead.clean = *std::move(clean);
+  overhead.faulted = *std::move(faulted);
+  return overhead;
+}
 
 }  // namespace bench
 }  // namespace t10

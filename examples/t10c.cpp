@@ -9,7 +9,9 @@
 //   $ ./examples/t10c --demo          # built-in demo model
 //   $ ./examples/t10c --help
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -18,6 +20,8 @@
 #include "src/core/compiler.h"
 #include "src/core/memory_planner.h"
 #include "src/core/trace_export.h"
+#include "src/fault/campaign.h"
+#include "src/fault/fault_plan.h"
 #include "src/ir/parser.h"
 #include "src/obs/metrics.h"
 #include "src/util/table.h"
@@ -25,11 +29,13 @@
 
 namespace {
 
+// FP32 so the byte-level executor (and therefore `--faults` campaigns) can
+// run every op; f16 plans compile but only execute analytically.
 const char* kDemoModel = R"(
 model demo-mlp
-matmul name=fc1 m=64 k=512 n=1024 a=x b=w1 c=h1 weight=w1
-unary  name=gelu shape=64x1024 in=h1 out=h2 cost=8
-matmul name=fc2 m=64 k=1024 n=512 a=h2 b=w2 c=y weight=w2
+matmul name=fc1 m=64 k=512 n=1024 a=x b=w1 c=h1 dtype=f32 weight=w1
+unary  name=gelu shape=64x1024 in=h1 out=h2 cost=8 dtype=f32
+matmul name=fc2 m=64 k=1024 n=512 a=h2 b=w2 c=y dtype=f32 weight=w2
 )";
 
 void Usage() {
@@ -49,6 +55,19 @@ void Usage() {
       "                     memory/link-traffic/link-utilisation counter tracks)\n"
       "  --metrics out.json write a JSON metrics snapshot of the compile (phase wall\n"
       "                     times, search/cache statistics, per-core traffic totals)\n"
+      "  --faults SPEC      run a deterministic fault campaign: execute every supported\n"
+      "                     op byte-for-byte under injected faults (checksummed retries,\n"
+      "                     checkpoint rollback) and check bit-identity against a\n"
+      "                     fault-free run; exits 4 unless every op survives.\n"
+      "                     SPEC: comma-separated key=value, e.g.\n"
+      "                       corrupt=0.01,drop=0.005,stall=0.002,bitflip=0.001,\n"
+      "                       stall_us=5,burst=3,seed=42,core_down=3;17,link_down=2-5\n"
+      "                     core_down / link_down reroute through degraded re-planning\n"
+      "                     over the surviving topology.\n"
+      "                     The campaign machine defaults to 32 cores; override with\n"
+      "                     --cores (a full 1472-core machine allocates ~1GB).\n"
+      "  --fault-seed N     override the fault schedule seed (default from SPEC)\n"
+      "  --failed-cores L   shorthand for core_down: comma-separated core ids\n"
       "  --help             show this message\n");
 }
 
@@ -61,9 +80,15 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   int cores = 1472;
+  bool cores_explicit = false;
   bool demo = false;
   bool run_verify = false;
   bool verify_strict = false;
+  bool run_faults = false;
+  std::string faults_text;
+  bool have_fault_seed = false;
+  std::uint64_t fault_seed = 0;
+  std::string failed_cores_csv;
 
   // Flags taking a value; reports a clear error when the value is missing
   // instead of silently consuming the next flag or the model path.
@@ -84,10 +109,25 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (std::strcmp(argv[i], "--cores") == 0) {
       cores = std::atoi(flag_value(i, "--cores"));
+      cores_explicit = true;
       if (cores <= 0) {
         std::fprintf(stderr, "t10c: --cores expects a positive integer\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      run_faults = true;
+      faults_text = flag_value(i, "--faults");
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      run_faults = true;
+      faults_text = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      have_fault_seed = true;
+      fault_seed = static_cast<std::uint64_t>(std::strtoull(flag_value(i, "--fault-seed"),
+                                                            nullptr, 10));
+      run_faults = true;
+    } else if (std::strcmp(argv[i], "--failed-cores") == 0) {
+      failed_cores_csv = flag_value(i, "--failed-cores");
+      run_faults = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       run_verify = true;
     } else if (std::strcmp(argv[i], "--verify=strict") == 0) {
@@ -132,7 +172,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  Graph graph = demo ? ParseModelText(kDemoModel) : ParseModelFile(model_path);
+  StatusOr<Graph> parsed = demo ? TryParseModelText(kDemoModel) : TryParseModelFile(model_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "t10c: %s: %s\n", demo ? "demo model" : model_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  Graph graph = *std::move(parsed);
   ChipSpec chip = cores == 1472 ? ChipSpec::IpuMk2() : ChipSpec::ScaledIpu(cores);
   std::printf("t10c: compiling '%s' (%d ops) for %s...\n", graph.name().c_str(),
               graph.num_ops(), chip.name.c_str());
@@ -177,6 +223,87 @@ int main(int argc, char** argv) {
                 static_cast<int>(result.diagnostics().size()));
   }
 
+  // Fault campaign: byte-level execution under injected faults, before the
+  // metrics snapshot so its counters (fault.injector.*, sim.fault.*,
+  // exec.fault.*) land in --metrics output. Operational failures — campaign
+  // errors, non-identical outputs — exit 4, distinct from compile (1),
+  // usage (2) and verification (3) failures.
+  int campaign_exit = 0;
+  if (run_faults) {
+    StatusOr<fault::FaultSpec> spec_or = fault::ParseFaultSpec(faults_text);
+    if (!spec_or.ok()) {
+      std::fprintf(stderr, "t10c: --faults: %s\n", spec_or.status().ToString().c_str());
+      return 2;
+    }
+    fault::FaultSpec spec = *std::move(spec_or);
+    if (have_fault_seed) {
+      spec.seed = fault_seed;
+    }
+    if (!failed_cores_csv.empty()) {
+      const char* p = failed_cores_csv.c_str();
+      while (*p != '\0') {
+        char* end = nullptr;
+        long core = std::strtol(p, &end, 10);
+        if (end == p || core < 0 || (*end != '\0' && *end != ',')) {
+          std::fprintf(stderr, "t10c: --failed-cores expects comma-separated core ids, got '%s'\n",
+                       failed_cores_csv.c_str());
+          return 2;
+        }
+        spec.failed_cores.push_back(static_cast<int>(core));
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+    // The campaign allocates two functional machines with real per-core
+    // scratchpads; default to a small scaled chip unless --cores was given.
+    ChipSpec campaign_chip = cores_explicit ? chip : ChipSpec::ScaledIpu(32);
+    std::printf("\nfault campaign on %s: %s\n", campaign_chip.name.c_str(),
+                spec.DebugString().c_str());
+    StatusOr<fault::CampaignResult> campaign = fault::RunFaultCampaign(campaign_chip, graph, spec);
+    if (!campaign.ok()) {
+      std::fprintf(stderr, "t10c: fault campaign failed: %s\n",
+                   campaign.status().ToString().c_str());
+      campaign_exit = 4;
+    } else {
+      if (campaign->degraded) {
+        std::printf("degraded re-plan: %s (%d surviving cores)\n",
+                    campaign->surviving_chip.c_str(),
+                    static_cast<int>(campaign->core_map.size()));
+      }
+      Table fault_table({"op", "result", "retries", "checkpoints", "rollbacks", "penalty"});
+      for (const fault::OpCampaignResult& op : campaign->ops) {
+        std::string outcome;
+        if (!op.executed) {
+          outcome = "skip: " + op.skip_reason;
+        } else if (!op.status.ok()) {
+          outcome = StatusCodeName(op.status.code());
+        } else {
+          outcome = op.bit_identical ? "bit-identical" : "MISMATCH";
+        }
+        fault_table.AddRow({op.op_name, outcome, std::to_string(op.stats.retries),
+                            std::to_string(op.stats.checkpoints),
+                            std::to_string(op.stats.rollbacks),
+                            FormatSeconds(op.stats.fault_penalty_seconds)});
+      }
+      fault_table.Print();
+      std::printf(
+          "campaign: %d executed, %d skipped, %d bit-identical | %lld transfer events, "
+          "%lld faults injected, %lld retries, penalty %s\n",
+          campaign->executed, campaign->skipped, campaign->identical,
+          static_cast<long long>(campaign->fault_events),
+          static_cast<long long>(campaign->faults_injected),
+          static_cast<long long>(campaign->retries),
+          FormatSeconds(campaign->fault_penalty_seconds).c_str());
+      bool all_ok = campaign->AllIdentical();
+      for (const fault::OpCampaignResult& op : campaign->ops) {
+        all_ok = all_ok && (!op.executed || op.status.ok());
+      }
+      if (!all_ok) {
+        std::fprintf(stderr, "t10c: fault campaign: not every op survived bit-identically\n");
+        campaign_exit = 4;
+      }
+    }
+  }
+
   if (!code_path.empty()) {
     std::ofstream file(code_path);
     file << GenerateModelCode(model, graph);
@@ -190,5 +317,5 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry::Global().WriteFile(metrics_path);
     std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
   }
-  return 0;
+  return campaign_exit;
 }

@@ -334,4 +334,27 @@ void Compiler::MaterializeOps(const Graph& graph, const std::vector<IntraOpResul
   }
 }
 
+StatusOr<DegradedPlan> ReplanDegraded(const ChipSpec& chip, const Graph& graph,
+                                      CompileOptions options) {
+  if (!chip.health.degraded()) {
+    return FailedPreconditionError("chip '" + chip.name +
+                                   "' reports no failed cores or links; nothing to replan");
+  }
+  DegradedPlan out;
+  out.core_map = chip.UsableCoreIds();
+  if (out.core_map.empty()) {
+    return UnavailableError("no usable core survives the health mask on " + chip.name);
+  }
+  out.surviving = chip.SurvivingSpec();
+  Compiler compiler(out.surviving, options);
+  out.model = compiler.Compile(graph);
+  if (!out.model.fits) {
+    return ResourceExhaustedError("model '" + graph.name() + "' no longer fits " +
+                                  out.surviving.name + " (" +
+                                  std::to_string(out.surviving.num_cores) +
+                                  " surviving cores)");
+  }
+  return out;
+}
+
 }  // namespace t10

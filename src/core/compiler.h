@@ -22,6 +22,7 @@
 #include "src/core/plan.h"
 #include "src/core/search.h"
 #include "src/ir/graph.h"
+#include "src/util/status.h"
 
 namespace t10 {
 
@@ -72,6 +73,26 @@ struct CompiledModel {
   // Average per-core link bandwidth achieved during data movement (Fig 14).
   double AverageExchangeBandwidth() const;
 };
+
+// Result of degraded re-planning over a chip with failed cores/links.
+struct DegradedPlan {
+  ChipSpec surviving;         // chip.SurvivingSpec(): the healthy sub-chip.
+  std::vector<int> core_map;  // Logical core i of `model` runs on physical
+                              // core core_map[i] (chip.UsableCoreIds()).
+  CompiledModel model;        // Compiled against `surviving`; borrows the
+                              // Graph's operators like Compiler::Compile.
+};
+
+// Degraded re-planning: given a chip whose health mask marks persistently
+// failed cores and links (link-down degrades to destination-core-down, see
+// ChipSpec::UsableCoreIds), re-runs the full intra-op search over the
+// surviving topology and returns a degraded-but-correct plan plus the
+// logical->physical core map needed to execute it around the holes.
+// Errors: kFailedPrecondition if the chip reports no failures (nothing to
+// replan), kUnavailable if no core survives, kResourceExhausted if the model
+// no longer fits the surviving distributed memory.
+StatusOr<DegradedPlan> ReplanDegraded(const ChipSpec& chip, const Graph& graph,
+                                      CompileOptions options = {});
 
 class Compiler {
  public:

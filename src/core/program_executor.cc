@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "src/util/logging.h"
 #include "src/util/math_util.h"
@@ -9,6 +10,19 @@
 
 namespace t10 {
 namespace {
+
+// Runs `f` when the scope unwinds, on success and error paths alike.
+template <typename F>
+class ScopeExit {
+ public:
+  explicit ScopeExit(F f) : f_(std::move(f)) {}
+  ~ScopeExit() { f_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  F f_;
+};
 
 // Row-major layout of one operand's per-core window, with the (at most one)
 // rotating dim factored out as outer x w_r x inner.
@@ -75,10 +89,19 @@ void ForEachTuple(const std::vector<std::int64_t>& extents, Fn&& fn) {
   }
 }
 
+std::int64_t Align8(std::int64_t bytes) { return (bytes + 7) / 8 * 8; }
+
 }  // namespace
 
-ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan)
-    : machine_(machine), plan_(plan), program_(LowerPlan(plan)), geometry_(plan) {
+ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan,
+                                 FaultToleranceOptions fault_tolerance,
+                                 std::vector<int> core_map)
+    : machine_(machine),
+      plan_(plan),
+      program_(LowerPlan(plan)),
+      geometry_(plan),
+      ft_(fault_tolerance),
+      core_map_(std::move(core_map)) {
   T10_CHECK_GE(machine.num_cores(), static_cast<int>(plan.cores_used()));
   const Operator& op = plan.op();
   T10_CHECK(op.kind() == OpKind::kContraction || op.kind() == OpKind::kElementwise ||
@@ -87,6 +110,20 @@ ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan)
   for (int ti = 0; ti < geometry_.num_operands(); ++ti) {
     T10_CHECK(geometry_.Operand(ti).dtype == DataType::kF32)
         << "program executor runs FP32 operands";
+  }
+  if (!core_map_.empty()) {
+    T10_CHECK_GE(core_map_.size(), static_cast<std::size_t>(plan.cores_used()))
+        << "core map must cover every logical core of the plan";
+    std::set<int> distinct;
+    for (int phys : core_map_) {
+      T10_CHECK_GE(phys, 0);
+      T10_CHECK_LT(phys, machine.num_cores());
+      T10_CHECK(distinct.insert(phys).second) << "core map repeats physical core " << phys;
+    }
+  }
+  if (ft_.enabled) {
+    T10_CHECK_GT(ft_.checkpoint_interval_steps, 0);
+    T10_CHECK_GE(ft_.max_rollbacks, 0);
   }
   // Cross-check: refuse to execute a plan/program pair the static verifier
   // rejects (same rules as `t10c --verify`; debug builds / T10_INTERNAL_VERIFY).
@@ -99,7 +136,21 @@ ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan)
   }
 }
 
-HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRunStats* stats) {
+StatusOr<HostTensor> ProgramExecutor::Run(const std::vector<HostTensor>& inputs,
+                                          ProgramRunStats* stats) {
+  std::vector<BufferHandle> owned;
+  StatusOr<HostTensor> result = RunImpl(inputs, stats, owned);
+  // Release all device memory, also on error paths (reverse order keeps the
+  // first-fit allocator's coalescing exact).
+  for (auto it = owned.rbegin(); it != owned.rend(); ++it) {
+    machine_.Free(*it);
+  }
+  return result;
+}
+
+StatusOr<HostTensor> ProgramExecutor::RunImpl(const std::vector<HostTensor>& inputs,
+                                              ProgramRunStats* stats,
+                                              std::vector<BufferHandle>& owned) {
   const Operator& op = plan_.op();
   T10_CHECK_EQ(inputs.size(), op.inputs().size());
   const std::vector<Axis>& axes = op.axes();
@@ -107,6 +158,12 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
   const int cores = geometry_.num_cores();
   const int operands = geometry_.num_operands();
   machine_.ResetTrafficCounters();
+  const std::int64_t base_retries = machine_.fault_retries();
+  const double base_penalty = machine_.fault_penalty_seconds();
+  obs::Counter& metric_checkpoints =
+      obs::MetricsRegistry::Global().GetCounter("exec.fault.checkpoints");
+  obs::Counter& metric_rollbacks =
+      obs::MetricsRegistry::Global().GetCounter("exec.fault.rollbacks");
 
   std::vector<OperandLayout> layouts;
   for (int ti = 0; ti < operands; ++ti) {
@@ -114,37 +171,75 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
         MakeLayout(geometry_.Operand(ti), plan_.tensors()[static_cast<std::size_t>(ti)]));
   }
 
+  auto allocate = [&](int core, std::int64_t bytes) -> StatusOr<BufferHandle> {
+    StatusOr<BufferHandle> handle = machine_.Allocate(core, bytes);
+    if (handle.ok()) {
+      owned.push_back(*handle);
+    }
+    return handle;
+  };
+
   // allocate: window buffers + one staging buffer (the pseudo-shift buffer of
-  // paper §5) per core.
+  // paper §5) per core; with fault tolerance, also the designated spare
+  // region holding the checkpoint copy of every window.
   std::vector<std::int64_t> base_used;
   if (verify::InternalVerifyEnabled()) {
     for (int c = 0; c < cores; ++c) {
-      base_used.push_back(machine_.memory(c).used_bytes());
+      base_used.push_back(machine_.memory(Phys(c)).used_bytes());
     }
   }
   std::vector<std::vector<BufferHandle>> windows(operands);
   std::vector<BufferHandle> staging(cores);
+  std::vector<std::vector<BufferHandle>> ckpt;
   for (int ti = 0; ti < operands; ++ti) {
     const RTensorPlan& tp = plan_.tensors()[static_cast<std::size_t>(ti)];
     windows[ti].resize(cores);
     for (int c = 0; c < cores; ++c) {
-      windows[ti][c] = machine_.Allocate(c, std::max<std::int64_t>(tp.window_bytes, 8));
+      T10_ASSIGN_OR_RETURN(windows[ti][c],
+                           allocate(Phys(c), std::max<std::int64_t>(tp.window_bytes, 8)));
     }
   }
   for (int c = 0; c < cores; ++c) {
-    staging[c] = machine_.Allocate(c, machine_.spec().shift_buffer_bytes);
+    T10_ASSIGN_OR_RETURN(staging[c], allocate(Phys(c), machine_.spec().shift_buffer_bytes));
+  }
+  if (ft_.enabled) {
+    ckpt.resize(operands);
+    for (int ti = 0; ti < operands; ++ti) {
+      const RTensorPlan& tp = plan_.tensors()[static_cast<std::size_t>(ti)];
+      ckpt[ti].resize(cores);
+      for (int c = 0; c < cores; ++c) {
+        T10_ASSIGN_OR_RETURN(ckpt[ti][c],
+                             allocate(Phys(c), std::max<std::int64_t>(tp.window_bytes, 8)));
+      }
+    }
   }
   ProgramRunStats run_stats;
   for (int c = 0; c < cores; ++c) {
     run_stats.peak_core_bytes =
-        std::max(run_stats.peak_core_bytes, machine_.memory(c).used_bytes());
+        std::max(run_stats.peak_core_bytes, machine_.memory(Phys(c)).used_bytes());
   }
+  // Stats are published on every exit path, not just success: a failed run's
+  // retry/rollback accounting is precisely what fault campaigns inspect.
+  ScopeExit publish_stats([&] {
+    run_stats.bytes_sent_total = machine_.total_bytes_sent();
+    run_stats.retries = machine_.fault_retries() - base_retries;
+    run_stats.fault_penalty_seconds = machine_.fault_penalty_seconds() - base_penalty;
+    if (stats != nullptr) {
+      *stats = run_stats;
+    }
+  });
   // Cross-check: the verifier's footprint model must match what was just
   // allocated, byte for byte, or capacity checking has drifted from reality.
+  // Fault tolerance adds exactly one spare copy of every window.
   if (!base_used.empty()) {
-    const std::int64_t footprint = verify::ProgramFootprintBytes(plan_, machine_.spec());
+    std::int64_t footprint = verify::ProgramFootprintBytes(plan_, machine_.spec());
+    if (ft_.enabled) {
+      for (const RTensorPlan& tp : plan_.tensors()) {
+        footprint += Align8(std::max<std::int64_t>(tp.window_bytes, 8));
+      }
+    }
     for (int c = 0; c < cores; ++c) {
-      T10_CHECK_EQ(machine_.memory(c).used_bytes() - base_used[static_cast<std::size_t>(c)],
+      T10_CHECK_EQ(machine_.memory(Phys(c)).used_bytes() - base_used[static_cast<std::size_t>(c)],
                    footprint)
           << "executor allocations disagree with verify::ProgramFootprintBytes on core " << c;
     }
@@ -202,6 +297,26 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
     std::memset(machine_.Data(windows[out_ti][c]), 0, windows[out_ti][c].bytes);
   }
 
+  // Checkpoint save/restore: same-core copies (no link traffic, no faults).
+  auto save_checkpoint = [&]() {
+    for (int ti = 0; ti < operands; ++ti) {
+      for (int c = 0; c < cores; ++c) {
+        machine_.Copy(windows[ti][c], ckpt[ti][c]);
+      }
+    }
+    ++run_stats.checkpoints;
+    metric_checkpoints.Increment();
+  };
+  auto restore_checkpoint = [&]() {
+    for (int ti = 0; ti < operands; ++ti) {
+      for (int c = 0; c < cores; ++c) {
+        machine_.Copy(ckpt[ti][c], windows[ti][c]);
+      }
+    }
+    ++run_stats.rollbacks;
+    metric_rollbacks.Increment();
+  };
+
   // --- Main compute-shift loop. ---
   std::vector<std::int64_t> pace(axes.size(), 0);
   for (const RotationLoop& loop : plan_.loops()) {
@@ -209,8 +324,13 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
   }
   const std::int64_t total_steps = plan_.total_steps();
   run_stats.steps = total_steps;
+  std::int64_t ckpt_step = 0;
 
   for (std::int64_t s = 0; s < total_steps; ++s) {
+    if (ft_.enabled && s % ft_.checkpoint_interval_steps == 0) {
+      save_checkpoint();
+      ckpt_step = s;
+    }
     const std::vector<std::int64_t> counters = geometry_.StepCounters(s);
     std::vector<std::int64_t> advance(axes.size(), 0);
     for (std::size_t a = 0; a < axes.size(); ++a) {
@@ -279,70 +399,95 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
     }
 
     // ShiftSets: every rotating tensor ships its head slab downstream, then
-    // compacts its window and appends the received slab at the tail.
-    for (const ShiftSet& shift : program_.steps[static_cast<std::size_t>(s)].shifts) {
-      const int ti = shift.operand;
-      const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
-      const std::int64_t rp = pace[static_cast<std::size_t>(layout.rot_axis)];
-      const std::int64_t run_elems = rp * layout.inner;
-      const std::int64_t slab_elems = layout.outer * run_elems;
-      T10_CHECK_EQ(slab_elems * 4, shift.slab_bytes);
+    // compacts its window and appends the received slab at the tail. With
+    // fault tolerance, every slab chunk goes through the checksummed
+    // reliable-transfer layer; a kDataLoss (retries exhausted) rolls the
+    // ring state back to the last checkpoint and re-executes from there.
+    Status shift_status = [&]() -> Status {
+      for (const ShiftSet& shift : program_.steps[static_cast<std::size_t>(s)].shifts) {
+        const int ti = shift.operand;
+        const OperandLayout& layout = layouts[static_cast<std::size_t>(ti)];
+        const std::int64_t rp = pace[static_cast<std::size_t>(layout.rot_axis)];
+        const std::int64_t run_elems = rp * layout.inner;
+        const std::int64_t slab_elems = layout.outer * run_elems;
+        T10_CHECK_EQ(slab_elems * 4, shift.slab_bytes);
 
-      for (const std::vector<int>& ring : program_.allocations[static_cast<std::size_t>(ti)]
-                                              .rings) {
-        const int n = static_cast<int>(ring.size());
-        // Phase 1: collect each member's outgoing head slab.
-        std::vector<std::vector<float>> outgoing(static_cast<std::size_t>(n));
-        for (int p = 0; p < n; ++p) {
-          outgoing[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(slab_elems));
-          const float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
-          for (std::int64_t o = 0; o < layout.outer; ++o) {
-            std::memcpy(outgoing[static_cast<std::size_t>(p)].data() + o * run_elems,
-                        buffer + o * layout.w_r * layout.inner,
-                        static_cast<std::size_t>(run_elems) * 4);
+        for (const std::vector<int>& ring : program_.allocations[static_cast<std::size_t>(ti)]
+                                                .rings) {
+          const int n = static_cast<int>(ring.size());
+          // Phase 1: collect each member's outgoing head slab.
+          std::vector<std::vector<float>> outgoing(static_cast<std::size_t>(n));
+          for (int p = 0; p < n; ++p) {
+            outgoing[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(slab_elems));
+            const float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
+            for (std::int64_t o = 0; o < layout.outer; ++o) {
+              std::memcpy(outgoing[static_cast<std::size_t>(p)].data() + o * run_elems,
+                          buffer + o * layout.w_r * layout.inner,
+                          static_cast<std::size_t>(run_elems) * 4);
+            }
           }
-        }
-        // Phase 2: local compaction (drop the head, make room at the tail).
-        for (int p = 0; p < n; ++p) {
-          float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
-          for (std::int64_t o = 0; o < layout.outer; ++o) {
-            std::memmove(buffer + o * layout.w_r * layout.inner,
-                         buffer + o * layout.w_r * layout.inner + run_elems,
-                         static_cast<std::size_t>((layout.w_r - rp) * layout.inner) * 4);
+          // Phase 2: local compaction (drop the head, make room at the tail).
+          for (int p = 0; p < n; ++p) {
+            float* buffer = window_floats(ti, ring[static_cast<std::size_t>(p)]);
+            for (std::int64_t o = 0; o < layout.outer; ++o) {
+              std::memmove(buffer + o * layout.w_r * layout.inner,
+                           buffer + o * layout.w_r * layout.inner + run_elems,
+                           static_cast<std::size_t>((layout.w_r - rp) * layout.inner) * 4);
+            }
           }
-        }
-        // Phase 3: deliver slabs downstream (position p -> p-1) through the
-        // bounded staging buffer, in as many rounds as needed.
-        const std::int64_t chunk_bytes = machine_.spec().shift_buffer_bytes;
-        for (int p = 0; p < n; ++p) {
-          const int src_core = ring[static_cast<std::size_t>(p)];
-          const int dst_core = ring[static_cast<std::size_t>((p - 1 + n) % n)];
-          float* dst_buffer = window_floats(ti, dst_core);
-          for (std::int64_t o = 0; o < layout.outer; ++o) {
-            const float* src = outgoing[static_cast<std::size_t>(p)].data() + o * run_elems;
-            float* dst = dst_buffer + (o * layout.w_r + (layout.w_r - rp)) * layout.inner;
-            std::int64_t done = 0;
-            while (done < run_elems * 4) {
-              const std::int64_t len = std::min(chunk_bytes, run_elems * 4 - done);
-              std::memcpy(machine_.Data(staging[static_cast<std::size_t>(src_core)]),
-                          reinterpret_cast<const std::byte*>(src) + done,
-                          static_cast<std::size_t>(len));
-              BufferHandle stage_view{src_core, staging[static_cast<std::size_t>(src_core)].offset,
+          // Phase 3: deliver slabs downstream (position p -> p-1) through the
+          // bounded staging buffer, in as many rounds as needed.
+          const std::int64_t chunk_bytes = machine_.spec().shift_buffer_bytes;
+          for (int p = 0; p < n; ++p) {
+            const int src_core = ring[static_cast<std::size_t>(p)];
+            const int dst_core = ring[static_cast<std::size_t>((p - 1 + n) % n)];
+            float* dst_buffer = window_floats(ti, dst_core);
+            for (std::int64_t o = 0; o < layout.outer; ++o) {
+              const float* src = outgoing[static_cast<std::size_t>(p)].data() + o * run_elems;
+              float* dst = dst_buffer + (o * layout.w_r + (layout.w_r - rp)) * layout.inner;
+              std::int64_t done = 0;
+              while (done < run_elems * 4) {
+                const std::int64_t len = std::min(chunk_bytes, run_elems * 4 - done);
+                std::memcpy(machine_.Data(staging[static_cast<std::size_t>(src_core)]),
+                            reinterpret_cast<const std::byte*>(src) + done,
+                            static_cast<std::size_t>(len));
+                BufferHandle stage_view{staging[static_cast<std::size_t>(src_core)].core,
+                                        staging[static_cast<std::size_t>(src_core)].offset,
+                                        len};
+                BufferHandle dst_view{windows[ti][static_cast<std::size_t>(dst_core)].core,
+                                      windows[ti][static_cast<std::size_t>(dst_core)].offset +
+                                          (reinterpret_cast<std::byte*>(dst) -
+                                           machine_.Data(windows[ti][static_cast<std::size_t>(
+                                               dst_core)])) +
+                                          done,
                                       len};
-              BufferHandle dst_view{dst_core,
-                                    windows[ti][static_cast<std::size_t>(dst_core)].offset +
-                                        (reinterpret_cast<std::byte*>(dst) -
-                                         machine_.Data(windows[ti][static_cast<std::size_t>(
-                                             dst_core)])) +
-                                        done,
-                                    len};
-              machine_.Copy(stage_view, dst_view);
-              done += len;
-              ++run_stats.shift_rounds;
+                if (ft_.enabled) {
+                  T10_RETURN_IF_ERROR(machine_.CopyReliable(stage_view, dst_view, ft_.retry));
+                } else {
+                  machine_.Copy(stage_view, dst_view);
+                }
+                done += len;
+                ++run_stats.shift_rounds;
+              }
             }
           }
         }
       }
+      return Status::Ok();
+    }();
+    if (!shift_status.ok()) {
+      if (ft_.enabled && shift_status.code() == StatusCode::kDataLoss &&
+          run_stats.rollbacks < ft_.max_rollbacks) {
+        restore_checkpoint();
+        s = ckpt_step - 1;  // The loop increment re-enters at ckpt_step.
+        continue;
+      }
+      if (shift_status.code() == StatusCode::kDataLoss) {
+        return DataLossError(shift_status.message() + " (after " +
+                             std::to_string(run_stats.rollbacks) +
+                             " checkpoint rollbacks; program abandoned)");
+      }
+      return shift_status;
     }
   }
 
@@ -373,19 +518,6 @@ HostTensor ProgramExecutor::Run(const std::vector<HostTensor>& inputs, ProgramRu
     });
   }
 
-  run_stats.bytes_sent_total = machine_.total_bytes_sent();
-  // Release all device memory.
-  for (int c = 0; c < cores; ++c) {
-    machine_.Free(staging[static_cast<std::size_t>(c)]);
-  }
-  for (int ti = 0; ti < operands; ++ti) {
-    for (int c = 0; c < cores; ++c) {
-      machine_.Free(windows[ti][static_cast<std::size_t>(c)]);
-    }
-  }
-  if (stats != nullptr) {
-    *stats = run_stats;
-  }
   return out;
 }
 

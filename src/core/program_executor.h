@@ -7,6 +7,16 @@
 // global arrays, this one *cannot* cheat, because each vertex only sees its
 // core's buffers.
 //
+// Fault tolerance (FaultToleranceOptions): with a fault::FaultInjector
+// attached to the machine, every slab delivery goes through the checksummed
+// reliable-transfer layer (bounded retry + exponential backoff), ring state
+// is checkpointed every few steps into a designated spare region of each
+// core's scratchpad, and retry exhaustion rolls the whole program back to
+// the last checkpoint and re-executes. Persistent faults (downed cores or
+// links) are not retried — they surface as kUnavailable, the signal for the
+// compiler's degraded re-planning. A core_map lets a plan compiled for the
+// surviving topology run on a machine whose failed cores are skipped.
+//
 // Supported: FP32 operands, kContraction / kElementwise / kReduceSum, at
 // most one temporally-split dim per tensor (all plans the default search
 // emits; multi-dim f_t plans are exercised by the interpreter-level tests).
@@ -23,32 +33,64 @@
 #include "src/core/functional.h"
 #include "src/core/placement.h"
 #include "src/sim/machine.h"
+#include "src/util/status.h"
 
 namespace t10 {
+
+// Recovery policy for byte-level execution under injected faults.
+struct FaultToleranceOptions {
+  bool enabled = false;
+  RetryPolicy retry;                  // Per-transfer checksum retry budget.
+  int checkpoint_interval_steps = 4;  // Ring-state snapshot cadence.
+  int max_rollbacks = 16;             // Checkpoint restarts before giving up.
+};
 
 struct ProgramRunStats {
   std::int64_t steps = 0;
   std::int64_t shift_rounds = 0;        // Bounded-buffer delivery rounds.
   std::int64_t bytes_sent_total = 0;    // Sum over cores, from the Machine.
   std::int64_t peak_core_bytes = 0;     // Max scratchpad use observed.
+  std::int64_t retries = 0;             // Checksummed re-sends (this run).
+  std::int64_t checkpoints = 0;         // Ring-state snapshots taken.
+  std::int64_t rollbacks = 0;           // Checkpoint restarts performed.
+  double fault_penalty_seconds = 0.0;   // Backoff + stall time (this run).
 };
 
 class ProgramExecutor {
  public:
   // The machine must have at least plan.cores_used() cores; buffers are
-  // allocated in Run() and released before it returns.
-  ProgramExecutor(Machine& machine, const ExecutionPlan& plan);
+  // allocated in Run() and released before it returns. `core_map`, when
+  // non-empty, maps the plan's logical cores onto physical machine cores
+  // (degraded execution: ChipSpec::UsableCoreIds()); entries must be
+  // distinct, in range, and cover plan.cores_used().
+  ProgramExecutor(Machine& machine, const ExecutionPlan& plan,
+                  FaultToleranceOptions fault_tolerance = {},
+                  std::vector<int> core_map = {});
 
   // Executes the program over the operator's inputs; returns the output.
-  HostTensor Run(const std::vector<HostTensor>& inputs, ProgramRunStats* stats = nullptr);
+  // Errors are operational, not bugs: scratchpad exhaustion
+  // (kResourceExhausted), transient-fault retries and rollbacks exhausted
+  // (kDataLoss), persistently failed core/link in the path (kUnavailable).
+  StatusOr<HostTensor> Run(const std::vector<HostTensor>& inputs,
+                           ProgramRunStats* stats = nullptr);
 
   const DeviceProgram& program() const { return program_; }
 
  private:
+  StatusOr<HostTensor> RunImpl(const std::vector<HostTensor>& inputs, ProgramRunStats* stats,
+                               std::vector<BufferHandle>& owned);
+
+  // Physical machine core backing logical plan core `core`.
+  int Phys(int core) const {
+    return core_map_.empty() ? core : core_map_[static_cast<std::size_t>(core)];
+  }
+
   Machine& machine_;
   const ExecutionPlan& plan_;
   DeviceProgram program_;
   PlanGeometry geometry_;
+  FaultToleranceOptions ft_;
+  std::vector<int> core_map_;
 };
 
 }  // namespace t10

@@ -1,0 +1,253 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace t10 {
+namespace fault {
+namespace {
+
+// Splits on `sep`, keeping empty fields out.
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find(sep, pos);
+    std::string part =
+        text.substr(pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (!part.empty()) {
+      out.push_back(std::move(part));
+    }
+    if (next == std::string::npos) {
+      break;
+    }
+    pos = next + 1;
+  }
+  return out;
+}
+
+StatusOr<double> ParseRate(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double rate = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return InvalidArgumentError("fault spec: " + key + " expects a probability in [0,1], got '" +
+                                value + "'");
+  }
+  return rate;
+}
+
+StatusOr<std::int64_t> ParseInt(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed < 0) {
+    return InvalidArgumentError("fault spec: " + key + " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::DebugString() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (corrupt_rate > 0.0) out << " corrupt=" << corrupt_rate;
+  if (drop_rate > 0.0) out << " drop=" << drop_rate;
+  if (stall_rate > 0.0) out << " stall=" << stall_rate;
+  if (bitflip_rate > 0.0) out << " bitflip=" << bitflip_rate;
+  if (burst_corrupt > 0) out << " burst=" << burst_corrupt;
+  if (!failed_cores.empty()) {
+    out << " core_down=";
+    for (std::size_t i = 0; i < failed_cores.size(); ++i) {
+      out << (i == 0 ? "" : ";") << failed_cores[i];
+    }
+  }
+  if (!failed_links.empty()) {
+    out << " link_down=";
+    for (std::size_t i = 0; i < failed_links.size(); ++i) {
+      out << (i == 0 ? "" : ";") << failed_links[i].first << "-" << failed_links[i].second;
+    }
+  }
+  return out.str();
+}
+
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& field : Split(text, ',')) {
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("fault spec: field '" + field + "' is not key=value");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "corrupt") {
+      T10_ASSIGN_OR_RETURN(spec.corrupt_rate, ParseRate(key, value));
+    } else if (key == "drop") {
+      T10_ASSIGN_OR_RETURN(spec.drop_rate, ParseRate(key, value));
+    } else if (key == "stall") {
+      T10_ASSIGN_OR_RETURN(spec.stall_rate, ParseRate(key, value));
+    } else if (key == "bitflip") {
+      T10_ASSIGN_OR_RETURN(spec.bitflip_rate, ParseRate(key, value));
+    } else if (key == "stall_us") {
+      std::int64_t us = 0;
+      T10_ASSIGN_OR_RETURN(us, ParseInt(key, value));
+      spec.stall_penalty_seconds = static_cast<double>(us) * 1e-6;
+    } else if (key == "burst") {
+      T10_ASSIGN_OR_RETURN(spec.burst_corrupt, ParseInt(key, value));
+    } else if (key == "seed") {
+      std::int64_t seed = 0;
+      T10_ASSIGN_OR_RETURN(seed, ParseInt(key, value));
+      spec.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "core_down") {
+      for (const std::string& core : Split(value, ';')) {
+        std::int64_t id = 0;
+        T10_ASSIGN_OR_RETURN(id, ParseInt(key, core));
+        spec.failed_cores.push_back(static_cast<int>(id));
+      }
+    } else if (key == "link_down") {
+      for (const std::string& link : Split(value, ';')) {
+        std::size_t dash = link.find('-');
+        if (dash == std::string::npos) {
+          return InvalidArgumentError("fault spec: link_down entry '" + link +
+                                      "' is not src-dst");
+        }
+        std::int64_t src = 0;
+        std::int64_t dst = 0;
+        T10_ASSIGN_OR_RETURN(src, ParseInt(key, link.substr(0, dash)));
+        T10_ASSIGN_OR_RETURN(dst, ParseInt(key, link.substr(dash + 1)));
+        spec.failed_links.emplace_back(static_cast<int>(src), static_cast<int>(dst));
+      }
+    } else {
+      return InvalidArgumentError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  const double total =
+      spec.corrupt_rate + spec.drop_rate + spec.stall_rate + spec.bitflip_rate;
+  if (total > 1.0) {
+    return InvalidArgumentError("fault spec: transient rates sum to " + std::to_string(total) +
+                                " > 1");
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(std::move(spec)),
+      rng_(spec_.seed),
+      metric_events_(obs::MetricsRegistry::Global().GetCounter("fault.injector.events")),
+      metric_corrupt_(obs::MetricsRegistry::Global().GetCounter("fault.injector.corrupt")),
+      metric_drop_(obs::MetricsRegistry::Global().GetCounter("fault.injector.drop")),
+      metric_stall_(obs::MetricsRegistry::Global().GetCounter("fault.injector.stall")),
+      metric_bitflip_(obs::MetricsRegistry::Global().GetCounter("fault.injector.bitflip")) {}
+
+bool FaultInjector::core_up(int core) const {
+  return std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
+         spec_.failed_cores.end();
+}
+
+bool FaultInjector::link_up(int src_core, int dst_core) const {
+  if (!core_up(src_core) || !core_up(dst_core)) {
+    return false;
+  }
+  return std::find(spec_.failed_links.begin(), spec_.failed_links.end(),
+                   std::make_pair(src_core, dst_core)) == spec_.failed_links.end();
+}
+
+FaultDecision FaultInjector::OnTransfer(int src_core, int dst_core, std::int64_t bytes) {
+  const std::int64_t event = events_++;
+  metric_events_.Increment();
+  FaultDecision decision;
+  if (!spec_.any_transient() || bytes <= 0) {
+    return decision;
+  }
+  if (event < spec_.burst_corrupt) {
+    decision.kind = FaultKind::kCorrupt;
+    decision.byte_offset = 0;
+    decision.xor_mask = 0x01;
+    ++injected_;
+    metric_corrupt_.Increment();
+    if (schedule_log_.size() < kScheduleLogLimit) {
+      std::ostringstream line;
+      line << "event=" << event << " kind=corrupt(burst) link=" << src_core << "->" << dst_core
+           << " bytes=" << bytes << " off=0 mask=1";
+      schedule_log_.push_back(line.str());
+    }
+    return decision;
+  }
+  // One uniform draw selects the kind against cumulative rates; damage
+  // placement only draws when a fault actually fires, so fault-free events
+  // consume exactly one draw regardless of the spec.
+  const double roll = rng_.UniformReal(0.0, 1.0);
+  double cumulative = spec_.corrupt_rate;
+  if (roll < cumulative) {
+    decision.kind = FaultKind::kCorrupt;
+  } else if (roll < (cumulative += spec_.drop_rate)) {
+    decision.kind = FaultKind::kDrop;
+  } else if (roll < (cumulative += spec_.stall_rate)) {
+    decision.kind = FaultKind::kStall;
+  } else if (roll < (cumulative += spec_.bitflip_rate)) {
+    decision.kind = FaultKind::kBitFlip;
+  } else {
+    return decision;
+  }
+  ++injected_;
+  switch (decision.kind) {
+    case FaultKind::kCorrupt:
+      decision.byte_offset = rng_.Uniform(0, bytes - 1);
+      decision.xor_mask = static_cast<std::uint8_t>(rng_.Uniform(1, 255));
+      metric_corrupt_.Increment();
+      break;
+    case FaultKind::kBitFlip:
+      decision.byte_offset = rng_.Uniform(0, bytes - 1);
+      decision.xor_mask = static_cast<std::uint8_t>(1u << rng_.Uniform(0, 7));
+      metric_bitflip_.Increment();
+      break;
+    case FaultKind::kDrop:
+      metric_drop_.Increment();
+      break;
+    case FaultKind::kStall:
+      decision.penalty_seconds = spec_.stall_penalty_seconds;
+      metric_stall_.Increment();
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  if (schedule_log_.size() < kScheduleLogLimit) {
+    std::ostringstream line;
+    line << "event=" << event << " kind=" << FaultKindName(decision.kind) << " link="
+         << src_core << "->" << dst_core << " bytes=" << bytes;
+    if (decision.xor_mask != 0) {
+      line << " off=" << decision.byte_offset << " mask=" << static_cast<int>(decision.xor_mask);
+    }
+    schedule_log_.push_back(line.str());
+  }
+  return decision;
+}
+
+std::uint64_t Checksum(const std::byte* data, std::int64_t bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::int64_t i = 0; i < bytes; ++i) {
+    hash ^= static_cast<std::uint64_t>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace fault
+}  // namespace t10

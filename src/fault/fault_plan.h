@@ -1,0 +1,139 @@
+// Deterministic, seed-driven fault injection for the simulated chip.
+//
+// Real inter-core connected parts ship with degraded links, disabled cores
+// and transient NoC errors as operational facts; the functional Machine in
+// src/sim models a perfect fabric. This module supplies the imperfections:
+// a FaultSpec describes a fault campaign (transient payload corruption,
+// dropped or stalled transfers, staged-buffer bit flips, persistently failed
+// cores and links), and a FaultInjector turns it into a concrete, exactly
+// replayable schedule — every transfer event consumes randomness from one
+// t10::Rng seeded by the spec, so the same seed over the same program yields
+// a byte-identical fault schedule (see fault_determinism_test).
+//
+// The injector plugs into Machine (Machine::AttachFaults): raw transfers
+// (Copy / RotateRing) silently suffer the injected faults, while the
+// reliability layer (Machine::CopyReliable / RotateRingReliable) detects
+// them through per-transfer checksums and retries with exponential backoff.
+
+#ifndef T10_SRC_FAULT_FAULT_PLAN_H_
+#define T10_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace t10 {
+namespace fault {
+
+// Order matters for decision sampling: transient kinds are selected against
+// cumulative rates in this order, so adding a kind at the end keeps earlier
+// schedules stable under the same seed.
+enum class FaultKind {
+  kNone = 0,
+  kCorrupt,   // Payload byte XORed in flight (transient link corruption).
+  kDrop,      // Transfer silently not delivered (lost NoC flit).
+  kStall,     // Delivered intact but late: costs a latency penalty.
+  kBitFlip,   // Single bit flip while staged in the shift buffer.
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// A fault campaign. Rates are per transfer event (one bounded-buffer chunk
+// delivery); persistent failures hold for the whole campaign.
+struct FaultSpec {
+  std::uint64_t seed = 0x7105eed;
+  double corrupt_rate = 0.0;
+  double drop_rate = 0.0;
+  double stall_rate = 0.0;
+  double bitflip_rate = 0.0;
+  double stall_penalty_seconds = 2e-6;  // Added per stalled transfer.
+  // Deterministic burst: the first `burst_corrupt` transfer events are
+  // corrupted (byte 0 XOR 0x01) without consuming any randomness. This makes
+  // retry-exhaustion and rollback paths exactly schedulable in tests,
+  // independent of the standard library's distribution implementations.
+  std::int64_t burst_corrupt = 0;
+  std::vector<int> failed_cores;                  // Persistent core-down.
+  std::vector<std::pair<int, int>> failed_links;  // Persistent src->dst down.
+
+  bool any_transient() const {
+    return corrupt_rate > 0.0 || drop_rate > 0.0 || stall_rate > 0.0 || bitflip_rate > 0.0 ||
+           burst_corrupt > 0;
+  }
+  bool any_persistent() const {
+    return !failed_cores.empty() || !failed_links.empty();
+  }
+  std::string DebugString() const;
+};
+
+// Parses the `--faults` CLI syntax: comma-separated key=value fields.
+//
+//   corrupt=0.01,drop=0.005,stall=0.002,bitflip=0.001,stall_us=5,seed=42,
+//   core_down=3;17,link_down=2-5;7-0
+//
+// Rates are probabilities in [0,1]; `stall_us` is the stall penalty in
+// microseconds; `core_down` is a ';'-separated core list; `link_down` is a
+// ';'-separated list of directed src-dst pairs. Unknown keys and malformed
+// values are errors, not aborts.
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text);
+
+// The fate of one transfer event.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  std::int64_t byte_offset = 0;   // Which payload byte is damaged.
+  std::uint8_t xor_mask = 0;      // Non-zero for kCorrupt/kBitFlip.
+  double penalty_seconds = 0.0;   // Non-zero for kStall.
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Persistent health queries (independent of the event stream).
+  bool core_up(int core) const;
+  bool link_up(int src_core, int dst_core) const;
+
+  // Decides the fate of the next transfer event of `bytes` payload bytes on
+  // src->dst. Consumes the injector's rng; the decision sequence is a pure
+  // function of (spec, sequence of OnTransfer calls).
+  FaultDecision OnTransfer(int src_core, int dst_core, std::int64_t bytes);
+
+  std::int64_t events() const { return events_; }
+  std::int64_t injected() const { return injected_; }
+
+  // Human-readable schedule of the first `kScheduleLogLimit` injected faults
+  // ("event=12 kind=corrupt link=3->4 off=17 mask=40"); campaigns compare
+  // these logs byte-for-byte to prove determinism.
+  static constexpr std::size_t kScheduleLogLimit = 512;
+  const std::vector<std::string>& schedule_log() const { return schedule_log_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  std::int64_t events_ = 0;
+  std::int64_t injected_ = 0;
+  std::vector<std::string> schedule_log_;
+
+  obs::Counter& metric_events_;
+  obs::Counter& metric_corrupt_;
+  obs::Counter& metric_drop_;
+  obs::Counter& metric_stall_;
+  obs::Counter& metric_bitflip_;
+};
+
+// FNV-1a 64-bit checksum over a byte span; the integrity check behind the
+// reliable-transfer layer. Deterministic and dependency-free (a real part
+// would use link-level CRC; the distinction is irrelevant to the simulator).
+std::uint64_t Checksum(const std::byte* data, std::int64_t bytes);
+
+}  // namespace fault
+}  // namespace t10
+
+#endif  // T10_SRC_FAULT_FAULT_PLAN_H_

@@ -1,5 +1,7 @@
 #include "src/hardware/chip_spec.h"
 
+#include <set>
+
 #include "src/util/logging.h"
 
 namespace t10 {
@@ -9,6 +11,49 @@ constexpr std::int64_t kKiB = 1024;
 constexpr std::int64_t kIpuCoreMemory = 624 * kKiB;
 constexpr int kIpuCores = 1472;
 }  // namespace
+
+std::vector<int> ChipSpec::UsableCoreIds() const {
+  std::set<int> down;
+  for (int core : health.failed_cores) {
+    if (core >= 0 && core < num_cores) {
+      down.insert(core);
+    }
+  }
+  // Link-down degrades to core-down of the destination endpoint (see header).
+  for (const auto& [src, dst] : health.failed_links) {
+    (void)src;
+    if (dst >= 0 && dst < num_cores) {
+      down.insert(dst);
+    }
+  }
+  std::vector<int> usable;
+  usable.reserve(static_cast<std::size_t>(num_cores));
+  for (int core = 0; core < num_cores; ++core) {
+    if (down.find(core) == down.end()) {
+      usable.push_back(core);
+    }
+  }
+  return usable;
+}
+
+int ChipSpec::UsableCores() const {
+  return health.degraded() ? static_cast<int>(UsableCoreIds().size()) : num_cores;
+}
+
+ChipSpec ChipSpec::SurvivingSpec() const {
+  if (!health.degraded()) {
+    return *this;
+  }
+  ChipSpec surviving = *this;
+  surviving.num_cores = UsableCores();
+  T10_CHECK_GT(surviving.num_cores, 0) << "health mask fails every core of " << name;
+  // Degraded planning treats the survivors as one flat chip; the multi-chip
+  // bandwidth model does not compose with arbitrary holes in the core grid.
+  surviving.cores_per_chip = surviving.num_cores;
+  surviving.health = TopologyHealth{};
+  surviving.name = name + "-degraded" + std::to_string(surviving.num_cores) + "c";
+  return surviving;
+}
 
 double ChipSpec::EffectiveLinkBandwidth() const {
   if (num_chips() <= 1) {

@@ -6,8 +6,21 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace t10 {
+
+// Compiler-side view of which parts of the fabric are operational. Real
+// inter-core connected parts ship with disabled cores and degraded links;
+// the health mask lets the compiler re-plan around them (degraded
+// re-planning) instead of assuming a perfect chip.
+struct TopologyHealth {
+  std::vector<int> failed_cores;                  // Persistently disabled cores.
+  std::vector<std::pair<int, int>> failed_links;  // Persistently down src->dst links.
+
+  bool degraded() const { return !failed_cores.empty() || !failed_links.empty(); }
+};
 
 // An inter-core connected intelligence processor: `num_cores` cores, each
 // with a private scratchpad of `core_memory_bytes`, connected all-to-all at
@@ -27,8 +40,22 @@ struct ChipSpec {
   std::int64_t shift_buffer_bytes = 0;  // Pseudo-shift temp buffer (paper §5).
   double offchip_bandwidth = 0.0;     // Host/off-chip DDR streaming, bytes/sec.
   int amp_alignment = 16;             // Matrix-unit tile alignment (paper §4.3.1).
+  TopologyHealth health;              // Failed cores/links (empty = pristine).
 
   int num_chips() const { return cores_per_chip == 0 ? 1 : num_cores / cores_per_chip; }
+
+  // Cores that survive the health mask. A persistently failed directed link
+  // is degraded to core-down of its destination endpoint (documented policy:
+  // on an all-to-all fabric, excluding one endpoint is the cheapest way to
+  // guarantee no ring routes over the dead link).
+  int UsableCores() const;
+  // Identities of the surviving cores, ascending. This is the logical ->
+  // physical core map for plans compiled against SurvivingSpec().
+  std::vector<int> UsableCoreIds() const;
+  // The chip the degraded re-planner searches over: same per-core numbers,
+  // num_cores = UsableCores(), health cleared. Plans compiled against it use
+  // logical cores 0..UsableCores()-1, mapped to hardware via UsableCoreIds().
+  ChipSpec SurvivingSpec() const;
 
   // Peak FP16 FLOP/s of the whole device.
   double TotalFlops() const { return core_flops * num_cores; }

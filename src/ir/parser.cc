@@ -49,14 +49,20 @@ std::vector<Line> Tokenize(const std::string& text) {
   return lines;
 }
 
+// Reads a line's arguments, recording the first malformed one in `*error_`
+// instead of aborting. On error the readers return benign placeholders so
+// the caller can finish the line cheaply and then discard it — the op built
+// from placeholders never reaches the graph.
 class LineReader {
  public:
-  explicit LineReader(const Line& line) : line_(line) {}
+  LineReader(const Line& line, Status* error) : line_(line), error_(error) {}
 
   std::string Str(const std::string& key) const {
     auto it = line_.args.find(key);
-    T10_CHECK(it != line_.args.end())
-        << "line " << line_.number << ": missing argument '" << key << "'";
+    if (it == line_.args.end()) {
+      Fail("missing argument '" + key + "'");
+      return "_missing";
+    }
     return it->second;
   }
 
@@ -65,12 +71,23 @@ class LineReader {
     return it == line_.args.end() ? fallback : it->second;
   }
 
+  // All integer arguments in the format are dimensions; zero and negative
+  // values are as malformed as non-numbers.
   std::int64_t Int(const std::string& key) const {
     const std::string value = Str(key);
+    if (!error_->ok()) {
+      return 1;
+    }
     char* end = nullptr;
     std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
-    T10_CHECK(end != nullptr && *end == '\0')
-        << "line " << line_.number << ": bad integer '" << value << "' for " << key;
+    if (end == value.c_str() || *end != '\0') {
+      Fail("bad integer '" + value + "' for " + key);
+      return 1;
+    }
+    if (parsed <= 0) {
+      Fail(key + " must be positive, got " + value);
+      return 1;
+    }
     return parsed;
   }
 
@@ -79,26 +96,50 @@ class LineReader {
     if (it == line_.args.end()) {
       return fallback;
     }
-    return std::strtod(it->second.c_str(), nullptr);
+    char* end = nullptr;
+    double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      Fail("bad number '" + it->second + "' for " + key);
+      return fallback;
+    }
+    return parsed;
   }
 
-  DataType Dtype() const { return DataTypeFromName(StrOr("dtype", "f16")); }
+  DataType Dtype() const {
+    const std::string name = StrOr("dtype", "f16");
+    if (name != "f16" && name != "f32" && name != "i32") {
+      Fail("unknown dtype '" + name + "'");
+      return DataType::kF32;
+    }
+    return DataTypeFromName(name);
+  }
 
   std::vector<std::int64_t> Shape(const std::string& key) const {
     std::vector<std::int64_t> shape;
     std::string value = Str(key);
+    if (!error_->ok()) {
+      return {1};
+    }
     std::size_t pos = 0;
     while (pos < value.size()) {
       std::size_t x = value.find('x', pos);
       std::string part = value.substr(pos, x == std::string::npos ? std::string::npos : x - pos);
-      shape.push_back(std::strtoll(part.c_str(), nullptr, 10));
-      T10_CHECK_GT(shape.back(), 0) << "line " << line_.number << ": bad shape " << value;
+      char* end = nullptr;
+      std::int64_t dim = std::strtoll(part.c_str(), &end, 10);
+      if (end == part.c_str() || *end != '\0' || dim <= 0) {
+        Fail("bad shape '" + value + "' for " + key);
+        return {1};
+      }
+      shape.push_back(dim);
       if (x == std::string::npos) {
         break;
       }
       pos = x + 1;
     }
-    T10_CHECK(!shape.empty()) << "line " << line_.number;
+    if (shape.empty()) {
+      Fail("empty shape for " + key);
+      return {1};
+    }
     return shape;
   }
 
@@ -123,17 +164,26 @@ class LineReader {
   }
 
  private:
+  void Fail(const std::string& what) const {
+    if (error_->ok()) {  // Keep the first error; later ones are noise.
+      *error_ = InvalidArgumentError("line " + std::to_string(line_.number) + ": " + what);
+    }
+  }
+
   const Line& line_;
+  Status* error_;
 };
 
 }  // namespace
 
-Graph ParseModelText(const std::string& text) {
+StatusOr<Graph> TryParseModelText(const std::string& text) {
   std::vector<Line> lines = Tokenize(text);
   std::string model_name = "model";
   std::vector<std::pair<Operator, std::vector<std::string>>> ops;
+  std::vector<std::pair<int, std::string>> weights_by_line;
   for (const Line& line : lines) {
-    LineReader r(line);
+    Status error;
+    LineReader r(line, &error);
     if (line.verb == "model") {
       model_name = r.StrOr("_pos", model_name);
       continue;
@@ -176,25 +226,55 @@ Graph ParseModelText(const std::string& text) {
                                 r.Str("out")),
                        weights);
     } else {
-      T10_CHECK(false) << "line " << line.number << ": unknown directive '" << line.verb << "'";
+      return InvalidArgumentError("line " + std::to_string(line.number) +
+                                  ": unknown directive '" + line.verb + "'");
+    }
+    T10_RETURN_IF_ERROR(error);
+    for (const std::string& w : ops.back().second) {
+      weights_by_line.emplace_back(line.number, w);
     }
   }
   Graph graph(model_name);
   for (auto& [op, weights] : ops) {
     graph.Add(std::move(op));
-    for (const std::string& w : weights) {
-      graph.MarkWeight(w);
+  }
+  // Weight markers are validated against the finished graph: the tensor must
+  // exist and must not be produced by an op (Graph::MarkWeight CHECKs both,
+  // but a typo in model text is the caller's error, not ours).
+  for (const auto& [number, w] : weights_by_line) {
+    if (!graph.HasTensor(w)) {
+      return InvalidArgumentError("line " + std::to_string(number) + ": weight '" + w +
+                                  "' names an unknown tensor");
     }
+    if (graph.tensor(w).producer >= 0) {
+      return InvalidArgumentError("line " + std::to_string(number) + ": weight '" + w +
+                                  "' is produced by an op and cannot be a weight");
+    }
+    graph.MarkWeight(w);
   }
   return graph;
 }
 
-Graph ParseModelFile(const std::string& path) {
+StatusOr<Graph> TryParseModelFile(const std::string& path) {
   std::ifstream file(path);
-  T10_CHECK(file.good()) << "cannot open model file " << path;
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open model file " + path);
+  }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ParseModelText(buffer.str());
+  return TryParseModelText(buffer.str());
+}
+
+Graph ParseModelText(const std::string& text) {
+  StatusOr<Graph> graph = TryParseModelText(text);
+  T10_CHECK(graph.ok()) << graph.status().message();
+  return *std::move(graph);
+}
+
+Graph ParseModelFile(const std::string& path) {
+  StatusOr<Graph> graph = TryParseModelFile(path);
+  T10_CHECK(graph.ok()) << graph.status().message();
+  return *std::move(graph);
 }
 
 }  // namespace t10

@@ -19,15 +19,22 @@
 #include <string>
 
 #include "src/ir/graph.h"
+#include "src/util/status.h"
 
 namespace t10 {
 
-// Parses the text format into a Graph. CHECK-fails with a line number on
-// malformed input (this is a developer-facing tool, not an untrusted-input
-// parser).
-Graph ParseModelText(const std::string& text);
+// Parses the text format into a Graph. Malformed input — unknown directives,
+// missing or non-integer arguments, non-positive dimensions, bad shapes,
+// unknown dtypes, weight markers naming unknown or produced tensors — is a
+// kInvalidArgument error whose message starts with "line <N>: ".
+StatusOr<Graph> TryParseModelText(const std::string& text);
 
-// Reads a file and parses it.
+// Reads a file and parses it; an unreadable file is kInvalidArgument.
+StatusOr<Graph> TryParseModelFile(const std::string& path);
+
+// Legacy CHECK-failing wrappers for callers that treat the model text as
+// trusted developer input (tests, baked-in demo models).
+Graph ParseModelText(const std::string& text);
 Graph ParseModelFile(const std::string& path);
 
 }  // namespace t10

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "src/sim/trace.h"
 #include "src/util/logging.h"
@@ -17,7 +18,14 @@ Machine::Machine(const ChipSpec& spec)
           obs::MetricsRegistry::Global().GetCounter("sim.machine.rotation_steps")),
       metric_copies_(obs::MetricsRegistry::Global().GetCounter("sim.machine.copies")),
       metric_scratch_peak_(
-          obs::MetricsRegistry::Global().GetGauge("sim.machine.scratchpad_peak_bytes")) {
+          obs::MetricsRegistry::Global().GetGauge("sim.machine.scratchpad_peak_bytes")),
+      metric_fault_retries_(obs::MetricsRegistry::Global().GetCounter("sim.fault.retries")),
+      metric_fault_checksum_failures_(
+          obs::MetricsRegistry::Global().GetCounter("sim.fault.checksum_failures")),
+      metric_fault_blocked_(
+          obs::MetricsRegistry::Global().GetCounter("sim.fault.blocked_transfers")),
+      metric_fault_penalty_(
+          obs::MetricsRegistry::Global().GetGauge("sim.fault.penalty_seconds")) {
   T10_CHECK_GT(spec_.num_cores, 0);
   memories_.reserve(spec_.num_cores);
   storage_.reserve(spec_.num_cores);
@@ -28,13 +36,19 @@ Machine::Machine(const ChipSpec& spec)
   }
 }
 
-BufferHandle Machine::Allocate(int core, std::int64_t bytes) {
+StatusOr<BufferHandle> Machine::Allocate(int core, std::int64_t bytes) {
   T10_CHECK_GE(core, 0);
   T10_CHECK_LT(core, num_cores());
+  if (faults_ != nullptr && !faults_->core_up(core)) {
+    return UnavailableError("core " + std::to_string(core) + " is marked failed");
+  }
   std::optional<std::int64_t> offset = memories_[core].Allocate(bytes);
-  T10_CHECK(offset.has_value()) << "core " << core << " out of scratchpad memory allocating "
-                                << bytes << "B (used " << memories_[core].used_bytes() << "/"
-                                << memories_[core].capacity() << ")";
+  if (!offset.has_value()) {
+    std::ostringstream message;
+    message << "core " << core << " out of scratchpad memory allocating " << bytes << "B (used "
+            << memories_[core].used_bytes() << "/" << memories_[core].capacity() << ")";
+    return ResourceExhaustedError(message.str());
+  }
   metric_scratch_peak_.SetMax(static_cast<double>(memories_[core].peak_bytes()));
   return BufferHandle{core, *offset, bytes};
 }
@@ -77,6 +91,60 @@ void Machine::TraceTraffic(int core) {
                      static_cast<double>(bytes_sent_[core]));
 }
 
+void Machine::AddPenalty(double seconds) {
+  fault_penalty_seconds_ += seconds;
+  metric_fault_penalty_.Set(fault_penalty_seconds_);
+}
+
+Status Machine::LinkStatus(int src_core, int dst_core) const {
+  if (faults_ == nullptr) {
+    return Status::Ok();
+  }
+  if (!faults_->core_up(src_core)) {
+    return UnavailableError("core " + std::to_string(src_core) + " is marked failed");
+  }
+  if (!faults_->core_up(dst_core)) {
+    return UnavailableError("core " + std::to_string(dst_core) + " is marked failed");
+  }
+  if (!faults_->link_up(src_core, dst_core)) {
+    return UnavailableError("link " + std::to_string(src_core) + "->" +
+                            std::to_string(dst_core) + " is marked failed");
+  }
+  return Status::Ok();
+}
+
+void Machine::Deliver(int src_core, int dst_core, const std::byte* src, std::byte* dst,
+                      std::int64_t len) {
+  if (faults_ != nullptr && !LinkStatus(src_core, dst_core).ok()) {
+    // A downed link transmits nothing; no traffic, no delivery.
+    metric_fault_blocked_.Increment();
+    return;
+  }
+  bytes_sent_[src_core] += len;
+  metric_bytes_sent_.Add(len);
+  if (faults_ == nullptr) {
+    std::memcpy(dst, src, static_cast<std::size_t>(len));
+    return;
+  }
+  const fault::FaultDecision decision = faults_->OnTransfer(src_core, dst_core, len);
+  switch (decision.kind) {
+    case fault::FaultKind::kDrop:
+      return;  // Link time spent, payload lost.
+    case fault::FaultKind::kStall:
+      std::memcpy(dst, src, static_cast<std::size_t>(len));
+      AddPenalty(decision.penalty_seconds);
+      return;
+    case fault::FaultKind::kCorrupt:
+    case fault::FaultKind::kBitFlip:
+      std::memcpy(dst, src, static_cast<std::size_t>(len));
+      dst[decision.byte_offset] ^= static_cast<std::byte>(decision.xor_mask);
+      return;
+    case fault::FaultKind::kNone:
+      std::memcpy(dst, src, static_cast<std::size_t>(len));
+      return;
+  }
+}
+
 void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
   if (ring.size() < 2) {
     return;
@@ -103,10 +171,8 @@ void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
     // Phase 2 (after a barrier on hardware): deliver to the downstream slot.
     for (int i = 0; i < n; ++i) {
       const int dst = (i + 1) % n;
-      std::memcpy(Data(ring[dst]) + pos, temp[i].data(), len);
-      bytes_sent_[ring[i].core] += len;
+      Deliver(ring[i].core, ring[dst].core, temp[i].data(), Data(ring[dst]) + pos, len);
     }
-    metric_bytes_sent_.Add(static_cast<std::int64_t>(n) * len);
   }
   if (trace_ != nullptr) {
     ++trace_tick_;
@@ -116,20 +182,111 @@ void Machine::RotateRing(const std::vector<BufferHandle>& ring) {
   }
 }
 
+Status Machine::RotateRingReliable(const std::vector<BufferHandle>& ring,
+                                   const RetryPolicy& policy) {
+  if (ring.size() < 2) {
+    return Status::Ok();
+  }
+  const std::int64_t bytes = ring.front().bytes;
+  for (const BufferHandle& h : ring) {
+    T10_CHECK(h.valid());
+    T10_CHECK_EQ(h.bytes, bytes) << "ring buffers must be homogeneous";
+  }
+  const int n = static_cast<int>(ring.size());
+  // A ring crossing a downed element cannot complete; fail before moving data.
+  for (int i = 0; i < n; ++i) {
+    T10_RETURN_IF_ERROR(LinkStatus(ring[i].core, ring[(i + 1) % n].core));
+  }
+  const std::int64_t chunk = std::min<std::int64_t>(bytes, spec_.shift_buffer_bytes);
+  T10_CHECK_GT(chunk, 0);
+
+  metric_rotations_.Increment();
+  std::vector<std::vector<std::byte>> temp(n, std::vector<std::byte>(chunk));
+  for (std::int64_t pos = 0; pos < bytes; pos += chunk) {
+    const std::int64_t len = std::min(chunk, bytes - pos);
+    metric_rotation_steps_.Increment();
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(temp[i].data(), Data(ring[i]) + pos, len);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int dst = (i + 1) % n;
+      const std::uint64_t want = fault::Checksum(temp[i].data(), len);
+      bool delivered = false;
+      for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+        Deliver(ring[i].core, ring[dst].core, temp[i].data(), Data(ring[dst]) + pos, len);
+        if (fault::Checksum(Data(ring[dst]) + pos, len) == want) {
+          delivered = true;
+          break;
+        }
+        metric_fault_checksum_failures_.Increment();
+        if (attempt < policy.max_retries) {
+          ++fault_retries_;
+          metric_fault_retries_.Increment();
+          AddPenalty(policy.backoff_base_seconds * static_cast<double>(1LL << attempt));
+        }
+      }
+      if (!delivered) {
+        std::ostringstream message;
+        message << "ring hop " << ring[i].core << "->" << ring[dst].core << " failed after "
+                << policy.max_retries + 1 << " attempts";
+        return DataLossError(message.str());
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    ++trace_tick_;
+    for (const BufferHandle& h : ring) {
+      TraceTraffic(h.core);
+    }
+  }
+  return Status::Ok();
+}
+
 void Machine::Copy(const BufferHandle& src, const BufferHandle& dst) {
   T10_CHECK(src.valid());
   T10_CHECK(dst.valid());
   T10_CHECK_LE(src.bytes, dst.bytes);
-  std::memcpy(Data(dst), Data(src), src.bytes);
   metric_copies_.Increment();
+  if (src.core == dst.core) {
+    std::memmove(Data(dst), Data(src), src.bytes);
+    return;
+  }
+  Deliver(src.core, dst.core, Data(src), Data(dst), src.bytes);
+  if (trace_ != nullptr) {
+    ++trace_tick_;
+    TraceTraffic(src.core);
+  }
+}
+
+Status Machine::CopyReliable(const BufferHandle& src, const BufferHandle& dst,
+                             const RetryPolicy& policy) {
+  T10_CHECK(src.valid());
+  T10_CHECK(dst.valid());
+  T10_CHECK_LE(src.bytes, dst.bytes);
   if (src.core != dst.core) {
-    bytes_sent_[src.core] += src.bytes;
-    metric_bytes_sent_.Add(src.bytes);
-    if (trace_ != nullptr) {
-      ++trace_tick_;
-      TraceTraffic(src.core);
+    const Status link = LinkStatus(src.core, dst.core);
+    if (!link.ok()) {
+      metric_fault_blocked_.Increment();
+      return link;
     }
   }
+  const std::uint64_t want = fault::Checksum(Data(src), src.bytes);
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    Copy(src, dst);
+    if (fault::Checksum(Data(dst), src.bytes) == want) {
+      return Status::Ok();
+    }
+    metric_fault_checksum_failures_.Increment();
+    if (attempt < policy.max_retries) {
+      ++fault_retries_;
+      metric_fault_retries_.Increment();
+      AddPenalty(policy.backoff_base_seconds * static_cast<double>(1LL << attempt));
+    }
+  }
+  std::ostringstream message;
+  message << "transfer " << src.core << "->" << dst.core << " (" << src.bytes
+          << "B) failed after " << policy.max_retries + 1 << " attempts";
+  return DataLossError(message.str());
 }
 
 std::int64_t Machine::bytes_sent(int core) const {

@@ -4,6 +4,14 @@
 // compute-shift execution plans produce bit-identical results to a
 // single-core reference; the bounded-buffer ring rotation reproduces the
 // pseudo-shift mechanism of paper §5.
+//
+// The fabric is optionally imperfect: attaching a fault::FaultInjector
+// (AttachFaults) makes every inter-core transfer subject to the injector's
+// deterministic fault schedule. Raw transfers (Copy / RotateRing) suffer
+// those faults silently, exactly as unprotected hardware would; the reliable
+// variants (CopyReliable / RotateRingReliable) checksum every delivery and
+// retry transient damage with exponential backoff, accounting the retries as
+// extra traffic and the backoff as simulated penalty time.
 
 #ifndef T10_SRC_SIM_MACHINE_H_
 #define T10_SRC_SIM_MACHINE_H_
@@ -12,9 +20,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
 #include "src/hardware/chip_spec.h"
 #include "src/obs/metrics.h"
 #include "src/sim/local_memory.h"
+#include "src/util/status.h"
 
 namespace t10 {
 
@@ -29,6 +39,14 @@ struct BufferHandle {
   bool valid() const { return core >= 0; }
 };
 
+// Bounded retry with exponential backoff for the reliable-transfer layer:
+// attempt k (0-based) that fails costs backoff_base_seconds * 2^k of
+// simulated penalty time before the next try.
+struct RetryPolicy {
+  int max_retries = 4;
+  double backoff_base_seconds = 1e-6;
+};
+
 class Machine {
  public:
   explicit Machine(const ChipSpec& spec);
@@ -36,10 +54,12 @@ class Machine {
   const ChipSpec& spec() const { return spec_; }
   int num_cores() const { return spec_.num_cores; }
 
-  // Allocates `bytes` in `core`'s scratchpad; CHECK-fails if the core is out
-  // of memory (a plan whose footprint exceeds capacity must have been
-  // rejected by the compiler, so running out here is a bug).
-  BufferHandle Allocate(int core, std::int64_t bytes);
+  // Allocates `bytes` in `core`'s scratchpad. Out-of-memory and allocation
+  // on a persistently failed core are operational errors a caller may
+  // recover from (degraded re-planning, plan rejection), so they return a
+  // non-OK Status instead of aborting. Core-index bounds remain CHECKed —
+  // an out-of-range core is a bug, not a condition.
+  StatusOr<BufferHandle> Allocate(int core, std::int64_t bytes);
   void Free(const BufferHandle& handle);
 
   // Raw access to the bytes behind a handle.
@@ -53,12 +73,39 @@ class Machine {
   // call, buffer[i] holds what buffer[i-1] held (indices mod ring size). The
   // data movement goes through a bounded per-core temporary buffer of
   // `spec.shift_buffer_bytes`, in as many iterations as needed, mirroring the
-  // multi-copy shift of §5. Accounts the traffic per core.
+  // multi-copy shift of §5. Accounts the traffic per core. With faults
+  // attached, injected damage lands silently (no integrity checking).
   void RotateRing(const std::vector<BufferHandle>& ring);
 
   // Point-to-point copy between cores (used for setup phases and layout
-  // transitions). Accounts traffic on both endpoints.
+  // transitions). Accounts traffic on both endpoints. With faults attached,
+  // injected damage lands silently.
   void Copy(const BufferHandle& src, const BufferHandle& dst);
+
+  // Checksummed copy: verifies an FNV checksum of the delivered bytes and
+  // retries transient damage per `policy`, charging each backoff to
+  // fault_penalty_seconds() and each re-send to the traffic counters.
+  // Returns kUnavailable for persistently failed endpoints/links (no point
+  // retrying) and kDataLoss when retries are exhausted.
+  Status CopyReliable(const BufferHandle& src, const BufferHandle& dst,
+                      const RetryPolicy& policy = {});
+
+  // RotateRing with per-hop checksums and bounded retry, same error
+  // contract as CopyReliable. A ring crossing a downed link or core is
+  // kUnavailable before any data moves.
+  Status RotateRingReliable(const std::vector<BufferHandle>& ring,
+                            const RetryPolicy& policy = {});
+
+  // Attaches a deterministic fault injector; nullptr detaches (perfect
+  // fabric, the default). The injector must outlive the machine or be
+  // detached first.
+  void AttachFaults(fault::FaultInjector* injector) { faults_ = injector; }
+  fault::FaultInjector* faults() const { return faults_; }
+
+  // Simulated seconds lost to retry backoff and stalled transfers.
+  double fault_penalty_seconds() const { return fault_penalty_seconds_; }
+  // Checksummed transfers that needed at least one re-send.
+  std::int64_t fault_retries() const { return fault_retries_; }
 
   // Total bytes each core has sent over inter-core links.
   std::int64_t bytes_sent(int core) const;
@@ -84,6 +131,17 @@ class Machine {
  private:
   void TraceTraffic(int core);
 
+  // One fault-aware link delivery of `len` bytes: accounts traffic, asks the
+  // injector for this event's fate, applies corruption/stall, and skips the
+  // write entirely for drops and downed links.
+  void Deliver(int src_core, int dst_core, const std::byte* src, std::byte* dst,
+               std::int64_t len);
+
+  // Non-OK when either endpoint or the directed link is persistently down.
+  Status LinkStatus(int src_core, int dst_core) const;
+
+  void AddPenalty(double seconds);
+
   ChipSpec spec_;
   std::vector<LocalMemory> memories_;
   // One backing store per core; buffers address into it by offset.
@@ -91,6 +149,9 @@ class Machine {
   std::vector<std::int64_t> bytes_sent_;
   TraceWriter* trace_ = nullptr;
   std::int64_t trace_tick_ = 0;
+  fault::FaultInjector* faults_ = nullptr;
+  double fault_penalty_seconds_ = 0.0;
+  std::int64_t fault_retries_ = 0;
 
   // Registry handles are resolved once: the rotation inner loop must not
   // pay a map lookup per call.
@@ -99,6 +160,10 @@ class Machine {
   obs::Counter& metric_rotation_steps_;
   obs::Counter& metric_copies_;
   obs::Gauge& metric_scratch_peak_;
+  obs::Counter& metric_fault_retries_;
+  obs::Counter& metric_fault_checksum_failures_;
+  obs::Counter& metric_fault_blocked_;
+  obs::Gauge& metric_fault_penalty_;
 };
 
 }  // namespace t10

@@ -1,0 +1,164 @@
+// Lightweight recoverable-error handling: t10::Status and t10::StatusOr<T>.
+//
+// Historically every failure in the repository was a CHECK-abort, which is
+// right for programming errors but wrong for operational conditions a caller
+// can react to: scratchpad exhaustion on a live machine, fault-retry
+// exhaustion during fault-tolerant execution, malformed model text fed to
+// t10c. Those paths now return Status/StatusOr so the CLI can exit with a
+// distinct code (and the fault-tolerant executor can roll back) instead of
+// aborting the process. CHECKs remain for invariants that indicate bugs.
+
+#ifndef T10_SRC_UTIL_STATUS_H_
+#define T10_SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // Caller-supplied data is malformed (parser, flags).
+  kFailedPrecondition,  // Operation not valid in the current state.
+  kResourceExhausted,   // Out of scratchpad memory / capacity.
+  kUnavailable,         // Persistent fault: downed core or link.
+  kDataLoss,            // Transient-fault retries exhausted; data not delivered.
+  kInternal,            // Invariant violation surfaced as an error.
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: ring transfer 3->4 failed after 5 attempts".
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// A Status or a value of type T. Accessing the value of a non-OK StatusOr
+// CHECK-fails (that is a bug in the caller, not an operational error).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    T10_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    T10_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    T10_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    T10_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// Propagates a non-OK Status out of the enclosing function.
+#define T10_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::t10::Status t10_status_tmp_ = (expr);  \
+    if (!t10_status_tmp_.ok()) {             \
+      return t10_status_tmp_;                \
+    }                                        \
+  } while (false)
+
+// Unwraps a StatusOr into `lhs`, propagating a non-OK status.
+#define T10_ASSIGN_OR_RETURN(lhs, expr) \
+  T10_ASSIGN_OR_RETURN_IMPL_(T10_STATUS_CONCAT_(t10_statusor_, __LINE__), lhs, expr)
+
+#define T10_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = *std::move(tmp)
+
+#define T10_STATUS_CONCAT_(a, b) T10_STATUS_CONCAT_IMPL_(a, b)
+#define T10_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_STATUS_H_

@@ -186,6 +186,15 @@ VerifyResult Verifier::VerifyPlan(const ExecutionPlan& plan) const {
         << "plan uses " << plan.cores_used() << " cores but the chip has "
         << chip_.num_cores;
   }
+  // plan.degraded-cores: on a chip with a topology health mask, the plan
+  // must fit the *surviving* cores — a plan that spans a downed core would
+  // stall on its first shift (degraded re-planning contract).
+  if (chip_.health.degraded() && plan.cores_used() > chip_.UsableCores()) {
+    DiagnosticBuilder(result, "plan.degraded-cores", op.name())
+            .Hint("recompile against chip.SurvivingSpec() and run with its core map")
+        << "plan uses " << plan.cores_used() << " cores but only " << chip_.UsableCores()
+        << " of " << chip_.num_cores << " survive the health mask";
+  }
   for (std::size_t a = 0; a < axes.size(); ++a) {
     const std::int64_t s = plan.fop()[a];
     if (s < 1 || s > axes[a].length || slice[a] != CeilDiv(axes[a].length, s)) {

@@ -47,7 +47,7 @@ void CheckProgram(const Operator& op, const std::vector<std::int64_t>& fop,
   ProgramExecutor executor(machine, *plan);
   std::vector<HostTensor> inputs = RandomInputs(op, 21);
   ProgramRunStats stats;
-  HostTensor got = executor.Run(inputs, &stats);
+  HostTensor got = *executor.Run(inputs, &stats);
   HostTensor want = ReferenceExecute(op, inputs);
   ExpectTensorsNear(got, want);
   EXPECT_EQ(stats.steps, plan->total_steps());
@@ -176,7 +176,7 @@ TEST(ProgramExecutorTest, TinyShiftBufferStillCorrect) {
   ProgramExecutor executor(machine, *plan);
   std::vector<HostTensor> inputs = RandomInputs(op, 5);
   ProgramRunStats stats;
-  HostTensor got = executor.Run(inputs, &stats);
+  HostTensor got = *executor.Run(inputs, &stats);
   ExpectTensorsNear(got, ReferenceExecute(op, inputs));
   EXPECT_GT(stats.shift_rounds, stats.steps);  // Chunking happened.
 }
@@ -189,7 +189,7 @@ TEST(ProgramExecutorTest, TrafficMatchesMachineCounters) {
   ProgramExecutor executor(machine, *plan);
   std::vector<HostTensor> inputs = RandomInputs(op, 9);
   ProgramRunStats stats;
-  executor.Run(inputs, &stats);
+  ASSERT_TRUE(executor.Run(inputs, &stats).ok());
   // Every core sends program.BytesSentPerCore() minus the host-merged
   // epilogue; with 6 cores:
   EXPECT_EQ(stats.bytes_sent_total,
@@ -223,7 +223,7 @@ TEST_P(SearchedProgramsExecute, MatchesReference) {
   Machine machine(chip);
   for (const PlanCandidate& candidate : result.pareto) {
     ProgramExecutor executor(machine, candidate.plan);
-    HostTensor got = executor.Run(inputs);
+    HostTensor got = *executor.Run(inputs);
     ExpectTensorsNear(got, want);
   }
 }

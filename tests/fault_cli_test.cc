@@ -1,0 +1,95 @@
+// Exit-code and output contract of `t10c --faults`: a recoverable transient
+// campaign exits 0 and reports bit-identical ops, malformed specs are flag
+// errors (exit 2), persistent faults trigger a degraded re-plan, and the
+// campaign summary line is byte-identical run to run under a fixed seed.
+// Exit 4 is reserved for operational campaign failures. The binary path is
+// injected by CMake as T10_T10C_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace t10 {
+namespace {
+
+int RunT10c(const std::string& args) {
+  const std::string command = std::string(T10_T10C_BIN) + " " + args;
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string contents;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) {
+    return contents;
+  }
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+// Everything from "fault campaign" on: the campaign report is deterministic,
+// while the compile report above it contains wall-clock timings.
+std::string CampaignSection(const std::string& output) {
+  const std::size_t start = output.find("fault campaign");
+  return start == std::string::npos ? std::string() : output.substr(start);
+}
+
+TEST(FaultCliTest, TransientCampaignRecoversAndExitsZero) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_faults_out.txt";
+  ASSERT_EQ(RunT10c("--demo --faults corrupt=0.01,seed=7 > " + out_path + " 2>/dev/null"), 0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("fault campaign"), std::string::npos) << output;
+  EXPECT_NE(output.find("bit-identical"), std::string::npos) << output;
+  EXPECT_EQ(output.find("MISMATCH"), std::string::npos) << output;
+}
+
+TEST(FaultCliTest, MalformedSpecIsFlagError) {
+  EXPECT_EQ(RunT10c("--demo --faults bogus=1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --faults corrupt=2.0 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --faults link_down=3 > /dev/null 2>&1"), 2);
+}
+
+TEST(FaultCliTest, MalformedFailedCoresIsFlagError) {
+  EXPECT_EQ(RunT10c("--demo --failed-cores 1,x > /dev/null 2>&1"), 2);
+}
+
+TEST(FaultCliTest, CoreDownTriggersDegradedReplan) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_degraded_out.txt";
+  ASSERT_EQ(RunT10c("--demo --faults corrupt=0.005,seed=11,core_down=3 > " + out_path +
+                    " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("degraded re-plan"), std::string::npos) << output;
+  EXPECT_NE(output.find("bit-identical"), std::string::npos) << output;
+}
+
+TEST(FaultCliTest, FailedCoresFlagAloneRunsDegradedCampaign) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_failed_cores_out.txt";
+  ASSERT_EQ(RunT10c("--demo --failed-cores 1,5,9 > " + out_path + " 2>/dev/null"), 0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("degraded re-plan"), std::string::npos) << output;
+}
+
+TEST(FaultCliTest, FixedSeedCampaignOutputIsDeterministic) {
+  const std::string out_a = ::testing::TempDir() + "/t10c_det_a.txt";
+  const std::string out_b = ::testing::TempDir() + "/t10c_det_b.txt";
+  const std::string args = "--demo --faults corrupt=0.01,drop=0.002,stall=0.002 --fault-seed 42";
+  ASSERT_EQ(RunT10c(args + " > " + out_a + " 2>/dev/null"), 0);
+  ASSERT_EQ(RunT10c(args + " > " + out_b + " 2>/dev/null"), 0);
+  const std::string a = CampaignSection(ReadFile(out_a));
+  const std::string b = CampaignSection(ReadFile(out_b));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,236 @@
+// Fault-tolerant byte-level execution: a multi-step compute-shift program
+// run under injected transient faults must end bit-identical to the
+// fault-free run (checksum retry for isolated damage, checkpoint rollback
+// for retry exhaustion), persistent faults must surface as kUnavailable,
+// and a plan recompiled for the surviving topology must execute correctly
+// through a core map that routes around the downed core. Burst faults
+// (FaultSpec::burst_corrupt) make every schedule exact, so the retry and
+// rollback counters are asserted, not just bounded.
+
+#include "src/core/program_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/fault/fault_plan.h"
+#include "src/ir/builder.h"
+
+namespace t10 {
+namespace {
+
+ChipSpec TinyChip(int cores) {
+  ChipSpec chip = ChipSpec::IpuMk2();
+  chip.name = "tiny";
+  chip.num_cores = cores;
+  chip.cores_per_chip = cores;
+  return chip;
+}
+
+// Figure 7's 2x3-core matmul: 3 steps, both inputs rotate every step, so
+// transient faults on the shift path hit real data.
+const Operator& Figure7Op() {
+  static const Operator* op =
+      new Operator(MatMulOp("mm", 2, 6, 3, DataType::kF32, "A", "B", "C"));
+  return *op;
+}
+
+ExecutionPlan Figure7Plan() {
+  auto plan = ExecutionPlan::Create(Figure7Op(), {2, 3, 1}, {{1, 3}, {2, 1}, {1, 1}});
+  EXPECT_TRUE(plan.has_value());
+  return *plan;
+}
+
+std::vector<HostTensor> Inputs(std::uint64_t seed = 77) {
+  const Operator& op = Figure7Op();
+  std::vector<HostTensor> inputs;
+  for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+    inputs.push_back(RandomHostTensor(TensorShape(op.axes(), op.inputs()[i]), seed + i));
+  }
+  return inputs;
+}
+
+// The fault-free bytes every protected run must reproduce exactly.
+HostTensor CleanRun(const ExecutionPlan& plan, const std::vector<HostTensor>& inputs) {
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  return *ProgramExecutor(machine, plan).Run(inputs);
+}
+
+bool BitIdentical(const HostTensor& a, const HostTensor& b) {
+  return a.shape == b.shape && a.data.size() == b.data.size() &&
+         std::memcmp(a.data.data(), b.data.data(), a.data.size() * sizeof(float)) == 0;
+}
+
+TEST(FaultExecutionTest, TransientCorruptionRecoversBitIdentically) {
+  ExecutionPlan plan = Figure7Plan();
+  const std::vector<HostTensor> inputs = Inputs();
+  const HostTensor want = CleanRun(plan, inputs);
+
+  fault::FaultSpec spec;
+  spec.burst_corrupt = 2;  // First delivery damaged twice, then clean.
+  fault::FaultInjector injector(spec);
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  machine.AttachFaults(&injector);
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ProgramExecutor executor(machine, plan, ft);
+  ProgramRunStats stats;
+  StatusOr<HostTensor> got = executor.Run(inputs, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(BitIdentical(*got, want));
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.rollbacks, 0);
+  EXPECT_GE(stats.checkpoints, 1);
+  // Backoff for the two failed attempts: 1us * (2^0 + 2^1).
+  EXPECT_DOUBLE_EQ(stats.fault_penalty_seconds, 3e-6);
+}
+
+TEST(FaultExecutionTest, RetryExhaustionRollsBackAndRecovers) {
+  ExecutionPlan plan = Figure7Plan();
+  const std::vector<HostTensor> inputs = Inputs();
+  const HostTensor want = CleanRun(plan, inputs);
+
+  // Default retry budget is 5 attempts per delivery. Six burst-corrupted
+  // events exhaust the first delivery (-> kDataLoss -> rollback), then the
+  // re-execution eats event 5 and succeeds on event 6.
+  fault::FaultSpec spec;
+  spec.burst_corrupt = 6;
+  fault::FaultInjector injector(spec);
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  machine.AttachFaults(&injector);
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ProgramExecutor executor(machine, plan, ft);
+  ProgramRunStats stats;
+  StatusOr<HostTensor> got = executor.Run(inputs, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(BitIdentical(*got, want));
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_EQ(stats.retries, 5);  // 4 before exhaustion + 1 after restart.
+  EXPECT_GE(stats.checkpoints, 2);  // Initial snapshot + re-save after rollback.
+}
+
+TEST(FaultExecutionTest, RollbackBudgetExhaustionIsDataLoss) {
+  ExecutionPlan plan = Figure7Plan();
+  fault::FaultSpec spec;
+  spec.burst_corrupt = 1000000;  // Every event damaged: unrecoverable.
+  fault::FaultInjector injector(spec);
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  machine.AttachFaults(&injector);
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ft.max_rollbacks = 2;
+  ProgramRunStats stats;
+  StatusOr<HostTensor> got = ProgramExecutor(machine, plan, ft).Run(Inputs(), &stats);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(got.status().message().find("rollback"), std::string::npos)
+      << got.status().ToString();
+  EXPECT_EQ(stats.rollbacks, 2);
+  // All buffers released despite the error path.
+  for (int c = 0; c < machine.num_cores(); ++c) {
+    EXPECT_EQ(machine.memory(c).used_bytes(), 0) << "core " << c;
+  }
+}
+
+TEST(FaultExecutionTest, UnprotectedExecutionIsSilentlyWrong) {
+  ExecutionPlan plan = Figure7Plan();
+  const std::vector<HostTensor> inputs = Inputs();
+  const HostTensor want = CleanRun(plan, inputs);
+
+  fault::FaultSpec spec;
+  spec.burst_corrupt = 1;
+  fault::FaultInjector injector(spec);
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  machine.AttachFaults(&injector);
+  // Fault tolerance off: the corrupted slab flows into the computation.
+  StatusOr<HostTensor> got = ProgramExecutor(machine, plan).Run(inputs);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(BitIdentical(*got, want));
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+TEST(FaultExecutionTest, PersistentCoreDownSurfacesUnavailable) {
+  ExecutionPlan plan = Figure7Plan();
+  fault::FaultSpec spec;
+  spec.failed_cores = {1};  // Inside the plan's 6-core span.
+  fault::FaultInjector injector(spec);
+  Machine machine(TinyChip(static_cast<int>(plan.cores_used())));
+  machine.AttachFaults(&injector);
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  StatusOr<HostTensor> got = ProgramExecutor(machine, plan, ft).Run(Inputs());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultExecutionTest, CoreMapRoutesAroundDownedCore) {
+  ExecutionPlan plan = Figure7Plan();
+  const std::vector<HostTensor> inputs = Inputs();
+  const HostTensor want = CleanRun(plan, inputs);
+
+  // 8-core machine with core 1 down; the 6 logical cores map onto survivors.
+  ChipSpec chip = TinyChip(8);
+  chip.health.failed_cores = {1};
+  fault::FaultSpec spec;
+  spec.failed_cores = {1};
+  spec.burst_corrupt = 1;  // Transient damage on the surviving fabric too.
+  fault::FaultInjector injector(spec);
+  Machine machine(chip);
+  machine.AttachFaults(&injector);
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  std::vector<int> core_map = chip.UsableCoreIds();
+  core_map.resize(plan.cores_used());
+  ProgramRunStats stats;
+  StatusOr<HostTensor> got =
+      ProgramExecutor(machine, plan, ft, core_map).Run(inputs, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(BitIdentical(*got, want));
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(machine.memory(1).used_bytes(), 0);  // Downed core never touched.
+}
+
+TEST(ReplanDegradedTest, CompilesForSurvivorsOnly) {
+  ChipSpec chip = TinyChip(8);
+  chip.health.failed_cores = {3};
+  Graph graph("tiny-mlp");
+  graph.Add(MatMulOp("fc", 4, 8, 4, DataType::kF32, "x", "w", "h"));
+  graph.Add(ElementwiseOp("relu", {4, 4}, DataType::kF32, "h", "y"));
+  graph.MarkWeight("w");
+  StatusOr<DegradedPlan> degraded = ReplanDegraded(chip, graph);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->model.fits);
+  EXPECT_EQ(degraded->surviving.num_cores, 7);
+  EXPECT_NE(degraded->surviving.name.find("degraded"), std::string::npos);
+  ASSERT_EQ(degraded->core_map.size(), 7u);
+  for (int core : degraded->core_map) {
+    EXPECT_NE(core, 3);
+  }
+  for (const CompiledOp& op : degraded->model.ops) {
+    EXPECT_LE(op.measured.cores_used, 7);
+  }
+}
+
+TEST(ReplanDegradedTest, HealthyChipIsFailedPrecondition) {
+  Graph graph("g");
+  graph.Add(MatMulOp("fc", 4, 8, 4, DataType::kF32, "x", "w", "h"));
+  StatusOr<DegradedPlan> degraded = ReplanDegraded(TinyChip(8), graph);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplanDegradedTest, NoSurvivorsIsUnavailable) {
+  ChipSpec chip = TinyChip(2);
+  chip.health.failed_cores = {0, 1};
+  Graph graph("g");
+  graph.Add(MatMulOp("fc", 4, 8, 4, DataType::kF32, "x", "w", "h"));
+  StatusOr<DegradedPlan> degraded = ReplanDegraded(chip, graph);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,179 @@
+// Fault-model unit tests: the --faults spec grammar (good and malformed
+// inputs, table-driven), the persistent-health queries, the exact
+// replayability of the injected schedule under a fixed seed, and the FNV-1a
+// checksum the reliable-transfer layer depends on.
+
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace t10 {
+namespace fault {
+namespace {
+
+TEST(ParseFaultSpecTest, FullGrammar) {
+  StatusOr<FaultSpec> spec = ParseFaultSpec(
+      "corrupt=0.01,drop=0.005,stall=0.002,bitflip=0.001,stall_us=5,burst=3,"
+      "seed=42,core_down=3;17,link_down=2-5;7-0");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->corrupt_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec->drop_rate, 0.005);
+  EXPECT_DOUBLE_EQ(spec->stall_rate, 0.002);
+  EXPECT_DOUBLE_EQ(spec->bitflip_rate, 0.001);
+  EXPECT_DOUBLE_EQ(spec->stall_penalty_seconds, 5e-6);
+  EXPECT_EQ(spec->burst_corrupt, 3);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->failed_cores, (std::vector<int>{3, 17}));
+  ASSERT_EQ(spec->failed_links.size(), 2u);
+  EXPECT_EQ(spec->failed_links[0], std::make_pair(2, 5));
+  EXPECT_EQ(spec->failed_links[1], std::make_pair(7, 0));
+  EXPECT_TRUE(spec->any_transient());
+  EXPECT_TRUE(spec->any_persistent());
+}
+
+TEST(ParseFaultSpecTest, EmptySpecIsDefault) {
+  StatusOr<FaultSpec> spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->any_transient());
+  EXPECT_FALSE(spec->any_persistent());
+  EXPECT_EQ(spec->seed, 0x7105eedu);
+}
+
+TEST(ParseFaultSpecTest, MalformedInputsAreInvalidArgument) {
+  struct Case {
+    const char* text;
+    const char* message_fragment;
+  };
+  const std::vector<Case> cases = {
+      {"bogus=1", "unknown key 'bogus'"},
+      {"corrupt", "is not key=value"},
+      {"corrupt=1.5", "probability in [0,1]"},
+      {"corrupt=-0.1", "probability in [0,1]"},
+      {"drop=zero", "probability in [0,1]"},
+      {"stall_us=-3", "non-negative integer"},
+      {"burst=many", "non-negative integer"},
+      {"seed=0x12", "non-negative integer"},
+      {"core_down=3;x", "non-negative integer"},
+      {"link_down=25", "is not src-dst"},
+      {"link_down=2-x", "non-negative integer"},
+      {"corrupt=0.6,drop=0.6", "rates sum to"},
+  };
+  for (const Case& c : cases) {
+    StatusOr<FaultSpec> spec = ParseFaultSpec(c.text);
+    ASSERT_FALSE(spec.ok()) << c.text;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << c.text;
+    EXPECT_NE(spec.status().message().find(c.message_fragment), std::string::npos)
+        << c.text << " -> " << spec.status().ToString();
+  }
+}
+
+TEST(FaultInjectorTest, HealthQueries) {
+  FaultSpec spec;
+  spec.failed_cores = {2};
+  spec.failed_links = {{0, 1}};
+  FaultInjector injector(spec);
+  EXPECT_FALSE(injector.core_up(2));
+  EXPECT_TRUE(injector.core_up(0));
+  // A downed link is directional; a downed core takes out every link it touches.
+  EXPECT_FALSE(injector.link_up(0, 1));
+  EXPECT_TRUE(injector.link_up(1, 0));
+  EXPECT_FALSE(injector.link_up(2, 3));
+  EXPECT_FALSE(injector.link_up(3, 2));
+  EXPECT_TRUE(injector.link_up(3, 4));
+}
+
+TEST(FaultInjectorTest, FaultFreeSpecInjectsNothing) {
+  FaultInjector injector(FaultSpec{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.OnTransfer(0, 1, 64).kind, FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.events(), 100);
+  EXPECT_EQ(injector.injected(), 0);
+  EXPECT_TRUE(injector.schedule_log().empty());
+}
+
+TEST(FaultInjectorTest, BurstCorruptsFirstEventsExactly) {
+  FaultSpec spec;
+  spec.burst_corrupt = 3;
+  FaultInjector injector(spec);
+  for (int i = 0; i < 3; ++i) {
+    FaultDecision d = injector.OnTransfer(0, 1, 64);
+    EXPECT_EQ(d.kind, FaultKind::kCorrupt) << i;
+    EXPECT_EQ(d.byte_offset, 0) << i;
+    EXPECT_EQ(d.xor_mask, 0x01) << i;
+  }
+  EXPECT_EQ(injector.OnTransfer(0, 1, 64).kind, FaultKind::kNone);
+  EXPECT_EQ(injector.injected(), 3);
+  ASSERT_EQ(injector.schedule_log().size(), 3u);
+  EXPECT_NE(injector.schedule_log()[0].find("kind=corrupt(burst)"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.corrupt_rate = 0.2;
+  spec.drop_rate = 0.1;
+  spec.stall_rate = 0.1;
+  spec.bitflip_rate = 0.1;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  for (int i = 0; i < 500; ++i) {
+    FaultDecision da = a.OnTransfer(i % 4, (i + 1) % 4, 128);
+    FaultDecision db = b.OnTransfer(i % 4, (i + 1) % 4, 128);
+    ASSERT_EQ(da.kind, db.kind) << "event " << i;
+    ASSERT_EQ(da.byte_offset, db.byte_offset) << "event " << i;
+    ASSERT_EQ(da.xor_mask, db.xor_mask) << "event " << i;
+    ASSERT_EQ(da.penalty_seconds, db.penalty_seconds) << "event " << i;
+  }
+  EXPECT_GT(a.injected(), 0);
+  EXPECT_EQ(a.injected(), b.injected());
+  EXPECT_EQ(a.schedule_log(), b.schedule_log());
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  FaultSpec spec;
+  spec.corrupt_rate = 0.3;
+  FaultSpec other = spec;
+  other.seed = spec.seed + 1;
+  FaultInjector a(spec);
+  FaultInjector b(other);
+  bool differs = false;
+  for (int i = 0; i < 500 && !differs; ++i) {
+    differs = a.OnTransfer(0, 1, 128).kind != b.OnTransfer(0, 1, 128).kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, StallCarriesConfiguredPenalty) {
+  FaultSpec spec;
+  spec.stall_rate = 1.0;
+  spec.stall_penalty_seconds = 7e-6;
+  FaultInjector injector(spec);
+  FaultDecision d = injector.OnTransfer(0, 1, 16);
+  EXPECT_EQ(d.kind, FaultKind::kStall);
+  EXPECT_DOUBLE_EQ(d.penalty_seconds, 7e-6);
+  EXPECT_EQ(d.xor_mask, 0);
+}
+
+TEST(ChecksumTest, DetectsSingleByteAndSingleBitDamage) {
+  std::vector<std::byte> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7 + 3);
+  }
+  const std::uint64_t clean = Checksum(data.data(), static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(clean, Checksum(data.data(), static_cast<std::int64_t>(data.size())));
+  data[100] ^= std::byte{0x01};  // Single bit flip.
+  EXPECT_NE(clean, Checksum(data.data(), static_cast<std::int64_t>(data.size())));
+  data[100] ^= std::byte{0x01};
+  EXPECT_EQ(clean, Checksum(data.data(), static_cast<std::int64_t>(data.size())));
+  // Empty span has the FNV-1a offset basis.
+  EXPECT_EQ(Checksum(data.data(), 0), 0xcbf29ce484222325ULL);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace t10

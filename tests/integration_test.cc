@@ -121,7 +121,7 @@ TEST(ExecutorEquivalence, InterpreterMatchesProgramExecutor) {
     FunctionalStats stats;
     HostTensor interpreted = ExecutePlanFunctionally(candidate.plan, inputs, &stats);
     ProgramExecutor executor(machine, candidate.plan);
-    HostTensor programmed = executor.Run(inputs);
+    HostTensor programmed = *executor.Run(inputs);
     ASSERT_EQ(interpreted.shape, programmed.shape);
     for (std::size_t i = 0; i < interpreted.data.size(); ++i) {
       ASSERT_NEAR(interpreted.data[i], programmed.data[i], 1e-4)

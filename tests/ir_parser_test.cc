@@ -85,5 +85,68 @@ TEST(ParserDeathTest, UnknownDirective) {
   EXPECT_DEATH(ParseModelText("frobnicate name=x"), "unknown directive");
 }
 
+// Recoverable parsing: TryParseModelText reports malformed input as
+// kInvalidArgument with a "line N:" prefix instead of aborting; the t10c
+// driver turns these into exit code 2.
+struct MalformedCase {
+  const char* name;
+  const char* text;
+  const char* message_fragment;
+};
+
+class ParserMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(ParserMalformedTest, ReportsInvalidArgument) {
+  StatusOr<Graph> graph = TryParseModelText(GetParam().text);
+  ASSERT_FALSE(graph.ok()) << GetParam().name;
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument) << GetParam().name;
+  EXPECT_NE(graph.status().message().find("line "), std::string::npos)
+      << GetParam().name << ": " << graph.status().ToString();
+  EXPECT_NE(graph.status().message().find(GetParam().message_fragment), std::string::npos)
+      << GetParam().name << ": " << graph.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserMalformedTest,
+    ::testing::Values(
+        MalformedCase{"missing_argument", "matmul name=x m=4 k=4", "missing argument"},
+        MalformedCase{"unknown_directive", "frobnicate name=x", "unknown directive"},
+        MalformedCase{"bad_integer", "matmul name=x m=four k=4 n=4 a=a b=b c=c",
+                      "bad integer"},
+        MalformedCase{"nonpositive_axis", "matmul name=x m=0 k=4 n=4 a=a b=b c=c",
+                      "must be positive"},
+        MalformedCase{"negative_dim", "unary name=u shape=8x-2 in=a out=b", "bad shape"},
+        MalformedCase{"bad_dtype",
+                      "matmul name=x m=4 k=4 n=4 a=a b=b c=c dtype=f64", "dtype"},
+        MalformedCase{"bad_cost", "unary name=u shape=8 in=a out=b cost=cheap", "number"},
+        MalformedCase{"unknown_weight_tensor",
+                      "matmul name=x m=4 k=4 n=4 a=a b=b c=c weight=nope", "weight"},
+        MalformedCase{"produced_weight",
+                      "matmul name=x m=4 k=4 n=4 a=a b=b c=c weight=c", "weight"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) { return info.param.name; });
+
+TEST(ParserMalformedTest, UnreadableFileIsError) {
+  StatusOr<Graph> graph = TryParseModelFile("/nonexistent/model.t10");
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserMalformedTest, FirstErrorWins) {
+  // Two bad lines: the reported line number is the first one (line 2 of the
+  // text; line 1 is the leading newline).
+  StatusOr<Graph> graph = TryParseModelText("\nfrobnicate name=x\nwibble name=y\n");
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 2:"), std::string::npos)
+      << graph.status().ToString();
+}
+
+TEST(ParserMalformedTest, ValidTextStillParses) {
+  StatusOr<Graph> graph =
+      TryParseModelText("model ok\nmatmul name=x m=4 k=4 n=4 a=a b=b c=c weight=b\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_ops(), 1);
+  EXPECT_TRUE(graph->tensor("b").is_weight);
+}
+
 }  // namespace
 }  // namespace t10

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "src/fault/fault_plan.h"
 #include "src/obs/metrics.h"
 #include "src/sim/trace.h"
 
@@ -22,7 +23,7 @@ ChipSpec TinyChip(int cores, std::int64_t memory = 64 * 1024) {
 
 TEST(MachineTest, AllocateWriteRead) {
   Machine machine(TinyChip(2));
-  BufferHandle h = machine.Allocate(0, 16);
+  BufferHandle h = *machine.Allocate(0, 16);
   float values[4] = {1.0f, 2.0f, 3.0f, 4.0f};
   std::memcpy(machine.Data(h), values, sizeof(values));
   float back[4];
@@ -36,7 +37,7 @@ TEST(MachineTest, RotateRingMovesDataDownstream) {
   Machine machine(TinyChip(4));
   std::vector<BufferHandle> ring;
   for (int core = 0; core < 4; ++core) {
-    BufferHandle h = machine.Allocate(core, sizeof(int));
+    BufferHandle h = *machine.Allocate(core, sizeof(int));
     int value = core * 10;
     std::memcpy(machine.Data(h), &value, sizeof(value));
     ring.push_back(h);
@@ -66,7 +67,7 @@ TEST(MachineTest, RotateLargerThanShiftBufferUsesChunks) {
   const std::int64_t bytes = 1000;  // Not a multiple of the chunk size.
   std::vector<BufferHandle> ring;
   for (int core = 0; core < 3; ++core) {
-    BufferHandle h = machine.Allocate(core, bytes);
+    BufferHandle h = *machine.Allocate(core, bytes);
     for (std::int64_t i = 0; i < bytes; ++i) {
       machine.Data(h)[i] = static_cast<std::byte>((core * 37 + i) % 251);
     }
@@ -88,9 +89,9 @@ TEST(MachineTest, RotateLargerThanShiftBufferUsesChunks) {
 
 TEST(MachineTest, CopyAccountsCrossCoreTrafficOnly) {
   Machine machine(TinyChip(2));
-  BufferHandle a = machine.Allocate(0, 64);
-  BufferHandle b = machine.Allocate(1, 64);
-  BufferHandle c = machine.Allocate(0, 64);
+  BufferHandle a = *machine.Allocate(0, 64);
+  BufferHandle b = *machine.Allocate(1, 64);
+  BufferHandle c = *machine.Allocate(0, 64);
   std::memset(machine.Data(a), 7, 64);
   machine.Copy(a, b);
   machine.Copy(a, c);  // Same-core copy: no link traffic.
@@ -104,22 +105,28 @@ TEST(MachineTest, CopyAccountsCrossCoreTrafficOnly) {
 
 TEST(MachineTest, SingleElementRingIsNoOp) {
   Machine machine(TinyChip(2));
-  BufferHandle h = machine.Allocate(0, 8);
+  BufferHandle h = *machine.Allocate(0, 8);
   std::memset(machine.Data(h), 9, 8);
   machine.RotateRing({h});
   EXPECT_EQ(machine.Data(h)[0], static_cast<std::byte>(9));
   EXPECT_EQ(machine.total_bytes_sent(), 0);
 }
 
-TEST(MachineDeathTest, OverCapacityAllocationDies) {
+TEST(MachineTest, OverCapacityAllocationIsResourceExhausted) {
   Machine machine(TinyChip(1, 1024));
-  EXPECT_DEATH(machine.Allocate(0, 4096), "out of scratchpad");
+  StatusOr<BufferHandle> handle = machine.Allocate(0, 4096);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(handle.status().message().find("out of scratchpad"), std::string::npos)
+      << handle.status().ToString();
+  // The failed allocation must not leak partial state.
+  EXPECT_EQ(machine.memory(0).used_bytes(), 0);
 }
 
 TEST(MachineTest, ScratchpadHighWaterMarkSurvivesFrees) {
   Machine machine(TinyChip(1));
-  BufferHandle a = machine.Allocate(0, 1000);
-  BufferHandle b = machine.Allocate(0, 2000);
+  BufferHandle a = *machine.Allocate(0, 1000);
+  BufferHandle b = *machine.Allocate(0, 2000);
   machine.Free(a);
   machine.Free(b);
   EXPECT_EQ(machine.memory(0).used_bytes(), 0);
@@ -134,7 +141,7 @@ TEST(MachineTest, AttachedTraceRecordsPerCoreCounterLanes) {
   machine.AttachTrace(&trace);
   std::vector<BufferHandle> ring;
   for (int core = 0; core < 3; ++core) {
-    ring.push_back(machine.Allocate(core, 64));
+    ring.push_back(*machine.Allocate(core, 64));
   }
   machine.RotateRing(ring);
   machine.Copy(ring[0], ring[1]);
@@ -156,11 +163,156 @@ TEST(MachineTest, AttachedTraceRecordsPerCoreCounterLanes) {
   EXPECT_NE(trace.ToJson().find("\"ph\": \"C\""), std::string::npos);
 }
 
+// --- Fault injection + reliable-transfer layer. ---
+
+fault::FaultSpec BurstSpec(std::int64_t burst) {
+  fault::FaultSpec spec;
+  spec.burst_corrupt = burst;  // First `burst` transfers corrupted, exactly.
+  return spec;
+}
+
+TEST(MachineFaultTest, RawCopySuffersCorruptionSilently) {
+  Machine machine(TinyChip(2));
+  fault::FaultInjector injector(BurstSpec(1));
+  machine.AttachFaults(&injector);
+  BufferHandle src = *machine.Allocate(0, 64);
+  BufferHandle dst = *machine.Allocate(1, 64);
+  std::memset(machine.Data(src), 0x5a, 64);
+  machine.Copy(src, dst);
+  // Burst corruption XORs byte 0 with 0x01; the rest arrives intact.
+  EXPECT_EQ(machine.Data(dst)[0], static_cast<std::byte>(0x5a ^ 0x01));
+  EXPECT_EQ(machine.Data(dst)[1], static_cast<std::byte>(0x5a));
+  EXPECT_EQ(machine.fault_retries(), 0);
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+TEST(MachineFaultTest, CopyReliableRetriesUntilChecksumMatches) {
+  Machine machine(TinyChip(2));
+  fault::FaultInjector injector(BurstSpec(2));
+  machine.AttachFaults(&injector);
+  BufferHandle src = *machine.Allocate(0, 64);
+  BufferHandle dst = *machine.Allocate(1, 64);
+  for (int i = 0; i < 64; ++i) {
+    machine.Data(src)[i] = static_cast<std::byte>(i);
+  }
+  RetryPolicy policy;
+  policy.max_retries = 4;
+  Status status = machine.CopyReliable(src, dst, policy);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(std::memcmp(machine.Data(src), machine.Data(dst), 64), 0);
+  // Two corrupted attempts, then a clean one; every attempt is real traffic.
+  EXPECT_EQ(machine.fault_retries(), 2);
+  EXPECT_EQ(machine.bytes_sent(0), 3 * 64);
+  // Exponential backoff: 1e-6 * (2^0 + 2^1).
+  EXPECT_DOUBLE_EQ(machine.fault_penalty_seconds(), 3e-6);
+}
+
+TEST(MachineFaultTest, CopyReliableExhaustionIsDataLoss) {
+  Machine machine(TinyChip(2));
+  fault::FaultInjector injector(BurstSpec(100));
+  machine.AttachFaults(&injector);
+  BufferHandle src = *machine.Allocate(0, 32);
+  BufferHandle dst = *machine.Allocate(1, 32);
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  Status status = machine.CopyReliable(src, dst, policy);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("after 3 attempts"), std::string::npos) << status.ToString();
+}
+
+TEST(MachineFaultTest, RotateRingReliableRecoversBitIdentically) {
+  Machine machine(TinyChip(3));
+  fault::FaultInjector injector(BurstSpec(2));
+  machine.AttachFaults(&injector);
+  std::vector<BufferHandle> ring;
+  for (int core = 0; core < 3; ++core) {
+    BufferHandle h = *machine.Allocate(core, 16);
+    std::memset(machine.Data(h), core + 1, 16);
+    ring.push_back(h);
+  }
+  Status status = machine.RotateRingReliable(ring);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (int core = 0; core < 3; ++core) {
+    EXPECT_EQ(machine.Data(ring[core])[7], static_cast<std::byte>((core + 2) % 3 + 1))
+        << "core " << core;
+  }
+  EXPECT_EQ(machine.fault_retries(), 2);
+}
+
+TEST(MachineFaultTest, StalledTransferArrivesIntactButLate) {
+  Machine machine(TinyChip(2));
+  fault::FaultSpec spec;
+  spec.stall_rate = 1.0;
+  spec.stall_penalty_seconds = 2e-6;
+  fault::FaultInjector injector(spec);
+  machine.AttachFaults(&injector);
+  BufferHandle src = *machine.Allocate(0, 64);
+  BufferHandle dst = *machine.Allocate(1, 64);
+  std::memset(machine.Data(src), 3, 64);
+  machine.Copy(src, dst);
+  EXPECT_EQ(std::memcmp(machine.Data(src), machine.Data(dst), 64), 0);
+  EXPECT_DOUBLE_EQ(machine.fault_penalty_seconds(), 2e-6);
+}
+
+TEST(MachineFaultTest, PersistentCoreDownBlocksEverything) {
+  Machine machine(TinyChip(3));
+  fault::FaultSpec spec;
+  spec.failed_cores.push_back(1);
+  fault::FaultInjector injector(spec);
+  machine.AttachFaults(&injector);
+
+  StatusOr<BufferHandle> on_down_core = machine.Allocate(1, 16);
+  ASSERT_FALSE(on_down_core.ok());
+  EXPECT_EQ(on_down_core.status().code(), StatusCode::kUnavailable);
+
+  // Raw transfers into the downed core vanish without traffic. The buffer on
+  // the downed core is allocated with faults detached — it models state that
+  // existed before the failure.
+  BufferHandle a = *machine.Allocate(0, 16);
+  BufferHandle c = *machine.Allocate(2, 16);
+  std::memset(machine.Data(a), 9, 16);
+  std::memset(machine.Data(c), 0, 16);
+  machine.AttachFaults(nullptr);
+  BufferHandle b = *machine.Allocate(1, 16);
+  std::memset(machine.Data(b), 0, 16);
+  machine.AttachFaults(&injector);
+
+  machine.Copy(a, b);
+  EXPECT_EQ(machine.Data(b)[0], static_cast<std::byte>(0));  // Nothing arrived.
+  EXPECT_EQ(machine.total_bytes_sent(), 0);
+
+  Status reliable = machine.CopyReliable(a, b);
+  ASSERT_FALSE(reliable.ok());
+  EXPECT_EQ(reliable.code(), StatusCode::kUnavailable);
+
+  Status ring = machine.RotateRingReliable({a, b, c});
+  ASSERT_FALSE(ring.ok());
+  EXPECT_EQ(ring.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(machine.total_bytes_sent(), 0);  // Failed before moving data.
+}
+
+TEST(MachineFaultTest, DownedLinkIsDirectional) {
+  Machine machine(TinyChip(2));
+  fault::FaultSpec spec;
+  spec.failed_links.emplace_back(0, 1);
+  fault::FaultInjector injector(spec);
+  machine.AttachFaults(&injector);
+  BufferHandle a = *machine.Allocate(0, 16);
+  BufferHandle b = *machine.Allocate(1, 16);
+  std::memset(machine.Data(a), 1, 16);
+  std::memset(machine.Data(b), 2, 16);
+  EXPECT_EQ(machine.CopyReliable(a, b).code(), StatusCode::kUnavailable);
+  Status reverse = machine.CopyReliable(b, a);
+  EXPECT_TRUE(reverse.ok()) << reverse.ToString();
+  EXPECT_EQ(machine.Data(a)[0], static_cast<std::byte>(2));
+}
+
 TEST(MachineTest, PublishMetricsRecordsTrafficHistogram) {
   obs::MetricsRegistry registry;
   Machine machine(TinyChip(2));
-  BufferHandle src = machine.Allocate(0, 128);
-  BufferHandle dst = machine.Allocate(1, 128);
+  BufferHandle src = *machine.Allocate(0, 128);
+  BufferHandle dst = *machine.Allocate(1, 128);
   machine.Copy(src, dst);
   machine.PublishMetrics(registry);
   EXPECT_EQ(registry.GetHistogram("sim.machine.per_core_bytes_sent").count(), 1);

@@ -1,0 +1,127 @@
+// Recoverable-error plumbing: Status carries a code + message, StatusOr
+// either a value or a non-OK status, and the T10_RETURN_IF_ERROR /
+// T10_ASSIGN_OR_RETURN macros early-return without touching the value on the
+// error path. These are the contracts Machine::Allocate, the parser and the
+// fault-tolerant executor rely on.
+
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace t10 {
+namespace {
+
+TEST(StatusTest, DefaultAndOkAreOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const std::vector<Case> cases = {
+      {InvalidArgumentError("bad"), StatusCode::kInvalidArgument, "INVALID_ARGUMENT"},
+      {FailedPreconditionError("bad"), StatusCode::kFailedPrecondition, "FAILED_PRECONDITION"},
+      {ResourceExhaustedError("bad"), StatusCode::kResourceExhausted, "RESOURCE_EXHAUSTED"},
+      {UnavailableError("bad"), StatusCode::kUnavailable, "UNAVAILABLE"},
+      {DataLossError("bad"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {InternalError("bad"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "bad");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": bad");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = DataLossError("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(v.status().message(), "gone");
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = *std::move(v);
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) {
+    return UnavailableError("down");
+  }
+  return Status::Ok();
+}
+
+Status PassesThrough(bool fail, bool* reached_end) {
+  T10_RETURN_IF_ERROR(FailsWhen(fail));
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  Status s = PassesThrough(true, &reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(reached);
+  EXPECT_TRUE(PassesThrough(false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+StatusOr<int> MakeValue(bool fail) {
+  if (fail) {
+    return ResourceExhaustedError("full");
+  }
+  return 7;
+}
+
+StatusOr<int> Doubled(bool fail) {
+  int value = 0;
+  T10_ASSIGN_OR_RETURN(value, MakeValue(fail));
+  return value * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsOrPropagates) {
+  StatusOr<int> ok = Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 14);
+  StatusOr<int> bad = Doubled(true);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StatusDeathTest, AccessingErrorValueChecks) {
+  StatusOr<int> v = InternalError("broken");
+  EXPECT_DEATH({ (void)*v; }, "broken");
+}
+
+}  // namespace
+}  // namespace t10

@@ -67,6 +67,19 @@ TEST(VerifyPlanTest, CapacityOverflowFires) {
       verifier.VerifyProgram(LowerPlan(plan), plan).HasRule("program.capacity"));
 }
 
+TEST(VerifyPlanTest, DegradedChipRejectsFullWidthPlan) {
+  // Figure 7's plan spans 6 cores; with one of 6 cores masked out by the
+  // health state only 5 survive, so the plan must be rejected until it is
+  // recompiled against the surviving topology.
+  ExecutionPlan plan = Figure7Plan();
+  ChipSpec chip = SmallChip(6);
+  chip.health.failed_cores = {2};
+  Verifier verifier(chip);
+  EXPECT_TRUE(verifier.VerifyPlan(plan).HasRule("plan.degraded-cores"));
+  // A healthy chip of the same size accepts it.
+  EXPECT_TRUE(Verifier(SmallChip(6)).VerifyPlan(plan).ok());
+}
+
 TEST(VerifyPlanTest, FootprintMatchesPlanAccountingPlusStaging) {
   ExecutionPlan plan = Figure7Plan();
   const ChipSpec chip = SmallChip();
