@@ -1,0 +1,110 @@
+// Compile-time scaling of the parallel intra-op search: wall time vs --jobs
+// (1/2/4/8) on a cold signature cache, plus the warm-cache floor where the
+// persistent plan cache eliminates the search entirely. The search dominates
+// compile time (Fig 18), so the speedup tracks how well the per-operator
+// fan-out fills the workers: models with many *distinct* signatures scale,
+// models dominated by one repeated signature do not (the cache dedupes them
+// before the fan-out). Every configuration is checked to produce a
+// bit-identical model.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/compiler.h"
+#include "src/models/zoo.h"
+#include "src/util/thread_pool.h"
+
+namespace t10 {
+namespace {
+
+namespace fs = std::filesystem;
+
+double CompileSeconds(const ChipSpec& chip, const Graph& graph, CompileOptions options,
+                      std::string* fingerprint) {
+  Compiler compiler(chip, options);
+  CompiledModel model = compiler.Compile(graph);
+  T10_CHECK(model.fits) << graph.name();
+  if (fingerprint != nullptr) {
+    *fingerprint = model.Fingerprint();
+  }
+  return model.compile_wall_seconds;
+}
+
+void Run() {
+  bench::Header("Compile scaling", "compile wall time vs --jobs, cold vs warm plan cache");
+  std::printf("host concurrency: %d (speedup above this worker count is noise)\n\n",
+              ThreadPool::HardwareConcurrency());
+  const ChipSpec chip = ChipSpec::IpuMk2();
+  const std::vector<int> job_counts = bench::QuickMode() ? std::vector<int>{1, 4}
+                                                         : std::vector<int>{1, 2, 4, 8};
+
+  const fs::path cache_dir = fs::temp_directory_path() / "t10_bench_compile_scaling";
+
+  Table table({"Model", "BS", "Ops", "Sigs", "jobs=1", "jobs=2", "jobs=4", "jobs=8",
+               "Speedup", "Warm cache"});
+  for (const ModelInfo& info : EvaluationModels()) {
+    const std::int64_t batch = info.batch_sizes.front();
+    const Graph graph = info.build(batch);
+
+    std::string serial_fp;
+    std::vector<double> cold_seconds(9, 0.0);  // Indexed by job count.
+    for (const int jobs : job_counts) {
+      CompileOptions options;
+      options.jobs = jobs;
+      std::string fp;
+      cold_seconds[static_cast<std::size_t>(jobs)] =
+          CompileSeconds(chip, graph, options, jobs == 1 ? &serial_fp : &fp);
+      if (jobs != 1) {
+        T10_CHECK(fp == serial_fp) << info.name << ": jobs=" << jobs
+                                   << " produced a different model";
+      }
+    }
+
+    // Warm persistent cache: a second process-level compile against the same
+    // directory skips the search entirely.
+    fs::remove_all(cache_dir);
+    fs::create_directories(cache_dir);
+    CompileOptions cached;
+    cached.jobs = job_counts.back();
+    cached.plan_cache_dir = cache_dir.string();
+    CompileSeconds(chip, graph, cached, nullptr);  // Cold run populates the dir.
+    std::string warm_fp;
+    const double warm = CompileSeconds(chip, graph, cached, &warm_fp);
+    T10_CHECK(warm_fp == serial_fp) << info.name << ": warm cache produced a different model";
+
+    int unique = 0;
+    {
+      Compiler probe(chip);
+      probe.Compile(graph);
+      unique = probe.num_cached_signatures();
+    }
+
+    const double base = cold_seconds[1];
+    const int fastest = job_counts.back();
+    auto cell = [&](int jobs) {
+      const double s = cold_seconds[static_cast<std::size_t>(jobs)];
+      return s > 0.0 ? bench::Ms(s) : std::string("-");
+    };
+    table.AddRow({info.name, std::to_string(batch), std::to_string(graph.num_ops()),
+                  std::to_string(unique), cell(1), cell(2), cell(4), cell(8),
+                  FormatDouble(base / cold_seconds[static_cast<std::size_t>(fastest)], 2) + "x",
+                  bench::Ms(warm)});
+  }
+  table.Print();
+  fs::remove_all(cache_dir);
+
+  bench::Note(
+      "Speedup is jobs=1 over the largest jobs count, cold cache. The fan-out parallelises "
+      "distinct operator signatures, so repeated-layer models saturate below the worker count; "
+      "the warm column is the persistent plan cache (search skipped, bit-identical model).");
+}
+
+}  // namespace
+}  // namespace t10
+
+int main() {
+  t10::Run();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -55,6 +56,14 @@ void Usage() {
       "                     memory/link-traffic/link-utilisation counter tracks)\n"
       "  --metrics out.json write a JSON metrics snapshot of the compile (phase wall\n"
       "                     times, search/cache statistics, per-core traffic totals)\n"
+      "  --jobs N           worker threads for the intra-op plan search (default:\n"
+      "                     hardware concurrency). Any N yields a bit-identical\n"
+      "                     compiled model; N must be a positive integer\n"
+      "  --plan-cache DIR   persist searched plans to DIR (created if missing) and\n"
+      "                     reuse them on later compiles with the same chip,\n"
+      "                     constraints and cost model; warm compiles skip the\n"
+      "                     search entirely (compiler.search.searches stays 0)\n"
+      "  --print-passes     list the compilation pipeline's passes in order and exit\n"
       "  --faults SPEC      run a deterministic fault campaign: execute every supported\n"
       "                     op byte-for-byte under injected faults (checksummed retries,\n"
       "                     checkpoint rollback) and check bit-identity against a\n"
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
   bool run_verify = false;
   bool verify_strict = false;
   bool run_faults = false;
+  int jobs = 0;  // 0 = hardware concurrency (the CompileOptions convention).
+  std::string plan_cache_dir;
   std::string faults_text;
   bool have_fault_seed = false;
   std::uint64_t fault_seed = 0;
@@ -144,6 +155,28 @@ int main(int argc, char** argv) {
       trace_path = flag_value(i, "--trace");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_path = flag_value(i, "--metrics");
+    } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const char* text = argv[i][6] == '=' ? argv[i] + 7 : flag_value(i, "--jobs");
+      char* end = nullptr;
+      const long parsed_jobs = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || parsed_jobs < 1 || parsed_jobs > 4096) {
+        std::fprintf(stderr, "t10c: --jobs expects a positive integer, got '%s'\n", text);
+        return 2;
+      }
+      jobs = static_cast<int>(parsed_jobs);
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0 ||
+               std::strncmp(argv[i], "--plan-cache=", 13) == 0) {
+      plan_cache_dir = argv[i][12] == '=' ? argv[i] + 13 : flag_value(i, "--plan-cache");
+      if (plan_cache_dir.empty()) {
+        std::fprintf(stderr, "t10c: --plan-cache expects a directory path\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--print-passes") == 0) {
+      std::printf("compilation pipeline:\n");
+      for (const std::string& pass : Compiler::PassNames()) {
+        std::printf("  %s\n", pass.c_str());
+      }
+      return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "t10c: unknown flag '%s'\n\n", argv[i]);
       Usage();
@@ -172,6 +205,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Create the plan cache directory up front so a bad path is a flag error,
+  // not a silently uncached compile.
+  if (!plan_cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(plan_cache_dir, ec);
+    if (ec || !std::filesystem::is_directory(plan_cache_dir)) {
+      std::fprintf(stderr, "t10c: --plan-cache: cannot create directory '%s'%s%s\n",
+                   plan_cache_dir.c_str(), ec ? ": " : "", ec ? ec.message().c_str() : "");
+      return 2;
+    }
+  }
+
   StatusOr<Graph> parsed = demo ? TryParseModelText(kDemoModel) : TryParseModelFile(model_path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "t10c: %s: %s\n", demo ? "demo model" : model_path.c_str(),
@@ -183,7 +228,10 @@ int main(int argc, char** argv) {
   std::printf("t10c: compiling '%s' (%d ops) for %s...\n", graph.name().c_str(),
               graph.num_ops(), chip.name.c_str());
 
-  Compiler compiler(chip);
+  CompileOptions compile_options;
+  compile_options.jobs = jobs;
+  compile_options.plan_cache_dir = plan_cache_dir;
+  Compiler compiler(chip, compile_options);
   CompiledModel model = compiler.Compile(graph);
   if (!model.fits) {
     std::printf("error: model does not fit the distributed on-chip memory\n");

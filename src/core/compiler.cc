@@ -2,41 +2,15 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
-#include "src/core/memory_planner.h"
+#include "src/core/pass/compilation_context.h"
+#include "src/core/pass/intra_op_search.h"
+#include "src/core/pass/pass.h"
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
-#include "src/util/math_util.h"
-#include "src/verify/verifier.h"
 
 namespace t10 {
-namespace {
-
-// Wraps the one-time cost-model fit so its wall time lands in the phase
-// histogram even though it runs in the constructor's init list.
-FittedCostModel TimedCostModelFit(const GroundTruthTiming& truth, int samples) {
-  obs::ScopedTimer timer("compiler.phase.cost_model_fit.seconds");
-  return FittedCostModel::Fit(truth.truth(), samples);
-}
-
-// True if the producing plan's output layout equals the consuming plan's
-// expectation for the same tensor (same spatial slicing, same windows, same
-// replication) — in that case no inter-operator exchange is needed.
-bool LayoutsMatch(const RTensorPlan& produced, const RTensorPlan& consumed) {
-  return produced.spatial == consumed.spatial && produced.temporal == consumed.temporal &&
-         produced.window == consumed.window && produced.replicas == consumed.replicas &&
-         produced.share_cores == consumed.share_cores;
-}
-
-// All-to-all re-layout of one intermediate tensor across the chip (paper §5,
-// "Inter-operator transition"): every core sends and receives its share.
-double TransitionSeconds(std::int64_t tensor_bytes, const ChipSpec& chip) {
-  const double per_core_bytes =
-      static_cast<double>(tensor_bytes) / static_cast<double>(chip.num_cores);
-  return chip.sync_latency_seconds + 2.0 * per_core_bytes / chip.EffectiveLinkBandwidth();
-}
-
-}  // namespace
 
 double CompiledModel::TotalSeconds() const {
   double total = 0.0;
@@ -86,17 +60,61 @@ double CompiledModel::AverageExchangeBandwidth() const {
   return transfer_seconds > 0.0 ? bytes / transfer_seconds : 0.0;
 }
 
+std::string CompiledModel::Fingerprint() const {
+  std::ostringstream out;
+  out << std::hexfloat;
+  const auto metrics = [&out](const PlanMetrics& m) {
+    out << m.cores_used << "," << m.steps << "," << m.compute_seconds << ","
+        << m.exchange_seconds << "," << m.epilogue_seconds << "," << m.per_core_bytes << ","
+        << m.shift_bytes_per_core << "," << m.padding_ratio << ";";
+  };
+  const auto plan = [&out](const ExecutionPlan& p) {
+    out << "fop=";
+    for (const std::int64_t f : p.fop()) {
+      out << f << ",";
+    }
+    for (const RTensorPlan& t : p.tensors()) {
+      out << "t=";
+      for (const std::int64_t f : t.temporal) {
+        out << f << ",";
+      }
+      out << "w=" << t.window_bytes << ";";
+    }
+  };
+  out << "model=" << model_name << " fits=" << fits << " idle=" << idle_bytes_per_core
+      << " peak=" << memory_peak_bytes << "\n";
+  for (const CompiledOp& op : ops) {
+    out << "op" << op.op_index << " setup=" << op.setup_seconds
+        << " setup_bytes=" << op.setup_bytes << " transition=" << op.transition_seconds
+        << " transition_bytes=" << op.transition_bytes << " space=" << op.complete_space_log10
+        << " filtered=" << op.filtered_count << " pareto=" << op.pareto_count << "\n";
+    out << "  predicted=";
+    metrics(op.predicted);
+    out << " measured=";
+    metrics(op.measured);
+    out << "\n  active ";
+    plan(op.active_plan);
+    out << "\n  idle ";
+    plan(op.idle_plan);
+    out << "\n";
+  }
+  out << "trajectory=";
+  for (const ReconcileStep& step : reconcile_trajectory) {
+    out << step.idle_bytes_per_core << ":" << step.total_seconds << ":" << step.feasible << ";";
+  }
+  out << "\n";
+  return out.str();
+}
+
 Compiler::Compiler(const ChipSpec& chip, CompileOptions options)
-    : chip_(chip),
-      options_(options),
-      truth_(chip),
-      cost_model_(TimedCostModelFit(truth_, options.cost_model_samples)) {
+    : resources_(std::make_unique<CompilerResources>(chip, std::move(options))) {
   // Pre-register the compiler's counter schema so metrics snapshots always
   // contain the full set (at zero) even when a compile never exercises a
   // path — e.g. a model with all-distinct signatures records no cache hits.
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("compiler.cache.hits");
   metrics.GetCounter("compiler.cache.misses");
+  metrics.GetCounter("compiler.plan_cache.rejected");
   metrics.GetCounter("compiler.search.searches");
   metrics.GetCounter("compiler.search.evaluations");
   metrics.GetCounter("compiler.search.fop_visited");
@@ -106,232 +124,39 @@ Compiler::Compiler(const ChipSpec& chip, CompileOptions options)
   metrics.GetCounter("compiler.reconcile.steps");
 }
 
-std::string Compiler::OpSignature(const Operator& op) {
-  std::ostringstream sig;
-  sig << OpKindName(op.kind()) << "/" << op.elementwise_cost() << "/";
-  for (const Axis& axis : op.axes()) {
-    sig << axis.length << (axis.reduction ? "r" : "p") << ",";
-  }
-  auto tensor_sig = [&sig](const TensorRef& t) {
-    sig << "|" << DataTypeName(t.dtype);
-    for (const DimRef& dim : t.dims) {
-      sig << ":" << dim.axis;
-      if (dim.compound()) {
-        sig << "*" << dim.stride << "+" << dim.minor_axis;
-      }
-    }
-  };
-  for (const TensorRef& input : op.inputs()) {
-    tensor_sig(input);
-  }
-  tensor_sig(op.output());
-  return sig.str();
-}
+Compiler::~Compiler() = default;
 
-IntraOpResult Compiler::SearchOp(const Operator& op) {
-  const std::string signature = OpSignature(op);
-  auto it = cache_.find(signature);
-  if (it != cache_.end()) {
-    obs::MetricsRegistry::Global().GetCounter("compiler.cache.hits").Increment();
-    const CachedSearch& cached = it->second;
-    IntraOpResult result;
-    result.complete_space_log10 = cached.complete_space_log10;
-    result.filtered_count = cached.filtered_count;
-    for (std::size_t i = 0; i < cached.fops.size(); ++i) {
-      auto plan = ExecutionPlan::Create(op, cached.fops[i], cached.temporals[i]);
-      T10_CHECK(plan.has_value()) << "cached plan invalid for " << op.name();
-      PlanMetrics predicted = plan->Evaluate(cost_model_, chip_);
-      result.pareto.push_back(PlanCandidate{std::move(*plan), predicted});
-    }
-    return result;
-  }
+const ChipSpec& Compiler::chip() const { return resources_->chip(); }
 
-  obs::MetricsRegistry::Global().GetCounter("compiler.cache.misses").Increment();
-  IntraOpResult result = SearchOperatorPlans(op, chip_, cost_model_, options_.constraints);
-  CachedSearch cached;
-  cached.complete_space_log10 = result.complete_space_log10;
-  cached.filtered_count = result.filtered_count;
-  for (const PlanCandidate& candidate : result.pareto) {
-    cached.fops.push_back(candidate.plan.fop());
-    std::vector<std::vector<std::int64_t>> temporal;
-    for (const RTensorPlan& tp : candidate.plan.tensors()) {
-      temporal.push_back(tp.temporal);
-    }
-    cached.temporals.push_back(std::move(temporal));
-  }
-  cache_.emplace(signature, std::move(cached));
-  return result;
-}
+const FittedCostModel& Compiler::cost_model() const { return resources_->cost_model(); }
 
-CompiledModel Compiler::Compile(const Graph& graph) {
+const GroundTruthTiming& Compiler::ground_truth() const { return resources_->truth(); }
+
+int Compiler::num_cached_signatures() const { return resources_->plan_cache().size(); }
+
+std::vector<std::string> Compiler::PassNames() { return BuildCompilerPipeline().PassNames(); }
+
+IntraOpResult Compiler::SearchOp(const Operator& op) { return SearchOneOp(op, *resources_); }
+
+CompiledModel Compiler::Compile(const Graph& graph) { return CompileFrom(graph, ""); }
+
+CompiledModel Compiler::CompileFrom(const Graph& graph, const std::string& start_pass) {
   const auto start = std::chrono::steady_clock::now();
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("compiler.compiles").Increment();
-  CompiledModel out;
-  out.model_name = graph.name();
 
-  // Stage 1: intra-operator Pareto search (cached by signature).
-  std::vector<IntraOpResult> searches;
-  searches.reserve(static_cast<std::size_t>(graph.num_ops()));
-  {
-    obs::ScopedTimer timer("compiler.phase.intra_search.seconds");
-    for (const Operator& op : graph.ops()) {
-      searches.push_back(SearchOp(op));
-      if (searches.back().pareto.empty()) {
-        // Some operator cannot fit the distributed memory under any plan.
-        out.fits = false;
-        out.compile_wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-        return out;
-      }
-    }
-  }
+  CompilationContext ctx;
+  ctx.graph = &graph;
+  ctx.resources = resources_.get();
+  ctx.model.model_name = graph.name();
 
-  // Stage 2: inter-operator memory reconciliation over the Pareto sets.
-  std::vector<InterOpOperator> inter_ops(static_cast<std::size_t>(graph.num_ops()));
-  for (int i = 0; i < graph.num_ops(); ++i) {
-    const Operator& op = graph.op(i);
-    InterOpOperator& io = inter_ops[static_cast<std::size_t>(i)];
-    io.name = op.name();
-    std::vector<int> weight_operands;
-    for (std::size_t j = 0; j < op.inputs().size(); ++j) {
-      if (graph.tensor(op.inputs()[j].name).is_weight) {
-        weight_operands.push_back(static_cast<int>(j));
-      }
-    }
-    for (std::size_t j = 0; j < searches[static_cast<std::size_t>(i)].pareto.size(); ++j) {
-      const PlanCandidate& candidate = searches[static_cast<std::size_t>(i)].pareto[j];
-      OpPlanOption option;
-      option.plan_index = static_cast<int>(j);
-      option.exec_seconds = candidate.predicted.total_seconds();
-      option.active_bytes = candidate.predicted.per_core_bytes;
-      for (int w : weight_operands) {
-        option.weight_windows.push_back(candidate.plan.OperandWindowBytes(w));
-        option.weight_bytes += option.weight_windows.back();
-      }
-      io.options.push_back(std::move(option));
-    }
-  }
-  // Stages 2+3 iterate to a fixpoint: Algorithm 1 budgets Σidle + active,
-  // but activations held for later consumers (residual connections) also
-  // occupy memory. The liveness-based memory plan (§4.4) measures the true
-  // peak; if it overshoots, the reconciliation budget shrinks by the
-  // overshoot and the schedule is rebuilt.
-  std::int64_t budget = chip_.core_memory_bytes;
-  std::int64_t last_shrink = 0;
-  for (int attempt = 0;; ++attempt) {
-    InterOpSchedule schedule = [&] {
-      obs::ScopedTimer timer("compiler.phase.reconcile.seconds");
-      return ReconcileInterOp(inter_ops, chip_, budget, options_.inter_op_reconcile ? -1 : 1);
-    }();
-    out.fits = schedule.feasible;
-    out.reconcile_trajectory = schedule.trajectory;
-    out.idle_bytes_per_core = schedule.idle_bytes_per_core;
-    if (!schedule.feasible) {
-      break;
-    }
-    out.ops.clear();
-    {
-      obs::ScopedTimer timer("compiler.phase.materialize.seconds");
-      MaterializeOps(graph, searches, inter_ops, schedule, out);
-    }
-    const MemoryPlan memory_plan = [&] {
-      obs::ScopedTimer timer("compiler.phase.memory_plan.seconds");
-      return PlanMemory(out, graph, chip_);
-    }();
-    out.memory_peak_bytes = memory_plan.peak_bytes;
-    if (memory_plan.fits) {
-      break;
-    }
-    // Shrink by at least twice the previous shrink so sub-granularity
-    // overshoots (smaller than any plan-size delta) cannot stall the loop.
-    const std::int64_t overshoot = memory_plan.peak_bytes - chip_.core_memory_bytes;
-    const std::int64_t shrink = std::max(overshoot, 2 * last_shrink);
-    last_shrink = shrink;
-    budget -= shrink;
-    T10_LOG(Info) << graph.name() << ": memory plan overshoots by " << overshoot
-                  << "B, retrying with budget " << budget;
-    if (attempt >= 6 || budget <= 0) {
-      out.fits = false;
-      out.ops.clear();
-      break;
-    }
-  }
-  out.compile_wall_seconds =
+  const PassManager pipeline = BuildCompilerPipeline();
+  pipeline.Run(ctx, start_pass);
+
+  ctx.model.compile_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  metrics.GetHistogram("compiler.phase.total.seconds").Record(out.compile_wall_seconds);
-
-  // Per-core traffic totals of the compiled model: what each core moves over
-  // its links for rotations/epilogues, setup fetches and layout transitions.
-  if (out.fits) {
-    std::int64_t shift_bytes = 0;
-    std::int64_t setup_bytes = 0;
-    std::int64_t transition_bytes = 0;
-    for (const CompiledOp& op : out.ops) {
-      shift_bytes += op.measured.shift_bytes_per_core;
-      setup_bytes += op.setup_bytes;
-      transition_bytes += op.transition_bytes;
-    }
-    metrics.GetCounter("compiler.model.traffic.shift_bytes_per_core").Add(shift_bytes);
-    metrics.GetCounter("compiler.model.traffic.setup_bytes_per_core").Add(setup_bytes);
-    metrics.GetCounter("compiler.model.traffic.transition_bytes_per_core").Add(transition_bytes);
-    metrics.GetGauge("compiler.model.memory_peak_bytes")
-        .Set(static_cast<double>(out.memory_peak_bytes));
-    metrics.GetGauge("compiler.model.idle_bytes_per_core")
-        .Set(static_cast<double>(out.idle_bytes_per_core));
-  }
-
-  // Cross-check against the static verifier (the same rules behind
-  // `t10c --verify`); on in debug builds, off otherwise, with the
-  // T10_INTERNAL_VERIFY environment variable overriding either way.
-  if (out.fits && verify::InternalVerifyEnabled()) {
-    const verify::VerifyResult result = verify::Verifier(chip_).VerifyAll(out, graph);
-    T10_CHECK(result.ok()) << "compiled model fails static verification for " << graph.name()
-                           << ":\n"
-                           << result.Listing();
-  }
-  return out;
-}
-
-void Compiler::MaterializeOps(const Graph& graph, const std::vector<IntraOpResult>& searches,
-                              const std::vector<InterOpOperator>& inter_ops,
-                              const InterOpSchedule& schedule, CompiledModel& out) {
-  for (int i = 0; i < graph.num_ops(); ++i) {
-    const Operator& op = graph.op(i);
-    const IntraOpResult& search = searches[static_cast<std::size_t>(i)];
-    const OpSchedule& sched = schedule.per_op[static_cast<std::size_t>(i)];
-    CompiledOp compiled;
-    compiled.op_index = i;
-    compiled.active_plan = search.pareto[static_cast<std::size_t>(sched.active_option)].plan;
-    compiled.idle_plan = search.pareto[static_cast<std::size_t>(sched.idle_option)].plan;
-    compiled.predicted = search.pareto[static_cast<std::size_t>(sched.active_option)].predicted;
-    compiled.measured = compiled.active_plan.Evaluate(truth_, chip_);
-    compiled.setup_seconds = sched.setup_seconds;
-    compiled.setup_bytes = SetupFetchBytes(
-        inter_ops[static_cast<std::size_t>(i)].options[static_cast<std::size_t>(sched.idle_option)],
-        inter_ops[static_cast<std::size_t>(i)]
-            .options[static_cast<std::size_t>(sched.active_option)]);
-    compiled.complete_space_log10 = search.complete_space_log10;
-    compiled.filtered_count = search.filtered_count;
-    compiled.pareto_count = static_cast<std::int64_t>(search.pareto.size());
-
-    // Layout transitions for on-chip intermediate inputs.
-    for (std::size_t j = 0; j < op.inputs().size(); ++j) {
-      const TensorInfo& info = graph.tensor(op.inputs()[j].name);
-      if (info.producer < 0) {
-        continue;  // Weights and graph inputs: no on-chip relayout.
-      }
-      const CompiledOp& producer = out.ops[static_cast<std::size_t>(info.producer)];
-      const RTensorPlan& produced = producer.active_plan.output_plan();
-      const RTensorPlan& consumed = compiled.active_plan.tensors()[j];
-      if (!LayoutsMatch(produced, consumed)) {
-        compiled.transition_seconds += TransitionSeconds(info.bytes, chip_);
-        // Each core sends and receives its share of the tensor.
-        compiled.transition_bytes += 2 * CeilDiv(info.bytes, chip_.num_cores);
-      }
-    }
-    out.ops.push_back(std::move(compiled));
-  }
+  metrics.GetHistogram("compiler.phase.total.seconds").Record(ctx.model.compile_wall_seconds);
+  return std::move(ctx.model);
 }
 
 StatusOr<DegradedPlan> ReplanDegraded(const ChipSpec& chip, const Graph& graph,
@@ -346,8 +171,11 @@ StatusOr<DegradedPlan> ReplanDegraded(const ChipSpec& chip, const Graph& graph,
     return UnavailableError("no usable core survives the health mask on " + chip.name);
   }
   out.surviving = chip.SurvivingSpec();
-  Compiler compiler(out.surviving, options);
-  out.model = compiler.Compile(graph);
+  // Restart the pipeline at IntraOpSearch on the surviving spec: the search
+  // must re-run against the new topology, while cost-model fitting and plan
+  // cache attachment happen lazily as the passes need them.
+  Compiler compiler(out.surviving, std::move(options));
+  out.model = compiler.CompileFrom(graph, pass_names::kIntraOpSearch);
   if (!out.model.fits) {
     return ResourceExhaustedError("model '" + graph.name() + "' no longer fits " +
                                   out.surviving.name + " (" +

@@ -1,18 +1,19 @@
 // End-to-end T10 compiler (paper §4, Figure 4).
 //
-// Pipeline: parse/accept an operator graph -> fit the cost model (once per
-// chip) -> intra-operator Pareto search per operator, with a signature cache
-// so repeated layers compile once (paper §6.3: "each operator's final plans
-// can be cached and reused for identical operators") -> holistic
-// inter-operator memory reconciliation -> final "measured" metrics computed
-// against the hardware ground truth, including inter-operator layout
-// transitions.
+// Compilation runs as a pass pipeline over a shared CompilationContext
+// (src/core/pass/): FitCostModel -> IntraOpSearch -> InterOpReconcile ->
+// MemoryPlan -> Finalize. The Compiler here is a thin driver: it owns the
+// long-lived resources (chip, ground truth, lazily fitted cost model, plan
+// cache, worker pool) and hands them to the PassManager per compile. The
+// intra-operator search fans out across operators on a worker pool
+// (CompileOptions::jobs) with bit-deterministic results, and the signature
+// cache can persist to disk (CompileOptions::plan_cache_dir) so repeated
+// compiles skip the search entirely.
 
 #ifndef T10_SRC_CORE_COMPILER_H_
 #define T10_SRC_CORE_COMPILER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,12 +27,21 @@
 
 namespace t10 {
 
+class CompilerResources;
+
 struct CompileOptions {
   SearchConstraints constraints;
   // When false, idle layouts stay minimal and no memory is traded for setup
   // time (the policy Fig 20 attributes to Roller); used for ablations.
   bool inter_op_reconcile = true;
   int cost_model_samples = 240;
+  // Worker threads for the intra-op search: 1 = serial (the default for
+  // library users), 0 = hardware concurrency (the t10c default). Any value
+  // yields a bit-identical CompiledModel.
+  int jobs = 1;
+  // When non-empty, an existing directory the plan cache persists to
+  // (t10c --plan-cache=DIR); empty keeps the cache in-memory only.
+  std::string plan_cache_dir;
 };
 
 struct CompiledOp {
@@ -72,6 +82,15 @@ struct CompiledModel {
   double SetupSeconds() const;
   // Average per-core link bandwidth achieved during data movement (Fig 14).
   double AverageExchangeBandwidth() const;
+
+  // Deterministic serialization of everything the compile decided: fits,
+  // per-op plans (F_op + temporal factors), predicted/measured metrics,
+  // setup/transition costs, the reconcile trajectory and memory totals —
+  // excluding compile_wall_seconds, the one wall-clock field. Doubles print
+  // as hexfloat, so two models are byte-identical iff their fingerprints
+  // match; the determinism tests compare compiles across --jobs values and
+  // cold/warm caches with it.
+  std::string Fingerprint() const;
 };
 
 // Result of degraded re-planning over a chip with failed cores/links.
@@ -85,9 +104,9 @@ struct DegradedPlan {
 
 // Degraded re-planning: given a chip whose health mask marks persistently
 // failed cores and links (link-down degrades to destination-core-down, see
-// ChipSpec::UsableCoreIds), re-runs the full intra-op search over the
-// surviving topology and returns a degraded-but-correct plan plus the
-// logical->physical core map needed to execute it around the holes.
+// ChipSpec::UsableCoreIds), re-runs the pass pipeline from IntraOpSearch
+// over the surviving topology and returns a degraded-but-correct plan plus
+// the logical->physical core map needed to execute it around the holes.
 // Errors: kFailedPrecondition if the chip reports no failures (nothing to
 // replan), kUnavailable if no core survives, kResourceExhausted if the model
 // no longer fits the surviving distributed memory.
@@ -97,43 +116,35 @@ StatusOr<DegradedPlan> ReplanDegraded(const ChipSpec& chip, const Graph& graph,
 class Compiler {
  public:
   explicit Compiler(const ChipSpec& chip, CompileOptions options = {});
+  ~Compiler();
 
-  // Compiles a model. The returned CompiledModel borrows the Graph's
-  // operators; the Graph must outlive it.
+  Compiler(const Compiler&) = delete;
+  Compiler& operator=(const Compiler&) = delete;
+
+  // Compiles a model by running the full pass pipeline. The returned
+  // CompiledModel borrows the Graph's operators; the Graph must outlive it.
   CompiledModel Compile(const Graph& graph);
+
+  // Runs the pipeline from the named pass (a pass_names constant from
+  // src/core/pass/pass.h). Degraded re-planning uses this to restart from
+  // IntraOpSearch; the skipped FitCostModel work happens lazily on demand.
+  CompiledModel CompileFrom(const Graph& graph, const std::string& start_pass);
 
   // Intra-op search for a single operator, going through the signature cache.
   // The result's plans reference `op`.
   IntraOpResult SearchOp(const Operator& op);
 
-  const ChipSpec& chip() const { return chip_; }
-  const FittedCostModel& cost_model() const { return cost_model_; }
-  const GroundTruthTiming& ground_truth() const { return truth_; }
-  // Distinct operator signatures searched so far (cache size).
-  int num_cached_signatures() const { return static_cast<int>(cache_.size()); }
+  const ChipSpec& chip() const;
+  const FittedCostModel& cost_model() const;
+  const GroundTruthTiming& ground_truth() const;
+  // Distinct operator signatures in the plan cache (searched or loaded).
+  int num_cached_signatures() const;
+
+  // The standard pipeline's pass names, in order (t10c --print-passes).
+  static std::vector<std::string> PassNames();
 
  private:
-  // Cached plan *configurations* (not plans, which would dangle across
-  // graphs): enough to rebuild the Pareto set against any same-signature op.
-  struct CachedSearch {
-    std::vector<std::vector<std::int64_t>> fops;
-    std::vector<std::vector<std::vector<std::int64_t>>> temporals;
-    double complete_space_log10 = 0.0;
-    std::int64_t filtered_count = 0;
-  };
-
-  static std::string OpSignature(const Operator& op);
-
-  // Builds CompiledOps for every operator from the chosen schedule options.
-  void MaterializeOps(const Graph& graph, const std::vector<IntraOpResult>& searches,
-                      const std::vector<InterOpOperator>& inter_ops,
-                      const InterOpSchedule& schedule, CompiledModel& out);
-
-  ChipSpec chip_;
-  CompileOptions options_;
-  GroundTruthTiming truth_;
-  FittedCostModel cost_model_;
-  std::map<std::string, CachedSearch> cache_;
+  std::unique_ptr<CompilerResources> resources_;
 };
 
 }  // namespace t10

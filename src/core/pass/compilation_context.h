@@ -1,0 +1,106 @@
+// Shared state of the compilation pass pipeline.
+//
+// CompilerResources holds everything that outlives one compile and is shared
+// by every pass: the chip, the options, the ground truth, the lazily fitted
+// cost model, the plan cache and the search worker pool. CompilationContext
+// holds the per-compile artifacts each pass produces for the next one —
+// passes communicate exclusively through it (no pass calls into another
+// pass), which is what lets the fault re-planner restart the pipeline from
+// IntraOpSearch and lets tests drive individual passes in isolation.
+
+#ifndef T10_SRC_CORE_PASS_COMPILATION_CONTEXT_H_
+#define T10_SRC_CORE_PASS_COMPILATION_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/inter_op.h"
+#include "src/core/memory_planner.h"
+#include "src/core/pass/plan_cache.h"
+#include "src/core/search.h"
+#include "src/hardware/chip_spec.h"
+#include "src/hardware/timing_source.h"
+#include "src/ir/graph.h"
+#include "src/util/thread_pool.h"
+
+namespace t10 {
+
+// Long-lived compiler state shared by every pass (and every compile of one
+// Compiler instance).
+class CompilerResources {
+ public:
+  CompilerResources(const ChipSpec& chip, CompileOptions options);
+
+  const ChipSpec& chip() const { return chip_; }
+  const CompileOptions& options() const { return options_; }
+  const GroundTruthTiming& truth() const { return truth_; }
+
+  // The fitted cost model, fitting it on first use (timed under the legacy
+  // compiler.phase.cost_model_fit.seconds histogram). Lazy so constructing a
+  // Compiler stays cheap and CompileFrom(IntraOpSearch) needs no preceding
+  // FitCostModel pass run.
+  const FittedCostModel& cost_model();
+  bool cost_model_ready() const { return cost_model_.has_value(); }
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  // Attaches options().plan_cache_dir to the plan cache exactly once per
+  // Compiler (no-op without a directory). Attachment failures log a warning
+  // and leave the cache memory-only — a broken cache dir must never fail a
+  // compile. Load-time rejections land on compiler.plan_cache.rejected.
+  void EnsurePlanCacheAttached();
+
+  // Worker count the search fans out to: options().jobs, where 0 means
+  // ThreadPool::HardwareConcurrency() (negative values clamp to 1).
+  int jobs() const;
+
+  // The shared worker pool, created on first use with jobs() workers.
+  ThreadPool& pool();
+
+ private:
+  ChipSpec chip_;
+  CompileOptions options_;
+  GroundTruthTiming truth_;
+  std::optional<FittedCostModel> cost_model_;
+  PlanCache plan_cache_;
+  bool cache_attach_attempted_ = false;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// Per-compile pipeline state: every artifact one pass hands to the next.
+struct CompilationContext {
+  const Graph* graph = nullptr;
+  CompilerResources* resources = nullptr;
+
+  // The result being built; model_name is set by the driver, fits/ops/
+  // metrics by the passes.
+  CompiledModel model;
+
+  // IntraOpSearch output: one Pareto set per operator, in op order, plus
+  // which operators were rebuilt from a pre-existing cache entry.
+  std::vector<IntraOpResult> searches;
+  std::vector<bool> search_from_cache;
+
+  // InterOpReconcile artifacts: Algorithm 1's per-operator option lists and
+  // the latest schedule it produced.
+  std::vector<InterOpOperator> inter_ops;
+  InterOpSchedule schedule;
+
+  // MemoryPlan artifact: the latest liveness-based per-core memory plan.
+  MemoryPlan memory_plan;
+
+  // Fixpoint state of the reconcile<->memory-plan loop: the reconciliation
+  // budget (0 = not yet initialised; InterOpReconcile seeds it with the chip
+  // capacity), the last budget shrink, and how many memory plans have failed.
+  std::int64_t budget_bytes = 0;
+  std::int64_t last_shrink = 0;
+  int memory_retries = 0;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_COMPILATION_CONTEXT_H_

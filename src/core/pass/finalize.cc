@@ -1,0 +1,52 @@
+#include "src/core/pass/finalize.h"
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+#include "src/verify/verifier.h"
+
+namespace t10 {
+
+PassResult FinalizePass::Run(CompilationContext& ctx) {
+  if (!ctx.model.fits) {
+    return PassResult::Stop();
+  }
+  // Per-core traffic totals of the compiled model: what each core moves over
+  // its links for rotations/epilogues, setup fetches and layout transitions.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::int64_t shift_bytes = 0;
+  std::int64_t setup_bytes = 0;
+  std::int64_t transition_bytes = 0;
+  for (const CompiledOp& op : ctx.model.ops) {
+    shift_bytes += op.measured.shift_bytes_per_core;
+    setup_bytes += op.setup_bytes;
+    transition_bytes += op.transition_bytes;
+  }
+  metrics.GetCounter("compiler.model.traffic.shift_bytes_per_core").Add(shift_bytes);
+  metrics.GetCounter("compiler.model.traffic.setup_bytes_per_core").Add(setup_bytes);
+  metrics.GetCounter("compiler.model.traffic.transition_bytes_per_core").Add(transition_bytes);
+  metrics.GetGauge("compiler.model.memory_peak_bytes")
+      .Set(static_cast<double>(ctx.model.memory_peak_bytes));
+  metrics.GetGauge("compiler.model.idle_bytes_per_core")
+      .Set(static_cast<double>(ctx.model.idle_bytes_per_core));
+
+  PlanCache& cache = ctx.resources->plan_cache();
+  if (cache.attached()) {
+    const Status status = cache.Flush();
+    if (!status.ok()) {
+      T10_LOG(Warning) << "plan cache flush failed: " << status.ToString();
+    }
+    metrics.GetGauge("compiler.plan_cache.entries").Set(static_cast<double>(cache.size()));
+  }
+  return PassResult::Continue();
+}
+
+verify::VerifyResult FinalizePass::Verify(const CompilationContext& ctx) const {
+  if (!ctx.model.fits) {
+    return {};
+  }
+  // The same rules behind `t10c --verify`, run at the pipeline boundary so
+  // the compiler and the static verifier can never drift apart.
+  return verify::Verifier(ctx.resources->chip()).VerifyAll(ctx.model, *ctx.graph);
+}
+
+}  // namespace t10

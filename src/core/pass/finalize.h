@@ -1,0 +1,24 @@
+// Pass 5: publish model-level metrics and persist the plan cache.
+//
+// Records the compiled model's per-core traffic totals and memory gauges to
+// the metrics registry and flushes the plan cache to disk when one is
+// attached. Its Verify() hook runs the full static verifier over the final
+// model — the whole-pipeline cross-check `t10c --verify` exposes.
+
+#ifndef T10_SRC_CORE_PASS_FINALIZE_H_
+#define T10_SRC_CORE_PASS_FINALIZE_H_
+
+#include "src/core/pass/pass.h"
+
+namespace t10 {
+
+class FinalizePass final : public Pass {
+ public:
+  const char* name() const override { return pass_names::kFinalize; }
+  PassResult Run(CompilationContext& ctx) override;
+  verify::VerifyResult Verify(const CompilationContext& ctx) const override;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_FINALIZE_H_

@@ -1,0 +1,24 @@
+// Pass 1: fit the cost model and attach the persistent plan cache.
+//
+// Forces the lazy cost-model fit (paper §4.3.1: one linear regression per
+// kernel class plus a shift model, profiled once per chip) so later passes
+// can cost plans, and attaches the on-disk plan cache once the fingerprint —
+// which depends on the fitted coefficients — is computable.
+
+#ifndef T10_SRC_CORE_PASS_FIT_COST_MODEL_H_
+#define T10_SRC_CORE_PASS_FIT_COST_MODEL_H_
+
+#include "src/core/pass/pass.h"
+
+namespace t10 {
+
+class FitCostModelPass final : public Pass {
+ public:
+  const char* name() const override { return pass_names::kFitCostModel; }
+  PassResult Run(CompilationContext& ctx) override;
+  verify::VerifyResult Verify(const CompilationContext& ctx) const override;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_FIT_COST_MODEL_H_

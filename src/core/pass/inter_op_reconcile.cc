@@ -1,0 +1,72 @@
+#include "src/core/pass/inter_op_reconcile.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/verify/pass_checks.h"
+
+namespace t10 {
+namespace {
+
+// Reduces every operator's Pareto set to what Algorithm 1 needs: per-option
+// execution time, active footprint and weight-window bytes.
+std::vector<InterOpOperator> BuildInterOpOptions(const Graph& graph,
+                                                 const std::vector<IntraOpResult>& searches) {
+  std::vector<InterOpOperator> inter_ops(static_cast<std::size_t>(graph.num_ops()));
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    const Operator& op = graph.op(i);
+    InterOpOperator& io = inter_ops[static_cast<std::size_t>(i)];
+    io.name = op.name();
+    std::vector<int> weight_operands;
+    for (std::size_t j = 0; j < op.inputs().size(); ++j) {
+      if (graph.tensor(op.inputs()[j].name).is_weight) {
+        weight_operands.push_back(static_cast<int>(j));
+      }
+    }
+    for (std::size_t j = 0; j < searches[static_cast<std::size_t>(i)].pareto.size(); ++j) {
+      const PlanCandidate& candidate = searches[static_cast<std::size_t>(i)].pareto[j];
+      OpPlanOption option;
+      option.plan_index = static_cast<int>(j);
+      option.exec_seconds = candidate.predicted.total_seconds();
+      option.active_bytes = candidate.predicted.per_core_bytes;
+      for (const int w : weight_operands) {
+        option.weight_windows.push_back(candidate.plan.OperandWindowBytes(w));
+        option.weight_bytes += option.weight_windows.back();
+      }
+      io.options.push_back(std::move(option));
+    }
+  }
+  return inter_ops;
+}
+
+}  // namespace
+
+PassResult InterOpReconcilePass::Run(CompilationContext& ctx) {
+  const ChipSpec& chip = ctx.resources->chip();
+  if (ctx.inter_ops.empty()) {
+    ctx.inter_ops = BuildInterOpOptions(*ctx.graph, ctx.searches);
+  }
+  if (ctx.budget_bytes == 0) {
+    ctx.budget_bytes = chip.core_memory_bytes;
+  }
+  {
+    obs::ScopedTimer timer("compiler.phase.reconcile.seconds");
+    ctx.schedule = ReconcileInterOp(ctx.inter_ops, chip, ctx.budget_bytes,
+                                    ctx.resources->options().inter_op_reconcile ? -1 : 1);
+  }
+  ctx.model.fits = ctx.schedule.feasible;
+  ctx.model.reconcile_trajectory = ctx.schedule.trajectory;
+  ctx.model.idle_bytes_per_core = ctx.schedule.idle_bytes_per_core;
+  if (!ctx.schedule.feasible) {
+    ctx.model.ops.clear();
+    return PassResult::Stop();
+  }
+  return PassResult::Continue();
+}
+
+verify::VerifyResult InterOpReconcilePass::Verify(const CompilationContext& ctx) const {
+  return verify::CheckReconcileSchedule(ctx);
+}
+
+}  // namespace t10

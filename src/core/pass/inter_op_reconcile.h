@@ -1,0 +1,26 @@
+// Pass 3: holistic inter-operator memory reconciliation (Algorithm 1).
+//
+// Reduces each operator's Pareto frontier to the option list Algorithm 1
+// consumes (built once per compile; the budget fixpoint re-runs only the
+// reconciliation itself) and runs the greedy idle-memory/setup-time trade
+// under the current budget. The first run seeds the budget with the chip's
+// per-core capacity; MemoryPlan shrinks it and retries from here when the
+// liveness plan overshoots.
+
+#ifndef T10_SRC_CORE_PASS_INTER_OP_RECONCILE_H_
+#define T10_SRC_CORE_PASS_INTER_OP_RECONCILE_H_
+
+#include "src/core/pass/pass.h"
+
+namespace t10 {
+
+class InterOpReconcilePass final : public Pass {
+ public:
+  const char* name() const override { return pass_names::kInterOpReconcile; }
+  PassResult Run(CompilationContext& ctx) override;
+  verify::VerifyResult Verify(const CompilationContext& ctx) const override;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_INTER_OP_RECONCILE_H_

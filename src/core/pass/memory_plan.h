@@ -1,0 +1,30 @@
+// Pass 4: materialize the schedule and plan per-core memory (paper §4.4).
+//
+// Builds the CompiledOps the schedule selected (active/idle plans, ground
+// truth metrics, setup and layout-transition costs) and runs the
+// liveness-based memory planner over them. If the true peak overshoots the
+// scratchpad, the pass shrinks the reconciliation budget — by at least twice
+// the previous shrink, so sub-granularity overshoots cannot stall — and
+// retries the pipeline from InterOpReconcile, for at most 7 rounds.
+
+#ifndef T10_SRC_CORE_PASS_MEMORY_PLAN_H_
+#define T10_SRC_CORE_PASS_MEMORY_PLAN_H_
+
+#include "src/core/pass/pass.h"
+
+namespace t10 {
+
+class MemoryPlanPass final : public Pass {
+ public:
+  // Maximum reconcile rounds the budget fixpoint may take (the monolithic
+  // compiler's `attempt >= 6` bound: 7 reconciles total).
+  static constexpr int kMaxMemoryRetries = 7;
+
+  const char* name() const override { return pass_names::kMemoryPlan; }
+  PassResult Run(CompilationContext& ctx) override;
+  verify::VerifyResult Verify(const CompilationContext& ctx) const override;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_MEMORY_PLAN_H_

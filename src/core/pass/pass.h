@@ -1,0 +1,99 @@
+// The compilation pass pipeline (paper §4, Fig 4, restructured).
+//
+// Compilation is a sequence of typed passes over one CompilationContext:
+//
+//   FitCostModel -> IntraOpSearch -> InterOpReconcile -> MemoryPlan -> Finalize
+//
+// Each pass reads the artifacts earlier passes left in the context and writes
+// its own; it never calls into another pass. Control flow is explicit in the
+// returned PassResult: continue to the next pass, stop the pipeline (the
+// model does not fit), or retry from an earlier pass (MemoryPlan sends the
+// pipeline back to InterOpReconcile with a shrunk budget until the liveness
+// plan fits — the fixpoint the paper's §4.3.2/§4.4 interplay requires).
+//
+// The PassManager owns the cross-cutting concerns the monolithic compiler
+// used to hard-code: every pass run is timed (compiler.pass.<name>.seconds)
+// and counted (compiler.pass.<name>.runs), and when internal verification is
+// enabled each pass's output artifact is verified via its Verify() hook
+// before the next pass runs.
+
+#ifndef T10_SRC_CORE_PASS_PASS_H_
+#define T10_SRC_CORE_PASS_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pass/compilation_context.h"
+#include "src/verify/diagnostics.h"
+
+namespace t10 {
+
+namespace pass_names {
+inline constexpr char kFitCostModel[] = "fit_cost_model";
+inline constexpr char kIntraOpSearch[] = "intra_op_search";
+inline constexpr char kInterOpReconcile[] = "inter_op_reconcile";
+inline constexpr char kMemoryPlan[] = "memory_plan";
+inline constexpr char kFinalize[] = "finalize";
+}  // namespace pass_names
+
+struct PassResult {
+  enum class Action {
+    kContinue,   // Proceed to the next pass.
+    kStop,       // End the pipeline; the context holds the final model.
+    kRetryFrom,  // Jump back to the named (earlier) pass.
+  };
+
+  Action action = Action::kContinue;
+  std::string retry_from;  // Pass name, only for kRetryFrom.
+
+  static PassResult Continue() { return {}; }
+  static PassResult Stop() { return {Action::kStop, {}}; }
+  static PassResult RetryFrom(std::string pass_name) {
+    return {Action::kRetryFrom, std::move(pass_name)};
+  }
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  // Stable name (a pass_names constant); used for metrics, --print-passes
+  // and RetryFrom targets.
+  virtual const char* name() const = 0;
+
+  virtual PassResult Run(CompilationContext& ctx) = 0;
+
+  // Verifies this pass's output artifact. The PassManager calls it after a
+  // successful Run when verify::InternalVerifyEnabled() and CHECK-fails on
+  // any error diagnostic. The default verifies nothing.
+  virtual verify::VerifyResult Verify(const CompilationContext& ctx) const;
+};
+
+class PassManager {
+ public:
+  // Safety cap on total pass executions of one Run (the reconcile<->memory
+  // fixpoint is bounded at 7 rounds, so a healthy pipeline stays far below).
+  static constexpr int kMaxPassRuns = 64;
+
+  void AddPass(std::unique_ptr<Pass> pass);
+
+  std::vector<std::string> PassNames() const;
+
+  // Runs the pipeline over `ctx`, starting at `start_pass` (empty = first).
+  // CHECK-fails on an unknown start or retry target, a retry target at or
+  // after the requesting pass, or a pipeline exceeding kMaxPassRuns.
+  void Run(CompilationContext& ctx, const std::string& start_pass = "") const;
+
+ private:
+  int IndexOf(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// The standard compilation pipeline in order (the five passes above).
+PassManager BuildCompilerPipeline();
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_PASS_H_

@@ -1,0 +1,97 @@
+#include "src/core/pass/pass.h"
+
+#include <utility>
+
+#include "src/core/pass/finalize.h"
+#include "src/core/pass/fit_cost_model.h"
+#include "src/core/pass/inter_op_reconcile.h"
+#include "src/core/pass/intra_op_search.h"
+#include "src/core/pass/memory_plan.h"
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+#include "src/verify/verifier.h"
+
+namespace t10 {
+
+verify::VerifyResult Pass::Verify(const CompilationContext& ctx) const {
+  (void)ctx;
+  return {};
+}
+
+void PassManager::AddPass(std::unique_ptr<Pass> pass) {
+  T10_CHECK(pass != nullptr);
+  passes_.push_back(std::move(pass));
+}
+
+std::vector<std::string> PassManager::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) {
+    names.emplace_back(pass->name());
+  }
+  return names;
+}
+
+int PassManager::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    if (name == passes_[i]->name()) {
+      return static_cast<int>(i);
+    }
+  }
+  T10_CHECK(false) << "unknown pass '" << name << "'";
+  return -1;
+}
+
+void PassManager::Run(CompilationContext& ctx, const std::string& start_pass) const {
+  T10_CHECK(!passes_.empty()) << "empty pass pipeline";
+  T10_CHECK(ctx.graph != nullptr && ctx.resources != nullptr);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  int index = start_pass.empty() ? 0 : IndexOf(start_pass);
+  int runs = 0;
+  while (index < static_cast<int>(passes_.size())) {
+    Pass& pass = *passes_[static_cast<std::size_t>(index)];
+    ++runs;
+    T10_CHECK(runs <= kMaxPassRuns)
+        << "pass pipeline did not converge after " << kMaxPassRuns << " pass runs (at '"
+        << pass.name() << "' for " << ctx.graph->name() << ")";
+    PassResult result;
+    {
+      const std::string prefix = std::string("compiler.pass.") + pass.name();
+      metrics.GetCounter(prefix + ".runs").Increment();
+      obs::ScopedTimer timer(prefix + ".seconds");
+      result = pass.Run(ctx);
+    }
+    if (verify::InternalVerifyEnabled()) {
+      const verify::VerifyResult check = pass.Verify(ctx);
+      T10_CHECK(check.ok()) << "pass '" << pass.name() << "' output fails verification for "
+                            << ctx.graph->name() << ":\n"
+                            << check.Listing();
+    }
+    switch (result.action) {
+      case PassResult::Action::kContinue:
+        ++index;
+        break;
+      case PassResult::Action::kStop:
+        return;
+      case PassResult::Action::kRetryFrom: {
+        const int target = IndexOf(result.retry_from);
+        T10_CHECK(target < index) << "pass '" << pass.name() << "' may only retry from an "
+                                  << "earlier pass, not '" << result.retry_from << "'";
+        index = target;
+        break;
+      }
+    }
+  }
+}
+
+PassManager BuildCompilerPipeline() {
+  PassManager manager;
+  manager.AddPass(std::make_unique<FitCostModelPass>());
+  manager.AddPass(std::make_unique<IntraOpSearchPass>());
+  manager.AddPass(std::make_unique<InterOpReconcilePass>());
+  manager.AddPass(std::make_unique<MemoryPlanPass>());
+  manager.AddPass(std::make_unique<FinalizePass>());
+  return manager;
+}
+
+}  // namespace t10

@@ -1,0 +1,478 @@
+#include "src/core/pass/plan_cache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "src/core/plan.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace t10 {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string HexU64(std::uint64_t v) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << v;
+  return out.str();
+}
+
+// Binary append helpers for fingerprint hashing: fixed-width little-endian so
+// the hash never depends on locale or formatting.
+void AppendU64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendI64(std::string& buf, std::int64_t v) { AppendU64(buf, static_cast<std::uint64_t>(v)); }
+
+void AppendDouble(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(buf, bits);
+}
+
+std::string JoinInts(const std::vector<std::int64_t>& v) {
+  if (v.empty()) {
+    return "-";
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << v[i];
+  }
+  return out.str();
+}
+
+bool ParseInts(const std::string& text, std::vector<std::int64_t>& out) {
+  out.clear();
+  if (text == "-") {
+    return true;
+  }
+  if (text.empty()) {
+    return false;
+  }
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (token.empty()) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0') {
+      return false;
+    }
+    out.push_back(value);
+    if (comma == std::string::npos) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+}
+
+// strtod (not operator>>) because the file stores doubles as hexfloat for an
+// exact round-trip, and istream extraction does not accept hexfloat.
+bool ParseDoubleToken(const std::string& token, double& out) {
+  if (token.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return errno == 0 && end != token.c_str() && *end == '\0';
+}
+
+// The checksummed body of one entry: everything between (and including) its
+// "entry" line and its last "plan" line.
+std::string EntrySerialization(const std::string& signature, const CachedPlanSet& entry) {
+  std::ostringstream out;
+  out << "entry " << signature << "\n";
+  out << "space " << std::hexfloat << entry.complete_space_log10 << std::defaultfloat << "\n";
+  out << "filtered " << entry.filtered_count << "\n";
+  out << "visited " << entry.fop_count << "\n";
+  out << "plans " << entry.fops.size() << "\n";
+  for (std::size_t i = 0; i < entry.fops.size(); ++i) {
+    out << "plan fop=" << JoinInts(entry.fops[i]) << " t=";
+    for (std::size_t j = 0; j < entry.temporals[i].size(); ++j) {
+      if (j > 0) {
+        out << "|";
+      }
+      out << JoinInts(entry.temporals[i][j]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool ParseEntryBlock(const std::vector<std::string>& lines, std::string& signature,
+                     CachedPlanSet& entry) {
+  if (lines.size() < 5) {
+    return false;
+  }
+  auto field = [&lines](std::size_t i, const char* key, std::string& value) {
+    const std::string prefix = std::string(key) + " ";
+    if (lines[i].rfind(prefix, 0) != 0) {
+      return false;
+    }
+    value = lines[i].substr(prefix.size());
+    return true;
+  };
+  std::string value;
+  std::vector<std::int64_t> one;
+  if (!field(0, "entry", signature) || signature.empty()) {
+    return false;
+  }
+  if (!field(1, "space", value) || !ParseDoubleToken(value, entry.complete_space_log10)) {
+    return false;
+  }
+  if (!field(2, "filtered", value) || !ParseInts(value, one) || one.size() != 1) {
+    return false;
+  }
+  entry.filtered_count = one[0];
+  if (!field(3, "visited", value) || !ParseInts(value, one) || one.size() != 1) {
+    return false;
+  }
+  entry.fop_count = one[0];
+  if (!field(4, "plans", value) || !ParseInts(value, one) || one.size() != 1 || one[0] < 0) {
+    return false;
+  }
+  const std::size_t num_plans = static_cast<std::size_t>(one[0]);
+  if (lines.size() != 5 + num_plans) {
+    return false;
+  }
+  for (std::size_t i = 0; i < num_plans; ++i) {
+    const std::string& line = lines[5 + i];
+    if (line.rfind("plan fop=", 0) != 0) {
+      return false;
+    }
+    const std::size_t tpos = line.find(" t=");
+    if (tpos == std::string::npos) {
+      return false;
+    }
+    std::vector<std::int64_t> fop;
+    if (!ParseInts(line.substr(9, tpos - 9), fop)) {
+      return false;
+    }
+    std::vector<std::vector<std::int64_t>> tensors;
+    const std::string rest = line.substr(tpos + 3);
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t bar = rest.find('|', pos);
+      std::vector<std::int64_t> dims;
+      if (!ParseInts(rest.substr(pos, bar == std::string::npos ? std::string::npos : bar - pos),
+                     dims)) {
+        return false;
+      }
+      tensors.push_back(std::move(dims));
+      if (bar == std::string::npos) {
+        break;
+      }
+      pos = bar + 1;
+    }
+    entry.fops.push_back(std::move(fop));
+    entry.temporals.push_back(std::move(tensors));
+  }
+  return true;
+}
+
+std::string FormatHeader() {
+  return "t10-plan-cache v" + std::to_string(PlanCache::kFormatVersion);
+}
+
+// Loads every entry whose checksum and syntax hold; anything else (bad
+// header, wrong fingerprint, truncated or bit-flipped entries) is counted as
+// rejected and skipped. Never trusts a damaged entry.
+void LoadCacheFile(std::istream& in, std::uint64_t expected_fingerprint,
+                   std::map<std::string, CachedPlanSet>& entries, std::int64_t& rejected) {
+  std::string line;
+  if (!std::getline(in, line) || line != FormatHeader()) {
+    ++rejected;
+    return;
+  }
+  if (!std::getline(in, line) || line != "fingerprint " + HexU64(expected_fingerprint)) {
+    ++rejected;
+    return;
+  }
+  std::vector<std::string> block;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("entry ", 0) == 0) {
+      if (in_block) {
+        ++rejected;  // Previous entry never reached its checksum line.
+      }
+      block.assign(1, line);
+      in_block = true;
+      continue;
+    }
+    if (!in_block) {
+      ++rejected;  // Stray bytes between entries.
+      continue;
+    }
+    if (line.rfind("crc ", 0) == 0) {
+      std::string raw;
+      for (const std::string& block_line : block) {
+        raw += block_line;
+        raw += '\n';
+      }
+      std::string signature;
+      CachedPlanSet entry;
+      if (line.substr(4) == HexU64(Fnv1a64(raw)) && ParseEntryBlock(block, signature, entry)) {
+        entries[signature] = std::move(entry);
+      } else {
+        ++rejected;
+      }
+      in_block = false;
+      continue;
+    }
+    block.push_back(line);
+  }
+  if (in_block) {
+    ++rejected;  // File truncated mid-entry.
+  }
+}
+
+// Keeps at most `max_files` cache files in `dir` (ours always survives);
+// oldest-by-mtime go first. Bounds disk growth across chip/constraint
+// variations without ever touching the file the current compile uses.
+void EvictStaleCacheFiles(const std::string& dir, const std::string& keep_path, int max_files) {
+  std::vector<std::pair<fs::file_time_type, fs::path>> files;
+  std::error_code ec;
+  for (const auto& dir_entry : fs::directory_iterator(dir, ec)) {
+    const fs::path& path = dir_entry.path();
+    const std::string filename = path.filename().string();
+    if (filename.rfind("plans-", 0) == 0 && path.extension() == ".t10cache") {
+      std::error_code time_ec;
+      files.emplace_back(fs::last_write_time(path, time_ec), path);
+    }
+  }
+  if (static_cast<int>(files.size()) <= max_files) {
+    return;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  int to_remove = static_cast<int>(files.size()) - max_files;
+  for (const auto& [mtime, path] : files) {
+    if (to_remove <= 0) {
+      break;
+    }
+    if (path.string() == keep_path) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (fs::remove(path, remove_ec)) {
+      T10_LOG(Info) << "plan cache: evicted stale " << path.string();
+    }
+    --to_remove;
+  }
+}
+
+}  // namespace
+
+std::string OperatorSignature(const Operator& op) {
+  std::ostringstream sig;
+  sig << OpKindName(op.kind()) << "/" << op.elementwise_cost() << "/";
+  for (const Axis& axis : op.axes()) {
+    sig << axis.length << (axis.reduction ? "r" : "p") << ",";
+  }
+  auto tensor_sig = [&sig](const TensorRef& t) {
+    sig << "|" << DataTypeName(t.dtype);
+    for (const DimRef& dim : t.dims) {
+      sig << ":" << dim.axis;
+      if (dim.compound()) {
+        sig << "*" << dim.stride << "+" << dim.minor_axis;
+      }
+    }
+  };
+  for (const TensorRef& input : op.inputs()) {
+    tensor_sig(input);
+  }
+  tensor_sig(op.output());
+  return sig.str();
+}
+
+std::uint64_t Fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+CachedPlanSet ToCachedPlanSet(const IntraOpResult& result) {
+  CachedPlanSet cached;
+  cached.complete_space_log10 = result.complete_space_log10;
+  cached.filtered_count = result.filtered_count;
+  cached.fop_count = result.fop_count;
+  for (const PlanCandidate& candidate : result.pareto) {
+    cached.fops.push_back(candidate.plan.fop());
+    std::vector<std::vector<std::int64_t>> temporal;
+    for (const RTensorPlan& tensor_plan : candidate.plan.tensors()) {
+      temporal.push_back(tensor_plan.temporal);
+    }
+    cached.temporals.push_back(std::move(temporal));
+  }
+  return cached;
+}
+
+std::optional<IntraOpResult> RebuildFromCache(const CachedPlanSet& entry, const Operator& op,
+                                              const TimingSource& cost_model,
+                                              const ChipSpec& chip) {
+  if (entry.fops.size() != entry.temporals.size()) {
+    return std::nullopt;
+  }
+  IntraOpResult result;
+  result.complete_space_log10 = entry.complete_space_log10;
+  result.filtered_count = entry.filtered_count;
+  result.fop_count = entry.fop_count;
+  for (std::size_t i = 0; i < entry.fops.size(); ++i) {
+    auto plan = ExecutionPlan::Create(op, entry.fops[i], entry.temporals[i]);
+    if (!plan.has_value()) {
+      return std::nullopt;  // Incompatible or damaged entry; re-search.
+    }
+    const PlanMetrics predicted = plan->Evaluate(cost_model, chip);
+    result.pareto.push_back(PlanCandidate{std::move(*plan), predicted});
+  }
+  return result;
+}
+
+PlanCache::~PlanCache() {
+  if (attached_ && dirty_) {
+    const Status status = Flush();
+    if (!status.ok()) {
+      T10_LOG(Warning) << "plan cache: final flush failed: " << status.ToString();
+    }
+  }
+}
+
+std::uint64_t PlanCache::Fingerprint(const ChipSpec& chip, const SearchConstraints& constraints,
+                                     const FittedCostModel& cost_model, int cost_model_samples) {
+  std::string buf;
+  buf += chip.name;
+  buf.push_back('\0');
+  AppendI64(buf, chip.num_cores);
+  AppendI64(buf, chip.cores_per_chip);
+  AppendI64(buf, chip.core_memory_bytes);
+  AppendDouble(buf, chip.link_bandwidth);
+  AppendDouble(buf, chip.interchip_bandwidth);
+  AppendDouble(buf, chip.core_flops);
+  AppendDouble(buf, chip.local_memory_bandwidth);
+  AppendDouble(buf, chip.sync_latency_seconds);
+  AppendI64(buf, chip.shift_buffer_bytes);
+  AppendDouble(buf, chip.offchip_bandwidth);
+  AppendI64(buf, chip.amp_alignment);
+  for (const int core : chip.health.failed_cores) {
+    AppendI64(buf, core);
+  }
+  buf.push_back('\1');
+  for (const auto& [src, dst] : chip.health.failed_links) {
+    AppendI64(buf, src);
+    AppendI64(buf, dst);
+  }
+  buf.push_back('\2');
+  AppendDouble(buf, constraints.parallelism_fraction);
+  AppendDouble(buf, constraints.padding_threshold);
+  AppendI64(buf, constraints.max_rotating_dims);
+  AppendI64(buf, constraints.max_evaluations);
+  AppendI64(buf, cost_model_samples);
+  // Probe predictions pin the fitted coefficients themselves: any refit that
+  // changes the regression (different truth, noise, samples) moves at least
+  // one probe's predicted time and therefore the fingerprint. Fixed-seed
+  // probes keep the fingerprint deterministic across runs.
+  Rng rng(0x7107u);
+  for (int cls = 0; cls < kNumKernelClasses; ++cls) {
+    for (int probe = 0; probe < 4; ++probe) {
+      const SubTaskShape shape = FittedCostModel::RandomShape(static_cast<KernelClass>(cls), rng);
+      AppendDouble(buf, cost_model.SubTaskSeconds(shape));
+    }
+  }
+  for (const std::int64_t bytes : {std::int64_t{64}, std::int64_t{8192}, std::int64_t{1} << 20}) {
+    AppendDouble(buf, cost_model.ShiftSeconds(bytes));
+  }
+  return Fnv1a64(buf);
+}
+
+Status PlanCache::AttachDir(const std::string& dir, std::uint64_t fingerprint, int max_files) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return InvalidArgumentError("plan cache directory does not exist: " + dir);
+  }
+  fingerprint_ = fingerprint;
+  path_ = (fs::path(dir) / ("plans-" + HexU64(fingerprint) + ".t10cache")).string();
+  attached_ = true;
+  dirty_ = false;
+  entries_.clear();
+  rejected_on_load_ = 0;
+
+  std::ifstream in(path_);
+  if (in.good()) {
+    LoadCacheFile(in, fingerprint_, entries_, rejected_on_load_);
+    if (rejected_on_load_ > 0) {
+      T10_LOG(Warning) << "plan cache: rejected " << rejected_on_load_
+                       << " damaged entr(y/ies) in " << path_ << "; they will be recompiled";
+    }
+  }
+  EvictStaleCacheFiles(dir, path_, max_files < 1 ? 1 : max_files);
+  return Status::Ok();
+}
+
+const CachedPlanSet* PlanCache::Lookup(const std::string& signature) const {
+  const auto it = entries_.find(signature);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PlanCache::Insert(const std::string& signature, CachedPlanSet entry) {
+  entries_[signature] = std::move(entry);
+  dirty_ = true;
+}
+
+Status PlanCache::Flush() {
+  if (!attached_ || !dirty_) {
+    return Status::Ok();
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return InvalidArgumentError("cannot write plan cache file: " + tmp);
+    }
+    out << FormatHeader() << "\n";
+    out << "fingerprint " << HexU64(fingerprint_) << "\n";
+    for (const auto& [signature, entry] : entries_) {
+      const std::string raw = EntrySerialization(signature, entry);
+      out << raw << "crc " << HexU64(Fnv1a64(raw)) << "\n";
+    }
+    out.flush();
+    if (!out.good()) {
+      return InvalidArgumentError("short write to plan cache file: " + tmp);
+    }
+  }
+  // Atomic replace: a crashed or concurrent compile can leave a stale cache,
+  // never a half-written one (half-written entries would fail their CRC
+  // anyway, but this keeps the common path clean).
+  std::error_code ec;
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    return InvalidArgumentError("cannot replace plan cache file " + path_ + ": " + ec.message());
+  }
+  dirty_ = false;
+  return Status::Ok();
+}
+
+}  // namespace t10

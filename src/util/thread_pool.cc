@@ -1,0 +1,100 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  T10_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    T10_CHECK(!shutdown_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (num_threads() <= 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // One claiming loop per worker; each claims the next unprocessed index.
+  auto cursor = std::make_shared<std::atomic<std::int64_t>>(0);
+  const std::int64_t loops = std::min<std::int64_t>(num_threads(), n);
+  for (std::int64_t w = 0; w < loops; ++w) {
+    Submit([cursor, n, &fn] {
+      for (;;) {
+        const std::int64_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace t10

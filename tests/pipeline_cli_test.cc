@@ -1,0 +1,109 @@
+// CLI contract of the pipeline flags: strict --jobs / --plan-cache parsing
+// (exit 2 on bad values), --print-passes listing, and the cold/warm plan
+// cache observably skipping the search via --metrics. The binary path is
+// injected by CMake as T10_T10C_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace t10 {
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunT10c(const std::string& args) {
+  const std::string command = std::string(T10_T10C_BIN) + " " + args;
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(PipelineCliTest, BadJobsValuesAreFlagErrors) {
+  EXPECT_EQ(RunT10c("--demo --jobs=abc > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --jobs=0 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --jobs=-1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --jobs=4x > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --jobs= > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --jobs > /dev/null 2>&1"), 2);  // Missing value.
+}
+
+TEST(PipelineCliTest, ExplicitJobsCompilesTheDemo) {
+  EXPECT_EQ(RunT10c("--demo --jobs=2 > /dev/null 2>&1"), 0);
+  EXPECT_EQ(RunT10c("--demo --jobs 1 > /dev/null 2>&1"), 0);
+}
+
+TEST(PipelineCliTest, EmptyPlanCacheDirIsFlagError) {
+  EXPECT_EQ(RunT10c("--demo --plan-cache= > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --plan-cache > /dev/null 2>&1"), 2);
+}
+
+TEST(PipelineCliTest, UncreatablePlanCacheDirIsFlagError) {
+  // /dev/null exists as a file, so a directory cannot be created beneath it.
+  EXPECT_EQ(RunT10c("--demo --plan-cache=/dev/null/cache > /dev/null 2>&1"), 2);
+}
+
+TEST(PipelineCliTest, PrintPassesListsThePipelineInOrder) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_passes.txt";
+  ASSERT_EQ(RunT10c("--print-passes > " + out_path + " 2>/dev/null"), 0);
+  const std::string out = ReadFileOrEmpty(out_path);
+  const std::size_t fit = out.find("fit_cost_model");
+  const std::size_t search = out.find("intra_op_search");
+  const std::size_t reconcile = out.find("inter_op_reconcile");
+  const std::size_t memory = out.find("memory_plan");
+  const std::size_t finalize = out.find("finalize");
+  ASSERT_NE(fit, std::string::npos) << out;
+  ASSERT_NE(finalize, std::string::npos) << out;
+  EXPECT_LT(fit, search);
+  EXPECT_LT(search, reconcile);
+  EXPECT_LT(reconcile, memory);
+  EXPECT_LT(memory, finalize);
+}
+
+TEST(PipelineCliTest, HelpMentionsTheNewFlags) {
+  const std::string out_path = ::testing::TempDir() + "/t10c_help.txt";
+  RunT10c("--help > " + out_path + " 2>&1");
+  const std::string out = ReadFileOrEmpty(out_path);
+  EXPECT_NE(out.find("--jobs"), std::string::npos);
+  EXPECT_NE(out.find("--plan-cache"), std::string::npos);
+  EXPECT_NE(out.find("--print-passes"), std::string::npos);
+}
+
+TEST(PipelineCliTest, WarmPlanCacheSkipsTheSearch) {
+  const fs::path cache_dir =
+      fs::path(::testing::TempDir()) / "t10c_warm_cache_test";
+  fs::remove_all(cache_dir);
+  const std::string metrics1 = ::testing::TempDir() + "/t10c_cold_metrics.json";
+  const std::string metrics2 = ::testing::TempDir() + "/t10c_warm_metrics.json";
+
+  ASSERT_EQ(RunT10c("--demo --plan-cache=" + cache_dir.string() + " --metrics " +
+                    metrics1 + " > /dev/null 2>&1"),
+            0);
+  const std::string cold = ReadFileOrEmpty(metrics1);
+  // The cold compile searches the demo's three distinct signatures.
+  EXPECT_EQ(cold.find("\"compiler.search.searches\": 0"), std::string::npos)
+      << cold;
+  EXPECT_NE(cold.find("\"compiler.cache.misses\": 3"), std::string::npos) << cold;
+
+  ASSERT_EQ(RunT10c("--demo --plan-cache=" + cache_dir.string() + " --metrics " +
+                    metrics2 + " > /dev/null 2>&1"),
+            0);
+  const std::string warm = ReadFileOrEmpty(metrics2);
+  // The warm compile rebuilds every plan from the persisted cache: the search
+  // funnel reports zero fresh searches and zero misses.
+  EXPECT_NE(warm.find("\"compiler.search.searches\": 0"), std::string::npos)
+      << warm;
+  EXPECT_NE(warm.find("\"compiler.cache.misses\": 0"), std::string::npos) << warm;
+  fs::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,107 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace t10 {
+namespace {
+
+TEST(ThreadPoolTest, ClampsWorkerCountToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotWritesAreDeterministicAcrossWorkerCounts) {
+  constexpr std::int64_t kN = 257;
+  const auto compute = [](std::int64_t i) { return i * i + 7 * i + 3; };
+  std::vector<std::int64_t> results_for[3];
+  const int worker_counts[3] = {1, 2, 8};
+  for (int w = 0; w < 3; ++w) {
+    ThreadPool pool(worker_counts[w]);
+    results_for[w].assign(kN, 0);
+    auto& out = results_for[w];
+    pool.ParallelFor(kN, [&out, &compute](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = compute(i);
+    });
+  }
+  EXPECT_EQ(results_for[0], results_for[1]);
+  EXPECT_EQ(results_for[0], results_for[2]);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(-5, [&calls](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the calling thread (no synchronization needed for
+  // the plain int).
+  pool.ParallelFor(1, [&calls](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<std::int64_t>> sums(3);
+  for (int round = 0; round < 3; ++round) {
+    pool.ParallelFor(100, [&sums, round](std::int64_t i) {
+      sums[static_cast<std::size_t>(round)].fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  const std::int64_t expected = 99 * 100 / 2;
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(round)].load(), expected);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool waits for all 50.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace t10
