@@ -70,7 +70,10 @@ int main(int argc, char** argv) {
               FormatBytes(memory.peak_bytes).c_str(), FormatBytes(memory.capacity).c_str(),
               memory.peak_op, FormatBytes(memory.NaiveBytes() - memory.peak_bytes).c_str());
   TraceWriter trace = TraceCompiledModel(model, graph);
-  trace.WriteFile("resnet_trace.json");
+  if (const Status written = trace.WriteFile("resnet_trace.json"); !written.ok()) {
+    std::printf("trace export failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
   std::printf("Execution timeline written to resnet_trace.json (%zu spans)\n",
               trace.spans().size());
   return 0;

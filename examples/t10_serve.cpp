@@ -1,0 +1,282 @@
+// t10-serve: a closed-loop serving demo over the simulated chip. Compiles
+// the built-in demo MLP, starts the resilient serving runtime (bounded
+// admission queue, deadline-aware scheduling, per-worker fault-tolerant
+// executors, health-monitored online failover), drives a fixed request load
+// against it — optionally under injected faults and a mid-run chaos core
+// kill — and audits the outcome: every accepted request must produce exactly
+// one response, and every OK response must be bit-identical to a fault-free
+// reference run.
+//
+//   $ ./examples/t10_serve [--requests N] [--qps Q] [--deadline-ms D]
+//                          [--queue-cap C] [--workers W] [--cores N]
+//                          [--faults SPEC] [--chaos-kill-core-at K]
+//                          [--chaos-core ID] [--retries R] [--seed S]
+//                          [--metrics out.json]
+//
+// Exit codes: 0 success; 1 server failed to start or died; 2 usage error;
+// 5 serving integrity failure (lost or duplicated responses, or an OK
+// response that was not bit-identical to the reference).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/ir/parser.h"
+#include "src/obs/metrics.h"
+#include "src/serve/server.h"
+
+namespace {
+
+// A scaled-down cousin of the t10c demo MLP: every request is executed
+// byte-for-byte on the simulated scratchpads (plus once more on a pristine
+// reference machine), so serving wants millisecond ops, not the compile
+// demo's megabyte matmuls.
+const char* kDemoModel = R"(
+model serve-mlp
+matmul name=fc1 m=16 k=32 n=32 a=x b=w1 c=h1 dtype=f32 weight=w1
+unary  name=relu shape=16x32 in=h1 out=h2 cost=2 dtype=f32
+matmul name=fc2 m=16 k=32 n=16 a=h2 b=w2 c=y dtype=f32 weight=w2
+)";
+
+void Usage() {
+  std::printf(
+      "usage: t10_serve [options]\n"
+      "\n"
+      "options:\n"
+      "  --requests N            requests to submit (default 32)\n"
+      "  --qps Q                 submission rate; 0 = as fast as possible (default 0)\n"
+      "  --deadline-ms D         per-request deadline; 0 = none (default 0)\n"
+      "  --queue-cap C           admission queue capacity (default 64)\n"
+      "  --workers W             executor worker threads (default 2)\n"
+      "  --cores N               simulated chip cores (default 16)\n"
+      "  --faults SPEC           fault environment, t10c --faults syntax (e.g.\n"
+      "                          corrupt=0.01,seed=7,core_down=3)\n"
+      "  --chaos-kill-core-at K  after the K-th submission (1-based), persistently\n"
+      "                          kill a core under the running server, forcing an\n"
+      "                          online failover onto the surviving topology\n"
+      "  --chaos-core ID         which core the chaos kill takes (default: last)\n"
+      "  --retries R             per-request transient-fault retry budget (default 2)\n"
+      "  --seed S                base input seed (default 1)\n"
+      "  --metrics out.json      write a JSON metrics snapshot on exit\n"
+      "  --help                  show this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace t10;
+
+  int requests = 32;
+  double qps = 0.0;
+  double deadline_ms = 0.0;
+  int queue_cap = 64;
+  int workers = 2;
+  int cores = 16;
+  int retries = 2;
+  std::uint64_t seed = 1;
+  int chaos_at = 0;  // 0 = never.
+  int chaos_core = -1;
+  std::string faults_text;
+  std::string metrics_path;
+
+  auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "t10_serve: %s requires a value\n\n", flag);
+      Usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      requests = std::atoi(flag_value(i, "--requests"));
+    } else if (std::strcmp(argv[i], "--qps") == 0) {
+      qps = std::atof(flag_value(i, "--qps"));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = std::atof(flag_value(i, "--deadline-ms"));
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0) {
+      queue_cap = std::atoi(flag_value(i, "--queue-cap"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = std::atoi(flag_value(i, "--workers"));
+    } else if (std::strcmp(argv[i], "--cores") == 0) {
+      cores = std::atoi(flag_value(i, "--cores"));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      retries = std::atoi(flag_value(i, "--retries"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(flag_value(i, "--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--chaos-kill-core-at") == 0) {
+      chaos_at = std::atoi(flag_value(i, "--chaos-kill-core-at"));
+    } else if (std::strcmp(argv[i], "--chaos-core") == 0) {
+      chaos_core = std::atoi(flag_value(i, "--chaos-core"));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_text = flag_value(i, "--faults");
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      faults_text = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = flag_value(i, "--metrics");
+    } else {
+      std::fprintf(stderr, "t10_serve: unknown argument '%s'\n\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (requests < 1 || queue_cap < 1 || workers < 1 || cores < 2 || retries < 0 ||
+      qps < 0.0 || deadline_ms < 0.0) {
+    std::fprintf(stderr, "t10_serve: invalid argument value\n");
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = queue_cap;
+  if (!faults_text.empty()) {
+    StatusOr<fault::FaultSpec> spec = fault::ParseFaultSpec(faults_text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "t10_serve: --faults: %s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    options.faults = *std::move(spec);
+  }
+
+  StatusOr<Graph> parsed = TryParseModelText(kDemoModel);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "t10_serve: demo model: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Graph graph = *std::move(parsed);
+  const ChipSpec chip = ChipSpec::ScaledIpu(cores);
+  if (chaos_core < 0) {
+    chaos_core = chip.num_cores - 1;
+  }
+
+  serve::Server server(chip, graph, options);
+  std::printf("t10_serve: compiling '%s' for %s (%d workers, queue %d)...\n",
+              graph.name().c_str(), chip.name.c_str(), workers, queue_cap);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "t10_serve: start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("t10_serve: serving %d op slot(s), epoch %d\n", server.num_op_slots(),
+              server.plan_epoch());
+
+  const auto t0 = serve::Clock::now();
+  std::int64_t accepted = 0, shed = 0, rejected = 0;
+  std::map<std::int64_t, int> expected;  // id -> responses seen (audit).
+  for (int i = 0; i < requests; ++i) {
+    if (qps > 0.0) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<serve::Clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(i) / qps)));
+    }
+    if (chaos_at > 0 && i + 1 == chaos_at) {
+      std::printf("t10_serve: chaos: killing core %d after %d submission(s)\n", chaos_core,
+                  i);
+      server.KillCore(chaos_core);
+    }
+    serve::Request request;
+    request.op_slot = i % server.num_op_slots();
+    request.input_seed = seed + static_cast<std::uint64_t>(i);
+    request.deadline_seconds = deadline_ms / 1000.0;
+    request.max_retries = retries;
+    StatusOr<std::int64_t> id = server.Submit(request);
+    if (id.ok()) {
+      ++accepted;
+      expected.emplace(*id, 0);
+    } else if (id.status().code() == StatusCode::kResourceExhausted) {
+      ++shed;  // Queue full: load was shed at admission, no response owed.
+    } else {
+      ++rejected;  // Circuit breaker / server down.
+    }
+  }
+
+  server.WaitIdle();
+  const std::vector<serve::Response> responses = server.TakeResponses();
+  const Status shutdown = server.Shutdown();
+  const double wall = std::chrono::duration<double>(serve::Clock::now() - t0).count();
+
+  // Audit: exactly one response per accepted request; OK => bit-identical.
+  std::int64_t lost = 0, duplicated = 0, unknown = 0, not_identical = 0;
+  std::int64_t ok = 0, deadline_exceeded = 0, failed = 0;
+  std::vector<double> latencies;
+  for (const serve::Response& response : responses) {
+    auto it = expected.find(response.id);
+    if (it == expected.end()) {
+      ++unknown;
+      continue;
+    }
+    if (++it->second > 1) {
+      ++duplicated;
+    }
+    latencies.push_back(response.latency_seconds);
+    if (response.status.ok()) {
+      ++ok;
+      if (!response.bit_identical) {
+        ++not_identical;
+      }
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline_exceeded;
+    } else {
+      ++failed;
+    }
+  }
+  for (const auto& [id, count] : expected) {
+    if (count == 0) {
+      ++lost;
+    }
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  auto quantile = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+    return latencies[rank];
+  };
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("\nt10_serve: %lld accepted, %lld shed, %lld rejected in %.2fs\n",
+              static_cast<long long>(accepted), static_cast<long long>(shed),
+              static_cast<long long>(rejected), wall);
+  std::printf("responses: %zu (ok %lld, deadline_exceeded %lld, failed %lld)\n",
+              responses.size(), static_cast<long long>(ok),
+              static_cast<long long>(deadline_exceeded), static_cast<long long>(failed));
+  std::printf("latency: p50 %.1fms p99 %.1fms | retries used %lld, requeued %lld\n",
+              quantile(0.50) * 1e3, quantile(0.99) * 1e3,
+              static_cast<long long>(
+                  obs::MetricsRegistry::Global().GetCounter("serve.retry.count").value()),
+              static_cast<long long>(stats.requeued));
+  std::printf("failovers: %d (final epoch %d) | lost=%lld duplicated=%lld unknown=%lld "
+              "not_identical=%lld\n",
+              stats.failovers, stats.plan_epoch, static_cast<long long>(lost),
+              static_cast<long long>(duplicated), static_cast<long long>(unknown),
+              static_cast<long long>(not_identical));
+  if (!shutdown.ok()) {
+    std::fprintf(stderr, "t10_serve: server died: %s\n", shutdown.ToString().c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().WriteFile(metrics_path);
+    std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+  }
+
+  if (lost > 0 || duplicated > 0 || unknown > 0 || not_identical > 0) {
+    std::fprintf(stderr, "t10_serve: SERVING INTEGRITY FAILURE\n");
+    return 5;
+  }
+  if (!shutdown.ok()) {
+    return 1;
+  }
+  std::printf("t10_serve: OK\n");
+  return 0;
+}

@@ -358,7 +358,11 @@ int main(int argc, char** argv) {
     std::printf("kernel program written to %s\n", code_path.c_str());
   }
   if (!trace_path.empty()) {
-    TraceCompiledModel(model, graph, &chip).WriteFile(trace_path);
+    const Status written = TraceCompiledModel(model, graph, &chip).WriteFile(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "t10c: --trace: %s\n", written.ToString().c_str());
+      return 2;
+    }
     std::printf("execution trace written to %s\n", trace_path.c_str());
   }
   if (!metrics_path.empty()) {

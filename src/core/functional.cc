@@ -129,14 +129,46 @@ HostTensor ReferenceExecute(const Operator& op, const std::vector<HostTensor>& i
   return out;
 }
 
+namespace {
+
+// Caller-suppliable preconditions (operator kind, input arity and shapes):
+// operational errors, not bugs. Everything past this point is internal plan
+// structure and stays CHECKed.
+Status ValidateFunctionalInputs(const Operator& op, const std::vector<HostTensor>& inputs) {
+  if (op.kind() != OpKind::kContraction && op.kind() != OpKind::kElementwise &&
+      op.kind() != OpKind::kReduceSum) {
+    return InvalidArgumentError(std::string("functional execution unsupported for ") +
+                                OpKindName(op.kind()));
+  }
+  if (inputs.size() != op.inputs().size()) {
+    return InvalidArgumentError("operator '" + op.name() + "' takes " +
+                                std::to_string(op.inputs().size()) + " input(s), got " +
+                                std::to_string(inputs.size()));
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].shape != TensorShape(op.axes(), op.inputs()[i])) {
+      return InvalidArgumentError("input " + std::to_string(i) + " shape mismatch for '" +
+                                  op.name() + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 HostTensor ExecutePlanFunctionally(const ExecutionPlan& plan,
                                    const std::vector<HostTensor>& inputs,
                                    FunctionalStats* stats) {
+  StatusOr<HostTensor> result = TryExecutePlanFunctionally(plan, inputs, stats);
+  T10_CHECK(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+StatusOr<HostTensor> TryExecutePlanFunctionally(const ExecutionPlan& plan,
+                                                const std::vector<HostTensor>& inputs,
+                                                FunctionalStats* stats) {
   const Operator& op = plan.op();
-  T10_CHECK(op.kind() == OpKind::kContraction || op.kind() == OpKind::kElementwise ||
-            op.kind() == OpKind::kReduceSum)
-      << "functional execution unsupported for " << OpKindName(op.kind());
-  T10_CHECK_EQ(inputs.size(), op.inputs().size());
+  T10_RETURN_IF_ERROR(ValidateFunctionalInputs(op, inputs));
 
   const std::vector<Axis>& axes = op.axes();
   const std::vector<std::int64_t>& fop = plan.fop();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/core/plan.h"
+#include "src/util/status.h"
 
 namespace t10 {
 
@@ -55,6 +56,14 @@ struct FunctionalStats {
 HostTensor ExecutePlanFunctionally(const ExecutionPlan& plan,
                                    const std::vector<HostTensor>& inputs,
                                    FunctionalStats* stats = nullptr);
+
+// Recoverable variant: caller-suppliable preconditions (unsupported operator
+// kind, wrong input arity, shape mismatch) come back as kInvalidArgument
+// instead of aborting. Locality violations remain CHECKs — those indicate a
+// buggy plan, not bad caller data.
+StatusOr<HostTensor> TryExecutePlanFunctionally(const ExecutionPlan& plan,
+                                                const std::vector<HostTensor>& inputs,
+                                                FunctionalStats* stats = nullptr);
 
 // Single-core reference evaluation of the operator with the same semantics.
 HostTensor ReferenceExecute(const Operator& op, const std::vector<HostTensor>& inputs);

@@ -7,7 +7,6 @@
 
 namespace t10 {
 namespace fault {
-namespace {
 
 // Executor support envelope (see ProgramExecutor): FP32 and the three
 // byte-level kinds...
@@ -36,6 +35,24 @@ bool PlanSupported(const ExecutionPlan& plan) {
   }
   return true;
 }
+
+const ExecutionPlan* PickExecutablePlan(const IntraOpResult& search,
+                                        const ExecutionPlan* compiled_active) {
+  const ExecutionPlan* plan =
+      (compiled_active != nullptr && PlanSupported(*compiled_active)) ? compiled_active
+                                                                     : nullptr;
+  for (const PlanCandidate& candidate : search.pareto) {
+    if (!PlanSupported(candidate.plan)) {
+      continue;
+    }
+    if (plan == nullptr || candidate.plan.total_steps() > plan->total_steps()) {
+      plan = &candidate.plan;
+    }
+  }
+  return plan;
+}
+
+namespace {
 
 std::vector<HostTensor> CampaignInputs(const Operator& op, std::uint64_t seed) {
   std::vector<HostTensor> inputs;
@@ -102,16 +119,7 @@ StatusOr<CampaignResult> RunFaultCampaign(const ChipSpec& chip, const Graph& gra
       continue;
     }
     IntraOpResult search = planner.SearchOp(op);
-    const ExecutionPlan* plan =
-        PlanSupported(compiled.active_plan) ? &compiled.active_plan : nullptr;
-    for (const PlanCandidate& candidate : search.pareto) {
-      if (!PlanSupported(candidate.plan)) {
-        continue;
-      }
-      if (plan == nullptr || candidate.plan.total_steps() > plan->total_steps()) {
-        plan = &candidate.plan;
-      }
-    }
+    const ExecutionPlan* plan = PickExecutablePlan(search, &compiled.active_plan);
     if (plan == nullptr) {
       op_result.skip_reason = "multi-dim temporal split";
       ++result.skipped;

@@ -157,16 +157,50 @@ FaultInjector::FaultInjector(FaultSpec spec)
       metric_bitflip_(obs::MetricsRegistry::Global().GetCounter("fault.injector.bitflip")) {}
 
 bool FaultInjector::core_up(int core) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
   return std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
          spec_.failed_cores.end();
 }
 
 bool FaultInjector::link_up(int src_core, int dst_core) const {
-  if (!core_up(src_core) || !core_up(dst_core)) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const bool cores_up =
+      std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), src_core) ==
+          spec_.failed_cores.end() &&
+      std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), dst_core) ==
+          spec_.failed_cores.end();
+  if (!cores_up) {
     return false;
   }
   return std::find(spec_.failed_links.begin(), spec_.failed_links.end(),
                    std::make_pair(src_core, dst_core)) == spec_.failed_links.end();
+}
+
+void FaultInjector::KillCore(int core) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
+      spec_.failed_cores.end()) {
+    spec_.failed_cores.push_back(core);
+  }
+}
+
+void FaultInjector::KillLink(int src_core, int dst_core) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const auto link = std::make_pair(src_core, dst_core);
+  if (std::find(spec_.failed_links.begin(), spec_.failed_links.end(), link) ==
+      spec_.failed_links.end()) {
+    spec_.failed_links.push_back(link);
+  }
+}
+
+std::vector<int> FaultInjector::failed_cores() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return spec_.failed_cores;
+}
+
+std::vector<std::pair<int, int>> FaultInjector::failed_links() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return spec_.failed_links;
 }
 
 FaultDecision FaultInjector::OnTransfer(int src_core, int dst_core, std::int64_t bytes) {

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,9 +97,24 @@ class FaultInjector {
 
   const FaultSpec& spec() const { return spec_; }
 
-  // Persistent health queries (independent of the event stream).
+  // Persistent health queries (independent of the event stream). Safe to
+  // call concurrently with KillCore/KillLink from another thread; the
+  // transient schedule (OnTransfer) stays single-owner.
   bool core_up(int core) const;
   bool link_up(int src_core, int dst_core) const;
+
+  // Chaos hooks: mark a core or directed link persistently down from this
+  // point on, as if it died mid-stream. Idempotent; does not consume or
+  // perturb the transient randomness, so the surviving schedule is the same
+  // one the seed would have produced. Thread-safe against concurrent health
+  // queries (the serving runtime kills cores from another thread).
+  void KillCore(int core);
+  void KillLink(int src_core, int dst_core);
+
+  // Snapshot of the persistent failures currently in force (spec plus any
+  // chaos kills), for the serving layer's health probe.
+  std::vector<int> failed_cores() const;
+  std::vector<std::pair<int, int>> failed_links() const;
 
   // Decides the fate of the next transfer event of `bytes` payload bytes on
   // src->dst. Consumes the injector's rng; the decision sequence is a pure
@@ -115,6 +131,11 @@ class FaultInjector {
   const std::vector<std::string>& schedule_log() const { return schedule_log_; }
 
  private:
+  // Guards the persistent-failure lists only (spec_.failed_cores /
+  // spec_.failed_links): health queries run on the machine's transfer path
+  // while chaos kills arrive from other threads. Everything else in spec_ is
+  // immutable after construction.
+  mutable std::mutex health_mu_;
   FaultSpec spec_;
   Rng rng_;
   std::int64_t events_ = 0;

@@ -73,6 +73,42 @@ double Histogram::mean() const {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+double Histogram::ApproxQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample (1-based ceiling), then the bucket holding it.
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const std::int64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate geometrically between the bucket bounds (decade buckets
+      // span a factor of 10, so log-linear is the natural scale). The first
+      // and last buckets have no finite far bound; fall back to min_/max_.
+      const double frac =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      const double upper = b == kNumBuckets - 1 ? max_ : BucketUpperBound(b);
+      const double lower = b == 0 ? min_ : BucketUpperBound(b - 1);
+      double value;
+      if (lower > 0.0 && upper > lower) {
+        value = lower * std::pow(upper / lower, frac);
+      } else {
+        value = lower + (upper - lower) * frac;
+      }
+      return std::min(max_, std::max(min_, value));
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
 std::int64_t Histogram::cumulative_count(int bucket) const {
   T10_CHECK_GE(bucket, 0);
   T10_CHECK_LT(bucket, kNumBuckets);

@@ -82,6 +82,14 @@ class Histogram {
   // Upper bound of bucket `i` (last bucket is +inf).
   static double BucketUpperBound(int bucket);
 
+  // Approximate quantile (q in [0,1]) by log-linear interpolation inside the
+  // decade bucket holding the target rank, clamped to the observed min/max.
+  // Decade buckets make this coarse (right order of magnitude, not exact
+  // percentile); serving-latency p50/p99 reporting uses it for snapshots,
+  // while benches wanting exact quantiles sort their raw samples. 0 when
+  // empty.
+  double ApproxQuantile(double q) const;
+
   void Reset();
 
  private:

@@ -1,0 +1,209 @@
+#include "src/serve/executor_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+#include "src/verify/verifier.h"
+
+namespace t10 {
+namespace serve {
+
+namespace {
+
+obs::Counter& RetryCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.retry.count");
+  return counter;
+}
+
+}  // namespace
+
+std::vector<HostTensor> SlotInputs(const Operator& op, std::uint64_t seed) {
+  // Same generator the fault campaign uses: requests are (op, seed) pairs and
+  // must reproduce byte-identically for the reference comparison.
+  std::vector<HostTensor> inputs;
+  for (std::size_t i = 0; i < op.inputs().size(); ++i) {
+    inputs.push_back(
+        RandomHostTensor(TensorShape(op.axes(), op.inputs()[i]), seed + 1000 * i));
+  }
+  return inputs;
+}
+
+PlanSet::PlanSet(const ChipSpec& chip, const Graph& graph)
+    : physical_chip_(chip), plan_chip_(chip), graph_(graph), reference_machine_(chip) {}
+
+StatusOr<std::shared_ptr<PlanSet>> PlanSet::Build(const ChipSpec& chip, const Graph& graph,
+                                                  const TopologyHealth& health,
+                                                  const CompileOptions& compile, int epoch,
+                                                  bool verify) {
+  std::shared_ptr<PlanSet> set(new PlanSet(chip, graph));
+  set->health_ = health;
+  set->epoch_ = epoch;
+
+  if (health.degraded()) {
+    ChipSpec masked = chip;
+    masked.health = health;
+    DegradedPlan degraded;
+    T10_ASSIGN_OR_RETURN(degraded, ReplanDegraded(masked, graph, compile));
+    set->model_ = std::move(degraded.model);
+    set->core_map_ = std::move(degraded.core_map);
+    set->plan_chip_ = std::move(degraded.surviving);
+  } else {
+    Compiler compiler(chip, compile);
+    set->model_ = compiler.Compile(graph);
+    if (!set->model_.fits) {
+      return ResourceExhaustedError("model '" + graph.name() + "' does not fit " + chip.name);
+    }
+  }
+
+  // Slot table: every supported operator must keep an executable plan, or the
+  // epoch is rejected — serving a model that silently lost an operator would
+  // turn valid requests into permanent errors.
+  Compiler planner(set->plan_chip_, compile);
+  for (const CompiledOp& compiled : set->model_.ops) {
+    const Operator& op = graph.op(compiled.op_index);
+    if (!fault::OpSkipReason(op).empty()) {
+      continue;
+    }
+    auto slot = std::make_unique<OpSlot>();
+    slot->op_index = compiled.op_index;
+    slot->op_name = op.name();
+    slot->search = planner.SearchOp(op);
+    slot->plan = fault::PickExecutablePlan(slot->search, &compiled.active_plan);
+    if (slot->plan == nullptr) {
+      return FailedPreconditionError("operator '" + op.name() +
+                                     "' has no executable plan on " + set->plan_chip_.name);
+    }
+    set->slots_.push_back(std::move(slot));
+  }
+  if (set->slots_.empty()) {
+    return FailedPreconditionError("model '" + graph.name() +
+                                   "' has no operator the byte-level executor supports");
+  }
+
+  if (verify) {
+    verify::Verifier verifier(set->plan_chip_);
+    verify::VerifyResult result = verifier.VerifyAll(set->model_, graph);
+    if (!result.ok()) {
+      return FailedPreconditionError("epoch " + std::to_string(epoch) +
+                                     " model failed verification; not activating:\n" +
+                                     result.Listing());
+    }
+  }
+  return set;
+}
+
+StatusOr<const PlanSet::Reference*> PlanSet::ReferenceFor(int slot_index, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(reference_mu_);
+  const auto key = std::make_pair(slot_index, seed);
+  auto it = reference_cache_.find(key);
+  if (it != reference_cache_.end()) {
+    return &it->second;
+  }
+  const OpSlot& s = slot(slot_index);
+  const Operator& op = graph_.op(s.op_index);
+  const std::vector<HostTensor> inputs = SlotInputs(op, seed);
+  HostTensor out;
+  T10_ASSIGN_OR_RETURN(
+      out, ProgramExecutor(reference_machine_, *s.plan, FaultToleranceOptions{}, core_map_)
+               .Run(inputs));
+  Reference ref;
+  ref.shape = out.shape;
+  ref.checksum = fault::Checksum(reinterpret_cast<const std::byte*>(out.data.data()),
+                                 static_cast<std::int64_t>(out.data.size() * sizeof(float)));
+  ref.data = std::move(out.data);
+  auto [inserted, fresh] = reference_cache_.emplace(key, std::move(ref));
+  T10_CHECK(fresh);
+  return &inserted->second;
+}
+
+ExecutorPool::ExecutorPool(const ChipSpec& chip, const fault::FaultSpec& faults,
+                           FaultToleranceOptions fault_tolerance,
+                           double retry_backoff_base_seconds, int num_workers)
+    : fault_tolerance_(fault_tolerance),
+      retry_backoff_base_seconds_(retry_backoff_base_seconds) {
+  T10_CHECK_GE(num_workers, 1) << "executor pool size";
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    fault::FaultSpec spec = faults;
+    spec.seed = faults.seed + static_cast<std::uint64_t>(i);
+    workers_.push_back(std::make_unique<Worker>(chip, std::move(spec)));
+  }
+}
+
+ExecuteOutcome ExecutorPool::Execute(int worker, const PlanSet& plans, int slot_index,
+                                     std::uint64_t seed, int max_retries, bool has_deadline,
+                                     Clock::time_point deadline) {
+  Worker& w = *workers_[static_cast<std::size_t>(worker)];
+  const OpSlot& s = plans.slot(slot_index);
+  const std::vector<HostTensor> inputs = SlotInputs(plans.graph().op(s.op_index), seed);
+
+  ExecuteOutcome outcome;
+  for (int attempt = 0;; ++attempt) {
+    if (has_deadline && Clock::now() >= deadline) {
+      outcome.status = DeadlineExceededError("deadline expired after " +
+                                             std::to_string(attempt) + " attempt(s)");
+      return outcome;
+    }
+    StatusOr<HostTensor> got =
+        ProgramExecutor(w.machine, *s.plan, fault_tolerance_, plans.core_map())
+            .Run(inputs, &outcome.stats);
+    if (got.ok()) {
+      outcome.status = Status::Ok();
+      outcome.output = *std::move(got);
+      return outcome;
+    }
+    outcome.status = got.status();
+    // Only the fault layer's "transient damage survived all low-level
+    // retries" outcome is worth re-executing; persistent faults and capacity
+    // errors will not get better.
+    if (got.status().code() != StatusCode::kDataLoss || attempt >= max_retries) {
+      return outcome;
+    }
+    RetryCounter().Increment();
+    ++outcome.retries_used;
+    const double backoff =
+        retry_backoff_base_seconds_ * static_cast<double>(1 << std::min(attempt, 10));
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+}
+
+void ExecutorPool::KillCore(int core) {
+  for (auto& worker : workers_) {
+    worker->injector.KillCore(core);
+  }
+}
+
+void ExecutorPool::KillLink(int src_core, int dst_core) {
+  for (auto& worker : workers_) {
+    worker->injector.KillLink(src_core, dst_core);
+  }
+}
+
+TopologyHealth ExecutorPool::ProbeHealth() const {
+  return workers_.front()->machine.ProbeHealth();
+}
+
+std::int64_t ExecutorPool::fault_blocked_transfers() const {
+  std::int64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->machine.fault_blocked_transfers();
+  }
+  return total;
+}
+
+std::int64_t ExecutorPool::fault_retries() const {
+  std::int64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->machine.fault_retries();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace t10

@@ -1,0 +1,184 @@
+// Executor pool and plan-epoch snapshots for the serving runtime.
+//
+// A PlanSet is one immutable generation ("epoch") of the served model: the
+// compiled model for the current topology health (epoch 0 on the pristine
+// chip, later epochs via ReplanDegraded on the surviving sub-chip), the
+// logical->physical core map, one executable plan per supported operator
+// (shared with the fault campaign: PickExecutablePlan prefers plans that
+// actually rotate, so faults can bite), and a lazily-populated cache of
+// fault-free reference outputs used to check every OK response for bit
+// identity. Epochs are handed to workers as shared_ptr snapshots, so a
+// failover can swap the server's current epoch while stragglers finish on
+// the old one.
+//
+// The ExecutorPool owns one simulated Machine + deterministic FaultInjector
+// per worker thread (Machine and the injector's transient schedule are
+// single-owner; only the persistent-health side is thread-safe). Chaos kills
+// fan out to every worker's injector, emulating one physical chip whose
+// fabric all workers share.
+
+#ifndef T10_SRC_SERVE_EXECUTOR_POOL_H_
+#define T10_SRC_SERVE_EXECUTOR_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/program_executor.h"
+#include "src/fault/campaign.h"
+#include "src/fault/fault_plan.h"
+#include "src/ir/graph.h"
+#include "src/serve/request.h"
+#include "src/sim/machine.h"
+#include "src/util/status.h"
+
+namespace t10 {
+namespace serve {
+
+// One servable operator of the model. Slot indices are stable across epochs:
+// they are assigned by walking the model's ops in order and keeping exactly
+// the ones the byte-level executor supports, and PlanSet::Build fails rather
+// than silently dropping a slot that no longer has an executable plan on a
+// degraded topology.
+struct OpSlot {
+  int op_index = -1;
+  std::string op_name;
+  IntraOpResult search;               // Owns the searched candidate plans.
+  const ExecutionPlan* plan = nullptr;  // Into `search` or the compiled model.
+};
+
+// Deterministic request inputs for a slot's operator; shared by the serving
+// execution path and the reference-output computation.
+std::vector<HostTensor> SlotInputs(const Operator& op, std::uint64_t seed);
+
+class PlanSet {
+ public:
+  // Fault-free output of one (slot, seed) request, computed once on a
+  // pristine reference machine.
+  struct Reference {
+    std::vector<std::int64_t> shape;
+    std::vector<float> data;
+    std::uint64_t checksum = 0;
+  };
+
+  // Compiles the model for `health` over `chip` (ReplanDegraded when the
+  // mask is non-empty), builds the slot table, and — when `verify` is set —
+  // gates activation on the static verifier passing over the resulting
+  // model. The graph must outlive the PlanSet. Errors:
+  //   kResourceExhausted   model no longer fits the (surviving) memory
+  //   kUnavailable         no core survives the mask
+  //   kFailedPrecondition  no servable operator, a slot lost its executable
+  //                        plan on the surviving topology, or verification
+  //                        failed (the degraded model is never activated)
+  static StatusOr<std::shared_ptr<PlanSet>> Build(const ChipSpec& chip, const Graph& graph,
+                                                  const TopologyHealth& health,
+                                                  const CompileOptions& compile, int epoch,
+                                                  bool verify);
+
+  int epoch() const { return epoch_; }
+  const TopologyHealth& health() const { return health_; }
+  const std::vector<int>& core_map() const { return core_map_; }
+  const ChipSpec& plan_chip() const { return plan_chip_; }
+  const CompiledModel& model() const { return model_; }
+  const Graph& graph() const { return graph_; }
+
+  int num_op_slots() const { return static_cast<int>(slots_.size()); }
+  const OpSlot& slot(int index) const { return *slots_[static_cast<std::size_t>(index)]; }
+
+  // The fault-free bytes a request on (slot, seed) must reproduce. Runs the
+  // slot's plan once on the internal pristine machine and caches the result;
+  // thread-safe, and returned pointers stay valid for the PlanSet's
+  // lifetime. Errors are operational (reference execution failed).
+  StatusOr<const Reference*> ReferenceFor(int slot_index, std::uint64_t seed);
+
+ private:
+  PlanSet(const ChipSpec& chip, const Graph& graph);
+
+  ChipSpec physical_chip_;
+  ChipSpec plan_chip_;  // What the plans were searched over (surviving spec).
+  const Graph& graph_;
+  TopologyHealth health_;
+  std::vector<int> core_map_;
+  int epoch_ = 0;
+  CompiledModel model_;
+  std::vector<std::unique_ptr<OpSlot>> slots_;
+
+  // Reference execution: a perfect machine (no injector) on the physical
+  // chip, serialized by `reference_mu_`. std::map nodes are stable, so cached
+  // References can be handed out by pointer.
+  std::mutex reference_mu_;
+  Machine reference_machine_;
+  std::map<std::pair<int, std::uint64_t>, Reference> reference_cache_;
+};
+
+// Terminal outcome of executing one request (including its retry budget).
+struct ExecuteOutcome {
+  Status status;  // OK, kDataLoss (budget exhausted), kUnavailable
+                  // (persistent fault), kDeadlineExceeded (expired between
+                  // attempts), kResourceExhausted (scratchpad).
+  HostTensor output;
+  int retries_used = 0;  // Whole-request re-executions performed.
+  ProgramRunStats stats;  // From the last attempt.
+};
+
+class ExecutorPool {
+ public:
+  // One Machine + FaultInjector per worker, all on `chip` with the same
+  // FaultSpec (worker i's injector is seeded spec.seed + i so transient
+  // schedules decorrelate across workers; persistent faults are identical).
+  ExecutorPool(const ChipSpec& chip, const fault::FaultSpec& faults,
+               FaultToleranceOptions fault_tolerance, double retry_backoff_base_seconds,
+               int num_workers);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Runs `plans.slot(slot_index)` on worker `worker`'s machine with up to
+  // `max_retries` whole-request re-executions on transient failures
+  // (kDataLoss), sleeping an exponentially growing host-side backoff between
+  // attempts. Persistent failures (kUnavailable) return immediately — they
+  // are the health monitor's signal, not retryable. The deadline is checked
+  // between attempts so a retry storm cannot run past it.
+  ExecuteOutcome Execute(int worker, const PlanSet& plans, int slot_index, std::uint64_t seed,
+                         int max_retries, bool has_deadline, Clock::time_point deadline);
+
+  // Chaos hooks: persistently down a core / directed link on every worker's
+  // injector, as if the shared fabric lost it mid-stream. Thread-safe.
+  void KillCore(int core);
+  void KillLink(int src_core, int dst_core);
+
+  // Health as seen through the workers' injectors (spec faults + chaos
+  // kills). All injectors agree on persistent health; worker 0 answers.
+  TopologyHealth ProbeHealth() const;
+
+  // Transfers refused on downed cores/links, summed over workers — the raw
+  // suspicion signal behind health probes.
+  std::int64_t fault_blocked_transfers() const;
+  std::int64_t fault_retries() const;
+
+ private:
+  struct Worker {
+    // Injector is declared before the machine: the machine holds a pointer
+    // to it for its whole lifetime.
+    fault::FaultInjector injector;
+    Machine machine;
+
+    Worker(const ChipSpec& chip, fault::FaultSpec spec)
+        : injector(std::move(spec)), machine(chip) {
+      machine.AttachFaults(&injector);
+    }
+  };
+
+  FaultToleranceOptions fault_tolerance_;
+  double retry_backoff_base_seconds_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace serve
+}  // namespace t10
+
+#endif  // T10_SRC_SERVE_EXECUTOR_POOL_H_

@@ -1,0 +1,134 @@
+#include "src/serve/health_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace serve {
+
+namespace {
+
+obs::Counter& ProbeCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.health.probes");
+  return counter;
+}
+
+bool ContainsCore(const TopologyHealth& health, int core) {
+  return std::find(health.failed_cores.begin(), health.failed_cores.end(), core) !=
+         health.failed_cores.end();
+}
+
+bool ContainsLink(const TopologyHealth& health, const std::pair<int, int>& link) {
+  return std::find(health.failed_links.begin(), health.failed_links.end(), link) !=
+         health.failed_links.end();
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(double poll_seconds, ProbeFn probe, DegradedFn on_degraded)
+    : poll_seconds_(poll_seconds), probe_(std::move(probe)), on_degraded_(std::move(on_degraded)) {
+  T10_CHECK(probe_ != nullptr);
+  T10_CHECK(on_degraded_ != nullptr);
+}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  T10_CHECK(!thread_.joinable()) << "health monitor already started";
+  stop_ = false;
+  thread_ = std::thread(&HealthMonitor::Loop, this);
+}
+
+void HealthMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void HealthMonitor::NotifySuspicion() {
+  std::lock_guard<std::mutex> lock(mu_);
+  suspicion_ = true;
+  cv_.notify_all();
+}
+
+void HealthMonitor::SetAppliedHealth(TopologyHealth applied) {
+  std::lock_guard<std::mutex> lock(mu_);
+  applied_ = std::move(applied);
+}
+
+TopologyHealth HealthMonitor::applied_health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
+}
+
+std::int64_t HealthMonitor::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+bool HealthMonitor::AddsFailures(const TopologyHealth& probed, const TopologyHealth& applied) {
+  for (int core : probed.failed_cores) {
+    if (!ContainsCore(applied, core)) {
+      return true;
+    }
+  }
+  for (const auto& link : probed.failed_links) {
+    if (!ContainsLink(applied, link)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TopologyHealth HealthMonitor::Merge(const TopologyHealth& a, const TopologyHealth& b) {
+  TopologyHealth merged = a;
+  for (int core : b.failed_cores) {
+    if (!ContainsCore(merged, core)) {
+      merged.failed_cores.push_back(core);
+    }
+  }
+  for (const auto& link : b.failed_links) {
+    if (!ContainsLink(merged, link)) {
+      merged.failed_links.push_back(link);
+    }
+  }
+  return merged;
+}
+
+void HealthMonitor::Loop() {
+  const auto interval = std::chrono::duration<double>(poll_seconds_);
+  while (true) {
+    TopologyHealth applied;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval, [this] { return stop_ || suspicion_; });
+      if (stop_) {
+        return;
+      }
+      suspicion_ = false;
+      ++probes_;
+      applied = applied_;
+    }
+    ProbeCounter().Increment();
+    const TopologyHealth probed = probe_();
+    if (AddsFailures(probed, applied)) {
+      // Synchronous: the server replans inside the callback and records the
+      // new applied mask before this returns, so the next probe is quiet.
+      on_degraded_(Merge(applied, probed));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace t10

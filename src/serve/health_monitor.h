@@ -1,0 +1,82 @@
+// Health monitor for the serving runtime.
+//
+// A background thread periodically probes the fabric's persistent health
+// (through the executor pool's fault injectors) and compares it against the
+// health mask the server's current plan epoch was compiled for. New failures
+// — a chaos-killed core, a link that died mid-stream — trigger the degraded
+// callback with the merged mask; failures already baked into the active plan
+// are deliberately ignored, so one dead core produces exactly one failover,
+// not one per probe.
+//
+// Workers that hit kUnavailable call NotifySuspicion() to short-circuit the
+// poll interval: the monitor probes immediately instead of waiting out the
+// timer. The callback runs synchronously on the monitor thread — the server
+// performs the whole failover (drain, replan, verify, swap) inside it, which
+// serializes failovers for free.
+
+#ifndef T10_SRC_SERVE_HEALTH_MONITOR_H_
+#define T10_SRC_SERVE_HEALTH_MONITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/hardware/chip_spec.h"
+
+namespace t10 {
+namespace serve {
+
+class HealthMonitor {
+ public:
+  using ProbeFn = std::function<TopologyHealth()>;
+  using DegradedFn = std::function<void(const TopologyHealth& merged)>;
+
+  // `poll_seconds` is the steady-state probe cadence; `probe` reads current
+  // fabric health; `on_degraded` receives the merged (applied + probed) mask
+  // whenever the probe reports failures beyond the applied set.
+  HealthMonitor(double poll_seconds, ProbeFn probe, DegradedFn on_degraded);
+  ~HealthMonitor();  // Stops the thread.
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Wakes the monitor for an immediate probe (a worker saw kUnavailable).
+  void NotifySuspicion();
+
+  // Records the mask the now-active plan epoch was compiled for; subsequent
+  // probes only fire the callback for failures beyond it.
+  void SetAppliedHealth(TopologyHealth applied);
+  TopologyHealth applied_health() const;
+
+  std::int64_t probes() const;
+
+  // True when `probed` contains a failed core or link absent from `applied`.
+  static bool AddsFailures(const TopologyHealth& probed, const TopologyHealth& applied);
+  // Union of the two masks (deduplicated, order-stable).
+  static TopologyHealth Merge(const TopologyHealth& a, const TopologyHealth& b);
+
+ private:
+  void Loop();
+
+  const double poll_seconds_;
+  const ProbeFn probe_;
+  const DegradedFn on_degraded_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TopologyHealth applied_;
+  bool stop_ = false;
+  bool suspicion_ = false;
+  std::int64_t probes_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace t10
+
+#endif  // T10_SRC_SERVE_HEALTH_MONITOR_H_

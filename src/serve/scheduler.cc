@@ -1,0 +1,118 @@
+#include "src/serve/scheduler.h"
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace serve {
+
+namespace {
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge("serve.queue.depth");
+  return gauge;
+}
+
+obs::Gauge& QueueDepthPeak() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("serve.queue.depth_peak");
+  return gauge;
+}
+
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.admitted.count");
+  return counter;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shed.count");
+  return counter;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(int capacity) : capacity_(capacity) {
+  T10_CHECK_GE(capacity, 1) << "scheduler capacity";
+}
+
+StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
+  if (request.max_retries < 0) {
+    return InvalidArgumentError("max_retries must be >= 0");
+  }
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return FailedPreconditionError("scheduler is closed");
+  }
+  if (static_cast<int>(queue_.size()) >= capacity_) {
+    ShedCounter().Increment();
+    return ResourceExhaustedError("queue full (capacity " + std::to_string(capacity_) +
+                                  "), request shed");
+  }
+  AdmittedRequest admitted;
+  admitted.request = request;
+  admitted.id = next_id_++;
+  admitted.admitted_at = now;
+  admitted.has_deadline = request.deadline_seconds > 0.0;
+  admitted.deadline =
+      admitted.has_deadline
+          ? now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(request.deadline_seconds))
+          : Clock::time_point::max();
+  const std::int64_t id = admitted.id;
+  queue_.insert(std::move(admitted));
+  AdmittedCounter().Increment();
+  QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  QueueDepthPeak().SetMax(static_cast<double>(queue_.size()));
+  cv_.notify_one();
+  return id;
+}
+
+Status Scheduler::Requeue(AdmittedRequest admitted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return FailedPreconditionError("scheduler is closed");
+  }
+  ++admitted.requeues;
+  queue_.insert(std::move(admitted));
+  QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  QueueDepthPeak().SetMax(static_cast<double>(queue_.size()));
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::optional<AdmittedRequest> Scheduler::PopBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return std::nullopt;  // Closed and drained.
+  }
+  AdmittedRequest admitted = *queue_.begin();
+  queue_.erase(queue_.begin());
+  QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  if (closed_ && queue_.empty()) {
+    cv_.notify_all();  // Release the remaining drain waiters.
+  }
+  return admitted;
+}
+
+void Scheduler::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+int Scheduler::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+bool Scheduler::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace serve
+}  // namespace t10

@@ -1,0 +1,91 @@
+// Admission-controlled request queue for the serving runtime.
+//
+// The scheduler is the server's front door: a bounded, deadline-ordered
+// (earliest-deadline-first) queue with explicit load shedding. Admission
+// assigns request ids, stamps deadlines, and either accepts the request or
+// rejects it immediately with kResourceExhausted when the queue is at
+// capacity — the caller learns about overload synchronously instead of
+// watching latency collapse. Requests with no deadline sort after every
+// deadline-bearing request of the same arrival order.
+//
+// Expired requests are NOT silently dropped here: every admitted request
+// must surface exactly one response, so workers pop them and answer
+// kDeadlineExceeded themselves (the one-response invariant lives above the
+// queue, see server.cc).
+//
+// Thread-safe; Close() releases all blocked poppers.
+
+#ifndef T10_SRC_SERVE_SCHEDULER_H_
+#define T10_SRC_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "src/serve/request.h"
+#include "src/util/status.h"
+
+namespace t10 {
+namespace serve {
+
+class Scheduler {
+ public:
+  // `capacity` is the maximum number of queued (not yet popped) requests;
+  // must be >= 1.
+  explicit Scheduler(int capacity);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Admits `request` or rejects it. Errors:
+  //   kResourceExhausted  queue full (load shed; counted in serve.shed.count)
+  //   kInvalidArgument    negative retry budget
+  //   kFailedPrecondition scheduler closed
+  // On success returns the assigned request id.
+  StatusOr<std::int64_t> Submit(const Request& request);
+
+  // Re-admits a request that was already popped (failover re-queue). Bypasses
+  // the capacity check — shedding a request we already promised a response
+  // for would break the one-response invariant — but still fails after
+  // Close(). Increments the request's requeue count.
+  Status Requeue(AdmittedRequest admitted);
+
+  // Blocks until a request is available or the queue is closed and drained.
+  // Returns std::nullopt only in the latter case, so `while (auto r = Pop())`
+  // drains naturally on shutdown.
+  std::optional<AdmittedRequest> PopBlocking();
+
+  // Stops admission. Queued requests remain poppable (graceful drain);
+  // blocked poppers wake once the queue empties.
+  void Close();
+
+  int size() const;
+  bool closed() const;
+
+ private:
+  struct ByDeadline {
+    bool operator()(const AdmittedRequest& a, const AdmittedRequest& b) const {
+      if (a.has_deadline != b.has_deadline) {
+        return a.has_deadline;  // Deadline-bearing requests first.
+      }
+      if (a.has_deadline && a.deadline != b.deadline) {
+        return a.deadline < b.deadline;
+      }
+      return a.id < b.id;  // FIFO tie-break; also makes keys unique.
+    }
+  };
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multiset<AdmittedRequest, ByDeadline> queue_;
+  std::int64_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace t10
+
+#endif  // T10_SRC_SERVE_SCHEDULER_H_

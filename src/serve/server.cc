@@ -1,0 +1,455 @@
+#include "src/serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace serve {
+
+namespace {
+
+obs::Counter& FailoverCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.failover.count");
+  return counter;
+}
+
+obs::Counter& FailoverFailedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.failover.failed");
+  return counter;
+}
+
+obs::Counter& BreakerCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.breaker.rejected");
+  return counter;
+}
+
+obs::Counter& RequeueCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.requeued.count");
+  return counter;
+}
+
+obs::Counter& ResponseCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.responses.count");
+  return counter;
+}
+
+obs::Counter& DeadlineCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_exceeded.count");
+  return counter;
+}
+
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serve.latency.seconds");
+  return histogram;
+}
+
+obs::Histogram& ReplanHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serve.replan.seconds");
+  return histogram;
+}
+
+obs::Gauge& EpochGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge("serve.plan.epoch");
+  return gauge;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// How many times one request may be re-queued across failovers before it is
+// answered kUnavailable. >1 absorbs the race where a re-queued request is
+// re-popped before the health monitor has opened the circuit.
+constexpr int kMaxRequeues = 3;
+
+}  // namespace
+
+const char* ServerStateName(ServerState state) {
+  switch (state) {
+    case ServerState::kIdle:
+      return "idle";
+    case ServerState::kServing:
+      return "serving";
+    case ServerState::kReplanning:
+      return "replanning";
+    case ServerState::kDraining:
+      return "draining";
+    case ServerState::kStopped:
+      return "stopped";
+    case ServerState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Server::Server(const ChipSpec& chip, const Graph& graph, ServerOptions options)
+    : chip_(chip),
+      graph_(graph),
+      options_(std::move(options)),
+      scheduler_(options_.queue_capacity),
+      pool_(chip_, options_.faults, options_.fault_tolerance,
+            options_.retry_backoff_base_seconds, options_.num_workers),
+      monitor_(options_.health_poll_seconds, [this] { return pool_.ProbeHealth(); },
+               [this](const TopologyHealth& merged) { OnDegraded(merged); }) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != ServerState::kIdle) {
+      return FailedPreconditionError("server already started (state " +
+                                     std::string(ServerStateName(state_)) + ")");
+    }
+  }
+  // Epoch 0's mask: whatever the chip spec already marks down plus the fault
+  // environment's persistent failures — the server starts degraded rather
+  // than discovering known-dead cores at request time.
+  TopologyHealth initial = chip_.health;
+  TopologyHealth spec_faults;
+  spec_faults.failed_cores = options_.faults.failed_cores;
+  spec_faults.failed_links = options_.faults.failed_links;
+  initial = HealthMonitor::Merge(initial, spec_faults);
+
+  std::shared_ptr<PlanSet> plans;
+  T10_ASSIGN_OR_RETURN(plans, PlanSet::Build(chip_, graph_, initial, options_.compile,
+                                             /*epoch=*/0, options_.verify_before_activate));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plans_ = std::move(plans);
+    state_ = ServerState::kServing;
+    stats_.plan_epoch = 0;
+  }
+  EpochGauge().Set(0.0);
+  monitor_.SetAppliedHealth(std::move(initial));
+  monitor_.Start();
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this, i);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::int64_t> Server::Submit(const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case ServerState::kIdle:
+        return FailedPreconditionError("server not started");
+      case ServerState::kDraining:
+      case ServerState::kStopped:
+        return FailedPreconditionError("server is shutting down");
+      case ServerState::kFailed:
+        return UnavailableError("server failed: " + failed_status_.ToString());
+      case ServerState::kReplanning:
+        // Circuit breaker: fail fast instead of queueing behind a replan of
+        // unknown duration.
+        BreakerCounter().Increment();
+        return UnavailableError("failover in progress; circuit open");
+      case ServerState::kServing:
+        break;
+    }
+    if (request.op_slot < 0 || request.op_slot >= plans_->num_op_slots()) {
+      return InvalidArgumentError("op_slot " + std::to_string(request.op_slot) +
+                                  " out of range [0, " +
+                                  std::to_string(plans_->num_op_slots()) + ")");
+    }
+    ++outstanding_;
+    ++stats_.submitted;
+  }
+  StatusOr<std::int64_t> id = scheduler_.Submit(request);
+  if (!id.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    --stats_.submitted;
+    if (outstanding_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+  return id;
+}
+
+void Server::KillCore(int core) {
+  pool_.KillCore(core);
+  monitor_.NotifySuspicion();
+}
+
+void Server::KillLink(int src_core, int dst_core) {
+  pool_.KillLink(src_core, dst_core);
+  monitor_.NotifySuspicion();
+}
+
+void Server::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return outstanding_ == 0 && state_ != ServerState::kReplanning; });
+}
+
+std::vector<Response> Server::TakeResponses() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Response> taken = std::move(responses_);
+  responses_.clear();
+  return taken;
+}
+
+Status Server::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == ServerState::kStopped) {
+      return failed_status_;
+    }
+    state_cv_.wait(lock, [this] { return state_ != ServerState::kReplanning; });
+    if (state_ == ServerState::kIdle) {
+      state_ = ServerState::kStopped;
+      return Status::Ok();
+    }
+    if (state_ == ServerState::kServing) {
+      state_ = ServerState::kDraining;  // kFailed keeps draining as kFailed.
+    }
+    state_cv_.notify_all();
+  }
+  scheduler_.Close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  monitor_.Stop();
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result = state_ == ServerState::kFailed ? failed_status_ : Status::Ok();
+    failed_status_ = result;
+    state_ = ServerState::kStopped;
+    state_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  return result;
+}
+
+ServerState Server::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int Server::num_op_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_ == nullptr ? 0 : plans_->num_op_slots();
+}
+
+std::string Server::op_slot_name(int slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  T10_CHECK(plans_ != nullptr);
+  return plans_->slot(slot).op_name;
+}
+
+int Server::plan_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_ == nullptr ? -1 : plans_->epoch();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Server::WorkerLoop(int worker) {
+  while (true) {
+    std::optional<AdmittedRequest> popped = scheduler_.PopBlocking();
+    if (!popped.has_value()) {
+      return;  // Closed and drained.
+    }
+    std::shared_ptr<PlanSet> plans;
+    Status failed;
+    {
+      // Pause while the circuit is open: the replan drain below waits for
+      // in_flight_ == 0, and requests popped meanwhile execute on the *new*
+      // epoch once the swap completes.
+      std::unique_lock<std::mutex> lock(mu_);
+      state_cv_.wait(lock, [this] { return state_ != ServerState::kReplanning; });
+      if (state_ == ServerState::kFailed) {
+        failed = failed_status_;
+      } else {
+        plans = plans_;
+        ++in_flight_;
+      }
+    }
+    if (!failed.ok()) {
+      // Drain path of a dead server: the one-response invariant still holds,
+      // every queued request learns why the server went down.
+      Response response;
+      response.id = popped->id;
+      response.op_slot = popped->request.op_slot;
+      response.status = UnavailableError("server failed: " + failed.ToString());
+      response.latency_seconds = SecondsSince(popped->admitted_at);
+      Deliver(std::move(response));
+      continue;
+    }
+    Process(worker, *std::move(popped), plans);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Server::Process(int worker, AdmittedRequest admitted,
+                     const std::shared_ptr<PlanSet>& plans) {
+  Response response;
+  response.id = admitted.id;
+  response.op_slot = admitted.request.op_slot;
+  response.plan_epoch = plans->epoch();
+
+  if (admitted.ExpiredAt(Clock::now())) {
+    DeadlineCounter().Increment();
+    response.status = DeadlineExceededError("deadline expired in queue");
+    response.latency_seconds = SecondsSince(admitted.admitted_at);
+    Deliver(std::move(response));
+    return;
+  }
+
+  ExecuteOutcome outcome =
+      pool_.Execute(worker, *plans, admitted.request.op_slot, admitted.request.input_seed,
+                    admitted.request.max_retries, admitted.has_deadline, admitted.deadline);
+  response.retries = outcome.retries_used;
+
+  if (outcome.status.code() == StatusCode::kUnavailable) {
+    // Persistent fault in the path: wake the health monitor, and park the
+    // request back in the queue so it completes under the post-failover plan
+    // instead of failing. Bounded, in case no failover materializes.
+    monitor_.NotifySuspicion();
+    if (admitted.requeues < kMaxRequeues) {
+      const std::int64_t id = admitted.id;
+      Status requeued = scheduler_.Requeue(std::move(admitted));
+      if (requeued.ok()) {
+        RequeueCounter().Increment();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.requeued;
+        return;  // Response deferred to the re-execution.
+      }
+      (void)id;  // Scheduler closed mid-drain; fall through and answer now.
+    }
+    response.status = outcome.status;
+    response.latency_seconds = SecondsSince(admitted.admitted_at);
+    Deliver(std::move(response));
+    return;
+  }
+
+  if (!outcome.status.ok()) {
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      DeadlineCounter().Increment();
+    }
+    response.status = outcome.status;
+    response.latency_seconds = SecondsSince(admitted.admitted_at);
+    Deliver(std::move(response));
+    return;
+  }
+
+  if (admitted.ExpiredAt(Clock::now())) {
+    // Mid-batch expiry: the work finished but the contract did not.
+    DeadlineCounter().Increment();
+    response.status = DeadlineExceededError("deadline expired during execution");
+    response.latency_seconds = SecondsSince(admitted.admitted_at);
+    Deliver(std::move(response));
+    return;
+  }
+
+  // Integrity: an OK response must reproduce the fault-free bytes.
+  StatusOr<const PlanSet::Reference*> reference =
+      plans->ReferenceFor(admitted.request.op_slot, admitted.request.input_seed);
+  if (!reference.ok()) {
+    response.status =
+        InternalError("reference run failed: " + reference.status().ToString());
+    response.latency_seconds = SecondsSince(admitted.admitted_at);
+    Deliver(std::move(response));
+    return;
+  }
+  response.checksum = fault::Checksum(
+      reinterpret_cast<const std::byte*>(outcome.output.data.data()),
+      static_cast<std::int64_t>(outcome.output.data.size() * sizeof(float)));
+  response.bit_identical = (*reference)->shape == outcome.output.shape &&
+                           (*reference)->checksum == response.checksum &&
+                           (*reference)->data == outcome.output.data;
+  response.status = Status::Ok();
+  response.output = std::move(outcome.output);
+  response.latency_seconds = SecondsSince(admitted.admitted_at);
+  Deliver(std::move(response));
+}
+
+void Server::Deliver(Response response) {
+  LatencyHistogram().Record(response.latency_seconds);
+  ResponseCounter().Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.responses;
+  if (response.status.ok()) {
+    ++stats_.ok;
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_exceeded;
+  } else {
+    ++stats_.failed;
+  }
+  responses_.push_back(std::move(response));
+  --outstanding_;
+  if (outstanding_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
+void Server::OnDegraded(const TopologyHealth& merged) {
+  ServerState resume;
+  int next_epoch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ != ServerState::kServing && state_ != ServerState::kDraining) {
+      return;  // Already failed or stopped; nothing to fail over.
+    }
+    resume = state_;
+    state_ = ServerState::kReplanning;
+    state_cv_.notify_all();
+    // Drain: requests already inside Process() finish (or re-queue) on the
+    // old epoch before the swap.
+    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    next_epoch = plans_->epoch() + 1;
+  }
+
+  StatusOr<std::shared_ptr<PlanSet>> built = [&] {
+    obs::ScopedTimer timer(ReplanHistogram());
+    return PlanSet::Build(chip_, graph_, merged, options_.compile, next_epoch,
+                          options_.verify_before_activate);
+  }();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (built.ok()) {
+    plans_ = *std::move(built);
+    state_ = resume;
+    ++stats_.failovers;
+    stats_.plan_epoch = next_epoch;
+    FailoverCounter().Increment();
+    EpochGauge().Set(static_cast<double>(next_epoch));
+    monitor_.SetAppliedHealth(merged);
+  } else {
+    failed_status_ = built.status();
+    state_ = ServerState::kFailed;
+    FailoverFailedCounter().Increment();
+    // Suppress further callbacks for this mask; the server is already dead.
+    monitor_.SetAppliedHealth(merged);
+  }
+  state_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace t10

@@ -1,0 +1,193 @@
+// Resilient serving runtime over the simulated chip (DESIGN.md "Serving
+// runtime").
+//
+// A Server owns the full serving stack for one model: a bounded
+// deadline-ordered admission queue (Scheduler), a pool of worker threads
+// each driving the byte-level ProgramExecutor on its own simulated
+// Machine + deterministic FaultInjector (ExecutorPool), a background
+// HealthMonitor, and plan-epoch snapshots (PlanSet) that can be hot-swapped
+// while the server runs.
+//
+// State machine:
+//
+//   kIdle -> Start() -> kServing <-> kReplanning      (online failover)
+//                          |              |
+//                          v              v (replan/verify failed)
+//                      kDraining       kFailed
+//                          |              |
+//                          +--> Shutdown() --> kStopped
+//
+// Failure semantics, in one place:
+//   - Admission: queue full -> kResourceExhausted (shed, synchronous);
+//     replanning -> kUnavailable (circuit breaker, fail fast); draining /
+//     stopped -> kFailedPrecondition; kFailed -> kUnavailable.
+//   - Every admitted request gets exactly one Response, OK or not: deadline
+//     expiry anywhere in the pipeline -> kDeadlineExceeded; transient-fault
+//     retry budget exhausted -> the underlying kDataLoss; persistent fault
+//     after one failover re-queue -> kUnavailable.
+//   - Persistent core/link death (health probe, or a worker tripping over
+//     kUnavailable) triggers one online failover: workers pause (circuit
+//     opens), in-flight work drains, the model is recompiled for the
+//     surviving topology via ReplanDegraded on the monitor thread with the
+//     warm plan cache, statically verified, then swapped in as the next
+//     epoch; the in-flight requests that hit the dead core were re-queued
+//     and complete under the new plan. Failures already replanned around
+//     never re-trigger (serve.failover.count counts topology regressions,
+//     not probes).
+//   - OK responses are checked bit-for-bit against a fault-free reference
+//     run of the same (op, seed) on a pristine machine (Response::
+//     bit_identical); the reliability layer letting corruption through is
+//     an integrity bug the caller can detect.
+//
+// Thread-safety: the public API is fully thread-safe; Submit may be called
+// from many producer threads.
+
+#ifndef T10_SRC_SERVE_SERVER_H_
+#define T10_SRC_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/fault/fault_plan.h"
+#include "src/hardware/chip_spec.h"
+#include "src/ir/graph.h"
+#include "src/serve/executor_pool.h"
+#include "src/serve/health_monitor.h"
+#include "src/serve/request.h"
+#include "src/serve/scheduler.h"
+#include "src/util/status.h"
+
+namespace t10 {
+namespace serve {
+
+enum class ServerState {
+  kIdle,        // Constructed, not started.
+  kServing,     // Admitting and executing.
+  kReplanning,  // Failover in progress: circuit open, workers paused.
+  kDraining,    // Shutdown requested: no admission, queue draining.
+  kStopped,     // Terminal: workers joined.
+  kFailed,      // Terminal-ish: replan failed; queued requests are answered
+                // with the failure, admission is rejected.
+};
+
+const char* ServerStateName(ServerState state);
+
+struct ServerOptions {
+  ServerOptions() { fault_tolerance.enabled = true; }
+
+  int num_workers = 2;
+  int queue_capacity = 64;
+  // Fault environment shared by all workers (transient rates, persistent
+  // failures present from the start, seed).
+  fault::FaultSpec faults;
+  CompileOptions compile;
+  FaultToleranceOptions fault_tolerance;
+  // Health probe cadence; suspicion (a worker hitting kUnavailable) probes
+  // immediately regardless.
+  double health_poll_seconds = 0.005;
+  // Host-side exponential backoff base between whole-request retries.
+  double retry_backoff_base_seconds = 1e-4;
+  // Gate every epoch (including the degraded ones) on the static verifier.
+  bool verify_before_activate = true;
+};
+
+// Aggregate accounting, for reports and integrity checks.
+struct ServerStats {
+  std::int64_t submitted = 0;   // Accepted by admission.
+  std::int64_t responses = 0;   // Delivered (one per accepted request).
+  std::int64_t ok = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t failed = 0;      // Non-OK, non-deadline responses.
+  std::int64_t requeued = 0;    // Failover re-queues.
+  int failovers = 0;
+  int plan_epoch = 0;
+};
+
+class Server {
+ public:
+  // The graph must outlive the server (compiled models borrow its
+  // operators). `chip.health` may already mark failures; they are merged
+  // with the FaultSpec's persistent faults into epoch 0's mask.
+  Server(const ChipSpec& chip, const Graph& graph, ServerOptions options = {});
+  ~Server();  // Implies Shutdown().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Compiles epoch 0 and starts workers + health monitor. Errors mirror
+  // PlanSet::Build (kResourceExhausted / kUnavailable / kFailedPrecondition).
+  Status Start();
+
+  // Admits one request (see the failure-semantics table above). On success
+  // returns the request id its Response will carry.
+  StatusOr<std::int64_t> Submit(const Request& request);
+
+  // Chaos hooks: persistently kill a core / directed link under the running
+  // server, as the simulated fabric would mid-stream.
+  void KillCore(int core);
+  void KillLink(int src_core, int dst_core);
+
+  // Blocks until every accepted request has its response and no failover is
+  // in progress.
+  void WaitIdle();
+
+  // Drains and returns the responses delivered so far (ownership moves to
+  // the caller; the internal buffer empties).
+  std::vector<Response> TakeResponses();
+
+  // Graceful shutdown: stops admission, drains the queue (every queued
+  // request still gets its response — an error one if the server is in
+  // kFailed), joins workers and the monitor. Idempotent. Returns the replan
+  // failure if the server died in kFailed, OK otherwise.
+  Status Shutdown();
+
+  ServerState state() const;
+  // Operators this server can serve; Request::op_slot must be in
+  // [0, num_op_slots). Stable across failovers.
+  int num_op_slots() const;
+  std::string op_slot_name(int slot) const;
+  int plan_epoch() const;
+  ServerStats stats() const;
+
+ private:
+  void WorkerLoop(int worker);
+  // Executes one popped request end to end (may re-queue across a failover
+  // instead of responding).
+  void Process(int worker, AdmittedRequest admitted, const std::shared_ptr<PlanSet>& plans);
+  void Deliver(Response response);
+  // Monitor-thread callback: drain, replan, verify, swap (or fail).
+  void OnDegraded(const TopologyHealth& merged);
+
+  const ChipSpec chip_;
+  const Graph& graph_;
+  const ServerOptions options_;
+
+  Scheduler scheduler_;
+  ExecutorPool pool_;
+  HealthMonitor monitor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable state_cv_;  // State changes; workers pause on it.
+  std::condition_variable drain_cv_;  // in_flight_ -> 0 (replan drain).
+  std::condition_variable idle_cv_;   // outstanding_ -> 0 (WaitIdle).
+  ServerState state_ = ServerState::kIdle;
+  Status failed_status_;              // Set when state_ == kFailed.
+  std::shared_ptr<PlanSet> plans_;    // Current epoch; swapped on failover.
+  std::vector<Response> responses_;
+  std::int64_t outstanding_ = 0;      // Accepted, response not yet delivered.
+  int in_flight_ = 0;                 // Currently inside Process().
+  ServerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace t10
+
+#endif  // T10_SRC_SERVE_SERVER_H_

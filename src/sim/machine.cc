@@ -96,6 +96,15 @@ void Machine::AddPenalty(double seconds) {
   metric_fault_penalty_.Set(fault_penalty_seconds_);
 }
 
+TopologyHealth Machine::ProbeHealth() const {
+  TopologyHealth health;
+  if (faults_ != nullptr) {
+    health.failed_cores = faults_->failed_cores();
+    health.failed_links = faults_->failed_links();
+  }
+  return health;
+}
+
 Status Machine::LinkStatus(int src_core, int dst_core) const {
   if (faults_ == nullptr) {
     return Status::Ok();
@@ -117,6 +126,7 @@ void Machine::Deliver(int src_core, int dst_core, const std::byte* src, std::byt
                       std::int64_t len) {
   if (faults_ != nullptr && !LinkStatus(src_core, dst_core).ok()) {
     // A downed link transmits nothing; no traffic, no delivery.
+    ++fault_blocked_;
     metric_fault_blocked_.Increment();
     return;
   }
@@ -266,6 +276,7 @@ Status Machine::CopyReliable(const BufferHandle& src, const BufferHandle& dst,
   if (src.core != dst.core) {
     const Status link = LinkStatus(src.core, dst.core);
     if (!link.ok()) {
+      ++fault_blocked_;
       metric_fault_blocked_.Increment();
       return link;
     }

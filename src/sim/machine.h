@@ -106,6 +106,14 @@ class Machine {
   double fault_penalty_seconds() const { return fault_penalty_seconds_; }
   // Checksummed transfers that needed at least one re-send.
   std::int64_t fault_retries() const { return fault_retries_; }
+  // Transfers refused because an endpoint or link is persistently down —
+  // the raw signal the serving layer's health monitor watches.
+  std::int64_t fault_blocked_transfers() const { return fault_blocked_; }
+
+  // Persistent-fault detection hook for the serving layer: the cores and
+  // links the attached injector currently reports down (including chaos
+  // kills that happened mid-stream). Empty health without an injector.
+  TopologyHealth ProbeHealth() const;
 
   // Total bytes each core has sent over inter-core links.
   std::int64_t bytes_sent(int core) const;
@@ -152,6 +160,7 @@ class Machine {
   fault::FaultInjector* faults_ = nullptr;
   double fault_penalty_seconds_ = 0.0;
   std::int64_t fault_retries_ = 0;
+  std::int64_t fault_blocked_ = 0;
 
   // Registry handles are resolved once: the rotation inner loop must not
   // pay a map lookup per call.

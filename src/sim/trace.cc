@@ -82,10 +82,13 @@ std::string TraceWriter::ToJson() const {
   return out.str();
 }
 
-void TraceWriter::WriteFile(const std::string& path) const {
+Status TraceWriter::WriteFile(const std::string& path) const {
   std::ofstream file(path);
-  T10_CHECK(file.good()) << "cannot open trace file " << path;
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open trace file " + path);
+  }
   file << ToJson();
+  return Status::Ok();
 }
 
 }  // namespace t10

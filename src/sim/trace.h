@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace t10 {
 
 struct TraceSpan {
@@ -44,8 +46,9 @@ class TraceWriter {
   // timestamps).
   std::string ToJson() const;
 
-  // Writes the JSON to a file; CHECK-fails if the file cannot be opened.
-  void WriteFile(const std::string& path) const;
+  // Writes the JSON to a file. An unopenable path is an operational error
+  // the caller chose (CLI --trace flag), not a bug: kInvalidArgument.
+  Status WriteFile(const std::string& path) const;
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<TraceCounterSample>& counters() const { return counters_; }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnavailable,         // Persistent fault: downed core or link.
   kDataLoss,            // Transient-fault retries exhausted; data not delivered.
   kInternal,            // Invariant violation surfaced as an error.
+  kDeadlineExceeded,    // Request deadline expired before completion.
+  kCancelled,           // Request cancelled by the caller.
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -77,6 +79,12 @@ inline Status DataLossError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 // A Status or a value of type T. Accessing the value of a non-OK StatusOr
@@ -132,6 +140,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -1,0 +1,91 @@
+// The centralized exit-code contract (README "Exit codes" table): one test
+// per documented code for each binary, so a behavior change that remaps a
+// code cannot land silently.
+//
+//   t10c:      0 success, 1 model does not fit, 2 usage/flag error,
+//              3 verification failure, 4 fault-campaign failure.
+//   t10-serve: 0 success, 1 server failed to start or died, 2 usage error,
+//              5 serving integrity failure.
+//
+// Binary paths are injected by CMake as T10_T10C_BIN / T10_T10_SERVE_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace t10 {
+namespace {
+
+int RunCommand(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+int RunT10c(const std::string& args) {
+  return RunCommand(std::string(T10_T10C_BIN) + " " + args);
+}
+
+int RunT10Serve(const std::string& args) {
+  return RunCommand(std::string(T10_T10_SERVE_BIN) + " " + args);
+}
+
+void WriteModel(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr) << path;
+  std::fputs(text.c_str(), file);
+  std::fclose(file);
+}
+
+TEST(ExitCodesTest, T10cSuccessIsZero) {
+  EXPECT_EQ(RunT10c("--demo > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10cModelThatDoesNotFitIsOne) {
+  // One 1024^3 FP32 matmul needs ~12 MB of tensors; two scaled-IPU cores
+  // offer ~1.2 MB of scratchpad in total.
+  const std::string path = ::testing::TempDir() + "/exit_codes_big.t10";
+  WriteModel(path,
+             "model too-big\n"
+             "matmul name=mm m=1024 k=1024 n=1024 a=A b=B c=C dtype=f32\n");
+  EXPECT_EQ(RunT10c(path + " --cores 2 > /dev/null 2>&1"), 1);
+}
+
+TEST(ExitCodesTest, T10cUsageErrorsAreTwo) {
+  EXPECT_EQ(RunT10c("--no-such-flag > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --cores 0 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --faults bogus=1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("> /dev/null 2>&1"), 2);  // No model given.
+}
+
+TEST(ExitCodesTest, T10cVerificationFailureIsThree) {
+  // An empty model compiles but draws a graph.empty warning, which strict
+  // verification escalates to a failure.
+  const std::string path = ::testing::TempDir() + "/exit_codes_empty.t10";
+  WriteModel(path, "model empty\n");
+  EXPECT_EQ(RunT10c(path + " --verify=strict > /dev/null 2>&1"), 3);
+  // The same model passes default (non-strict) verification: exit 3 is about
+  // the verifier's verdict, not the model's emptiness.
+  EXPECT_EQ(RunT10c(path + " --verify > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10cFaultCampaignFailureIsFour) {
+  // Corrupt every transfer: retry/rollback budgets exhaust and the campaign
+  // reports ops that did not survive, the documented operational failure.
+  EXPECT_EQ(RunT10c("--demo --faults burst=1000000000,seed=1 > /dev/null 2>&1"), 4);
+}
+
+TEST(ExitCodesTest, T10ServeSuccessIsZero) {
+  EXPECT_EQ(RunT10Serve("--requests 4 --cores 8 > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10ServeUsageErrorsAreTwo) {
+  EXPECT_EQ(RunT10Serve("--no-such-flag > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--requests 0 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--faults bogus=1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--requests > /dev/null 2>&1"), 2);  // Missing value.
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,94 @@
+// End-to-end contract of the t10-serve binary: a fault-free run serves every
+// request bit-identically and exits 0; a chaos core kill mid-run forces
+// exactly one online failover with zero lost or duplicated responses; the
+// metrics snapshot records the failover. The binary path is injected by
+// CMake as T10_T10_SERVE_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace t10 {
+namespace {
+
+int RunT10Serve(const std::string& args) {
+  const std::string command = std::string(T10_T10_SERVE_BIN) + " " + args;
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string contents;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) {
+    return contents;
+  }
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+TEST(ServeCliTest, FaultFreeRunServesEverythingAndExitsZero) {
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_ok.txt";
+  ASSERT_EQ(RunT10Serve("--requests 12 --cores 8 > " + out_path + " 2>/dev/null"), 0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("not_identical=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("failovers: 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+}
+
+TEST(ServeCliTest, TransientCorruptionIsAbsorbedBitIdentically) {
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_corrupt.txt";
+  ASSERT_EQ(RunT10Serve("--requests 12 --cores 8 --faults corrupt=0.01,seed=7 > " + out_path +
+                        " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("not_identical=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+}
+
+TEST(ServeCliTest, ChaosCoreKillFailsOverOnceWithNoLostResponses) {
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_chaos.txt";
+  const std::string metrics_path = ::testing::TempDir() + "/t10_serve_chaos_metrics.json";
+  // Pace submissions so the kill lands while the server is live mid-run, and
+  // leave enough requests after it to be served on the degraded plan.
+  ASSERT_EQ(RunT10Serve("--requests 24 --qps 400 --cores 8 --chaos-kill-core-at 8 "
+                        "--seed 3 --metrics " +
+                        metrics_path + " > " + out_path + " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("chaos: killing core 7"), std::string::npos) << output;
+  EXPECT_NE(output.find("failovers: 1 (final epoch 1)"), std::string::npos) << output;
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("not_identical=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+
+  // The metrics snapshot is the observable the CI chaos job greps for.
+  const std::string metrics = ReadFile(metrics_path);
+  EXPECT_NE(metrics.find("\"serve.failover.count\": 1"), std::string::npos) << metrics;
+  EXPECT_EQ(metrics.find("\"serve.failover.failed\""), std::string::npos) << metrics;
+}
+
+TEST(ServeCliTest, DeadlinesShedOrExpireWithoutIntegrityFailure) {
+  // A 1 ms deadline at full submission speed forces queue-time expiries; the
+  // audit still requires exactly one response per accepted request.
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_deadline.txt";
+  ASSERT_EQ(RunT10Serve("--requests 16 --cores 8 --workers 1 --deadline-ms 1 > " + out_path +
+                        " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace t10

@@ -1,0 +1,139 @@
+// Admission-queue contract of the serving scheduler: earliest-deadline-first
+// ordering, synchronous load shedding at capacity (kResourceExhausted),
+// capacity-exempt failover re-queues, and a Close() that stops admission but
+// drains the backlog.
+
+#include "src/serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace t10 {
+namespace serve {
+namespace {
+
+Request WithDeadline(double seconds) {
+  Request request;
+  request.deadline_seconds = seconds;
+  return request;
+}
+
+TEST(SchedulerTest, AssignsDistinctIdsInAdmissionOrder) {
+  Scheduler scheduler(8);
+  StatusOr<std::int64_t> a = scheduler.Submit(Request{});
+  StatusOr<std::int64_t> b = scheduler.Submit(Request{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(scheduler.size(), 2);
+}
+
+TEST(SchedulerTest, PopsEarliestDeadlineFirst) {
+  Scheduler scheduler(8);
+  ASSERT_TRUE(scheduler.Submit(WithDeadline(30.0)).ok());
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());  // No deadline: sorts last.
+  ASSERT_TRUE(scheduler.Submit(WithDeadline(10.0)).ok());
+  ASSERT_TRUE(scheduler.Submit(WithDeadline(20.0)).ok());
+
+  std::vector<double> order;
+  for (int i = 0; i < 4; ++i) {
+    std::optional<AdmittedRequest> popped = scheduler.PopBlocking();
+    ASSERT_TRUE(popped.has_value());
+    order.push_back(popped->request.deadline_seconds);
+  }
+  EXPECT_EQ(order, (std::vector<double>{10.0, 20.0, 30.0, 0.0}));
+}
+
+TEST(SchedulerTest, NoDeadlineTiesPopInFifoOrder) {
+  Scheduler scheduler(8);
+  StatusOr<std::int64_t> first = scheduler.Submit(Request{});
+  StatusOr<std::int64_t> second = scheduler.Submit(Request{});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(scheduler.PopBlocking()->id, *first);
+  EXPECT_EQ(scheduler.PopBlocking()->id, *second);
+}
+
+TEST(SchedulerTest, ShedsAtCapacityWithResourceExhausted) {
+  Scheduler scheduler(2);
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());
+  StatusOr<std::int64_t> shed = scheduler.Submit(Request{});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  // Popping frees a slot; admission resumes.
+  ASSERT_TRUE(scheduler.PopBlocking().has_value());
+  EXPECT_TRUE(scheduler.Submit(Request{}).ok());
+}
+
+TEST(SchedulerTest, NegativeRetryBudgetIsInvalidArgument) {
+  Scheduler scheduler(2);
+  Request request;
+  request.max_retries = -1;
+  StatusOr<std::int64_t> result = scheduler.Submit(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, RequeueBypassesCapacityAndCountsRequeues) {
+  Scheduler scheduler(1);
+  ASSERT_TRUE(scheduler.Submit(WithDeadline(5.0)).ok());
+  std::optional<AdmittedRequest> popped = scheduler.PopBlocking();
+  ASSERT_TRUE(popped.has_value());
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());  // Queue full again.
+
+  // The re-queued request is owed a response, so it goes back in even at
+  // capacity, and keeps its deadline ordering (it pops before the
+  // deadline-less request).
+  ASSERT_TRUE(scheduler.Requeue(*popped).ok());
+  EXPECT_EQ(scheduler.size(), 2);
+  std::optional<AdmittedRequest> again = scheduler.PopBlocking();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->id, popped->id);
+  EXPECT_EQ(again->requeues, 1);
+}
+
+TEST(SchedulerTest, CloseStopsAdmissionButDrainsBacklog) {
+  Scheduler scheduler(4);
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());
+  ASSERT_TRUE(scheduler.Submit(Request{}).ok());
+  scheduler.Close();
+
+  StatusOr<std::int64_t> late = scheduler.Submit(Request{});
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(scheduler.Requeue(AdmittedRequest{}).ok());
+
+  EXPECT_TRUE(scheduler.PopBlocking().has_value());
+  EXPECT_TRUE(scheduler.PopBlocking().has_value());
+  EXPECT_FALSE(scheduler.PopBlocking().has_value());  // Drained: nullopt.
+  EXPECT_FALSE(scheduler.PopBlocking().has_value());  // And stays that way.
+}
+
+TEST(SchedulerTest, PopBlocksUntilSubmit) {
+  Scheduler scheduler(4);
+  std::optional<AdmittedRequest> popped;
+  std::thread popper([&] { popped = scheduler.PopBlocking(); });
+  Request request;
+  request.input_seed = 99;
+  ASSERT_TRUE(scheduler.Submit(request).ok());
+  popper.join();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->request.input_seed, 99u);
+}
+
+TEST(SchedulerTest, ExpiryIsVisibleOnThePoppedRequest) {
+  Scheduler scheduler(4);
+  ASSERT_TRUE(scheduler.Submit(WithDeadline(1e-9)).ok());
+  std::optional<AdmittedRequest> popped = scheduler.PopBlocking();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_TRUE(popped->has_deadline);
+  EXPECT_TRUE(popped->ExpiredAt(Clock::now() + std::chrono::milliseconds(1)));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace t10

@@ -152,9 +152,16 @@ TEST(TraceExportTest, WritesFile) {
   TraceWriter trace;
   trace.Add("x", "lane", 0.0, 1e-6);
   const std::string path = ::testing::TempDir() + "/t10_trace_test.json";
-  trace.WriteFile(path);
+  EXPECT_TRUE(trace.WriteFile(path).ok());
   std::ifstream file(path);
   EXPECT_TRUE(file.good());
+}
+
+TEST(TraceExportTest, UnopenablePathIsInvalidArgument) {
+  TraceWriter trace;
+  trace.Add("x", "lane", 0.0, 1e-6);
+  const Status written = trace.WriteFile("/dev/null/not-a-dir/trace.json");
+  EXPECT_EQ(written.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -36,6 +36,8 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
       {UnavailableError("bad"), StatusCode::kUnavailable, "UNAVAILABLE"},
       {DataLossError("bad"), StatusCode::kDataLoss, "DATA_LOSS"},
       {InternalError("bad"), StatusCode::kInternal, "INTERNAL"},
+      {DeadlineExceededError("bad"), StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+      {CancelledError("bad"), StatusCode::kCancelled, "CANCELLED"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
