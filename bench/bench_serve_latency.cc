@@ -5,7 +5,6 @@
 // corruption (absorbed by the checksummed-retry layer), and a mid-run
 // persistent core kill that forces an online degraded-plan failover.
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -14,6 +13,8 @@
 
 #include "bench/common.h"
 #include "src/ir/builder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/serve/server.h"
 
 namespace t10 {
@@ -41,13 +42,15 @@ struct ScenarioResult {
 };
 
 ScenarioResult RunScenario(const Graph& graph, const fault::FaultSpec& faults, double qps,
-                           int requests, int kill_core_at) {
+                           int requests, int kill_core_at,
+                           obs::Tracer* tracer = nullptr) {
   const ChipSpec chip = ChipSpec::ScaledIpu(8);
   serve::ServerOptions options;
   options.num_workers = 2;
   options.queue_capacity = 8;  // Small on purpose: lets the sweep show shedding.
   options.faults = faults;
   options.health_poll_seconds = 0.002;
+  options.tracer = tracer;
   serve::Server server(chip, graph, options);
   Status started = server.Start();
   T10_CHECK(started.ok()) << started.ToString();
@@ -76,9 +79,12 @@ ScenarioResult RunScenario(const Graph& graph, const fault::FaultSpec& faults, d
     }
   }
   server.WaitIdle();
-  std::vector<double> latencies;
+  // Quantiles through the shared reservoir histogram rather than an ad-hoc
+  // sort: the same estimator the serve summary table and metrics snapshots
+  // report, so bench numbers and production numbers agree by construction.
+  obs::Histogram latencies;
   for (const serve::Response& response : server.TakeResponses()) {
-    latencies.push_back(response.latency_seconds);
+    latencies.Record(response.latency_seconds);
     if (response.status.ok()) {
       ++result.ok;
     } else {
@@ -89,14 +95,8 @@ ScenarioResult RunScenario(const Graph& graph, const fault::FaultSpec& faults, d
   Status shutdown = server.Shutdown();
   T10_CHECK(shutdown.ok()) << shutdown.ToString();
 
-  std::sort(latencies.begin(), latencies.end());
-  auto quantile = [&](double q) {
-    if (latencies.empty()) return 0.0;
-    const auto rank = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
-    return latencies[rank];
-  };
-  result.p50_seconds = quantile(0.50);
-  result.p99_seconds = quantile(0.99);
+  result.p50_seconds = latencies.Quantile(0.50);
+  result.p99_seconds = latencies.Quantile(0.99);
   return result;
 }
 
@@ -142,6 +142,18 @@ int main() {
     }
   }
   table.Print();
+
+  // Tracing-overhead guard: the same fault-free max-rate run with request
+  // spans on vs off. Logged for trend-watching, not gating — the span layer
+  // budget is "lost in the noise of a millisecond-scale execute".
+  {
+    const ScenarioResult off = RunScenario(graph, {}, /*qps=*/0.0, requests, 0);
+    obs::Tracer tracer;
+    const ScenarioResult on = RunScenario(graph, {}, /*qps=*/0.0, requests, 0, &tracer);
+    std::printf("\ntracing overhead (fault-free, max rate): p50 %s off vs %s on (%lld spans)\n",
+                bench::Ms(off.p50_seconds).c_str(), bench::Ms(on.p50_seconds).c_str(),
+                static_cast<long long>(tracer.num_finished()));
+  }
 
   bench::Note(
       "Shedding appears once the offered load outruns the 2-worker pool and the "

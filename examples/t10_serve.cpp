@@ -11,7 +11,9 @@
 //                          [--queue-cap C] [--workers W] [--cores N]
 //                          [--faults SPEC] [--chaos-kill-core-at K]
 //                          [--chaos-core ID] [--retries R] [--seed S]
-//                          [--metrics out.json]
+//                          [--metrics out.json] [--trace out.json]
+//                          [--flight-recorder out.json]
+//                          [--plan-timings out.json]
 //
 // Exit codes: 0 success; 1 server failed to start or died; 2 usage error;
 // 5 serving integrity failure (lost or duplicated responses, or an OK
@@ -23,15 +25,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/fault/fault_plan.h"
 #include "src/ir/parser.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
+#include "src/obs/plan_timings.h"
+#include "src/obs/span.h"
 #include "src/serve/server.h"
+#include "src/sim/trace.h"
+#include "src/util/table.h"
 
 namespace {
 
@@ -66,6 +75,15 @@ void Usage() {
       "  --retries R             per-request transient-fault retry budget (default 2)\n"
       "  --seed S                base input seed (default 1)\n"
       "  --metrics out.json      write a JSON metrics snapshot on exit\n"
+      "  --trace out.json        trace every request (admission, queue wait, execute\n"
+      "                          attempts, audit, response, executor step groups) and\n"
+      "                          write a Perfetto timeline (open in ui.perfetto.dev)\n"
+      "  --flight-recorder out.json\n"
+      "                          keep a bounded in-memory event journal and dump a\n"
+      "                          post-mortem JSON (recent events + open spans) on\n"
+      "                          every failover, replan failure, or non-OK response\n"
+      "  --plan-timings out.json write per-plan-signature observed execution seconds\n"
+      "                          (feed for offline cost-model refitting)\n"
       "  --help                  show this message\n");
 }
 
@@ -86,6 +104,9 @@ int main(int argc, char** argv) {
   int chaos_core = -1;
   std::string faults_text;
   std::string metrics_path;
+  std::string trace_path;
+  std::string flight_recorder_path;
+  std::string plan_timings_path;
 
   auto flag_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -126,6 +147,12 @@ int main(int argc, char** argv) {
       faults_text = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_path = flag_value(i, "--metrics");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = flag_value(i, "--trace");
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      flight_recorder_path = flag_value(i, "--flight-recorder");
+    } else if (std::strcmp(argv[i], "--plan-timings") == 0) {
+      plan_timings_path = flag_value(i, "--plan-timings");
     } else {
       std::fprintf(stderr, "t10_serve: unknown argument '%s'\n\n", argv[i]);
       Usage();
@@ -138,9 +165,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fail fast on unwritable output paths before compiling anything.
+  for (const std::string& out :
+       {metrics_path, trace_path, flight_recorder_path, plan_timings_path}) {
+    if (out.empty()) continue;
+    std::ofstream probe(out, std::ios::app);
+    if (!probe.good()) {
+      std::fprintf(stderr, "t10_serve: cannot open output file '%s' for writing\n",
+                   out.c_str());
+      return 2;
+    }
+  }
+
+  // Observability sinks live on the stack above the server so the pointers
+  // the ServerOptions carry outlive it.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::EventJournal> journal;
+  std::unique_ptr<obs::PlanTimings> plan_timings;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+  }
+  if (!trace_path.empty() || !flight_recorder_path.empty()) {
+    journal = std::make_unique<obs::EventJournal>();
+  }
+  if (!plan_timings_path.empty()) {
+    plan_timings = std::make_unique<obs::PlanTimings>();
+  }
+
   serve::ServerOptions options;
   options.num_workers = workers;
   options.queue_capacity = queue_cap;
+  options.tracer = tracer.get();
+  options.journal = journal.get();
+  options.plan_timings = plan_timings.get();
+  options.flight_recorder_path = flight_recorder_path;
   if (!faults_text.empty()) {
     StatusOr<fault::FaultSpec> spec = fault::ParseFaultSpec(faults_text);
     if (!spec.ok()) {
@@ -265,9 +323,54 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "t10_serve: server died: %s\n", shutdown.ToString().c_str());
   }
 
+  // One-screen run summary. Queue-wait vs execute quantiles come from the
+  // server's histograms, so they cover every processed request (including
+  // requeued attempts), not just the delivered responses audited above.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    obs::Histogram& queue_wait = registry.GetHistogram("serve.queue_wait.seconds");
+    obs::Histogram& execute = registry.GetHistogram("serve.execute.seconds");
+    const double shed_rate =
+        accepted + shed > 0
+            ? static_cast<double>(shed) / static_cast<double>(accepted + shed)
+            : 0.0;
+    std::printf("\nrun summary:\n");
+    Table summary({"metric", "value"});
+    summary.AddRow({"responses ok", std::to_string(ok)});
+    summary.AddRow({"responses deadline_exceeded", std::to_string(deadline_exceeded)});
+    summary.AddRow({"responses failed", std::to_string(failed)});
+    summary.AddRow({"shed at admission", std::to_string(shed) + " (" +
+                                             FormatDouble(shed_rate * 100.0, 1) + "%)"});
+    summary.AddRow({"rejected (circuit open)", std::to_string(rejected)});
+    summary.AddRow({"queue wait p50 / p99", FormatSeconds(queue_wait.Quantile(0.50)) + " / " +
+                                                FormatSeconds(queue_wait.Quantile(0.99))});
+    summary.AddRow({"execute p50 / p99", FormatSeconds(execute.Quantile(0.50)) + " / " +
+                                             FormatSeconds(execute.Quantile(0.99))});
+    summary.AddRow({"failovers", std::to_string(stats.failovers) + " (final epoch " +
+                                     std::to_string(stats.plan_epoch) + ")"});
+    summary.AddRow({"failover requeues", std::to_string(stats.requeued)});
+    summary.Print();
+  }
+
   if (!metrics_path.empty()) {
     obs::MetricsRegistry::Global().WriteFile(metrics_path);
     std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    TraceWriter writer;
+    AppendTracer(*tracer, writer);
+    if (const Status written = writer.WriteFile(trace_path); !written.ok()) {
+      std::fprintf(stderr, "t10_serve: --trace: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::printf("trace: %s (open in ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  if (!plan_timings_path.empty()) {
+    if (const Status written = plan_timings->WriteFile(plan_timings_path); !written.ok()) {
+      std::fprintf(stderr, "t10_serve: --plan-timings: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::printf("plan timings: %s\n", plan_timings_path.c_str());
   }
 
   if (lost > 0 || duplicated > 0 || unknown > 0 || not_identical > 0) {

@@ -21,6 +21,8 @@
 #include "src/core/compiler.h"
 #include "src/core/memory_planner.h"
 #include "src/core/trace_export.h"
+#include "src/obs/span.h"
+#include "src/sim/trace.h"
 #include "src/fault/campaign.h"
 #include "src/fault/fault_plan.h"
 #include "src/ir/parser.h"
@@ -54,6 +56,10 @@ void Usage() {
       "  --code out.cpp     write the generated kernel program\n"
       "  --trace out.json   write a Perfetto/chrome://tracing timeline (spans +\n"
       "                     memory/link-traffic/link-utilisation counter tracks)\n"
+      "  --trace-spans out.json\n"
+      "                     write a Perfetto timeline of the compile itself: one\n"
+      "                     span per pipeline pass and per parallel intra-op\n"
+      "                     search task (open in ui.perfetto.dev)\n"
       "  --metrics out.json write a JSON metrics snapshot of the compile (phase wall\n"
       "                     times, search/cache statistics, per-core traffic totals)\n"
       "  --jobs N           worker threads for the intra-op plan search (default:\n"
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   std::string model_path;
   std::string code_path;
   std::string trace_path;
+  std::string trace_spans_path;
   std::string metrics_path;
   int cores = 1472;
   bool cores_explicit = false;
@@ -153,6 +160,8 @@ int main(int argc, char** argv) {
       code_path = flag_value(i, "--code");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = flag_value(i, "--trace");
+    } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
+      trace_spans_path = flag_value(i, "--trace-spans");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_path = flag_value(i, "--metrics");
     } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -196,7 +205,7 @@ int main(int argc, char** argv) {
   }
 
   // Fail fast on unwritable output paths before spending time compiling.
-  for (const std::string& out : {code_path, trace_path, metrics_path}) {
+  for (const std::string& out : {code_path, trace_path, trace_spans_path, metrics_path}) {
     if (out.empty()) continue;
     std::ofstream probe(out, std::ios::app);
     if (!probe.good()) {
@@ -228,9 +237,13 @@ int main(int argc, char** argv) {
   std::printf("t10c: compiling '%s' (%d ops) for %s...\n", graph.name().c_str(),
               graph.num_ops(), chip.name.c_str());
 
+  obs::Tracer compile_tracer;
   CompileOptions compile_options;
   compile_options.jobs = jobs;
   compile_options.plan_cache_dir = plan_cache_dir;
+  if (!trace_spans_path.empty()) {
+    compile_options.tracer = &compile_tracer;
+  }
   Compiler compiler(chip, compile_options);
   CompiledModel model = compiler.Compile(graph);
   if (!model.fits) {
@@ -364,6 +377,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("execution trace written to %s\n", trace_path.c_str());
+  }
+  if (!trace_spans_path.empty()) {
+    TraceWriter spans;
+    AppendTracer(compile_tracer, spans);
+    if (const Status written = spans.WriteFile(trace_spans_path); !written.ok()) {
+      std::fprintf(stderr, "t10c: --trace-spans: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::printf("compile span trace written to %s\n", trace_spans_path.c_str());
   }
   if (!metrics_path.empty()) {
     obs::MetricsRegistry::Global().WriteFile(metrics_path);

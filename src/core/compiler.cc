@@ -1,6 +1,8 @@
 #include "src/core/compiler.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include "src/core/pass/intra_op_search.h"
 #include "src/core/pass/pass.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 
 namespace t10 {
@@ -150,8 +153,25 @@ CompiledModel Compiler::CompileFrom(const Graph& graph, const std::string& start
   ctx.resources = resources_.get();
   ctx.model.model_name = graph.name();
 
+  // Root one trace per compile on the "compile" lane; each pass run becomes
+  // a child span (and the intra-op search's tasks grandchildren on their own
+  // per-op lanes). Distinct compiles of one tracer get distinct trace ids.
+  obs::Span compile_span;
+  if (resources_->options().tracer != nullptr) {
+    static std::atomic<std::uint64_t> next_compile_id{1};
+    const obs::TraceContext root = resources_->options().tracer->Root(
+        next_compile_id.fetch_add(1, std::memory_order_relaxed), "compile");
+    compile_span = obs::StartSpan(root, "compile");
+    compile_span.AddAttr("graph", graph.name());
+    if (!start_pass.empty()) {
+      compile_span.AddAttr("start_pass", start_pass);
+    }
+    ctx.trace = compile_span.context();
+  }
+
   const PassManager pipeline = BuildCompilerPipeline();
   pipeline.Run(ctx, start_pass);
+  compile_span.End();
 
   ctx.model.compile_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

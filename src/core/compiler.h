@@ -27,6 +27,10 @@
 
 namespace t10 {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 class CompilerResources;
 
 struct CompileOptions {
@@ -42,6 +46,11 @@ struct CompileOptions {
   // When non-empty, an existing directory the plan cache persists to
   // (t10c --plan-cache=DIR); empty keeps the cache in-memory only.
   std::string plan_cache_dir;
+  // When set, every compile roots a trace on the "compile" lane: one span
+  // per pass run (PassManager) and one per parallel intra-op search task on
+  // a "compile.search.<op>" lane (t10c --trace-spans). Null = no tracing,
+  // zero overhead.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct CompiledOp {

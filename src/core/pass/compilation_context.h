@@ -24,6 +24,7 @@
 #include "src/hardware/chip_spec.h"
 #include "src/hardware/timing_source.h"
 #include "src/ir/graph.h"
+#include "src/obs/span.h"
 #include "src/util/thread_pool.h"
 
 namespace t10 {
@@ -75,6 +76,11 @@ class CompilerResources {
 struct CompilationContext {
   const Graph* graph = nullptr;
   CompilerResources* resources = nullptr;
+
+  // Tracing context for this compile (inactive unless CompileOptions::tracer
+  // is set). The PassManager re-parents it to the running pass's span, so
+  // work a pass fans out to worker threads lands under that pass.
+  obs::TraceContext trace;
 
   // The result being built; model_name is set by the driver, fits/ops/
   // metrics by the passes.

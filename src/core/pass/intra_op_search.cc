@@ -7,6 +7,7 @@
 
 #include "src/core/pass/plan_cache.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 #include "src/verify/pass_checks.h"
 
@@ -97,10 +98,21 @@ PassResult IntraOpSearchPass::Run(CompilationContext& ctx) {
   // counters are atomics, so totals (not interleavings) are what surfaces.
   const std::int64_t num_misses = static_cast<std::int64_t>(miss_ops.size());
   std::vector<IntraOpResult> miss_results(static_cast<std::size_t>(num_misses));
-  const auto search_slot = [&](std::int64_t slot) {
-    miss_results[static_cast<std::size_t>(slot)] =
-        SearchOperatorPlans(*miss_ops[static_cast<std::size_t>(slot)], chip, cost_model,
-                            resources.options().constraints);
+  // The context is captured by value: whichever pool thread runs a task, its
+  // span lands under this pass's span, on a per-op "compile.search.<op>"
+  // lane so concurrent searches render side by side.
+  const obs::TraceContext trace = ctx.trace;
+  const auto search_slot = [&, trace](std::int64_t slot) {
+    const std::size_t idx = static_cast<std::size_t>(slot);
+    obs::Span task_span;
+    if (trace.active()) {
+      task_span =
+          obs::StartSpan(trace.WithTrack("compile.search." + miss_ops[idx]->name()), "search");
+      task_span.AddAttr("op", miss_ops[idx]->name());
+      task_span.AddAttr("signature", miss_signatures[idx]);
+    }
+    miss_results[idx] =
+        SearchOperatorPlans(*miss_ops[idx], chip, cost_model, resources.options().constraints);
   };
   if (resources.jobs() > 1 && num_misses > 1) {
     resources.pool().ParallelFor(num_misses, search_slot);

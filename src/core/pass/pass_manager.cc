@@ -8,6 +8,7 @@
 #include "src/core/pass/intra_op_search.h"
 #include "src/core/pass/memory_plan.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 #include "src/verify/verifier.h"
 
@@ -59,7 +60,16 @@ void PassManager::Run(CompilationContext& ctx, const std::string& start_pass) co
       const std::string prefix = std::string("compiler.pass.") + pass.name();
       metrics.GetCounter(prefix + ".runs").Increment();
       obs::ScopedTimer timer(prefix + ".seconds");
+      // Each pass run gets its own span, and the context is re-parented to
+      // it for the duration so work the pass fans out (the intra-op search
+      // tasks) nests under the right pass — including retried runs.
+      obs::Span pass_span = obs::StartSpan(ctx.trace, pass.name());
+      const obs::TraceContext saved_trace = ctx.trace;
+      if (pass_span.active()) {
+        ctx.trace = pass_span.context();
+      }
       result = pass.Run(ctx);
+      ctx.trace = saved_trace;
     }
     if (verify::InternalVerifyEnabled()) {
       const verify::VerifyResult check = pass.Verify(ctx);

@@ -136,6 +136,11 @@ ProgramExecutor::ProgramExecutor(Machine& machine, const ExecutionPlan& plan,
   }
 }
 
+void ProgramExecutor::SetTrace(const obs::TraceContext& trace, obs::EventJournal* journal) {
+  trace_ = trace;
+  journal_ = journal;
+}
+
 StatusOr<HostTensor> ProgramExecutor::Run(const std::vector<HostTensor>& inputs,
                                           ProgramRunStats* stats) {
   std::vector<BufferHandle> owned;
@@ -160,6 +165,10 @@ StatusOr<HostTensor> ProgramExecutor::RunImpl(const std::vector<HostTensor>& inp
   machine_.ResetTrafficCounters();
   const std::int64_t base_retries = machine_.fault_retries();
   const double base_penalty = machine_.fault_penalty_seconds();
+  // Request id journal events attribute to (the trace id is the request id
+  // on the serving path; -1 outside it).
+  const std::int64_t trace_req_id =
+      trace_.active() ? static_cast<std::int64_t>(trace_.trace_id) : -1;
   obs::Counter& metric_checkpoints =
       obs::MetricsRegistry::Global().GetCounter("exec.fault.checkpoints");
   obs::Counter& metric_rollbacks =
@@ -326,7 +335,22 @@ StatusOr<HostTensor> ProgramExecutor::RunImpl(const std::vector<HostTensor>& inp
   run_stats.steps = total_steps;
   std::int64_t ckpt_step = 0;
 
+  // Coarse tracing granularity: one span per checkpoint-interval step group
+  // (the whole run when fault tolerance is off), not per step — the span
+  // count stays bounded no matter how many rotation steps the plan takes.
+  const std::int64_t span_group = ft_.enabled
+                                      ? static_cast<std::int64_t>(ft_.checkpoint_interval_steps)
+                                      : std::max<std::int64_t>(total_steps, 1);
+  obs::Span group_span;
+
   for (std::int64_t s = 0; s < total_steps; ++s) {
+    if (s % span_group == 0) {
+      group_span = obs::StartSpan(trace_, "exec.steps");
+      if (group_span.active()) {
+        group_span.AddAttr("from_step", std::to_string(s));
+        group_span.AddAttr("op", op.name());
+      }
+    }
     if (ft_.enabled && s % ft_.checkpoint_interval_steps == 0) {
       save_checkpoint();
       ckpt_step = s;
@@ -478,18 +502,30 @@ StatusOr<HostTensor> ProgramExecutor::RunImpl(const std::vector<HostTensor>& inp
     if (!shift_status.ok()) {
       if (ft_.enabled && shift_status.code() == StatusCode::kDataLoss &&
           run_stats.rollbacks < ft_.max_rollbacks) {
+        obs::Log(journal_, obs::Severity::kWarn, "exec", "exec.rollback",
+                 trace_req_id, /*plan_epoch=*/-1,
+                 "step " + std::to_string(s) + " -> checkpoint " + std::to_string(ckpt_step));
         restore_checkpoint();
         s = ckpt_step - 1;  // The loop increment re-enters at ckpt_step.
         continue;
       }
       if (shift_status.code() == StatusCode::kDataLoss) {
+        obs::Log(journal_, obs::Severity::kError, "exec", "exec.data_loss",
+                 trace_req_id, /*plan_epoch=*/-1,
+                 "rollback budget exhausted at step " + std::to_string(s));
         return DataLossError(shift_status.message() + " (after " +
                              std::to_string(run_stats.rollbacks) +
                              " checkpoint rollbacks; program abandoned)");
       }
+      if (shift_status.code() == StatusCode::kUnavailable) {
+        obs::Log(journal_, obs::Severity::kError, "exec", "exec.unavailable",
+                 trace_req_id, /*plan_epoch=*/-1,
+                 shift_status.message());
+      }
       return shift_status;
     }
   }
+  group_span.End();
 
   // --- Download: merge per-core output windows (partials sum across the
   // reduce group; the on-chip reduce-scatter epilogue is modelled in

@@ -32,6 +32,8 @@
 #include "src/core/device_program.h"
 #include "src/core/functional.h"
 #include "src/core/placement.h"
+#include "src/obs/journal.h"
+#include "src/obs/span.h"
 #include "src/sim/machine.h"
 #include "src/util/status.h"
 
@@ -67,6 +69,11 @@ class ProgramExecutor {
                   FaultToleranceOptions fault_tolerance = {},
                   std::vector<int> core_map = {});
 
+  // Attaches request-scoped tracing (inactive context and/or null journal =
+  // no-op): Run emits one coarse span per checkpoint-interval step group
+  // under `trace`, and rollback / fault events into `journal`.
+  void SetTrace(const obs::TraceContext& trace, obs::EventJournal* journal);
+
   // Executes the program over the operator's inputs; returns the output.
   // Errors are operational, not bugs: scratchpad exhaustion
   // (kResourceExhausted), transient-fault retries and rollbacks exhausted
@@ -91,6 +98,8 @@ class ProgramExecutor {
   PlanGeometry geometry_;
   FaultToleranceOptions ft_;
   std::vector<int> core_map_;
+  obs::TraceContext trace_;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace t10

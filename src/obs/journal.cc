@@ -1,0 +1,157 @@
+#include "src/obs/journal.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "src/obs/json_writer.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace obs {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug:
+      return "debug";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal(int capacity) : epoch_(std::chrono::steady_clock::now()) {
+  T10_CHECK_GE(capacity, 1) << "journal capacity";
+  slots_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void EventJournal::Append(Severity severity, std::string subsystem, std::string event,
+                          std::int64_t request_id, int plan_epoch, std::string detail) {
+  Event entry;
+  entry.time_seconds = NowSeconds();
+  entry.severity = severity;
+  entry.subsystem = std::move(subsystem);
+  entry.event = std::move(event);
+  entry.request_id = request_id;
+  entry.plan_epoch = plan_epoch;
+  entry.detail = std::move(detail);
+  entry.seq = next_.fetch_add(1, std::memory_order_relaxed);
+
+  Slot& slot = *slots_[static_cast<std::size_t>(entry.seq % slots_.size())];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // A slower writer must not clobber a newer wrap of its slot.
+  if (!slot.full || slot.event.seq < entry.seq) {
+    slot.event = std::move(entry);
+    slot.full = true;
+  }
+}
+
+std::vector<Event> EventJournal::Snapshot() const {
+  std::vector<Event> events;
+  events.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->full) {
+      events.push_back(slot->event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return events;
+}
+
+double EventJournal::NowSeconds() const {
+  return std::max(0.0, std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+                           .count());
+}
+
+std::string PostMortemJson(const std::string& reason, const EventJournal* journal,
+                           const Tracer* tracer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("reason");
+  w.String(reason);
+  w.Key("dumped_at_seconds");
+  w.Double(journal != nullptr ? journal->NowSeconds()
+                              : (tracer != nullptr ? tracer->NowSeconds() : 0.0));
+
+  w.Key("events");
+  w.BeginArray();
+  if (journal != nullptr) {
+    for (const Event& event : journal->Snapshot()) {
+      w.BeginObject();
+      w.Key("seq");
+      w.Int(static_cast<std::int64_t>(event.seq));
+      w.Key("time_seconds");
+      w.Double(event.time_seconds);
+      w.Key("severity");
+      w.String(SeverityName(event.severity));
+      w.Key("subsystem");
+      w.String(event.subsystem);
+      w.Key("event");
+      w.String(event.event);
+      w.Key("request_id");
+      w.Int(event.request_id);
+      w.Key("plan_epoch");
+      w.Int(event.plan_epoch);
+      w.Key("detail");
+      w.String(event.detail);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+
+  w.Key("open_spans");
+  w.BeginArray();
+  if (tracer != nullptr) {
+    for (const SpanRecord& span : tracer->OpenSpans()) {
+      w.BeginObject();
+      w.Key("span_id");
+      w.Int(static_cast<std::int64_t>(span.span_id));
+      w.Key("parent_id");
+      w.Int(static_cast<std::int64_t>(span.parent_id));
+      w.Key("trace_id");
+      w.Int(static_cast<std::int64_t>(span.trace_id));
+      w.Key("name");
+      w.String(span.name);
+      w.Key("track");
+      w.String(span.track);
+      w.Key("start_seconds");
+      w.Double(span.start_seconds);
+      w.Key("duration_seconds");
+      w.Double(span.duration_seconds);
+      w.Key("attrs");
+      w.BeginObject();
+      for (const SpanAttr& attr : span.attrs) {
+        w.Key(attr.key);
+        w.String(attr.value);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status DumpPostMortem(const std::string& path, const std::string& reason,
+                      const EventJournal* journal, const Tracer* tracer) {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open flight-recorder file " + path);
+  }
+  file << PostMortemJson(reason, journal, tracer);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace t10

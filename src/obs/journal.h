@@ -1,0 +1,126 @@
+// Structured event journal + failure flight recorder (DESIGN.md "Tracing &
+// flight recorder").
+//
+// The EventJournal is a bounded ring buffer of structured events (severity,
+// subsystem, event name, request id, plan epoch, free-form detail) shared by
+// the serving runtime, the health monitor, and the byte-level executor. It
+// answers the question aggregate metrics cannot: "what exactly happened in
+// the 200ms before the server parked?" — the ring always holds the most
+// recent N events, so a post-mortem dump is cheap and always available.
+//
+// Concurrency: appends reserve a slot with one atomic fetch_add, then fill
+// it under a per-slot mutex ("lock-free-ish": the hot reservation never
+// contends, two writers only serialize when they collide on the same ring
+// slot, capacity apart). Snapshot() locks slots one at a time and returns
+// events in sequence order.
+//
+// The flight recorder (DumpPostMortem) serializes the journal's events plus
+// the tracer's open spans to a JSON post-mortem file. The serving runtime
+// triggers it on failover, on parking in kFailed, and on non-OK terminal
+// responses; the last dump wins (same path), and the ring's history means a
+// later dump still contains the earlier failure sequence.
+
+#ifndef T10_SRC_OBS_JOURNAL_H_
+#define T10_SRC_OBS_JOURNAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/util/status.h"
+
+namespace t10 {
+namespace obs {
+
+enum class Severity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* SeverityName(Severity severity);
+
+// One structured journal entry.
+struct Event {
+  std::uint64_t seq = 0;        // Global append order (dense, from 0).
+  double time_seconds = 0.0;    // Monotonic, since the journal's epoch.
+  Severity severity = Severity::kInfo;
+  std::string subsystem;        // "serve", "health", "exec", "compiler".
+  std::string event;            // Dotted name, e.g. "failover.hot_swap".
+  std::int64_t request_id = -1; // -1 when not request-scoped.
+  int plan_epoch = -1;          // -1 when no epoch applies.
+  std::string detail;           // Free-form context (core ids, statuses).
+};
+
+class EventJournal {
+ public:
+  static constexpr int kDefaultCapacity = 256;
+
+  explicit EventJournal(int capacity = kDefaultCapacity);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Appends one event; the ring evicts the oldest once full. Thread-safe.
+  void Append(Severity severity, std::string subsystem, std::string event,
+              std::int64_t request_id = -1, int plan_epoch = -1, std::string detail = {});
+
+  // Events currently in the ring, oldest first (ascending seq). An event
+  // being overwritten concurrently is attributed to whichever append
+  // finished last — snapshots are consistent per slot, not globally atomic.
+  std::vector<Event> Snapshot() const;
+
+  int capacity() const { return static_cast<int>(slots_.size()); }
+  // Total events ever appended (>= ring occupancy once wrapped).
+  std::uint64_t total_appended() const { return next_.load(std::memory_order_relaxed); }
+
+  double NowSeconds() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool full = false;
+    Event event;
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_{0};
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+// Null-safe append helper: the serving hot path holds a nullable journal
+// pointer and must cost nothing when journaling is off.
+inline void Log(EventJournal* journal, Severity severity, const char* subsystem,
+                const char* event, std::int64_t request_id = -1, int plan_epoch = -1,
+                std::string detail = {}) {
+  if (journal != nullptr) {
+    journal->Append(severity, subsystem, event, request_id, plan_epoch, std::move(detail));
+  }
+}
+
+// Writes a post-mortem JSON file: the dump reason, the journal's last events
+// (all of the ring) and every span still open in the tracer at dump time.
+// Either source may be null (emitted as an empty list). Schema:
+//   {"reason": ..., "dumped_at_seconds": ...,
+//    "events": [{seq, time_seconds, severity, subsystem, event, request_id,
+//                plan_epoch, detail}, ...],
+//    "open_spans": [{span_id, parent_id, trace_id, name, track,
+//                    start_seconds, duration_seconds, attrs: {...}}, ...]}
+// An unopenable path is an operational error (kInvalidArgument), not a bug.
+Status DumpPostMortem(const std::string& path, const std::string& reason,
+                      const EventJournal* journal, const Tracer* tracer);
+
+// The post-mortem document as a string (testing; DumpPostMortem writes it).
+std::string PostMortemJson(const std::string& reason, const EventJournal* journal,
+                           const Tracer* tracer);
+
+}  // namespace obs
+}  // namespace t10
+
+#endif  // T10_SRC_OBS_JOURNAL_H_

@@ -46,6 +46,18 @@ void Histogram::Record(double value) {
   ++count_;
   sum_ += value;
   ++buckets_[bucket];
+  if (static_cast<int>(reservoir_.size()) < kReservoirCapacity) {
+    reservoir_.push_back(value);
+  } else {
+    // Uniform reservoir sampling: replace a random slot with probability
+    // capacity/count. Deterministic LCG (MMIX constants) keeps snapshots
+    // reproducible for a fixed record order.
+    rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = (rng_state_ >> 16) % static_cast<std::uint64_t>(count_);
+    if (r < static_cast<std::uint64_t>(kReservoirCapacity)) {
+      reservoir_[static_cast<std::size_t>(r)] = value;
+    }
+  }
 }
 
 std::int64_t Histogram::count() const {
@@ -109,6 +121,23 @@ double Histogram::ApproxQuantile(double q) const {
   return max_;
 }
 
+double Histogram::Quantile(double q) const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reservoir_.empty()) {
+      return 0.0;
+    }
+    samples = reservoir_;
+  }
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank on the sorted reservoir (1-based ceiling).
+  const std::size_t rank = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(samples.size())))));
+  return samples[std::min(rank, samples.size()) - 1];
+}
+
 std::int64_t Histogram::cumulative_count(int bucket) const {
   T10_CHECK_GE(bucket, 0);
   T10_CHECK_LT(bucket, kNumBuckets);
@@ -127,6 +156,8 @@ void Histogram::Reset() {
   min_ = 0.0;
   max_ = 0.0;
   buckets_.fill(0);
+  reservoir_.clear();
+  rng_state_ = 0x9e3779b97f4a7c15ull;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -200,6 +231,12 @@ std::string MetricsRegistry::ToJson() const {
     w.Double(histogram->max());
     w.Key("mean");
     w.Double(histogram->mean());
+    w.Key("p50");
+    w.Double(histogram->Quantile(0.50));
+    w.Key("p95");
+    w.Double(histogram->Quantile(0.95));
+    w.Key("p99");
+    w.Double(histogram->Quantile(0.99));
     w.Key("buckets");
     w.BeginArray();
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {

@@ -85,12 +85,20 @@ class Histogram {
   // Approximate quantile (q in [0,1]) by log-linear interpolation inside the
   // decade bucket holding the target rank, clamped to the observed min/max.
   // Decade buckets make this coarse (right order of magnitude, not exact
-  // percentile); serving-latency p50/p99 reporting uses it for snapshots,
-  // while benches wanting exact quantiles sort their raw samples. 0 when
-  // empty.
+  // percentile); Quantile() below is the accurate variant. 0 when empty.
   double ApproxQuantile(double q) const;
 
+  // Sample-based quantile (q in [0,1]) from a bounded reservoir of recorded
+  // values: exact while count <= kReservoirCapacity, an unbiased estimate
+  // afterwards (uniform reservoir sampling with a deterministic LCG, so
+  // snapshots are reproducible for a fixed record order). This is what
+  // p50/p95/p99 in ToJson snapshots and the serve summary table report.
+  // 0 when empty.
+  double Quantile(double q) const;
+
   void Reset();
+
+  static constexpr int kReservoirCapacity = 4096;
 
  private:
   mutable std::mutex mu_;
@@ -99,6 +107,8 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   std::array<std::int64_t, kNumBuckets> buckets_ = {};  // Non-cumulative.
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;     // LCG for reservoir.
+  std::vector<double> reservoir_;
 };
 
 class MetricsRegistry {

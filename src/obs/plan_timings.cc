@@ -1,0 +1,82 @@
+#include "src/obs/plan_timings.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/obs/json_writer.h"
+
+namespace t10 {
+namespace obs {
+
+void PlanTimings::Record(const std::string& signature, int plan_epoch, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[Key(signature, plan_epoch)];
+  if (cell.count == 0) {
+    cell.min_seconds = seconds;
+    cell.max_seconds = seconds;
+  } else {
+    cell.min_seconds = std::min(cell.min_seconds, seconds);
+    cell.max_seconds = std::max(cell.max_seconds, seconds);
+  }
+  ++cell.count;
+  cell.total_seconds += seconds;
+}
+
+std::int64_t PlanTimings::num_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(cells_.size());
+}
+
+std::int64_t PlanTimings::total_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [key, cell] : cells_) {
+    total += cell.count;
+  }
+  return total;
+}
+
+std::string PlanTimings::ToJson() const {
+  std::map<Key, Cell> cells;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells = cells_;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("plan_timings");
+  w.BeginArray();
+  for (const auto& [key, cell] : cells) {
+    w.BeginObject();
+    w.Key("signature");
+    w.String(key.first);
+    w.Key("plan_epoch");
+    w.Int(key.second);
+    w.Key("count");
+    w.Int(cell.count);
+    w.Key("total_seconds");
+    w.Double(cell.total_seconds);
+    w.Key("min_seconds");
+    w.Double(cell.min_seconds);
+    w.Key("max_seconds");
+    w.Double(cell.max_seconds);
+    w.Key("mean_seconds");
+    w.Double(cell.count > 0 ? cell.total_seconds / static_cast<double>(cell.count) : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status PlanTimings::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open plan-timings file " + path);
+  }
+  file << ToJson();
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace t10

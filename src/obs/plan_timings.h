@@ -1,0 +1,59 @@
+// PlanTimings: observed per-plan execution times, keyed by operator plan
+// signature and plan epoch. The serving runtime records the measured execute
+// seconds of every successful request here; the exported sidecar is the data
+// feed for future TCL-style cost-model refitting (ROADMAP), which needs
+// (signature -> observed seconds) pairs to correct the analytical model.
+//
+// Schema of ToJson()/WriteFile():
+//   {"plan_timings": [
+//      {"signature": ..., "plan_epoch": ..., "count": ..., "total_seconds": ...,
+//       "min_seconds": ..., "max_seconds": ..., "mean_seconds": ...}, ...]}
+// Entries sort by (signature, plan_epoch) for deterministic output.
+
+#ifndef T10_SRC_OBS_PLAN_TIMINGS_H_
+#define T10_SRC_OBS_PLAN_TIMINGS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace t10 {
+namespace obs {
+
+class PlanTimings {
+ public:
+  struct Cell {
+    std::int64_t count = 0;
+    double total_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+
+  PlanTimings() = default;
+  PlanTimings(const PlanTimings&) = delete;
+  PlanTimings& operator=(const PlanTimings&) = delete;
+
+  // Records one observed execution of the plan identified by `signature`
+  // under plan epoch `plan_epoch`. Thread-safe.
+  void Record(const std::string& signature, int plan_epoch, double seconds);
+
+  std::int64_t num_cells() const;
+  std::int64_t total_count() const;
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  using Key = std::pair<std::string, int>;
+
+  mutable std::mutex mu_;
+  std::map<Key, Cell> cells_;
+};
+
+}  // namespace obs
+}  // namespace t10
+
+#endif  // T10_SRC_OBS_PLAN_TIMINGS_H_

@@ -1,0 +1,211 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    span_id_ = other.span_id_;
+    trace_id_ = other.trace_id_;
+    track_ = std::move(other.track_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::AddAttr(const char* key, std::string value) {
+  if (tracer_ != nullptr) {
+    tracer_->Attr(span_id_, key, std::move(value));
+  }
+}
+
+void Span::SetFlowOut(std::uint64_t flow_id) {
+  if (tracer_ != nullptr) {
+    tracer_->Flow(span_id_, flow_id, /*out=*/true);
+  }
+}
+
+void Span::SetFlowIn(std::uint64_t flow_id) {
+  if (tracer_ != nullptr) {
+    tracer_->Flow(span_id_, flow_id, /*out=*/false);
+  }
+}
+
+TraceContext Span::context() const {
+  TraceContext ctx;
+  if (tracer_ != nullptr) {
+    ctx.tracer = tracer_;
+    ctx.trace_id = trace_id_;
+    ctx.parent_span = span_id_;
+    ctx.track = track_;
+  }
+  return ctx;
+}
+
+void Span::End() {
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(span_id_);
+    tracer_ = nullptr;
+  }
+}
+
+Span StartSpan(const TraceContext& ctx, const char* name) {
+  if (ctx.tracer == nullptr) {
+    return Span();
+  }
+  return ctx.tracer->Begin(ctx, name);
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceContext Tracer::Root(std::uint64_t trace_id, std::string track) {
+  TraceContext ctx;
+  ctx.tracer = this;
+  ctx.trace_id = trace_id;
+  ctx.parent_span = 0;
+  ctx.track = std::move(track);
+  return ctx;
+}
+
+Span Tracer::Begin(const TraceContext& ctx, const char* name) {
+  T10_CHECK(ctx.tracer == this) << "span started under a foreign trace context";
+  const auto now = std::chrono::steady_clock::now();
+  Span span;
+  span.tracer_ = this;
+  span.span_id_ = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  span.trace_id_ = ctx.trace_id;
+  span.track_ = ctx.track;
+
+  OpenSpan open;
+  open.started_at = now;
+  open.record.span_id = span.span_id_;
+  open.record.parent_id = ctx.parent_span;
+  open.record.trace_id = ctx.trace_id;
+  open.record.name = name;
+  open.record.track = ctx.track;
+  open.record.start_seconds = SecondsSinceEpoch(now);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_.emplace(span.span_id_, std::move(open));
+  }
+  return span;
+}
+
+std::uint64_t Tracer::AddCompleted(const TraceContext& ctx, const char* name,
+                                   std::chrono::steady_clock::time_point start,
+                                   std::chrono::steady_clock::time_point end,
+                                   std::vector<SpanAttr> attrs, std::uint64_t flow_out,
+                                   std::uint64_t flow_in) {
+  T10_CHECK(ctx.tracer == this) << "span recorded under a foreign trace context";
+  SpanRecord record;
+  record.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent_id = ctx.parent_span;
+  record.trace_id = ctx.trace_id;
+  record.name = name;
+  record.track = ctx.track;
+  record.start_seconds = SecondsSinceEpoch(start);
+  record.duration_seconds = std::max(0.0, std::chrono::duration<double>(end - start).count());
+  record.attrs = std::move(attrs);
+  record.flow_out = flow_out;
+  record.flow_in = flow_in;
+  const std::uint64_t id = record.span_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::move(record));
+  return id;
+}
+
+void Tracer::CounterSample(const std::string& track, double value) {
+  obs::CounterSample sample;
+  sample.track = track;
+  sample.time_seconds = NowSeconds();
+  sample.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(std::move(sample));
+}
+
+double Tracer::SecondsSinceEpoch(std::chrono::steady_clock::time_point t) const {
+  return std::max(0.0, std::chrono::duration<double>(t - epoch_).count());
+}
+
+double Tracer::NowSeconds() const {
+  return SecondsSinceEpoch(std::chrono::steady_clock::now());
+}
+
+std::vector<SpanRecord> Tracer::FinishedSpans() const {
+  std::vector<SpanRecord> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = finished_;
+  }
+  std::sort(spans.begin(), spans.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_seconds != b.start_seconds) {
+      return a.start_seconds < b.start_seconds;
+    }
+    return a.span_id < b.span_id;
+  });
+  return spans;
+}
+
+std::vector<SpanRecord> Tracer::OpenSpans() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<SpanRecord> spans;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans.reserve(open_.size());
+  for (const auto& [id, open] : open_) {
+    SpanRecord record = open.record;
+    record.duration_seconds =
+        std::max(0.0, std::chrono::duration<double>(now - open.started_at).count());
+    spans.push_back(std::move(record));
+  }
+  return spans;  // Map order == span-id order == start order per track.
+}
+
+std::vector<CounterSample> Tracer::CounterSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::int64_t Tracer::num_finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(finished_.size());
+}
+
+std::int64_t Tracer::num_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(open_.size());
+}
+
+void Tracer::EndSpan(std::uint64_t span_id) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
+  T10_CHECK(it != open_.end()) << "span " << span_id << " ended twice";
+  SpanRecord record = std::move(it->second.record);
+  record.duration_seconds =
+      std::max(0.0, std::chrono::duration<double>(now - it->second.started_at).count());
+  open_.erase(it);
+  finished_.push_back(std::move(record));
+}
+
+void Tracer::Attr(std::uint64_t span_id, const char* key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
+  T10_CHECK(it != open_.end()) << "attribute on ended span " << span_id;
+  it->second.record.attrs.push_back(SpanAttr{key, std::move(value)});
+}
+
+void Tracer::Flow(std::uint64_t span_id, std::uint64_t flow_id, bool out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
+  T10_CHECK(it != open_.end()) << "flow on ended span " << span_id;
+  (out ? it->second.record.flow_out : it->second.record.flow_in) = flow_id;
+}
+
+}  // namespace obs
+}  // namespace t10

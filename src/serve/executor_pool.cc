@@ -38,12 +38,16 @@ PlanSet::PlanSet(const ChipSpec& chip, const Graph& graph)
 StatusOr<std::shared_ptr<PlanSet>> PlanSet::Build(const ChipSpec& chip, const Graph& graph,
                                                   const TopologyHealth& health,
                                                   const CompileOptions& compile, int epoch,
-                                                  bool verify) {
+                                                  bool verify, obs::EventJournal* journal) {
   std::shared_ptr<PlanSet> set(new PlanSet(chip, graph));
   set->health_ = health;
   set->epoch_ = epoch;
 
   if (health.degraded()) {
+    obs::Log(journal, obs::Severity::kInfo, "serve", "failover.replan", /*request_id=*/-1,
+             epoch,
+             std::to_string(health.failed_cores.size()) + " failed core(s), " +
+                 std::to_string(health.failed_links.size()) + " failed link(s)");
     ChipSpec masked = chip;
     masked.health = health;
     DegradedPlan degraded;
@@ -88,10 +92,14 @@ StatusOr<std::shared_ptr<PlanSet>> PlanSet::Build(const ChipSpec& chip, const Gr
     verify::Verifier verifier(set->plan_chip_);
     verify::VerifyResult result = verifier.VerifyAll(set->model_, graph);
     if (!result.ok()) {
+      obs::Log(journal, obs::Severity::kError, "serve", "failover.verify_gate",
+               /*request_id=*/-1, epoch, "verification FAILED; epoch not activated");
       return FailedPreconditionError("epoch " + std::to_string(epoch) +
                                      " model failed verification; not activating:\n" +
                                      result.Listing());
     }
+    obs::Log(journal, obs::Severity::kInfo, "serve", "failover.verify_gate",
+             /*request_id=*/-1, epoch, "verification passed");
   }
   return set;
 }
@@ -136,10 +144,13 @@ ExecutorPool::ExecutorPool(const ChipSpec& chip, const fault::FaultSpec& faults,
 
 ExecuteOutcome ExecutorPool::Execute(int worker, const PlanSet& plans, int slot_index,
                                      std::uint64_t seed, int max_retries, bool has_deadline,
-                                     Clock::time_point deadline) {
+                                     Clock::time_point deadline,
+                                     const obs::TraceContext& trace) {
   Worker& w = *workers_[static_cast<std::size_t>(worker)];
   const OpSlot& s = plans.slot(slot_index);
   const std::vector<HostTensor> inputs = SlotInputs(plans.graph().op(s.op_index), seed);
+  const std::int64_t request_id =
+      trace.active() ? static_cast<std::int64_t>(trace.trace_id) : -1;
 
   ExecuteOutcome outcome;
   for (int attempt = 0;; ++attempt) {
@@ -148,14 +159,29 @@ ExecuteOutcome ExecutorPool::Execute(int worker, const PlanSet& plans, int slot_
                                              std::to_string(attempt) + " attempt(s)");
       return outcome;
     }
-    StatusOr<HostTensor> got =
-        ProgramExecutor(w.machine, *s.plan, fault_tolerance_, plans.core_map())
-            .Run(inputs, &outcome.stats);
+    obs::Span attempt_span = obs::StartSpan(trace, "attempt");
+    if (attempt_span.active()) {
+      attempt_span.AddAttr("attempt", std::to_string(attempt));
+      attempt_span.AddAttr("worker", std::to_string(worker));
+      attempt_span.AddAttr("plan_epoch", std::to_string(plans.epoch()));
+    }
+    ProgramExecutor executor(w.machine, *s.plan, fault_tolerance_, plans.core_map());
+    if (attempt_span.active() || journal_ != nullptr) {
+      // Executor step groups are children of the attempt but live on the
+      // worker's own lane, so per-worker occupancy is visible.
+      executor.SetTrace(
+          attempt_span.context().WithTrack("exec.w" + std::to_string(worker)), journal_);
+    }
+    StatusOr<HostTensor> got = executor.Run(inputs, &outcome.stats);
     if (got.ok()) {
       outcome.status = Status::Ok();
       outcome.output = *std::move(got);
       return outcome;
     }
+    if (attempt_span.active()) {
+      attempt_span.AddAttr("status", got.status().ToString());
+    }
+    attempt_span.End();
     outcome.status = got.status();
     // Only the fault layer's "transient damage survived all low-level
     // retries" outcome is worth re-executing; persistent faults and capacity
@@ -164,10 +190,13 @@ ExecuteOutcome ExecutorPool::Execute(int worker, const PlanSet& plans, int slot_
       return outcome;
     }
     RetryCounter().Increment();
+    obs::Log(journal_, obs::Severity::kWarn, "exec", "exec.retry", request_id, plans.epoch(),
+             "attempt " + std::to_string(attempt) + " lost data; re-executing");
     ++outcome.retries_used;
     const double backoff =
         retry_backoff_base_seconds_ * static_cast<double>(1 << std::min(attempt, 10));
     if (backoff > 0.0) {
+      obs::Span backoff_span = obs::StartSpan(trace, "backoff");
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     }
   }

@@ -33,6 +33,8 @@
 #include "src/fault/campaign.h"
 #include "src/fault/fault_plan.h"
 #include "src/ir/graph.h"
+#include "src/obs/journal.h"
+#include "src/obs/span.h"
 #include "src/serve/request.h"
 #include "src/sim/machine.h"
 #include "src/util/status.h"
@@ -75,10 +77,13 @@ class PlanSet {
   //   kFailedPrecondition  no servable operator, a slot lost its executable
   //                        plan on the surviving topology, or verification
   //                        failed (the degraded model is never activated)
+  // `journal` (nullable) receives the failover.replan / failover.verify_gate
+  // flight-recorder events for degraded rebuilds.
   static StatusOr<std::shared_ptr<PlanSet>> Build(const ChipSpec& chip, const Graph& graph,
                                                   const TopologyHealth& health,
                                                   const CompileOptions& compile, int epoch,
-                                                  bool verify);
+                                                  bool verify,
+                                                  obs::EventJournal* journal = nullptr);
 
   int epoch() const { return epoch_; }
   const TopologyHealth& health() const { return health_; }
@@ -137,14 +142,21 @@ class ExecutorPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  // Attaches the event journal retry/fault events land in (nullable; call
+  // before serving starts).
+  void SetJournal(obs::EventJournal* journal) { journal_ = journal; }
+
   // Runs `plans.slot(slot_index)` on worker `worker`'s machine with up to
   // `max_retries` whole-request re-executions on transient failures
   // (kDataLoss), sleeping an exponentially growing host-side backoff between
   // attempts. Persistent failures (kUnavailable) return immediately — they
   // are the health monitor's signal, not retryable. The deadline is checked
-  // between attempts so a retry storm cannot run past it.
+  // between attempts so a retry storm cannot run past it. `trace` (inactive
+  // when tracing is off) scopes the per-attempt / backoff spans; the
+  // executor's step-group spans land on lane "exec.w<worker>".
   ExecuteOutcome Execute(int worker, const PlanSet& plans, int slot_index, std::uint64_t seed,
-                         int max_retries, bool has_deadline, Clock::time_point deadline);
+                         int max_retries, bool has_deadline, Clock::time_point deadline,
+                         const obs::TraceContext& trace = {});
 
   // Chaos hooks: persistently down a core / directed link on every worker's
   // injector, as if the shared fabric lost it mid-stream. Thread-safe.
@@ -175,6 +187,7 @@ class ExecutorPool {
 
   FaultToleranceOptions fault_tolerance_;
   double retry_backoff_base_seconds_;
+  obs::EventJournal* journal_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -123,6 +123,11 @@ void HealthMonitor::Loop() {
     ProbeCounter().Increment();
     const TopologyHealth probed = probe_();
     if (AddsFailures(probed, applied)) {
+      obs::Log(journal_, obs::Severity::kWarn, "health", "health.probe", /*request_id=*/-1,
+               /*plan_epoch=*/-1,
+               "new damage: " + std::to_string(probed.failed_cores.size()) +
+                   " failed core(s), " + std::to_string(probed.failed_links.size()) +
+                   " failed link(s) probed");
       // Synchronous: the server replans inside the callback and records the
       // new applied mask before this returns, so the next probe is quiet.
       on_degraded_(Merge(applied, probed));

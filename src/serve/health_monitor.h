@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "src/hardware/chip_spec.h"
+#include "src/obs/journal.h"
 
 namespace t10 {
 namespace serve {
@@ -44,6 +45,11 @@ class HealthMonitor {
 
   void Start();
   void Stop();
+
+  // Flight-recorder journal (nullable). Only probes that *detect new damage*
+  // log a "health.probe" event — steady-state polling stays out of the ring.
+  // Call before Start().
+  void SetJournal(obs::EventJournal* journal) { journal_ = journal; }
 
   // Wakes the monitor for an immediate probe (a worker saw kUnavailable).
   void NotifySuspicion();
@@ -66,6 +72,7 @@ class HealthMonitor {
   const double poll_seconds_;
   const ProbeFn probe_;
   const DegradedFn on_degraded_;
+  obs::EventJournal* journal_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/core/functional.h"
+#include "src/obs/span.h"
 #include "src/util/status.h"
 
 namespace t10 {
@@ -49,6 +50,10 @@ struct AdmittedRequest {
   Clock::time_point deadline{};  // admitted_at + deadline; max() when none.
   bool has_deadline = false;
   int requeues = 0;  // Times this request was re-queued across a failover.
+  // Request-scoped trace context, rooted at admission (trace id == request
+  // id, lane "req:<id>"). Inactive when the server runs without a tracer, in
+  // which case every downstream span is a no-op.
+  obs::TraceContext trace;
 
   bool ExpiredAt(Clock::time_point now) const { return has_deadline && now >= deadline; }
 };

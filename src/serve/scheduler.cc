@@ -37,6 +37,11 @@ Scheduler::Scheduler(int capacity) : capacity_(capacity) {
   T10_CHECK_GE(capacity, 1) << "scheduler capacity";
 }
 
+void Scheduler::SetObservability(obs::Tracer* tracer, obs::EventJournal* journal) {
+  tracer_ = tracer;
+  journal_ = journal;
+}
+
 StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
   if (request.max_retries < 0) {
     return InvalidArgumentError("max_retries must be >= 0");
@@ -48,6 +53,8 @@ StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
   }
   if (static_cast<int>(queue_.size()) >= capacity_) {
     ShedCounter().Increment();
+    obs::Log(journal_, obs::Severity::kWarn, "serve", "request.shed", /*request_id=*/-1,
+             /*plan_epoch=*/-1, "queue full at capacity " + std::to_string(capacity_));
     return ResourceExhaustedError("queue full (capacity " + std::to_string(capacity_) +
                                   "), request shed");
   }
@@ -62,6 +69,14 @@ StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
                       std::chrono::duration<double>(request.deadline_seconds))
           : Clock::time_point::max();
   const std::int64_t id = admitted.id;
+  if (tracer_ != nullptr) {
+    admitted.trace = tracer_->Root(static_cast<std::uint64_t>(id),
+                                   "req:" + std::to_string(id));
+    tracer_->AddCompleted(admitted.trace, "admit", now, Clock::now(),
+                          {{"op_slot", std::to_string(request.op_slot)},
+                           {"deadline_s", std::to_string(request.deadline_seconds)}});
+  }
+  obs::Log(journal_, obs::Severity::kDebug, "serve", "request.admitted", id);
   queue_.insert(std::move(admitted));
   AdmittedCounter().Increment();
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
@@ -76,6 +91,8 @@ Status Scheduler::Requeue(AdmittedRequest admitted) {
     return FailedPreconditionError("scheduler is closed");
   }
   ++admitted.requeues;
+  obs::Log(journal_, obs::Severity::kWarn, "serve", "request.requeued", admitted.id,
+           /*plan_epoch=*/-1, "requeue " + std::to_string(admitted.requeues));
   queue_.insert(std::move(admitted));
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   QueueDepthPeak().SetMax(static_cast<double>(queue_.size()));

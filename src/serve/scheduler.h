@@ -23,7 +23,10 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 
+#include "src/obs/journal.h"
+#include "src/obs/span.h"
 #include "src/serve/request.h"
 #include "src/util/status.h"
 
@@ -38,6 +41,12 @@ class Scheduler {
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  // Attaches tracing/journaling (both nullable). With a tracer, admission
+  // roots each request's TraceContext (trace id == request id, lane
+  // "req:<id>") and records an "admit" span; sheds and requeues land in the
+  // journal. Call before serving starts — not synchronized with Submit.
+  void SetObservability(obs::Tracer* tracer, obs::EventJournal* journal);
 
   // Admits `request` or rejects it. Errors:
   //   kResourceExhausted  queue full (load shed; counted in serve.shed.count)
@@ -78,6 +87,8 @@ class Scheduler {
   };
 
   const int capacity_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::multiset<AdmittedRequest, ByDeadline> queue_;

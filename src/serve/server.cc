@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/core/pass/plan_cache.h"
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
@@ -59,6 +60,18 @@ obs::Histogram& ReplanHistogram() {
   return histogram;
 }
 
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serve.queue_wait.seconds");
+  return histogram;
+}
+
+obs::Histogram& ExecuteHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serve.execute.seconds");
+  return histogram;
+}
+
 obs::Gauge& EpochGauge() {
   static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge("serve.plan.epoch");
   return gauge;
@@ -101,7 +114,11 @@ Server::Server(const ChipSpec& chip, const Graph& graph, ServerOptions options)
       pool_(chip_, options_.faults, options_.fault_tolerance,
             options_.retry_backoff_base_seconds, options_.num_workers),
       monitor_(options_.health_poll_seconds, [this] { return pool_.ProbeHealth(); },
-               [this](const TopologyHealth& merged) { OnDegraded(merged); }) {}
+               [this](const TopologyHealth& merged) { OnDegraded(merged); }) {
+  scheduler_.SetObservability(options_.tracer, options_.journal);
+  pool_.SetJournal(options_.journal);
+  monitor_.SetJournal(options_.journal);
+}
 
 Server::~Server() { Shutdown(); }
 
@@ -123,8 +140,12 @@ Status Server::Start() {
   initial = HealthMonitor::Merge(initial, spec_faults);
 
   std::shared_ptr<PlanSet> plans;
-  T10_ASSIGN_OR_RETURN(plans, PlanSet::Build(chip_, graph_, initial, options_.compile,
-                                             /*epoch=*/0, options_.verify_before_activate));
+  T10_ASSIGN_OR_RETURN(plans,
+                       PlanSet::Build(chip_, graph_, initial, options_.compile,
+                                      /*epoch=*/0, options_.verify_before_activate,
+                                      options_.journal));
+  obs::Log(options_.journal, obs::Severity::kInfo, "serve", "server.start",
+           /*request_id=*/-1, /*plan_epoch=*/0);
   {
     std::lock_guard<std::mutex> lock(mu_);
     plans_ = std::move(plans);
@@ -306,24 +327,79 @@ void Server::WorkerLoop(int worker) {
   }
 }
 
+// Flow-arrow ids linking a request's pre-requeue span to its next queue.wait:
+// unique per (request, requeue round) so repeated failovers keep their
+// arrows distinct.
+static std::uint64_t RequeueFlowId(std::int64_t id, int round) {
+  return static_cast<std::uint64_t>(id) * 16 + static_cast<std::uint64_t>(round);
+}
+
 void Server::Process(int worker, AdmittedRequest admitted,
                      const std::shared_ptr<PlanSet>& plans) {
+  // Copy before the requeue path can move `admitted` away.
+  const obs::TraceContext trace = admitted.trace;
+  const Clock::time_point admitted_at = admitted.admitted_at;
+
   Response response;
   response.id = admitted.id;
   response.op_slot = admitted.request.op_slot;
   response.plan_epoch = plans->epoch();
 
-  if (admitted.ExpiredAt(Clock::now())) {
-    DeadlineCounter().Increment();
-    response.status = DeadlineExceededError("deadline expired in queue");
-    response.latency_seconds = SecondsSince(admitted.admitted_at);
+  // Every terminal path funnels through here so the request's trace always
+  // ends with a "respond" span, OK or not.
+  auto deliver = [&]() {
+    response.latency_seconds = SecondsSince(admitted_at);
+    if (trace.active()) {
+      const Clock::time_point now = Clock::now();
+      trace.tracer->AddCompleted(trace, "respond", now, now,
+                                 {{"status", response.status.ToString()},
+                                  {"latency_s", std::to_string(response.latency_seconds)}});
+    }
     Deliver(std::move(response));
+  };
+
+  // The time between admission (or the last requeue) and this pop is queue
+  // wait; it is only known now, so it is recorded as an already-measured
+  // span. A requeued request receives the flow arrow its pre-failover
+  // execution emitted.
+  const Clock::time_point popped_at = Clock::now();
+  QueueWaitHistogram().Record(
+      std::chrono::duration<double>(popped_at - admitted.admitted_at).count());
+  if (trace.active()) {
+    trace.tracer->AddCompleted(
+        trace, "queue.wait", admitted.admitted_at, popped_at,
+        {{"requeues", std::to_string(admitted.requeues)}},
+        /*flow_out=*/0,
+        /*flow_in=*/admitted.requeues > 0 ? RequeueFlowId(admitted.id, admitted.requeues)
+                                          : 0);
+  }
+
+  if (admitted.ExpiredAt(popped_at)) {
+    DeadlineCounter().Increment();
+    obs::Log(options_.journal, obs::Severity::kWarn, "serve", "request.deadline_exceeded",
+             admitted.id, plans->epoch(), "expired in queue");
+    response.status = DeadlineExceededError("deadline expired in queue");
+    deliver();
     return;
   }
 
+  obs::Span execute_span = obs::StartSpan(trace, "execute");
+  if (execute_span.active()) {
+    execute_span.AddAttr("worker", std::to_string(worker));
+    execute_span.AddAttr("plan_epoch", std::to_string(plans->epoch()));
+  }
+  const Clock::time_point execute_start = Clock::now();
   ExecuteOutcome outcome =
       pool_.Execute(worker, *plans, admitted.request.op_slot, admitted.request.input_seed,
-                    admitted.request.max_retries, admitted.has_deadline, admitted.deadline);
+                    admitted.request.max_retries, admitted.has_deadline, admitted.deadline,
+                    execute_span.active() ? execute_span.context() : trace);
+  const double execute_seconds =
+      std::chrono::duration<double>(Clock::now() - execute_start).count();
+  ExecuteHistogram().Record(execute_seconds);
+  if (execute_span.active()) {
+    execute_span.AddAttr("status", outcome.status.ToString());
+    execute_span.AddAttr("retries", std::to_string(outcome.retries_used));
+  }
   response.retries = outcome.retries_used;
 
   if (outcome.status.code() == StatusCode::kUnavailable) {
@@ -333,6 +409,11 @@ void Server::Process(int worker, AdmittedRequest admitted,
     monitor_.NotifySuspicion();
     if (admitted.requeues < kMaxRequeues) {
       const std::int64_t id = admitted.id;
+      const int next_round = admitted.requeues + 1;
+      // The flow arrow starts at this (failed) execute span and lands on the
+      // post-failover queue.wait span — the visual link across the epoch.
+      execute_span.SetFlowOut(RequeueFlowId(id, next_round));
+      execute_span.End();
       Status requeued = scheduler_.Requeue(std::move(admitted));
       if (requeued.ok()) {
         RequeueCounter().Increment();
@@ -343,38 +424,46 @@ void Server::Process(int worker, AdmittedRequest admitted,
       (void)id;  // Scheduler closed mid-drain; fall through and answer now.
     }
     response.status = outcome.status;
-    response.latency_seconds = SecondsSince(admitted.admitted_at);
-    Deliver(std::move(response));
+    deliver();
     return;
   }
+  execute_span.End();
 
   if (!outcome.status.ok()) {
     if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
       DeadlineCounter().Increment();
+      obs::Log(options_.journal, obs::Severity::kWarn, "serve", "request.deadline_exceeded",
+               response.id, plans->epoch(), "expired between attempts");
     }
     response.status = outcome.status;
-    response.latency_seconds = SecondsSince(admitted.admitted_at);
-    Deliver(std::move(response));
+    deliver();
     return;
   }
 
   if (admitted.ExpiredAt(Clock::now())) {
     // Mid-batch expiry: the work finished but the contract did not.
     DeadlineCounter().Increment();
+    obs::Log(options_.journal, obs::Severity::kWarn, "serve", "request.deadline_exceeded",
+             response.id, plans->epoch(), "expired during execution");
     response.status = DeadlineExceededError("deadline expired during execution");
-    response.latency_seconds = SecondsSince(admitted.admitted_at);
-    Deliver(std::move(response));
+    deliver();
     return;
   }
 
+  if (options_.plan_timings != nullptr) {
+    options_.plan_timings->Record(
+        OperatorSignature(graph_.op(plans->slot(admitted.request.op_slot).op_index)),
+        plans->epoch(), execute_seconds);
+  }
+
   // Integrity: an OK response must reproduce the fault-free bytes.
+  obs::Span audit_span = obs::StartSpan(trace, "audit");
   StatusOr<const PlanSet::Reference*> reference =
       plans->ReferenceFor(admitted.request.op_slot, admitted.request.input_seed);
   if (!reference.ok()) {
     response.status =
         InternalError("reference run failed: " + reference.status().ToString());
-    response.latency_seconds = SecondsSince(admitted.admitted_at);
-    Deliver(std::move(response));
+    deliver();
     return;
   }
   response.checksum = fault::Checksum(
@@ -383,15 +472,27 @@ void Server::Process(int worker, AdmittedRequest admitted,
   response.bit_identical = (*reference)->shape == outcome.output.shape &&
                            (*reference)->checksum == response.checksum &&
                            (*reference)->data == outcome.output.data;
+  if (audit_span.active()) {
+    audit_span.AddAttr("bit_identical", response.bit_identical ? "true" : "false");
+  }
+  audit_span.End();
   response.status = Status::Ok();
   response.output = std::move(outcome.output);
-  response.latency_seconds = SecondsSince(admitted.admitted_at);
-  Deliver(std::move(response));
+  deliver();
 }
 
 void Server::Deliver(Response response) {
   LatencyHistogram().Record(response.latency_seconds);
   ResponseCounter().Increment();
+  obs::Log(options_.journal,
+           response.status.ok() ? obs::Severity::kInfo : obs::Severity::kWarn, "serve",
+           "request.response", response.id, response.plan_epoch,
+           response.status.ToString());
+  if (!response.status.ok()) {
+    // Any non-OK terminal status is a flight-recorder trigger: the ring
+    // holds the events leading up to it, the dump preserves them.
+    DumpFlightRecorder("non_ok_response: " + response.status.ToString());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.responses;
   if (response.status.ok()) {
@@ -411,6 +512,13 @@ void Server::Deliver(Response response) {
 void Server::OnDegraded(const TopologyHealth& merged) {
   ServerState resume;
   int next_epoch;
+  // The whole failover is one span on the shared "serve" lane (trace id 0:
+  // not request-scoped).
+  obs::TraceContext failover_ctx;
+  if (options_.tracer != nullptr) {
+    failover_ctx = options_.tracer->Root(0, "serve");
+  }
+  obs::Span failover_span = obs::StartSpan(failover_ctx, "failover");
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (state_ != ServerState::kServing && state_ != ServerState::kDraining) {
@@ -419,36 +527,68 @@ void Server::OnDegraded(const TopologyHealth& merged) {
     resume = state_;
     state_ = ServerState::kReplanning;
     state_cv_.notify_all();
+    obs::Log(options_.journal, obs::Severity::kWarn, "serve", "failover.detected",
+             /*request_id=*/-1, plans_->epoch(),
+             std::to_string(merged.failed_cores.size()) + " failed core(s), " +
+                 std::to_string(merged.failed_links.size()) + " failed link(s)");
     // Drain: requests already inside Process() finish (or re-queue) on the
     // old epoch before the swap.
+    obs::Span drain_span = obs::StartSpan(failover_span.context(), "failover.drain");
     drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    drain_span.End();
     next_epoch = plans_->epoch() + 1;
+    obs::Log(options_.journal, obs::Severity::kInfo, "serve", "failover.drain",
+             /*request_id=*/-1, next_epoch, "in-flight work drained");
   }
 
   StatusOr<std::shared_ptr<PlanSet>> built = [&] {
     obs::ScopedTimer timer(ReplanHistogram());
+    obs::Span replan_span = obs::StartSpan(failover_span.context(), "failover.replan");
     return PlanSet::Build(chip_, graph_, merged, options_.compile, next_epoch,
-                          options_.verify_before_activate);
+                          options_.verify_before_activate, options_.journal);
   }();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (built.ok()) {
-    plans_ = *std::move(built);
-    state_ = resume;
-    ++stats_.failovers;
-    stats_.plan_epoch = next_epoch;
-    FailoverCounter().Increment();
-    EpochGauge().Set(static_cast<double>(next_epoch));
-    monitor_.SetAppliedHealth(merged);
-  } else {
-    failed_status_ = built.status();
-    state_ = ServerState::kFailed;
-    FailoverFailedCounter().Increment();
-    // Suppress further callbacks for this mask; the server is already dead.
-    monitor_.SetAppliedHealth(merged);
+  bool swapped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (built.ok()) {
+      plans_ = *std::move(built);
+      state_ = resume;
+      ++stats_.failovers;
+      stats_.plan_epoch = next_epoch;
+      FailoverCounter().Increment();
+      EpochGauge().Set(static_cast<double>(next_epoch));
+      monitor_.SetAppliedHealth(merged);
+      obs::Log(options_.journal, obs::Severity::kInfo, "serve", "failover.hot_swap",
+               /*request_id=*/-1, next_epoch, "serving epoch " + std::to_string(next_epoch));
+      swapped = true;
+    } else {
+      failed_status_ = built.status();
+      state_ = ServerState::kFailed;
+      FailoverFailedCounter().Increment();
+      // Suppress further callbacks for this mask; the server is already dead.
+      monitor_.SetAppliedHealth(merged);
+      obs::Log(options_.journal, obs::Severity::kError, "serve", "failover.park_failed",
+               /*request_id=*/-1, next_epoch, failed_status_.ToString());
+    }
+    state_cv_.notify_all();
+    idle_cv_.notify_all();
   }
-  state_cv_.notify_all();
-  idle_cv_.notify_all();
+  failover_span.End();
+  DumpFlightRecorder(swapped ? "failover: hot-swapped epoch " + std::to_string(next_epoch)
+                             : "failover: replan failed, server parked in kFailed");
+}
+
+void Server::DumpFlightRecorder(const std::string& reason) {
+  if (options_.flight_recorder_path.empty() || options_.journal == nullptr) {
+    return;
+  }
+  const Status dumped = obs::DumpPostMortem(options_.flight_recorder_path, reason,
+                                            options_.journal, options_.tracer);
+  if (!dumped.ok()) {
+    obs::Log(options_.journal, obs::Severity::kError, "serve", "flight_recorder.error",
+             /*request_id=*/-1, /*plan_epoch=*/-1, dumped.ToString());
+  }
 }
 
 }  // namespace serve

@@ -57,6 +57,9 @@
 #include "src/fault/fault_plan.h"
 #include "src/hardware/chip_spec.h"
 #include "src/ir/graph.h"
+#include "src/obs/journal.h"
+#include "src/obs/plan_timings.h"
+#include "src/obs/span.h"
 #include "src/serve/executor_pool.h"
 #include "src/serve/health_monitor.h"
 #include "src/serve/request.h"
@@ -95,6 +98,20 @@ struct ServerOptions {
   double retry_backoff_base_seconds = 1e-4;
   // Gate every epoch (including the degraded ones) on the static verifier.
   bool verify_before_activate = true;
+
+  // Observability (all nullable/optional; the serving hot path allocates
+  // nothing for any of them when unset). The tracer roots one trace per
+  // request (admission -> queue wait -> attempts -> audit -> response, with
+  // flow links across failover requeues); the journal is the flight
+  // recorder's event ring; plan timings collect per-plan-signature observed
+  // execution seconds (the cost-model refit feed). When
+  // `flight_recorder_path` is non-empty AND a journal is attached, the
+  // server dumps a post-mortem JSON there on every failover, on parking in
+  // kFailed, and on any non-OK terminal response.
+  obs::Tracer* tracer = nullptr;
+  obs::EventJournal* journal = nullptr;
+  obs::PlanTimings* plan_timings = nullptr;
+  std::string flight_recorder_path;
 };
 
 // Aggregate accounting, for reports and integrity checks.
@@ -163,6 +180,9 @@ class Server {
   void Deliver(Response response);
   // Monitor-thread callback: drain, replan, verify, swap (or fail).
   void OnDegraded(const TopologyHealth& merged);
+  // Writes the post-mortem dump (journal events + open spans) if a flight
+  // recorder path is configured; best-effort, failures are logged only.
+  void DumpFlightRecorder(const std::string& reason);
 
   const ChipSpec chip_;
   const Graph& graph_;

@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 
 namespace t10 {
@@ -27,7 +29,18 @@ void TraceWriter::Add(const std::string& name, const std::string& lane, double s
                       double duration_seconds) {
   T10_CHECK_GE(start_seconds, 0.0);
   T10_CHECK_GE(duration_seconds, 0.0);
-  spans_.push_back(TraceSpan{name, lane, start_seconds, duration_seconds});
+  TraceSpan span;
+  span.name = name;
+  span.lane = lane;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  spans_.push_back(std::move(span));
+}
+
+void TraceWriter::AddSpan(TraceSpan span) {
+  T10_CHECK_GE(span.start_seconds, 0.0);
+  T10_CHECK_GE(span.duration_seconds, 0.0);
+  spans_.push_back(std::move(span));
 }
 
 void TraceWriter::AddCounter(const std::string& track, double time_seconds, double value) {
@@ -51,11 +64,35 @@ std::string TraceWriter::ToJson() const {
   std::vector<std::string> events;
   events.reserve(spans_.size() + counters_.size());
   for (const TraceSpan& span : spans_) {
+    const std::size_t tid = tid_of(span.lane);
     std::ostringstream e;
-    e << "{\"name\": \"" << Escape(span.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
-      << tid_of(span.lane) << ", \"ts\": " << span.start_seconds * 1e6
-      << ", \"dur\": " << span.duration_seconds * 1e6 << "}";
+    e << "{\"name\": \"" << Escape(span.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+      << ", \"ts\": " << span.start_seconds * 1e6 << ", \"dur\": " << span.duration_seconds * 1e6;
+    if (!span.args.empty()) {
+      e << ", \"args\": {";
+      for (std::size_t i = 0; i < span.args.size(); ++i) {
+        e << (i > 0 ? ", " : "") << "\"" << Escape(span.args[i].first) << "\": \""
+          << Escape(span.args[i].second) << "\"";
+      }
+      e << "}";
+    }
+    e << "}";
     events.push_back(e.str());
+    // Flow arrows bind to the enclosing slice at their timestamp, so both
+    // ends stamp the midpoint of their slice.
+    const double mid_us = (span.start_seconds + span.duration_seconds / 2.0) * 1e6;
+    if (span.flow_out != 0) {
+      std::ostringstream f;
+      f << "{\"name\": \"requeue\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": " << span.flow_out
+        << ", \"pid\": 1, \"tid\": " << tid << ", \"ts\": " << mid_us << "}";
+      events.push_back(f.str());
+    }
+    if (span.flow_in != 0) {
+      std::ostringstream f;
+      f << "{\"name\": \"requeue\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": "
+        << span.flow_in << ", \"pid\": 1, \"tid\": " << tid << ", \"ts\": " << mid_us << "}";
+      events.push_back(f.str());
+    }
   }
   // Lane naming metadata.
   for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -80,6 +117,35 @@ std::string TraceWriter::ToJson() const {
   }
   out << "]\n";
   return out.str();
+}
+
+void AppendTracer(const obs::Tracer& tracer, TraceWriter& writer) {
+  auto convert = [&](const obs::SpanRecord& record, bool open) {
+    TraceSpan span;
+    span.name = record.name;
+    span.lane = record.track;
+    span.start_seconds = record.start_seconds;
+    span.duration_seconds = record.duration_seconds;
+    span.args.reserve(record.attrs.size() + (open ? 1 : 0));
+    for (const obs::SpanAttr& attr : record.attrs) {
+      span.args.emplace_back(attr.key, attr.value);
+    }
+    if (open) {
+      span.args.emplace_back("open", "true");
+    }
+    span.flow_out = record.flow_out;
+    span.flow_in = record.flow_in;
+    writer.AddSpan(std::move(span));
+  };
+  for (const obs::SpanRecord& record : tracer.FinishedSpans()) {
+    convert(record, /*open=*/false);
+  }
+  for (const obs::SpanRecord& record : tracer.OpenSpans()) {
+    convert(record, /*open=*/true);
+  }
+  for (const obs::CounterSample& sample : tracer.CounterSamples()) {
+    writer.AddCounter(sample.track, sample.time_seconds, sample.value);
+  }
 }
 
 Status TraceWriter::WriteFile(const std::string& path) const {

@@ -5,23 +5,36 @@
 // ("C") tracks ride alongside the spans so continuous quantities — per-core
 // memory occupancy, cumulative link traffic, instantaneous link utilisation,
 // per-core bytes sent — render as area charts on the same timeline.
+// AppendTracer merges an obs::Tracer's request/compile spans (with their
+// attributes and requeue flow arrows) into the same timeline.
 
 #ifndef T10_SRC_SIM_TRACE_H_
 #define T10_SRC_SIM_TRACE_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/status.h"
 
 namespace t10 {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 struct TraceSpan {
   std::string name;
   std::string lane;       // Thread-like grouping ("compute", "exchange", ...).
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
+  // Optional key=value metadata, emitted as the X event's "args" object.
+  std::vector<std::pair<std::string, std::string>> args;
+  // Non-zero: this span emits / receives the flow arrow with that id
+  // (Perfetto "s"/"f" events; requeued requests link epochs this way).
+  std::uint64_t flow_out = 0;
+  std::uint64_t flow_in = 0;
 };
 
 // One sample of a Perfetto counter track. Tracks are identified by name;
@@ -36,6 +49,9 @@ class TraceWriter {
  public:
   void Add(const std::string& name, const std::string& lane, double start_seconds,
            double duration_seconds);
+
+  // Appends a fully specified span (attributes / flow linkage included).
+  void AddSpan(TraceSpan span);
 
   // Appends one sample to the counter track `track` (Trace Event Format
   // "C" phase). Samples may arrive out of time order; Perfetto sorts by ts.
@@ -57,6 +73,15 @@ class TraceWriter {
   std::vector<TraceSpan> spans_;
   std::vector<TraceCounterSample> counters_;
 };
+
+// Merges a tracer's spans into `writer`: finished spans and still-open spans
+// (exported with their elapsed-so-far durations, marked open=true) become
+// "X" slices on their span's track lane, span attributes become event args,
+// flow ids become "s"/"f" arrow events, and the tracer's counter samples
+// join the writer's counter tracks. Lives here (not src/obs) because the
+// Perfetto serialization is the simulator trace writer's job and t10_sim
+// already links t10_obs.
+void AppendTracer(const obs::Tracer& tracer, TraceWriter& writer);
 
 }  // namespace t10
 

@@ -87,5 +87,21 @@ TEST(ExitCodesTest, T10ServeUsageErrorsAreTwo) {
   EXPECT_EQ(RunT10Serve("--requests > /dev/null 2>&1"), 2);  // Missing value.
 }
 
+TEST(ExitCodesTest, T10ServeObservabilityFlagErrorsAreTwo) {
+  // Each observability flag requires a value...
+  EXPECT_EQ(RunT10Serve("--trace > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--flight-recorder > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--plan-timings > /dev/null 2>&1"), 2);
+  // ...and an unwritable output path fails fast, before serving starts.
+  EXPECT_EQ(RunT10Serve("--requests 4 --trace /no/such/dir/t.json > /dev/null 2>&1"), 2);
+  EXPECT_EQ(
+      RunT10Serve("--requests 4 --flight-recorder /no/such/dir/fr.json > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10cTraceSpansFlagErrorsAreTwo) {
+  EXPECT_EQ(RunT10c("--demo --trace-spans > /dev/null 2>&1"), 2);  // Missing value.
+  EXPECT_EQ(RunT10c("--demo --trace-spans /no/such/dir/spans.json > /dev/null 2>&1"), 2);
+}
+
 }  // namespace
 }  // namespace t10

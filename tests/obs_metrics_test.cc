@@ -233,6 +233,70 @@ TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(JsonNumber(1.0), "1");
 }
 
+TEST(HistogramTest, QuantileIsExactWhileUnderReservoirCapacity) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.quantile");
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  EXPECT_NEAR(h.Quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("test.empty").Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileEstimatesAndStaysDeterministicBeyondCapacity) {
+  // Past the reservoir bound the quantile becomes a sampled estimate; for a
+  // uniform stream it must stay near the true value, and identical record
+  // orders must produce identical snapshots (deterministic LCG).
+  MetricsRegistry registry;
+  Histogram& a = registry.GetHistogram("test.reservoir.a");
+  Histogram& b = registry.GetHistogram("test.reservoir.b");
+  const int n = Histogram::kReservoirCapacity * 4;
+  for (int i = 0; i < n; ++i) {
+    a.Record(static_cast<double>(i));
+    b.Record(static_cast<double>(i));
+  }
+  const double p50 = a.Quantile(0.50);
+  EXPECT_GT(p50, static_cast<double>(n) * 0.35);
+  EXPECT_LT(p50, static_cast<double>(n) * 0.65);
+  const double p99 = a.Quantile(0.99);
+  EXPECT_GT(p99, static_cast<double>(n) * 0.90);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.50), b.Quantile(0.50));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), b.Quantile(0.99));
+}
+
+TEST(HistogramTest, ResetClearsTheReservoir) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.reset");
+  for (int i = 0; i < 10; ++i) {
+    h.Record(5.0);
+  }
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  h.Record(2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(RegistryTest, JsonSnapshotIncludesPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.latency.seconds");
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i) * 0.001);
+  }
+  const std::string json = registry.ToJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(GlobalRegistryTest, IsASingleton) {
   MetricsRegistry& a = MetricsRegistry::Global();
   MetricsRegistry& b = MetricsRegistry::Global();
