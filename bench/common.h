@@ -41,6 +41,7 @@ inline void Header(const std::string& figure, const std::string& description) {
   static bool registered = false;
   if (!registered) {
     registered = true;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): benchmarks read the environment single-threaded at startup.
     if (const char* path = std::getenv("T10_METRICS"); path != nullptr && path[0] != '\0') {
       internal::MetricsPath() = path;
       std::atexit([] { DumpMetrics(internal::MetricsPath()); });
@@ -52,7 +53,7 @@ inline void Note(const std::string& text) { std::printf("NOTE: %s\n\n", text.c_s
 
 // Set T10_BENCH_QUICK=1 to run reduced sweeps (CI smoke mode).
 inline bool QuickMode() {
-  const char* env = std::getenv("T10_BENCH_QUICK");
+  const char* env = std::getenv("T10_BENCH_QUICK");  // NOLINT(concurrency-mt-unsafe): read once at startup.
   return env != nullptr && env[0] == '1';
 }
 

@@ -157,13 +157,13 @@ FaultInjector::FaultInjector(FaultSpec spec)
       metric_bitflip_(obs::MetricsRegistry::Global().GetCounter("fault.injector.bitflip")) {}
 
 bool FaultInjector::core_up(int core) const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
          spec_.failed_cores.end();
 }
 
 bool FaultInjector::link_up(int src_core, int dst_core) const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   const bool cores_up =
       std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), src_core) ==
           spec_.failed_cores.end() &&
@@ -177,7 +177,7 @@ bool FaultInjector::link_up(int src_core, int dst_core) const {
 }
 
 void FaultInjector::KillCore(int core) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   if (std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
       spec_.failed_cores.end()) {
     spec_.failed_cores.push_back(core);
@@ -185,7 +185,7 @@ void FaultInjector::KillCore(int core) {
 }
 
 void FaultInjector::KillLink(int src_core, int dst_core) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   const auto link = std::make_pair(src_core, dst_core);
   if (std::find(spec_.failed_links.begin(), spec_.failed_links.end(), link) ==
       spec_.failed_links.end()) {
@@ -194,12 +194,12 @@ void FaultInjector::KillLink(int src_core, int dst_core) {
 }
 
 std::vector<int> FaultInjector::failed_cores() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return spec_.failed_cores;
 }
 
 std::vector<std::pair<int, int>> FaultInjector::failed_links() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return spec_.failed_links;
 }
 

@@ -45,7 +45,7 @@ void EventJournal::Append(Severity severity, std::string subsystem, std::string 
   entry.seq = next_.fetch_add(1, std::memory_order_relaxed);
 
   Slot& slot = *slots_[static_cast<std::size_t>(entry.seq % slots_.size())];
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   // A slower writer must not clobber a newer wrap of its slot.
   if (!slot.full || slot.event.seq < entry.seq) {
     slot.event = std::move(entry);
@@ -57,7 +57,7 @@ std::vector<Event> EventJournal::Snapshot() const {
   std::vector<Event> events;
   events.reserve(slots_.size());
   for (const auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    MutexLock lock(slot->mu);
     if (slot->full) {
       events.push_back(slot->event);
     }
@@ -81,6 +81,10 @@ std::string PostMortemJson(const std::string& reason, const EventJournal* journa
   w.Key("dumped_at_seconds");
   w.Double(journal != nullptr ? journal->NowSeconds()
                               : (tracer != nullptr ? tracer->NowSeconds() : 0.0));
+  // Lock-order edges observed so far (empty graph when the deadlock detector
+  // is off). A post-mortem after an abort shows which hierarchy was violated.
+  w.Key("lock_order_dot");
+  w.String(LockOrderGraph::Global().DumpDot());
 
   w.Key("events");
   w.BeginArray();

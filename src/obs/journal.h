@@ -27,12 +27,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/span.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace obs {
@@ -84,9 +84,9 @@ class EventJournal {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    bool full = false;
-    Event event;
+    mutable Mutex mu{"obs.journal.slot.mu"};
+    bool full T10_GUARDED_BY(mu) = false;
+    Event event T10_GUARDED_BY(mu);
   };
 
   const std::chrono::steady_clock::time_point epoch_;
@@ -107,7 +107,7 @@ inline void Log(EventJournal* journal, Severity severity, const char* subsystem,
 // Writes a post-mortem JSON file: the dump reason, the journal's last events
 // (all of the ring) and every span still open in the tracer at dump time.
 // Either source may be null (emitted as an empty list). Schema:
-//   {"reason": ..., "dumped_at_seconds": ...,
+//   {"reason": ..., "dumped_at_seconds": ..., "lock_order_dot": "digraph...",
 //    "events": [{seq, time_seconds, severity, subsystem, event, request_id,
 //                plan_epoch, detail}, ...],
 //    "open_spans": [{span_id, parent_id, trace_id, name, track,

@@ -35,7 +35,7 @@ void Histogram::Record(double value) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -61,32 +61,32 @@ void Histogram::Record(double value) {
 }
 
 std::int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
 double Histogram::ApproxQuantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) {
     return 0.0;
   }
@@ -124,7 +124,7 @@ double Histogram::ApproxQuantile(double q) const {
 double Histogram::Quantile(double q) const {
   std::vector<double> samples;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (reservoir_.empty()) {
       return 0.0;
     }
@@ -141,7 +141,7 @@ double Histogram::Quantile(double q) const {
 std::int64_t Histogram::cumulative_count(int bucket) const {
   T10_CHECK_GE(bucket, 0);
   T10_CHECK_LT(bucket, kNumBuckets);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::int64_t total = 0;
   for (int i = 0; i <= bucket; ++i) {
     total += buckets_[i];
@@ -150,7 +150,7 @@ std::int64_t Histogram::cumulative_count(int bucket) const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
@@ -166,7 +166,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   auto [it, inserted] = kinds_.emplace(name, Kind::kCounter);
   T10_CHECK(it->second == Kind::kCounter) << name << " already registered as a different kind";
   if (inserted) {
@@ -176,7 +176,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   auto [it, inserted] = kinds_.emplace(name, Kind::kGauge);
   T10_CHECK(it->second == Kind::kGauge) << name << " already registered as a different kind";
   if (inserted) {
@@ -186,7 +186,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   auto [it, inserted] = kinds_.emplace(name, Kind::kHistogram);
   T10_CHECK(it->second == Kind::kHistogram) << name << " already registered as a different kind";
   if (inserted) {
@@ -196,7 +196,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
 
@@ -268,7 +268,7 @@ void MetricsRegistry::WriteFile(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
@@ -281,7 +281,7 @@ void MetricsRegistry::Reset() {
 }
 
 int MetricsRegistry::num_instruments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   return static_cast<int>(kinds_.size());
 }
 

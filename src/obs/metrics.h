@@ -30,9 +30,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace obs {
@@ -101,14 +102,14 @@ class Histogram {
   static constexpr int kReservoirCapacity = 4096;
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::array<std::int64_t, kNumBuckets> buckets_ = {};  // Non-cumulative.
-  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;     // LCG for reservoir.
-  std::vector<double> reservoir_;
+  mutable Mutex mu_{"obs.metrics.histogram.mu"};
+  std::int64_t count_ T10_GUARDED_BY(mu_) = 0;
+  double sum_ T10_GUARDED_BY(mu_) = 0.0;
+  double min_ T10_GUARDED_BY(mu_) = 0.0;
+  double max_ T10_GUARDED_BY(mu_) = 0.0;
+  std::array<std::int64_t, kNumBuckets> buckets_ T10_GUARDED_BY(mu_) = {};  // Non-cumulative.
+  std::uint64_t rng_state_ T10_GUARDED_BY(mu_) = 0x9e3779b97f4a7c15ull;  // LCG for reservoir.
+  std::vector<double> reservoir_ T10_GUARDED_BY(mu_);
 };
 
 class MetricsRegistry {
@@ -144,11 +145,15 @@ class MetricsRegistry {
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Reader/writer: registration (find-or-create) takes the write side, the
+  // read-mostly paths — snapshots, Reset (which mutates instruments, not the
+  // maps), instrument counting — share the read side, so a serving snapshot
+  // never serializes against another snapshot.
+  mutable SharedMutex mu_{"obs.metrics.registry.mu"};
+  std::map<std::string, Kind> kinds_ T10_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_ T10_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ T10_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ T10_GUARDED_BY(mu_);
 };
 
 // RAII timer recording elapsed wall seconds into a histogram on

@@ -1,0 +1,48 @@
+// Central registry of observability names (DESIGN.md "Concurrency model" /
+// README "t10-lint").
+//
+// Every metric the codebase records and every journal event it logs is
+// declared here, in one table, and t10-lint (tools/t10_lint.cc) fails the
+// build when a name literal at a call site is missing from it or violates
+// the `subsystem.noun.verb` dotted grammar. The point is the same as the
+// static verifier's: drift is cheap to prevent and expensive to debug — a
+// dashboard quietly reading "serve.sched.count" while the code now writes
+// "serve.shed.count" is exactly the class of bug a table plus a linter
+// removes.
+//
+// Names are lowercase dotted segments ([a-z0-9_]+), two or more of them,
+// leading with the owning subsystem. A '*' segment in a registered pattern
+// matches exactly one literal segment, which covers the per-pass metrics
+// ("compiler.pass.<pass-name>.runs") whose middle segment is dynamic.
+
+#ifndef T10_SRC_OBS_NAMES_H_
+#define T10_SRC_OBS_NAMES_H_
+
+#include <string>
+#include <vector>
+
+namespace t10 {
+namespace obs {
+
+// True when `name` is lowercase dotted segments of [a-z0-9_]+, at least two
+// segments, no empty segment (no leading/trailing/double dots).
+bool MatchesNameGrammar(const std::string& name);
+
+// True when `name` matches a registered metric pattern ('*' matches one
+// segment).
+bool IsRegisteredMetricName(const std::string& name);
+
+// True when `name` matches a registered journal event.
+bool IsRegisteredJournalEvent(const std::string& name);
+
+// True when `subsystem` is a journal subsystem tag ("serve", "health", ...).
+bool IsRegisteredJournalSubsystem(const std::string& subsystem);
+
+// The registered patterns, sorted (docs and tests).
+const std::vector<std::string>& RegisteredMetricNames();
+const std::vector<std::string>& RegisteredJournalEvents();
+
+}  // namespace obs
+}  // namespace t10
+
+#endif  // T10_SRC_OBS_NAMES_H_

@@ -9,7 +9,7 @@ namespace t10 {
 namespace obs {
 
 void PlanTimings::Record(const std::string& signature, int plan_epoch, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cell& cell = cells_[Key(signature, plan_epoch)];
   if (cell.count == 0) {
     cell.min_seconds = seconds;
@@ -23,12 +23,12 @@ void PlanTimings::Record(const std::string& signature, int plan_epoch, double se
 }
 
 std::int64_t PlanTimings::num_cells() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::int64_t>(cells_.size());
 }
 
 std::int64_t PlanTimings::total_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::int64_t total = 0;
   for (const auto& [key, cell] : cells_) {
     total += cell.count;
@@ -39,7 +39,7 @@ std::int64_t PlanTimings::total_count() const {
 std::string PlanTimings::ToJson() const {
   std::map<Key, Cell> cells;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cells = cells_;
   }
   JsonWriter w;

@@ -14,11 +14,11 @@
 #define T10_SRC_OBS_PLAN_TIMINGS_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace obs {
@@ -49,8 +49,8 @@ class PlanTimings {
  private:
   using Key = std::pair<std::string, int>;
 
-  mutable std::mutex mu_;
-  std::map<Key, Cell> cells_;
+  mutable Mutex mu_{"obs.plan_timings.mu"};
+  std::map<Key, Cell> cells_ T10_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

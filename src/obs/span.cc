@@ -91,7 +91,7 @@ Span Tracer::Begin(const TraceContext& ctx, const char* name) {
   open.record.track = ctx.track;
   open.record.start_seconds = SecondsSinceEpoch(now);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     open_.emplace(span.span_id_, std::move(open));
   }
   return span;
@@ -115,7 +115,7 @@ std::uint64_t Tracer::AddCompleted(const TraceContext& ctx, const char* name,
   record.flow_out = flow_out;
   record.flow_in = flow_in;
   const std::uint64_t id = record.span_id;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   finished_.push_back(std::move(record));
   return id;
 }
@@ -125,7 +125,7 @@ void Tracer::CounterSample(const std::string& track, double value) {
   sample.track = track;
   sample.time_seconds = NowSeconds();
   sample.value = value;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.push_back(std::move(sample));
 }
 
@@ -140,7 +140,7 @@ double Tracer::NowSeconds() const {
 std::vector<SpanRecord> Tracer::FinishedSpans() const {
   std::vector<SpanRecord> spans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spans = finished_;
   }
   std::sort(spans.begin(), spans.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -155,7 +155,7 @@ std::vector<SpanRecord> Tracer::FinishedSpans() const {
 std::vector<SpanRecord> Tracer::OpenSpans() const {
   const auto now = std::chrono::steady_clock::now();
   std::vector<SpanRecord> spans;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans.reserve(open_.size());
   for (const auto& [id, open] : open_) {
     SpanRecord record = open.record;
@@ -167,23 +167,23 @@ std::vector<SpanRecord> Tracer::OpenSpans() const {
 }
 
 std::vector<CounterSample> Tracer::CounterSamples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 std::int64_t Tracer::num_finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::int64_t>(finished_.size());
 }
 
 std::int64_t Tracer::num_open() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::int64_t>(open_.size());
 }
 
 void Tracer::EndSpan(std::uint64_t span_id) {
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(span_id);
   T10_CHECK(it != open_.end()) << "span " << span_id << " ended twice";
   SpanRecord record = std::move(it->second.record);
@@ -194,14 +194,14 @@ void Tracer::EndSpan(std::uint64_t span_id) {
 }
 
 void Tracer::Attr(std::uint64_t span_id, const char* key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(span_id);
   T10_CHECK(it != open_.end()) << "attribute on ended span " << span_id;
   it->second.record.attrs.push_back(SpanAttr{key, std::move(value)});
 }
 
 void Tracer::Flow(std::uint64_t span_id, std::uint64_t flow_id, bool out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(span_id);
   T10_CHECK(it != open_.end()) << "flow on ended span " << span_id;
   (out ? it->second.record.flow_out : it->second.record.flow_in) = flow_id;

@@ -25,10 +25,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace obs {
@@ -181,10 +182,10 @@ class Tracer {
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_span_id_{1};
 
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, OpenSpan> open_;
-  std::vector<SpanRecord> finished_;
-  std::vector<obs::CounterSample> counters_;
+  mutable Mutex mu_{"obs.tracer.mu"};
+  std::map<std::uint64_t, OpenSpan> open_ T10_GUARDED_BY(mu_);
+  std::vector<SpanRecord> finished_ T10_GUARDED_BY(mu_);
+  std::vector<obs::CounterSample> counters_ T10_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +37,7 @@
 #include "src/serve/request.h"
 #include "src/sim/machine.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace serve {
@@ -116,9 +116,10 @@ class PlanSet {
   // Reference execution: a perfect machine (no injector) on the physical
   // chip, serialized by `reference_mu_`. std::map nodes are stable, so cached
   // References can be handed out by pointer.
-  std::mutex reference_mu_;
-  Machine reference_machine_;
-  std::map<std::pair<int, std::uint64_t>, Reference> reference_cache_;
+  Mutex reference_mu_{"serve.planset.reference_mu"};
+  Machine reference_machine_ T10_GUARDED_BY(reference_mu_);
+  std::map<std::pair<int, std::uint64_t>, Reference> reference_cache_
+      T10_GUARDED_BY(reference_mu_);
 };
 
 // Terminal outcome of executing one request (including its retry budget).

@@ -17,14 +17,13 @@
 #ifndef T10_SRC_SERVE_HEALTH_MONITOR_H_
 #define T10_SRC_SERVE_HEALTH_MONITOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "src/hardware/chip_spec.h"
 #include "src/obs/journal.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace serve {
@@ -74,12 +73,12 @@ class HealthMonitor {
   const DegradedFn on_degraded_;
   obs::EventJournal* journal_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  TopologyHealth applied_;
-  bool stop_ = false;
-  bool suspicion_ = false;
-  std::int64_t probes_ = 0;
+  mutable Mutex mu_{"serve.health_monitor.mu"};
+  CondVar cv_;
+  TopologyHealth applied_ T10_GUARDED_BY(mu_);
+  bool stop_ T10_GUARDED_BY(mu_) = false;
+  bool suspicion_ T10_GUARDED_BY(mu_) = false;
+  std::int64_t probes_ T10_GUARDED_BY(mu_) = 0;
   std::thread thread_;
 };
 

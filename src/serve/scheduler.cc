@@ -34,6 +34,7 @@ obs::Counter& ShedCounter() {
 }  // namespace
 
 Scheduler::Scheduler(int capacity) : capacity_(capacity) {
+  // NOLINTNEXTLINE(lint.serve.check): constructor precondition, before any request exists.
   T10_CHECK_GE(capacity, 1) << "scheduler capacity";
 }
 
@@ -47,7 +48,7 @@ StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
     return InvalidArgumentError("max_retries must be >= 0");
   }
   const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     return FailedPreconditionError("scheduler is closed");
   }
@@ -81,12 +82,12 @@ StatusOr<std::int64_t> Scheduler::Submit(const Request& request) {
   AdmittedCounter().Increment();
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   QueueDepthPeak().SetMax(static_cast<double>(queue_.size()));
-  cv_.notify_one();
+  cv_.NotifyOne();
   return id;
 }
 
 Status Scheduler::Requeue(AdmittedRequest admitted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     return FailedPreconditionError("scheduler is closed");
   }
@@ -96,13 +97,15 @@ Status Scheduler::Requeue(AdmittedRequest admitted) {
   queue_.insert(std::move(admitted));
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   QueueDepthPeak().SetMax(static_cast<double>(queue_.size()));
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::Ok();
 }
 
 std::optional<AdmittedRequest> Scheduler::PopBlocking() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) {
+    cv_.Wait(mu_);
+  }
   if (queue_.empty()) {
     return std::nullopt;  // Closed and drained.
   }
@@ -110,24 +113,24 @@ std::optional<AdmittedRequest> Scheduler::PopBlocking() {
   queue_.erase(queue_.begin());
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   if (closed_ && queue_.empty()) {
-    cv_.notify_all();  // Release the remaining drain waiters.
+    cv_.NotifyAll();  // Release the remaining drain waiters.
   }
   return admitted;
 }
 
 void Scheduler::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int Scheduler::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(queue_.size());
 }
 
 bool Scheduler::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 

@@ -18,9 +18,7 @@
 #ifndef T10_SRC_SERVE_SCHEDULER_H_
 #define T10_SRC_SERVE_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -29,6 +27,7 @@
 #include "src/obs/span.h"
 #include "src/serve/request.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace serve {
@@ -89,11 +88,11 @@ class Scheduler {
   const int capacity_;
   obs::Tracer* tracer_ = nullptr;
   obs::EventJournal* journal_ = nullptr;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::multiset<AdmittedRequest, ByDeadline> queue_;
-  std::int64_t next_id_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_{"serve.scheduler.mu"};
+  CondVar cv_;
+  std::multiset<AdmittedRequest, ByDeadline> queue_ T10_GUARDED_BY(mu_);
+  std::int64_t next_id_ T10_GUARDED_BY(mu_) = 0;
+  bool closed_ T10_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace serve

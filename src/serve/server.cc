@@ -124,7 +124,7 @@ Server::~Server() { Shutdown(); }
 
 Status Server::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ != ServerState::kIdle) {
       return FailedPreconditionError("server already started (state " +
                                      std::string(ServerStateName(state_)) + ")");
@@ -147,7 +147,7 @@ Status Server::Start() {
   obs::Log(options_.journal, obs::Severity::kInfo, "serve", "server.start",
            /*request_id=*/-1, /*plan_epoch=*/0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     plans_ = std::move(plans);
     state_ = ServerState::kServing;
     stats_.plan_epoch = 0;
@@ -164,7 +164,7 @@ Status Server::Start() {
 
 StatusOr<std::int64_t> Server::Submit(const Request& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     switch (state_) {
       case ServerState::kIdle:
         return FailedPreconditionError("server not started");
@@ -191,11 +191,11 @@ StatusOr<std::int64_t> Server::Submit(const Request& request) {
   }
   StatusOr<std::int64_t> id = scheduler_.Submit(request);
   if (!id.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --outstanding_;
     --stats_.submitted;
     if (outstanding_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
   return id;
@@ -212,13 +212,14 @@ void Server::KillLink(int src_core, int dst_core) {
 }
 
 void Server::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock,
-                [this] { return outstanding_ == 0 && state_ != ServerState::kReplanning; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0 || state_ == ServerState::kReplanning) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 std::vector<Response> Server::TakeResponses() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Response> taken = std::move(responses_);
   responses_.clear();
   return taken;
@@ -226,11 +227,13 @@ std::vector<Response> Server::TakeResponses() {
 
 Status Server::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ == ServerState::kStopped) {
       return failed_status_;
     }
-    state_cv_.wait(lock, [this] { return state_ != ServerState::kReplanning; });
+    while (state_ == ServerState::kReplanning) {
+      state_cv_.Wait(mu_);
+    }
     if (state_ == ServerState::kIdle) {
       state_ = ServerState::kStopped;
       return Status::Ok();
@@ -238,7 +241,7 @@ Status Server::Shutdown() {
     if (state_ == ServerState::kServing) {
       state_ = ServerState::kDraining;  // kFailed keeps draining as kFailed.
     }
-    state_cv_.notify_all();
+    state_cv_.NotifyAll();
   }
   scheduler_.Close();
   for (std::thread& worker : workers_) {
@@ -248,39 +251,40 @@ Status Server::Shutdown() {
   monitor_.Stop();
   Status result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     result = state_ == ServerState::kFailed ? failed_status_ : Status::Ok();
     failed_status_ = result;
     state_ = ServerState::kStopped;
-    state_cv_.notify_all();
-    idle_cv_.notify_all();
+    state_cv_.NotifyAll();
+    idle_cv_.NotifyAll();
   }
   return result;
 }
 
 ServerState Server::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 int Server::num_op_slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_ == nullptr ? 0 : plans_->num_op_slots();
 }
 
 std::string Server::op_slot_name(int slot) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  // NOLINTNEXTLINE(lint.serve.check): caller contract requires Start() before slot queries.
   T10_CHECK(plans_ != nullptr);
   return plans_->slot(slot).op_name;
 }
 
 int Server::plan_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_ == nullptr ? -1 : plans_->epoch();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -296,8 +300,10 @@ void Server::WorkerLoop(int worker) {
       // Pause while the circuit is open: the replan drain below waits for
       // in_flight_ == 0, and requests popped meanwhile execute on the *new*
       // epoch once the swap completes.
-      std::unique_lock<std::mutex> lock(mu_);
-      state_cv_.wait(lock, [this] { return state_ != ServerState::kReplanning; });
+      MutexLock lock(mu_);
+      while (state_ == ServerState::kReplanning) {
+        state_cv_.Wait(mu_);
+      }
       if (state_ == ServerState::kFailed) {
         failed = failed_status_;
       } else {
@@ -318,10 +324,10 @@ void Server::WorkerLoop(int worker) {
     }
     Process(worker, *std::move(popped), plans);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) {
-        drain_cv_.notify_all();
+        drain_cv_.NotifyAll();
       }
     }
   }
@@ -417,7 +423,7 @@ void Server::Process(int worker, AdmittedRequest admitted,
       Status requeued = scheduler_.Requeue(std::move(admitted));
       if (requeued.ok()) {
         RequeueCounter().Increment();
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.requeued;
         return;  // Response deferred to the re-execution.
       }
@@ -493,7 +499,7 @@ void Server::Deliver(Response response) {
     // holds the events leading up to it, the dump preserves them.
     DumpFlightRecorder("non_ok_response: " + response.status.ToString());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.responses;
   if (response.status.ok()) {
     ++stats_.ok;
@@ -505,7 +511,7 @@ void Server::Deliver(Response response) {
   responses_.push_back(std::move(response));
   --outstanding_;
   if (outstanding_ == 0) {
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -520,13 +526,13 @@ void Server::OnDegraded(const TopologyHealth& merged) {
   }
   obs::Span failover_span = obs::StartSpan(failover_ctx, "failover");
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ != ServerState::kServing && state_ != ServerState::kDraining) {
       return;  // Already failed or stopped; nothing to fail over.
     }
     resume = state_;
     state_ = ServerState::kReplanning;
-    state_cv_.notify_all();
+    state_cv_.NotifyAll();
     obs::Log(options_.journal, obs::Severity::kWarn, "serve", "failover.detected",
              /*request_id=*/-1, plans_->epoch(),
              std::to_string(merged.failed_cores.size()) + " failed core(s), " +
@@ -534,7 +540,9 @@ void Server::OnDegraded(const TopologyHealth& merged) {
     // Drain: requests already inside Process() finish (or re-queue) on the
     // old epoch before the swap.
     obs::Span drain_span = obs::StartSpan(failover_span.context(), "failover.drain");
-    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    while (in_flight_ != 0) {
+      drain_cv_.Wait(mu_);
+    }
     drain_span.End();
     next_epoch = plans_->epoch() + 1;
     obs::Log(options_.journal, obs::Severity::kInfo, "serve", "failover.drain",
@@ -550,7 +558,7 @@ void Server::OnDegraded(const TopologyHealth& merged) {
 
   bool swapped = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (built.ok()) {
       plans_ = *std::move(built);
       state_ = resume;
@@ -571,8 +579,8 @@ void Server::OnDegraded(const TopologyHealth& merged) {
       obs::Log(options_.journal, obs::Severity::kError, "serve", "failover.park_failed",
                /*request_id=*/-1, next_epoch, failed_status_.ToString());
     }
-    state_cv_.notify_all();
-    idle_cv_.notify_all();
+    state_cv_.NotifyAll();
+    idle_cv_.NotifyAll();
   }
   failover_span.End();
   DumpFlightRecorder(swapped ? "failover: hot-swapped epoch " + std::to_string(next_epoch)

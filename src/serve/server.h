@@ -45,10 +45,8 @@
 #ifndef T10_SRC_SERVE_SERVER_H_
 #define T10_SRC_SERVE_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +63,7 @@
 #include "src/serve/request.h"
 #include "src/serve/scheduler.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace t10 {
 namespace serve {
@@ -192,17 +191,17 @@ class Server {
   ExecutorPool pool_;
   HealthMonitor monitor_;
 
-  mutable std::mutex mu_;
-  std::condition_variable state_cv_;  // State changes; workers pause on it.
-  std::condition_variable drain_cv_;  // in_flight_ -> 0 (replan drain).
-  std::condition_variable idle_cv_;   // outstanding_ -> 0 (WaitIdle).
-  ServerState state_ = ServerState::kIdle;
-  Status failed_status_;              // Set when state_ == kFailed.
-  std::shared_ptr<PlanSet> plans_;    // Current epoch; swapped on failover.
-  std::vector<Response> responses_;
-  std::int64_t outstanding_ = 0;      // Accepted, response not yet delivered.
-  int in_flight_ = 0;                 // Currently inside Process().
-  ServerStats stats_;
+  mutable Mutex mu_{"serve.server.mu"};
+  CondVar state_cv_;  // State changes; workers pause on it.
+  CondVar drain_cv_;  // in_flight_ -> 0 (replan drain).
+  CondVar idle_cv_;   // outstanding_ -> 0 (WaitIdle).
+  ServerState state_ T10_GUARDED_BY(mu_) = ServerState::kIdle;
+  Status failed_status_ T10_GUARDED_BY(mu_);  // Set when state_ == kFailed.
+  std::shared_ptr<PlanSet> plans_ T10_GUARDED_BY(mu_);  // Current epoch.
+  std::vector<Response> responses_ T10_GUARDED_BY(mu_);
+  std::int64_t outstanding_ T10_GUARDED_BY(mu_) = 0;  // No response yet.
+  int in_flight_ T10_GUARDED_BY(mu_) = 0;  // Currently inside Process().
+  ServerStats stats_ T10_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

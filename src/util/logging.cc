@@ -9,7 +9,7 @@ namespace {
 std::atomic<int> g_min_severity{-1};
 
 int InitialSeverityFromEnv() {
-  const char* env = std::getenv("T10_LOG_LEVEL");
+  const char* env = std::getenv("T10_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe): read once at first log call.
   if (env == nullptr) {
     return static_cast<int>(LogSeverity::kWarning);
   }

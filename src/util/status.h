@@ -92,10 +92,10 @@ inline Status CancelledError(std::string message) {
 template <typename T>
 class StatusOr {
  public:
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor): implicit Status -> StatusOr is the error-return idiom.
     T10_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
   }
-  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor): implicit T -> StatusOr mirrors absl::StatusOr.
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }

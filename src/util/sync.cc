@@ -1,0 +1,256 @@
+#include "src/util/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace t10 {
+
+namespace {
+
+// Locks currently held by this thread, in acquisition order (site names are
+// string literals with static lifetime). This is the "acquisition stack"
+// the cycle abort prints.
+thread_local std::vector<const char*> tl_held;
+
+std::string HeldStackString(const char* acquiring) {
+  std::ostringstream out;
+  out << "held [";
+  for (std::size_t i = 0; i < tl_held.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << tl_held[i];
+  }
+  out << "] acquiring '" << acquiring << "'";
+  return out.str();
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag([] {
+#if defined(T10_DEADLOCK_DETECT_DEFAULT_ON)
+    return true;
+#else
+    // Read once at process startup; flipping the variable later has no
+    // effect, so the getenv is single-threaded in practice.
+    const char* env = std::getenv("T10_DEADLOCK_DETECT");  // NOLINT(concurrency-mt-unsafe): read once, before threads exist
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+#endif
+  }());
+  return flag;
+}
+
+}  // namespace
+
+struct LockOrderGraph::Impl {
+  // Raw std::mutex by necessity: the registry cannot meter itself. The only
+  // sanctioned raw primitive outside the wrapper classes in this file.
+  mutable std::mutex mu;
+  // edges[u] holds every site v acquired while u was held.
+  std::map<std::string, std::set<std::string>> edges;
+  // The acquisition stack that first recorded each edge, for the abort
+  // message when a later acquisition inverts it.
+  std::map<std::pair<std::string, std::string>, std::string> edge_context;
+
+  // True when `to` is reachable from `from` over recorded edges. Caller
+  // holds `mu`.
+  bool Reaches(const std::string& from, const std::string& to) const {
+    std::vector<const std::string*> frontier{&from};
+    std::set<std::string> visited;
+    while (!frontier.empty()) {
+      const std::string* node = frontier.back();
+      frontier.pop_back();
+      if (*node == to) {
+        return true;
+      }
+      if (!visited.insert(*node).second) {
+        continue;
+      }
+      auto it = edges.find(*node);
+      if (it == edges.end()) {
+        continue;
+      }
+      for (const std::string& next : it->second) {
+        frontier.push_back(&next);
+      }
+    }
+    return false;
+  }
+
+  std::string DumpDotLocked() const {
+    std::ostringstream out;
+    out << "digraph lock_order {\n";
+    for (const auto& [from, targets] : edges) {
+      for (const std::string& to : targets) {
+        out << "  \"" << from << "\" -> \"" << to << "\";\n";
+      }
+    }
+    out << "}\n";
+    return out.str();
+  }
+};
+
+LockOrderGraph& LockOrderGraph::Global() {
+  static LockOrderGraph* graph = new LockOrderGraph();  // Never destroyed.
+  return *graph;
+}
+
+LockOrderGraph::Impl& LockOrderGraph::impl() const {
+  static Impl* impl = new Impl();  // Never destroyed.
+  return *impl;
+}
+
+bool LockOrderGraph::Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void LockOrderGraph::SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string LockOrderGraph::DumpDot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.DumpDotLocked();
+}
+
+int LockOrderGraph::num_edges() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  int count = 0;
+  for (const auto& [from, targets] : state.edges) {
+    (void)from;
+    count += static_cast<int>(targets.size());
+  }
+  return count;
+}
+
+void LockOrderGraph::TestOnlyReset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.edges.clear();
+  state.edge_context.clear();
+  tl_held.clear();
+}
+
+namespace sync_internal {
+
+bool DeadlockDetectEnabled() { return LockOrderGraph::Enabled(); }
+
+namespace {
+
+[[noreturn]] void AbortOnCycle(const char* acquiring, const std::string& conflicting_context,
+                               const std::string& dot) {
+  // The message carries both acquisition stacks: the one attempting the
+  // inversion (this thread, now) and the one that recorded the original
+  // order. sync_test's death tests match on these.
+  std::string message = "t10-sync: lock-order cycle detected\n  this thread:      " +
+                        HeldStackString(acquiring) +
+                        "\n  conflicting order: " + conflicting_context +
+                        "\n  lock-order graph:\n" + dot;
+  std::fputs(message.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void BeforeAcquire(const char* site) {
+  if (tl_held.empty()) {
+    return;  // First lock on this thread: no ordering event.
+  }
+  LockOrderGraph::Impl& state = LockOrderGraph::Global().impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const std::string to(site);
+  for (const char* held : tl_held) {
+    const std::string from(held);
+    if (from == to) {
+      // Two locks of the same site nested (either a recursive lock of one
+      // instance — a guaranteed deadlock on std::mutex — or nesting two
+      // instances of the same declaration, whose relative order nothing
+      // constrains). Both are order bugs.
+      AbortOnCycle(site, "held ['" + from + "'] acquiring '" + to + "' (same-site nesting)",
+                   state.DumpDotLocked());
+    }
+    if (state.edges[from].count(to) != 0) {
+      continue;  // Edge already known (and was acyclic when recorded).
+    }
+    if (state.Reaches(to, from)) {
+      // Adding from -> to would close a cycle: `to` already reaches `from`
+      // through previously recorded orderings. Report the first recorded
+      // edge out of `to` on some path toward `from` as the conflict witness
+      // (for the common two-lock inversion this is exactly the to -> from
+      // edge).
+      std::string context = "(unrecorded)";
+      auto out_edges = state.edges.find(to);
+      if (out_edges != state.edges.end()) {
+        for (const std::string& next : out_edges->second) {
+          if (next == from || state.Reaches(next, from)) {
+            auto recorded = state.edge_context.find({to, next});
+            if (recorded != state.edge_context.end()) {
+              context = recorded->second;
+            }
+            break;
+          }
+        }
+      }
+      AbortOnCycle(site, context, state.DumpDotLocked());
+    }
+    state.edges[from].insert(to);
+    state.edge_context.emplace(std::make_pair(from, to), HeldStackString(site));
+  }
+}
+
+void AfterAcquire(const char* site) { tl_held.push_back(site); }
+
+void OnRelease(const char* site) {
+  // Locks are usually released LIFO, but out-of-order release is legal:
+  // erase the most recent matching entry.
+  for (auto it = tl_held.rbegin(); it != tl_held.rend(); ++it) {
+    if (*it == site || std::string(*it) == site) {
+      tl_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace sync_internal
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+void CondVar::Wait(Mutex& mu) {
+  const bool track = sync_internal::DeadlockDetectEnabled();
+  if (track) {
+    sync_internal::OnRelease(mu.site());
+  }
+  std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+  raw_.wait(lock);
+  lock.release();  // Ownership returns to the caller-visible Mutex.
+  if (track) {
+    sync_internal::BeforeAcquire(mu.site());
+    sync_internal::AfterAcquire(mu.site());
+  }
+}
+
+std::cv_status CondVar::WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) {
+  return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+}
+
+std::cv_status CondVar::WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline) {
+  const bool track = sync_internal::DeadlockDetectEnabled();
+  if (track) {
+    sync_internal::OnRelease(mu.site());
+  }
+  std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+  const std::cv_status status = raw_.wait_until(lock, deadline);
+  lock.release();
+  if (track) {
+    sync_internal::BeforeAcquire(mu.site());
+    sync_internal::AfterAcquire(mu.site());
+  }
+  return status;
+}
+
+}  // namespace t10

@@ -1,0 +1,342 @@
+// Annotated synchronization primitives + the compile-time concurrency story
+// (DESIGN.md "Concurrency model").
+//
+// Every mutex and condition variable in the codebase goes through the
+// t10::Mutex / t10::MutexLock / t10::CondVar / t10::SharedMutex wrappers in
+// this header — t10-lint rule lint.sync.raw-primitive rejects raw std::mutex
+// and friends anywhere else under src/. The wrappers buy two static
+// guarantees the raw primitives cannot:
+//
+//  1. Clang thread-safety analysis. The T10_GUARDED_BY / T10_REQUIRES /
+//     T10_ACQUIRE / T10_RELEASE / T10_EXCLUDES annotations below expand to
+//     Clang's capability attributes, so a Clang build with -Wthread-safety
+//     (-Werror=thread-safety in the CI thread-safety job) proves lock
+//     discipline — every guarded field access, every lock-requiring method —
+//     at compile time, the same shift from dynamic spot-checks to static
+//     whole-program guarantees that src/verify made for plans. On non-Clang
+//     compilers the macros expand to nothing and the wrappers are exactly a
+//     std::mutex in cost and behavior.
+//
+//  2. A lock-order registry (the deadlock detector). Each Mutex carries a
+//     site name ("serve.server.mu"); when detection is enabled, every
+//     acquisition records held-site -> acquired-site edges in a global order
+//     graph, and an edge that closes a cycle aborts immediately with both
+//     conflicting acquisition stacks — a deterministic answer in unit tests
+//     where TSan only reports if the scheduler happens to interleave the
+//     inversion into a real deadlock. LockOrderGraph::DumpDot() renders the
+//     graph for the flight recorder (obs::PostMortemJson embeds it) and the
+//     DESIGN.md lock-hierarchy diagram.
+//
+// Detection is off by default (one relaxed atomic load per acquisition);
+// enable it with the T10_DEADLOCK_DETECT=1 environment variable, the CMake
+// option -DT10_DEADLOCK_DETECT=ON (default-on compile), or
+// LockOrderGraph::SetEnabled(true) in tests.
+
+#ifndef T10_SRC_UTIL_SYNC_H_
+#define T10_SRC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety-analysis capability annotations. No-ops elsewhere.
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define T10_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define T10_TSA_ATTRIBUTE(x)  // Expands to nothing on GCC/MSVC.
+#endif
+
+// On classes: this type is a lockable capability named `x` in diagnostics.
+#define T10_CAPABILITY(x) T10_TSA_ATTRIBUTE(capability(x))
+// On classes: RAII object that acquires in its constructor, releases in its
+// destructor (MutexLock below).
+#define T10_SCOPED_CAPABILITY T10_TSA_ATTRIBUTE(scoped_lockable)
+// On fields: reads/writes require holding `x` (exclusively for writes).
+#define T10_GUARDED_BY(x) T10_TSA_ATTRIBUTE(guarded_by(x))
+// On pointer fields: the pointee (not the pointer) is guarded by `x`.
+#define T10_PT_GUARDED_BY(x) T10_TSA_ATTRIBUTE(pt_guarded_by(x))
+// On functions: caller must already hold the listed capabilities.
+#define T10_REQUIRES(...) T10_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define T10_REQUIRES_SHARED(...) T10_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+// On functions: acquires / releases the listed capabilities.
+#define T10_ACQUIRE(...) T10_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define T10_ACQUIRE_SHARED(...) T10_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define T10_RELEASE(...) T10_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define T10_RELEASE_SHARED(...) T10_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define T10_TRY_ACQUIRE(...) T10_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+// On functions: caller must NOT hold the listed capabilities (deadlock
+// documentation; T10_LOCKS_EXCLUDED is the historical Clang spelling).
+#define T10_EXCLUDES(...) T10_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define T10_LOCKS_EXCLUDED(...) T10_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+// On mutex-returning accessors: the returned reference IS capability `x`.
+#define T10_RETURN_CAPABILITY(x) T10_TSA_ATTRIBUTE(lock_returned(x))
+// Documents intended acquisition order to the static analysis as well.
+#define T10_ACQUIRED_BEFORE(...) T10_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define T10_ACQUIRED_AFTER(...) T10_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+// Escape hatch; every use needs a justifying comment (t10-lint checks that
+// NOLINT-style suppressions carry reasons, and this macro is grep-audited).
+#define T10_NO_THREAD_SAFETY_ANALYSIS T10_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace t10 {
+
+class CondVar;
+
+namespace sync_internal {
+
+// Registry hooks, called by Mutex/SharedMutex/CondVar when detection is on.
+// `site` is the mutex's site name (a string literal; never null here).
+void BeforeAcquire(const char* site);   // Records edges, checks for cycles.
+void AfterAcquire(const char* site);    // Pushes onto the thread's held stack.
+void OnRelease(const char* site);       // Pops the thread's held stack.
+bool DeadlockDetectEnabled();
+
+}  // namespace sync_internal
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+// std::mutex with a capability annotation and a lock-order-registry site
+// name. Construct with a stable dotted site name ("serve.server.mu") — the
+// name is the node identity in the lock-order graph, so all instances of one
+// declaration share a node and the graph encodes the *program's* lock
+// hierarchy, not one process run's addresses.
+class T10_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* site) : site_(site) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() T10_ACQUIRE() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::BeforeAcquire(site());
+      raw_.lock();
+      sync_internal::AfterAcquire(site());
+      return;
+    }
+    raw_.lock();
+  }
+
+  void Unlock() T10_RELEASE() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::OnRelease(site());
+    }
+    raw_.unlock();
+  }
+
+  bool TryLock() T10_TRY_ACQUIRE(true) {
+    // TryLock cannot deadlock, so it records held state without the
+    // cycle check (a failed try is not an ordering event at all).
+    if (!raw_.try_lock()) {
+      return false;
+    }
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::AfterAcquire(site());
+    }
+    return true;
+  }
+
+  const char* site() const { return site_ == nullptr ? "anon" : site_; }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+  const char* site_ = nullptr;
+};
+
+// RAII scoped lock over Mutex — the only idiomatic way to hold one.
+class T10_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) T10_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() T10_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+// Condition variable bound to t10::Mutex. Waits take the Mutex itself (the
+// caller holds it, per T10_REQUIRES), not a std::unique_lock — so the static
+// analysis sees one capability throughout, and the lock-order registry's
+// held-stack stays accurate across the internal release/reacquire.
+//
+// There are deliberately no predicate overloads: write the wait loop out
+//
+//   while (!ready_) cv_.Wait(mu_);
+//
+// inside the locked scope. An explicit loop keeps the guarded-field reads in
+// a context the thread-safety analysis can check (a predicate lambda would
+// be analyzed as an unlocked function) and makes spurious-wakeup handling
+// visible at the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu` and blocks; reacquires before returning.
+  // Subject to spurious wakeups, as std::condition_variable is.
+  void Wait(Mutex& mu) T10_REQUIRES(mu);
+
+  // Timed waits. Return std::cv_status::timeout when the deadline passed
+  // without a notification (callers re-check their predicate either way).
+  std::cv_status WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) T10_REQUIRES(mu);
+  std::cv_status WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      T10_REQUIRES(mu);
+
+  void NotifyOne() { raw_.notify_one(); }
+  void NotifyAll() { raw_.notify_all(); }
+
+ private:
+  std::condition_variable raw_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex
+// ---------------------------------------------------------------------------
+
+// Reader/writer lock with the same annotation + registry treatment. Shared
+// acquisitions participate in lock ordering exactly like exclusive ones (a
+// read-side inversion deadlocks just as hard against a writer).
+class T10_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* site) : site_(site) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() T10_ACQUIRE() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::BeforeAcquire(site());
+      raw_.lock();
+      sync_internal::AfterAcquire(site());
+      return;
+    }
+    raw_.lock();
+  }
+
+  void Unlock() T10_RELEASE() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::OnRelease(site());
+    }
+    raw_.unlock();
+  }
+
+  void ReaderLock() T10_ACQUIRE_SHARED() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::BeforeAcquire(site());
+      raw_.lock_shared();
+      sync_internal::AfterAcquire(site());
+      return;
+    }
+    raw_.lock_shared();
+  }
+
+  void ReaderUnlock() T10_RELEASE_SHARED() {
+    if (sync_internal::DeadlockDetectEnabled()) {
+      sync_internal::OnRelease(site());
+    }
+    raw_.unlock_shared();
+  }
+
+  const char* site() const { return site_ == nullptr ? "anon" : site_; }
+
+ private:
+  std::shared_mutex raw_;
+  const char* site_ = nullptr;
+};
+
+// RAII exclusive (writer) lock over SharedMutex.
+class T10_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) T10_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~SharedMutexLock() T10_RELEASE() { mu_.Unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared (reader) lock over SharedMutex.
+class T10_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) T10_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~SharedReaderLock() T10_RELEASE() { mu_.ReaderUnlock(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// LockOrderGraph
+// ---------------------------------------------------------------------------
+
+// Global site-level lock-order graph behind the deadlock detector. Nodes are
+// mutex site names; a directed edge u -> v means "some thread held u while
+// acquiring v". The first edge insertion that closes a cycle aborts the
+// process with the acquisition stack that recorded the conflicting edge and
+// the acquisition stack attempting the inversion — deterministically, on the
+// first inverted acquisition, whether or not the interleaving would have
+// deadlocked this run.
+class LockOrderGraph {
+ public:
+  // Process-wide instance every t10::Mutex reports to. Never destroyed.
+  static LockOrderGraph& Global();
+
+  // Detection switch. Initialized from the T10_DEADLOCK_DETECT environment
+  // variable (or on unconditionally when built with -DT10_DEADLOCK_DETECT=ON);
+  // tests flip it programmatically.
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+  LockOrderGraph(const LockOrderGraph&) = delete;
+  LockOrderGraph& operator=(const LockOrderGraph&) = delete;
+
+  // The order graph in Graphviz DOT, nodes and edges sorted by name — the
+  // flight recorder embeds this (obs::PostMortemJson "lock_order_dot") and
+  // DESIGN.md's lock-hierarchy diagram is generated from it.
+  std::string DumpDot() const;
+
+  int num_edges() const;
+
+  // Drops all recorded edges and held-stack state for the calling thread
+  // (test isolation only; concurrent lock holders make this unsafe in
+  // production code).
+  void TestOnlyReset();
+
+ private:
+  friend void sync_internal::BeforeAcquire(const char* site);
+  friend void sync_internal::AfterAcquire(const char* site);
+  friend void sync_internal::OnRelease(const char* site);
+
+  LockOrderGraph() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_UTIL_SYNC_H_

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -29,25 +29,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   T10_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     T10_CHECK(!shutdown_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) {
+    all_done_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        task_ready_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // Shutdown with a drained queue.
       }
@@ -56,10 +60,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }

@@ -14,13 +14,13 @@
 #ifndef T10_SRC_UTIL_THREAD_POOL_H_
 #define T10_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace t10 {
 
@@ -57,12 +57,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;  // Queued + currently running tasks.
-  bool shutdown_ = false;
+  Mutex mu_{"util.thread_pool.mu"};
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ T10_GUARDED_BY(mu_);
+  int in_flight_ T10_GUARDED_BY(mu_) = 0;  // Queued + currently running tasks.
+  bool shutdown_ T10_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -79,7 +79,7 @@ std::int64_t ProgramFootprintBytes(const ExecutionPlan& plan, const ChipSpec& ch
 
 bool InternalVerifyEnabled() {
   static const bool enabled = [] {
-    const char* env = std::getenv("T10_INTERNAL_VERIFY");
+    const char* env = std::getenv("T10_INTERNAL_VERIFY");  // NOLINT(concurrency-mt-unsafe): read once under static init.
     if (env != nullptr && env[0] != '\0') {
       return env[0] != '0';
     }

@@ -6,8 +6,10 @@
 //              3 verification failure, 4 fault-campaign failure.
 //   t10-serve: 0 success, 1 server failed to start or died, 2 usage error,
 //              5 serving integrity failure.
+//   t10-lint:  0 clean, 2 usage error, 6 lint findings.
 //
-// Binary paths are injected by CMake as T10_T10C_BIN / T10_T10_SERVE_BIN.
+// Binary paths are injected by CMake as T10_T10C_BIN / T10_T10_SERVE_BIN /
+// T10_T10_LINT_BIN.
 
 #include <gtest/gtest.h>
 
@@ -29,6 +31,14 @@ int RunT10c(const std::string& args) {
 
 int RunT10Serve(const std::string& args) {
   return RunCommand(std::string(T10_T10_SERVE_BIN) + " " + args);
+}
+
+int RunT10Lint(const std::string& args) {
+  return RunCommand(std::string(T10_T10_LINT_BIN) + " " + args);
+}
+
+std::string LintFixture(const std::string& name) {
+  return std::string(T10_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
 }
 
 void WriteModel(const std::string& path, const std::string& text) {
@@ -96,6 +106,23 @@ TEST(ExitCodesTest, T10ServeObservabilityFlagErrorsAreTwo) {
   EXPECT_EQ(RunT10Serve("--requests 4 --trace /no/such/dir/t.json > /dev/null 2>&1"), 2);
   EXPECT_EQ(
       RunT10Serve("--requests 4 --flight-recorder /no/such/dir/fr.json > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10LintCleanInputIsZero) {
+  EXPECT_EQ(RunT10Lint(LintFixture("clean.cc") + " > /dev/null 2>&1"), 0);
+  EXPECT_EQ(RunT10Lint("--list-rules > /dev/null 2>&1"), 0);
+  EXPECT_EQ(RunT10Lint("--help > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10LintUsageErrorsAreTwo) {
+  EXPECT_EQ(RunT10Lint("> /dev/null 2>&1"), 2);  // No paths given.
+  EXPECT_EQ(RunT10Lint("--no-such-flag > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10LintFindingsAreSix) {
+  EXPECT_EQ(RunT10Lint(LintFixture("raw_mutex.cc") + " > /dev/null 2>&1"), 6);
+  // An unreadable path is reported as a finding, not a usage error.
+  EXPECT_EQ(RunT10Lint("/no/such/t10/path > /dev/null 2>&1"), 6);
 }
 
 TEST(ExitCodesTest, T10cTraceSpansFlagErrorsAreTwo) {

@@ -1,0 +1,8 @@
+// Lint fixture: nothing for t10-lint to flag.
+
+namespace lint_fixture {
+
+// NOLINTNEXTLINE(lint.example.rule): a well-formed suppression carries a category and a reason.
+inline int Answer() { return 42; }
+
+}  // namespace lint_fixture

@@ -1,0 +1,12 @@
+// Lint fixture: suppression hygiene. Bare markers and reasonless categories
+// are malformed; the full form below silences the raw-primitive rule.
+
+namespace lint_fixture {
+
+int bare_marker = 0;  // NOLINT
+int no_reason = 0;    // NOLINT(lint.sync.raw-primitive)
+// NOLINTNEXTLINE(lint.sync.raw-primitive): fixture shows a well-formed suppression.
+std::mutex suppressed_mu;
+std::mutex reported_mu;
+
+}  // namespace lint_fixture

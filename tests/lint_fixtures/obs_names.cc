@@ -1,0 +1,19 @@
+// Lint fixture: observability name literals at metric call sites.
+
+namespace lint_fixture {
+
+struct Registry {
+  int GetCounter(const char* name);
+  int GetGauge(const char* name);
+  int GetHistogram(const char* name);
+};
+
+void Use(Registry& metrics) {
+  metrics.GetCounter("serve.shed.count");     // Registered: clean.
+  metrics.GetCounter("Serve.Bad-Grammar");    // Violates the dotted grammar.
+  metrics.GetGauge("serve.fixture.unknown");  // Well-formed but unregistered.
+  metrics.GetHistogram(
+      "compiler.pass.fixture_pass.seconds");  // Wildcard-registered: clean.
+}
+
+}  // namespace lint_fixture

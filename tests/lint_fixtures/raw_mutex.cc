@@ -1,0 +1,16 @@
+// Lint fixture: raw primitives. A std::mutex mention in this comment and
+// in the string below must not fire; the include and declarations must.
+
+#include <mutex>
+
+namespace lint_fixture {
+
+std::mutex global_mu;
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(global_mu);
+}
+
+const char* kProse = "std::mutex inside a string literal";
+
+}  // namespace lint_fixture

@@ -1,0 +1,33 @@
+// Positive control for the thread-safety negative-compile checks
+// (tests/CMakeLists.txt): correct lock discipline over an annotated guarded
+// field. Must build cleanly under Clang -Werror=thread-safety; if this file
+// fails, the harness (not the analysis) is broken.
+
+#include "src/util/sync.h"
+
+namespace negative_compile {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    t10::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  int Get() {
+    t10::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  t10::Mutex mu_{"negative_compile.guarded_ok.mu"};
+  int value_ T10_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Guarded guarded;
+  guarded.Set(1);
+  return guarded.Get();
+}
+
+}  // namespace negative_compile

@@ -1,0 +1,26 @@
+// Must NOT compile under Clang -Werror=thread-safety: calls a T10_REQUIRES
+// method without holding the required mutex. The configure-time check in
+// tests/CMakeLists.txt fails the build if this file ever compiles.
+
+#include "src/util/sync.h"
+
+namespace negative_compile {
+
+class Queue {
+ public:
+  void PushLocked() T10_REQUIRES(mu_) { ++depth_; }
+
+  // error: calling function 'PushLocked' requires holding mutex 'mu_'.
+  void Push() { PushLocked(); }
+
+ private:
+  t10::Mutex mu_{"negative_compile.requires.mu"};
+  int depth_ T10_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Queue queue;
+  queue.Push();
+}
+
+}  // namespace negative_compile

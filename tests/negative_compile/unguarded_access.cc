@@ -1,0 +1,24 @@
+// Must NOT compile under Clang -Werror=thread-safety: reads a
+// T10_GUARDED_BY field without holding its mutex. The configure-time check
+// in tests/CMakeLists.txt fails the build if this file ever compiles.
+
+#include "src/util/sync.h"
+
+namespace negative_compile {
+
+class Guarded {
+ public:
+  // error: reading variable 'value_' requires holding mutex 'mu_'.
+  int Get() { return value_; }
+
+ private:
+  t10::Mutex mu_{"negative_compile.unguarded.mu"};
+  int value_ T10_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Guarded guarded;
+  return guarded.Get();
+}
+
+}  // namespace negative_compile

@@ -1,0 +1,65 @@
+// Project-invariant linter for t10 (README "t10-lint").
+//
+// A deliberately line-based rule engine — no libclang, no compiler plugin —
+// that enforces the conventions the compiler cannot: the sync-wrapper
+// migration stays total (no raw std::mutex outside src/util/sync.h), serving
+// code never aborts on a request path, observability name literals follow
+// the dotted grammar and are declared in the src/obs/names.cc table, and
+// deterministic code never calls wall-clock or libc randomness. Findings
+// mirror verify::Diagnostic (severity, stable rule id, message, hint), so
+// `t10-lint src/` reads like `t10c --verify`.
+//
+// Rules (stable ids; suppress one occurrence with `// NOLINT(<rule>): why`):
+//   lint.sync.raw-primitive      std::mutex / lock_guard / condition_variable
+//                                (or their headers) outside src/util/sync.*
+//   lint.serve.check             T10_CHECK* in src/serve — serving code
+//                                returns Status, it does not abort
+//   lint.obs.name-grammar        metric/journal literal violating
+//                                `subsystem.noun.verb` (lowercase dotted)
+//   lint.obs.unregistered-name   literal absent from src/obs/names.cc
+//   lint.determinism.banned-call rand()/localtime()/time() family in src/
+//   lint.nolint.missing-reason   NOLINT without `(<category>): <reason>`
+//
+// The scanner strips comments and string literals before matching token
+// rules (so prose never trips them), tracks /* */ across lines, and parses
+// multi-line call argument lists when extracting name literals. Dynamic
+// names (built from variables, e.g. "compiler.pass." + pass.name()) are
+// skipped here and covered by the '*' patterns in the names table.
+
+#ifndef T10_TOOLS_LINT_ENGINE_H_
+#define T10_TOOLS_LINT_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+namespace t10 {
+namespace lint {
+
+// One rule violation at one location. Everything t10-lint reports is an
+// error: advisory lint is noise, and CI treats any finding as a failure.
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+  std::string hint;
+
+  // "<file>:<line>: error[<rule>] <message> (hint: <hint>)".
+  std::string Format() const;
+};
+
+// Lints `contents` as if read from `path` (the path decides which rules
+// apply: serve rules under src/serve/, determinism rules under src/, the
+// sync exemption for src/util/sync.*). Findings come back in line order.
+std::vector<Finding> LintFile(const std::string& path, const std::string& contents);
+
+// Expands each path (a file, or a directory walked recursively for
+// .h/.cc files), lints every file, and returns all findings sorted by
+// (file, line). An unreadable path yields a single "lint.io.unreadable"
+// finding rather than aborting the run.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
+
+}  // namespace lint
+}  // namespace t10
+
+#endif  // T10_TOOLS_LINT_ENGINE_H_
