@@ -7,17 +7,28 @@
 // one response, and every OK response must be bit-identical to a fault-free
 // reference run.
 //
+// With --shards N (N >= 1) the same load is driven through the sharded
+// multi-chip tier instead: a serve::Router owning N per-chip server shards
+// with chip-level failover, hedged retries, and brownout admission. The
+// chaos repertoire gains --chaos-kill-chip-at, which kills one shard's
+// entire chip mid-run; the router must fail the shard over (redirecting its
+// requests to survivors) while the audit still balances.
+//
 //   $ ./examples/t10_serve [--requests N] [--qps Q] [--deadline-ms D]
 //                          [--queue-cap C] [--workers W] [--cores N]
 //                          [--faults SPEC] [--chaos-kill-core-at K]
 //                          [--chaos-core ID] [--retries R] [--seed S]
+//                          [--shards N] [--chaos-kill-chip-at K]
+//                          [--chaos-chip ID] [--pace-scale X]
 //                          [--metrics out.json] [--trace out.json]
 //                          [--flight-recorder out.json]
 //                          [--plan-timings out.json]
 //
 // Exit codes: 0 success; 1 server failed to start or died; 2 usage error;
 // 5 serving integrity failure (lost or duplicated responses, or an OK
-// response that was not bit-identical to the reference).
+// response that was not bit-identical to the reference); 7 shard loss (the
+// sharded run ended with one or more shards permanently down — including a
+// total outage — but the audit balanced).
 
 #include <algorithm>
 #include <chrono>
@@ -38,6 +49,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/plan_timings.h"
 #include "src/obs/span.h"
+#include "src/serve/router.h"
 #include "src/serve/server.h"
 #include "src/sim/trace.h"
 #include "src/util/table.h"
@@ -74,6 +86,15 @@ void Usage() {
       "  --chaos-core ID         which core the chaos kill takes (default: last)\n"
       "  --retries R             per-request transient-fault retry budget (default 2)\n"
       "  --seed S                base input seed (default 1)\n"
+      "  --shards N              serve through the sharded multi-chip router with N\n"
+      "                          per-chip server shards (0 = single server, default)\n"
+      "  --chaos-kill-chip-at K  after the K-th submission (1-based), kill one shard's\n"
+      "                          entire chip; the router must fail the shard over\n"
+      "                          (requires --shards >= 1)\n"
+      "  --chaos-chip ID         which shard the chip kill takes (default 0)\n"
+      "  --pace-scale X          simulated-time pacing: a successful request occupies\n"
+      "                          its worker for X * the op's cost-model seconds\n"
+      "                          (0 = off, default)\n"
       "  --metrics out.json      write a JSON metrics snapshot on exit\n"
       "  --trace out.json        trace every request (admission, queue wait, execute\n"
       "                          attempts, audit, response, executor step groups) and\n"
@@ -102,6 +123,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int chaos_at = 0;  // 0 = never.
   int chaos_core = -1;
+  int shards = 0;  // 0 = legacy single-server path.
+  int chip_kill_at = 0;  // 0 = never.
+  int chaos_chip = 0;
+  double pace_scale = 0.0;
   std::string faults_text;
   std::string metrics_path;
   std::string trace_path;
@@ -141,6 +166,14 @@ int main(int argc, char** argv) {
       chaos_at = std::atoi(flag_value(i, "--chaos-kill-core-at"));
     } else if (std::strcmp(argv[i], "--chaos-core") == 0) {
       chaos_core = std::atoi(flag_value(i, "--chaos-core"));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = std::atoi(flag_value(i, "--shards"));
+    } else if (std::strcmp(argv[i], "--chaos-kill-chip-at") == 0) {
+      chip_kill_at = std::atoi(flag_value(i, "--chaos-kill-chip-at"));
+    } else if (std::strcmp(argv[i], "--chaos-chip") == 0) {
+      chaos_chip = std::atoi(flag_value(i, "--chaos-chip"));
+    } else if (std::strcmp(argv[i], "--pace-scale") == 0) {
+      pace_scale = std::atof(flag_value(i, "--pace-scale"));
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults_text = flag_value(i, "--faults");
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
@@ -160,8 +193,18 @@ int main(int argc, char** argv) {
     }
   }
   if (requests < 1 || queue_cap < 1 || workers < 1 || cores < 2 || retries < 0 ||
-      qps < 0.0 || deadline_ms < 0.0) {
+      qps < 0.0 || deadline_ms < 0.0 || shards < 0 || chip_kill_at < 0 ||
+      pace_scale < 0.0) {
     std::fprintf(stderr, "t10_serve: invalid argument value\n");
+    return 2;
+  }
+  if (shards == 0 && (chip_kill_at > 0 || chaos_chip != 0)) {
+    std::fprintf(stderr, "t10_serve: --chaos-kill-chip-at/--chaos-chip require --shards\n");
+    return 2;
+  }
+  if (shards > 0 && (chaos_chip < 0 || chaos_chip >= shards)) {
+    std::fprintf(stderr, "t10_serve: --chaos-chip %d out of range [0, %d)\n", chaos_chip,
+                 shards);
     return 2;
   }
 
@@ -186,7 +229,11 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>();
   }
   if (!trace_path.empty() || !flight_recorder_path.empty()) {
-    journal = std::make_unique<obs::EventJournal>();
+    // The sharded run ends with a full-story post-mortem dump, so its ring
+    // must be deep enough that early events (router.shard_down fires near the
+    // start of a chaos run) survive until the end.
+    journal = std::make_unique<obs::EventJournal>(
+        shards > 0 ? 8192 : obs::EventJournal::kDefaultCapacity);
   }
   if (!plan_timings_path.empty()) {
     plan_timings = std::make_unique<obs::PlanTimings>();
@@ -199,6 +246,7 @@ int main(int argc, char** argv) {
   options.journal = journal.get();
   options.plan_timings = plan_timings.get();
   options.flight_recorder_path = flight_recorder_path;
+  options.pace_time_scale = pace_scale;
   if (!faults_text.empty()) {
     StatusOr<fault::FaultSpec> spec = fault::ParseFaultSpec(faults_text);
     if (!spec.ok()) {
@@ -217,6 +265,216 @@ int main(int argc, char** argv) {
   const ChipSpec chip = ChipSpec::ScaledIpu(cores);
   if (chaos_core < 0) {
     chaos_core = chip.num_cores - 1;
+  }
+
+  // ------------------------------------------------------------------
+  // Sharded multi-chip path: the same load through a serve::Router owning
+  // `shards` per-chip server shards. Kept as its own block (mirroring the
+  // single-server flow below) so the legacy path stays byte-identical.
+  // ------------------------------------------------------------------
+  if (shards > 0) {
+    serve::RouterOptions ropts;
+    ropts.num_shards = shards;
+    ropts.shard = options;
+    // The router owns every flight-recorder dump (shard death, total outage,
+    // and the run-complete dump below); shards share the journal but must
+    // not race it on the same file.
+    ropts.shard.flight_recorder_path.clear();
+    ropts.tracer = tracer.get();
+    ropts.journal = journal.get();
+    ropts.flight_recorder_path = flight_recorder_path;
+
+    serve::Router router(chip, graph, ropts);
+    std::printf("t10_serve: compiling '%s' for %d x %s (%d workers/shard, queue %d)...\n",
+                graph.name().c_str(), shards, chip.name.c_str(), workers, queue_cap);
+    if (Status started = router.Start(); !started.ok()) {
+      std::fprintf(stderr, "t10_serve: start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("t10_serve: %d shard(s) serving %d op slot(s)\n", router.num_shards(),
+                router.num_op_slots());
+
+    const auto t0 = serve::Clock::now();
+    std::int64_t accepted = 0, shed = 0, rejected = 0;
+    std::map<std::int64_t, int> expected;  // id -> responses seen (audit).
+    for (int i = 0; i < requests; ++i) {
+      if (qps > 0.0) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<serve::Clock::duration>(
+                     std::chrono::duration<double>(static_cast<double>(i) / qps)));
+      }
+      if (chip_kill_at > 0 && i + 1 == chip_kill_at) {
+        std::printf("t10_serve: chaos: killing shard %d's chip after %d submission(s)\n",
+                    chaos_chip, i);
+        router.KillChip(chaos_chip);
+      }
+      if (chaos_at > 0 && i + 1 == chaos_at) {
+        std::printf("t10_serve: chaos: killing core %d on shard %d after %d submission(s)\n",
+                    chaos_core, chaos_chip, i);
+        router.KillCore(chaos_chip, chaos_core);
+      }
+      serve::Request request;
+      request.op_slot = i % router.num_op_slots();
+      request.input_seed = seed + static_cast<std::uint64_t>(i);
+      request.deadline_seconds = deadline_ms / 1000.0;
+      request.max_retries = retries;
+      StatusOr<std::int64_t> id = router.Submit(request);
+      if (id.ok()) {
+        ++accepted;
+        expected.emplace(*id, 0);
+      } else if (id.status().code() == StatusCode::kResourceExhausted) {
+        ++shed;  // All routable queues full and nothing sheddable: brownout.
+      } else {
+        ++rejected;  // No routable shard / router down.
+      }
+    }
+
+    router.WaitIdle();
+    const int routable = router.routable_shards();  // Pre-shutdown view.
+    const std::vector<serve::Response> responses = router.TakeResponses();
+    const Status shutdown = router.Shutdown();
+    const double wall = std::chrono::duration<double>(serve::Clock::now() - t0).count();
+
+    // Audit: exactly one response per accepted request; OK => bit-identical.
+    std::int64_t lost = 0, duplicated = 0, unknown = 0, not_identical = 0;
+    std::int64_t ok = 0, deadline_exceeded = 0, failed = 0;
+    std::vector<double> latencies;
+    for (const serve::Response& response : responses) {
+      auto it = expected.find(response.id);
+      if (it == expected.end()) {
+        ++unknown;
+        continue;
+      }
+      if (++it->second > 1) {
+        ++duplicated;
+      }
+      latencies.push_back(response.latency_seconds);
+      if (response.status.ok()) {
+        ++ok;
+        if (!response.bit_identical) {
+          ++not_identical;
+        }
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++deadline_exceeded;
+      } else {
+        ++failed;
+      }
+    }
+    for (const auto& [id, count] : expected) {
+      if (count == 0) {
+        ++lost;
+      }
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto quantile = [&](double q) {
+      if (latencies.empty()) return 0.0;
+      const auto rank =
+          static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+      return latencies[rank];
+    };
+
+    const serve::RouterStats rstats = router.stats();
+    std::printf("\nt10_serve: %lld accepted, %lld shed, %lld rejected in %.2fs\n",
+                static_cast<long long>(accepted), static_cast<long long>(shed),
+                static_cast<long long>(rejected), wall);
+    std::printf("responses: %zu (ok %lld, deadline_exceeded %lld, failed %lld)\n",
+                responses.size(), static_cast<long long>(ok),
+                static_cast<long long>(deadline_exceeded), static_cast<long long>(failed));
+    std::printf("latency: p50 %.1fms p99 %.1fms | redirects %lld, hedges %lld (wasted %lld)\n",
+                quantile(0.50) * 1e3, quantile(0.99) * 1e3,
+                static_cast<long long>(rstats.redirects),
+                static_cast<long long>(rstats.hedges),
+                static_cast<long long>(rstats.hedge_wasted));
+    std::printf("shards: %d/%d routable | shard_downs=%d drains=%d rejoins=%d "
+                "rebalances=%d | lost=%lld duplicated=%lld unknown=%lld "
+                "not_identical=%lld\n",
+                routable, shards, rstats.shard_downs, rstats.drains, rstats.rejoins,
+                rstats.rebalances, static_cast<long long>(lost),
+                static_cast<long long>(duplicated), static_cast<long long>(unknown),
+                static_cast<long long>(not_identical));
+    if (!shutdown.ok()) {
+      std::fprintf(stderr, "t10_serve: router shutdown: %s\n", shutdown.ToString().c_str());
+    }
+
+    {
+      std::printf("\nrun summary:\n");
+      Table summary({"metric", "value"});
+      summary.AddRow({"responses ok", std::to_string(ok)});
+      summary.AddRow({"responses deadline_exceeded", std::to_string(deadline_exceeded)});
+      summary.AddRow({"responses failed", std::to_string(failed)});
+      summary.AddRow({"shed at admission", std::to_string(shed)});
+      summary.AddRow({"rejected (no routable shard)", std::to_string(rejected)});
+      summary.AddRow({"routable shards at end",
+                      std::to_string(routable) + " of " + std::to_string(shards)});
+      summary.AddRow({"redirects", std::to_string(rstats.redirects)});
+      summary.AddRow({"hedges launched / wasted", std::to_string(rstats.hedges) + " / " +
+                                                      std::to_string(rstats.hedge_wasted)});
+      summary.AddRow({"brownout evictions", std::to_string(rstats.brownout_shed)});
+      summary.AddRow({"shard downs / drains / rejoins",
+                      std::to_string(rstats.shard_downs) + " / " +
+                          std::to_string(rstats.drains) + " / " +
+                          std::to_string(rstats.rejoins)});
+      for (int s = 0; s < shards; ++s) {
+        const serve::ShardSnapshot snap = router.shard_snapshot(s);
+        summary.AddRow({"shard " + std::to_string(s),
+                        std::string(serve::ShardModeName(snap.mode)) + ", epoch " +
+                            std::to_string(snap.plan_epoch) + ", " +
+                            std::to_string(snap.stats.responses) + " responses"});
+      }
+      summary.Print();
+    }
+
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::Global().WriteFile(metrics_path);
+      std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      TraceWriter writer;
+      AppendTracer(*tracer, writer);
+      if (const Status written = writer.WriteFile(trace_path); !written.ok()) {
+        std::fprintf(stderr, "t10_serve: --trace: %s\n", written.ToString().c_str());
+        return 2;
+      }
+      std::printf("trace: %s (open in ui.perfetto.dev)\n", trace_path.c_str());
+    }
+    if (!plan_timings_path.empty()) {
+      if (const Status written = plan_timings->WriteFile(plan_timings_path);
+          !written.ok()) {
+        std::fprintf(stderr, "t10_serve: --plan-timings: %s\n", written.ToString().c_str());
+        return 2;
+      }
+      std::printf("plan timings: %s\n", plan_timings_path.c_str());
+    }
+    if (!flight_recorder_path.empty()) {
+      // Overwrite any mid-run dump with the complete story so post-run
+      // tooling sees every event (the ring is sized above to hold them all).
+      const Status dumped = obs::DumpPostMortem(flight_recorder_path, "run complete",
+                                                journal.get(), tracer.get());
+      if (!dumped.ok()) {
+        std::fprintf(stderr, "t10_serve: --flight-recorder: %s\n",
+                     dumped.ToString().c_str());
+        return 2;
+      }
+      std::printf("flight recorder: %s\n", flight_recorder_path.c_str());
+    }
+
+    if (lost > 0 || duplicated > 0 || unknown > 0 || not_identical > 0) {
+      std::fprintf(stderr, "t10_serve: SERVING INTEGRITY FAILURE\n");
+      return 5;
+    }
+    if (rstats.shard_downs > 0) {
+      std::fprintf(stderr,
+                   "t10_serve: SHARD LOSS: %d shard(s) permanently down, %d of %d "
+                   "routable at end\n",
+                   rstats.shard_downs, routable, shards);
+      return 7;
+    }
+    if (!shutdown.ok()) {
+      return 1;
+    }
+    std::printf("t10_serve: OK\n");
+    return 0;
   }
 
   serve::Server server(chip, graph, options);

@@ -193,6 +193,16 @@ void FaultInjector::KillLink(int src_core, int dst_core) {
   }
 }
 
+void FaultInjector::KillChip(int num_cores) {
+  MutexLock lock(health_mu_);
+  for (int core = 0; core < num_cores; ++core) {
+    if (std::find(spec_.failed_cores.begin(), spec_.failed_cores.end(), core) ==
+        spec_.failed_cores.end()) {
+      spec_.failed_cores.push_back(core);
+    }
+  }
+}
+
 std::vector<int> FaultInjector::failed_cores() const {
   MutexLock lock(health_mu_);
   return spec_.failed_cores;

@@ -111,6 +111,11 @@ class FaultInjector {
   void KillCore(int core);
   void KillLink(int src_core, int dst_core);
 
+  // Chip-scoped chaos: mark every core in [0, num_cores) persistently down
+  // in one shot — the whole chip drops off the fabric, not one tile.
+  // Idempotent and thread-safe like KillCore.
+  void KillChip(int num_cores);
+
   // Snapshot of the persistent failures currently in force (spec plus any
   // chaos kills), for the serving layer's health probe.
   std::vector<int> failed_cores() const;

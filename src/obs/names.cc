@@ -45,6 +45,15 @@ const char* const kMetricNames[] = {
     "fault.injector.drop",
     "fault.injector.events",
     "fault.injector.stall",
+    "router.brownout.shed",
+    "router.hedge.count",
+    "router.hedge.wasted",
+    "router.rebalance.count",
+    "router.redirect.count",
+    "router.responses.count",
+    "router.shard_down.count",
+    "router.shards.routable",
+    "router.submitted.count",
     "serve.admitted.count",
     "serve.breaker.rejected",
     "serve.deadline_exceeded.count",
@@ -93,6 +102,16 @@ const char* const kJournalEvents[] = {
     "request.requeued",
     "request.response",
     "request.shed",
+    "router.brownout_shed",
+    "router.drain",
+    "router.hedge",
+    "router.rebalance",
+    "router.redirect",
+    "router.rejoin",
+    "router.route",
+    "router.shard_down",
+    "router.start",
+    "router.total_outage",
     "server.start",
 };
 
@@ -100,6 +119,7 @@ const char* const kJournalSubsystems[] = {
     "compiler",
     "exec",
     "health",
+    "router",
     "serve",
 };
 

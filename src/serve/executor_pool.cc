@@ -21,6 +21,20 @@ obs::Counter& RetryCounter() {
 
 }  // namespace
 
+double RetryBackoffSeconds(double base_seconds, int attempt, std::uint64_t key) {
+  const double exponential =
+      base_seconds * static_cast<double>(1 << std::min(attempt, 10));
+  // SplitMix64 finalizer over (key, attempt): portable bit-exact jitter, no
+  // std:: distributions (their output is implementation-defined).
+  std::uint64_t z =
+      key + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1).
+  return exponential * (0.5 + 0.5 * unit);
+}
+
 std::vector<HostTensor> SlotInputs(const Operator& op, std::uint64_t seed) {
   // Same generator the fault campaign uses: requests are (op, seed) pairs and
   // must reproduce byte-identically for the reference comparison.
@@ -81,6 +95,7 @@ StatusOr<std::shared_ptr<PlanSet>> PlanSet::Build(const ChipSpec& chip, const Gr
       return FailedPreconditionError("operator '" + op.name() +
                                      "' has no executable plan on " + set->plan_chip_.name);
     }
+    slot->simulated_seconds = compiled.measured.total_seconds();
     set->slots_.push_back(std::move(slot));
   }
   if (set->slots_.empty()) {
@@ -195,8 +210,12 @@ ExecuteOutcome ExecutorPool::Execute(int worker, const PlanSet& plans, int slot_
     obs::Log(journal_, obs::Severity::kWarn, "exec", "exec.retry", request_id, plans.epoch(),
              "attempt " + std::to_string(attempt) + " lost data; re-executing");
     ++outcome.retries_used;
+    // Jitter key: the request's own (seed, slot) identity — deterministic
+    // across runs and independent of whether tracing assigned a request id.
+    const std::uint64_t jitter_key =
+        seed ^ (static_cast<std::uint64_t>(slot_index) << 32);
     const double backoff =
-        retry_backoff_base_seconds_ * static_cast<double>(1 << std::min(attempt, 10));
+        RetryBackoffSeconds(retry_backoff_base_seconds_, attempt, jitter_key);
     if (backoff > 0.0) {
       obs::Span backoff_span = obs::StartSpan(trace, "backoff");
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
@@ -213,6 +232,12 @@ void ExecutorPool::KillCore(int core) {
 void ExecutorPool::KillLink(int src_core, int dst_core) {
   for (auto& worker : workers_) {
     worker->injector.KillLink(src_core, dst_core);
+  }
+}
+
+void ExecutorPool::KillChip(int num_cores) {
+  for (auto& worker : workers_) {
+    worker->injector.KillChip(num_cores);
   }
 }
 

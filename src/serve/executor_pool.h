@@ -52,7 +52,17 @@ struct OpSlot {
   std::string op_name;
   IntraOpResult search;               // Owns the searched candidate plans.
   const ExecutionPlan* plan = nullptr;  // Into `search` or the compiled model.
+  double simulated_seconds = 0.0;     // Cost-model time one request occupies
+                                      // the simulated chip (pacing input).
 };
+
+// Deterministic jittered exponential backoff: base * 2^min(attempt,10),
+// scaled into [0.5x, 1.0x) by a SplitMix64 hash of (key, attempt). Pure
+// function of its arguments on every platform — the same seed yields the
+// same retry schedule, so chaos campaigns stay reproducible — while
+// different keys decorrelate, so retries against a recovering shard do not
+// stampede in lockstep.
+double RetryBackoffSeconds(double base_seconds, int attempt, std::uint64_t key);
 
 // Deterministic request inputs for a slot's operator; shared by the serving
 // execution path and the reference-output computation.
@@ -163,6 +173,10 @@ class ExecutorPool {
   // injector, as if the shared fabric lost it mid-stream. Thread-safe.
   void KillCore(int core);
   void KillLink(int src_core, int dst_core);
+
+  // Chip-scoped chaos: every core on every worker's injector goes down at
+  // once — the whole chip is lost. Thread-safe.
+  void KillChip(int num_cores);
 
   // Health as seen through the workers' injectors (spec faults + chaos
   // kills). All injectors agree on persistent health; worker 0 answers.

@@ -70,6 +70,7 @@ struct Response {
   int plan_epoch = -1;  // Model generation that served it (0 = original).
   int retries = 0;      // Transient-failure re-executions used.
   double latency_seconds = 0.0;  // Admission -> response.
+  int shard = -1;  // Which router shard answered; -1 outside sharded serving.
 };
 
 }  // namespace serve

@@ -1,0 +1,904 @@
+#include "src/serve/router.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace t10 {
+namespace serve {
+
+namespace {
+
+obs::Counter& SubmittedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.submitted.count");
+  return counter;
+}
+
+obs::Counter& ResponsesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.responses.count");
+  return counter;
+}
+
+obs::Counter& RedirectCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.redirect.count");
+  return counter;
+}
+
+obs::Counter& HedgeCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.hedge.count");
+  return counter;
+}
+
+obs::Counter& HedgeWastedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.hedge.wasted");
+  return counter;
+}
+
+obs::Counter& BrownoutCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.brownout.shed");
+  return counter;
+}
+
+obs::Counter& ShardDownCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.shard_down.count");
+  return counter;
+}
+
+obs::Counter& RebalanceCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.rebalance.count");
+  return counter;
+}
+
+obs::Gauge& RoutableGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("router.shards.routable");
+  return gauge;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool Routable(ShardMode mode) {
+  return mode == ShardMode::kHealthy || mode == ShardMode::kRejoining;
+}
+
+// Flow-arrow id for the redirect chain of one client request; the high bit
+// block keeps these distinct from the servers' requeue-flow ids.
+std::uint64_t RedirectFlowId(std::int64_t client_id, int seq) {
+  return (std::uint64_t{1} << 48) + static_cast<std::uint64_t>(client_id) * 16 +
+         static_cast<std::uint64_t>(seq);
+}
+
+// Shard request ids live in disjoint blocks so responses, traces, and journal
+// entries from different chips never collide.
+constexpr std::int64_t kShardIdBlock = 1'000'000'000;
+
+}  // namespace
+
+const char* ShardModeName(ShardMode mode) {
+  switch (mode) {
+    case ShardMode::kHealthy:
+      return "healthy";
+    case ShardMode::kRejoining:
+      return "rejoining";
+    case ShardMode::kDraining:
+      return "draining";
+    case ShardMode::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Router::Router(const ChipSpec& chip, const Graph& graph, RouterOptions options)
+    : options_(std::move(options)), graph_(graph) {
+  // NOLINTNEXTLINE(lint.serve.check): constructor precondition, before any request exists.
+  T10_CHECK_GE(options_.num_shards, 1) << "router shard count";
+  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    ServerOptions per_shard = options_.shard;
+    per_shard.request_id_base = static_cast<std::int64_t>(i + 1) * kShardIdBlock;
+    per_shard.on_response = [this, i](Response response) {
+      OnShardResponse(i, std::move(response));
+    };
+    shard->server = std::make_unique<Server>(chip, graph, std::move(per_shard));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Router::~Router() {
+  const Status ignored = Shutdown();
+  (void)ignored;
+}
+
+Status Router::Start() {
+  {
+    MutexLock lock(mu_);
+    if (running_ || draining_ || stopped_) {
+      return FailedPreconditionError("router already started");
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Status started = shards_[i]->server->Start();
+    if (!started.ok()) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const Status stopped = shards_[j]->server->Shutdown();
+        (void)stopped;
+      }
+      return started;
+    }
+  }
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.start",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           std::to_string(num_shards()) + " shard(s)");
+  RoutableGauge().Set(static_cast<double>(num_shards()));
+  {
+    MutexLock lock(mu_);
+    num_op_slots_ = shards_.front()->server->num_op_slots();
+    running_ = true;
+  }
+  monitor_ = std::thread(&Router::MonitorLoop, this);
+  return Status::Ok();
+}
+
+StatusOr<std::int64_t> Router::Submit(const Request& request) {
+  if (request.max_retries < 0) {
+    return InvalidArgumentError("max_retries must be >= 0");
+  }
+  std::int64_t client_id = -1;
+  {
+    MutexLock lock(mu_);
+    if (!running_ || draining_) {
+      return FailedPreconditionError("router not serving");
+    }
+    if (request.op_slot < 0 || request.op_slot >= num_op_slots_) {
+      return InvalidArgumentError("op_slot " + std::to_string(request.op_slot) +
+                                  " out of range [0, " + std::to_string(num_op_slots_) +
+                                  ")");
+    }
+    client_id = next_client_id_++;
+    Pending pending;
+    pending.request = request;
+    pending.client_id = client_id;
+    pending.admitted_at = Clock::now();
+    pending.has_deadline = request.deadline_seconds > 0.0;
+    pending.deadline =
+        pending.has_deadline
+            ? pending.admitted_at + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            request.deadline_seconds))
+            : Clock::time_point::max();
+    pending.hedge_at =
+        (pending.has_deadline && options_.hedge_fraction > 0.0)
+            ? pending.admitted_at + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            options_.hedge_fraction *
+                                            request.deadline_seconds))
+            : Clock::time_point::max();
+    if (options_.tracer != nullptr) {
+      pending.trace = options_.tracer->Root(static_cast<std::uint64_t>(client_id),
+                                            "rtr:" + std::to_string(client_id));
+      const Clock::time_point now = Clock::now();
+      options_.tracer->AddCompleted(pending.trace, "router.admit", pending.admitted_at,
+                                    now,
+                                    {{"op_slot", std::to_string(request.op_slot)},
+                                     {"deadline_s",
+                                      std::to_string(request.deadline_seconds)}});
+    }
+    ++stats_.submitted;
+    pending_.emplace(client_id, std::move(pending));
+  }
+  SubmittedCounter().Increment();
+  const Status routed = SubmitAttempt(client_id, /*avoid=*/-1, "route");
+  if (!routed.ok()) {
+    // Synchronous admission failure: withdraw the entry — the caller learns
+    // now, no Response will follow.
+    MutexLock lock(mu_);
+    pending_.erase(client_id);
+    --stats_.submitted;
+    if (pending_.empty()) {
+      idle_cv_.NotifyAll();
+    }
+    return routed;
+  }
+  return client_id;
+}
+
+int Router::PickShard(int avoid, const std::vector<bool>& exclude) {
+  const int n = static_cast<int>(shards_.size());
+  const std::uint64_t rotate = round_robin_++;
+  int best = -1;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < n; ++k) {
+    const int i = static_cast<int>((rotate + static_cast<std::uint64_t>(k)) %
+                                   static_cast<std::uint64_t>(n));
+    const Shard& shard = *shards_[i];
+    if (i == avoid || exclude[static_cast<std::size_t>(i)] || !Routable(shard.mode)) {
+      continue;
+    }
+    const double load =
+        static_cast<double>(shard.attempts_in_flight + 1) / shard.weight;
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status Router::SubmitAttempt(std::int64_t client_id, int avoid, const char* kind) {
+  std::vector<bool> exclude(shards_.size(), false);
+  bool brownout_tried = false;
+  while (true) {
+    Request request;
+    int target = -1;
+    {
+      MutexLock lock(mu_);
+      auto it = pending_.find(client_id);
+      if (it == pending_.end() || it->second.delivered) {
+        return Status::Ok();  // Resolved while this attempt was being routed.
+      }
+      request = it->second.request;
+      target = PickShard(avoid, exclude);
+    }
+    if (target < 0) {
+      return UnavailableError("no routable shard");
+    }
+    StatusOr<std::int64_t> shard_request_id = shards_[target]->server->Submit(request);
+    if (shard_request_id.ok()) {
+      std::optional<std::pair<int, Response>> ready =
+          RegisterAttempt(client_id, target, *shard_request_id);
+      obs::Log(options_.journal, obs::Severity::kDebug, "router", "router.route",
+               client_id, /*plan_epoch=*/-1,
+               std::string(kind) + " -> shard " + std::to_string(target));
+      if (ready.has_value()) {
+        ResolveAttempt(ready->first, client_id, std::move(ready->second));
+      }
+      return Status::Ok();
+    }
+    exclude[static_cast<std::size_t>(target)] = true;
+    if (shard_request_id.status().code() != StatusCode::kResourceExhausted) {
+      continue;  // Breaker open / draining: try the next shard.
+    }
+    // This shard's queue is full. If every routable shard is now excluded,
+    // overload is global: brownout admission.
+    bool any_left;
+    {
+      MutexLock lock(mu_);
+      any_left = PickShard(avoid, exclude) >= 0;
+    }
+    if (any_left) {
+      continue;
+    }
+    if (brownout_tried) {
+      return shard_request_id.status();
+    }
+    brownout_tried = true;
+    const int freed = TryBrownout(request, avoid);
+    if (freed < 0) {
+      return shard_request_id.status();  // Incoming is the latest; shed it.
+    }
+    exclude.assign(shards_.size(), false);  // Retry, starting with `freed`.
+  }
+}
+
+int Router::TryBrownout(const Request& incoming, int avoid) {
+  if (incoming.deadline_seconds <= 0.0) {
+    return -1;  // A request with no deadline is itself the latest; shed it.
+  }
+  std::vector<int> routable;
+  {
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (static_cast<int>(i) != avoid && Routable(shards_[i]->mode)) {
+        routable.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  // Globally latest victim across all routable queues; a no-deadline victim
+  // is "infinitely late" and wins outright.
+  int victim_shard = -1;
+  bool victim_no_deadline = false;
+  Clock::time_point victim_deadline = Clock::time_point::min();
+  for (const int i : routable) {
+    if (shards_[static_cast<std::size_t>(i)]->server->queue_depth() == 0) {
+      continue;
+    }
+    const std::optional<Clock::time_point> deadline =
+        shards_[static_cast<std::size_t>(i)]->server->PeekLatestVictimDeadline();
+    if (!deadline.has_value()) {
+      victim_shard = i;
+      victim_no_deadline = true;
+      break;
+    }
+    if (victim_shard < 0 || *deadline > victim_deadline) {
+      victim_shard = i;
+      victim_deadline = *deadline;
+    }
+  }
+  if (victim_shard < 0) {
+    return -1;
+  }
+  const Clock::time_point incoming_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(incoming.deadline_seconds));
+  if (!victim_no_deadline && victim_deadline <= incoming_deadline) {
+    return -1;  // The incoming request is not earlier than any victim.
+  }
+  if (!shards_[static_cast<std::size_t>(victim_shard)]->server->TryShedLatestDeadline()) {
+    return -1;  // Raced with a worker; treat as no capacity freed.
+  }
+  BrownoutCounter().Increment();
+  obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.brownout_shed",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "shard " + std::to_string(victim_shard) +
+               " shed its latest-deadline request for an earlier one");
+  {
+    MutexLock lock(mu_);
+    ++stats_.brownout_shed;
+  }
+  return victim_shard;
+}
+
+std::optional<std::pair<int, Response>> Router::RegisterAttempt(
+    std::int64_t client_id, int shard, std::int64_t shard_request_id) {
+  MutexLock lock(mu_);
+  ++shards_[static_cast<std::size_t>(shard)]->attempts_in_flight;
+  auto it = pending_.find(client_id);
+  if (it != pending_.end()) {
+    ++it->second.attempts_outstanding;
+    it->second.last_shard = shard;
+    it->second.last_attempt_at = Clock::now();
+  }
+  auto unmatched = unmatched_.find(shard_request_id);
+  if (unmatched != unmatched_.end()) {
+    Response response = std::move(unmatched->second.second);
+    unmatched_.erase(unmatched);
+    return std::make_pair(shard, std::move(response));
+  }
+  attempt_to_client_[shard_request_id] = client_id;
+  return std::nullopt;
+}
+
+void Router::OnShardResponse(int shard, Response response) {
+  std::int64_t client_id = -1;
+  {
+    MutexLock lock(mu_);
+    auto it = attempt_to_client_.find(response.id);
+    if (it == attempt_to_client_.end()) {
+      // The shard answered before RegisterAttempt ran; park the response for
+      // the registration to claim.
+      unmatched_.emplace(response.id, std::make_pair(shard, std::move(response)));
+      return;
+    }
+    client_id = it->second;
+    attempt_to_client_.erase(it);
+  }
+  ResolveAttempt(shard, client_id, std::move(response));
+}
+
+void Router::ResolveAttempt(int shard, std::int64_t client_id, Response response) {
+  bool redirect = false;
+  bool delivered = false;
+  bool drained_shard = false;
+  {
+    MutexLock lock(mu_);
+    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    --sh.attempts_in_flight;
+
+    // Breaker window: count chip-fault-shaped outcomes only — sheds and
+    // deadline misses are load signals and must not trip the breaker.
+    const StatusCode code = response.status.code();
+    const bool counted = code == StatusCode::kOk || code == StatusCode::kUnavailable ||
+                         code == StatusCode::kDataLoss || code == StatusCode::kInternal;
+    const bool failure = counted && code != StatusCode::kOk;
+    if (counted && Routable(sh.mode)) {
+      sh.window.push_back(failure);
+      if (failure) {
+        ++sh.window_failures;
+      }
+      while (static_cast<int>(sh.window.size()) > options_.failure_window) {
+        if (sh.window.front()) {
+          --sh.window_failures;
+        }
+        sh.window.pop_front();
+      }
+      sh.consecutive_ok = failure ? 0 : sh.consecutive_ok + 1;
+      if (static_cast<int>(sh.window.size()) >= options_.failure_window &&
+          static_cast<double>(sh.window_failures) >=
+              options_.failure_rate_threshold *
+                  static_cast<double>(sh.window.size())) {
+        sh.mode = ShardMode::kDraining;
+        sh.weight = 0.0;
+        sh.drained_at = Clock::now();
+        sh.window.clear();
+        sh.window_failures = 0;
+        sh.consecutive_ok = 0;
+        ++stats_.drains;
+        ++stats_.rebalances;
+        drained_shard = true;
+      }
+    }
+
+    auto it = pending_.find(client_id);
+    if (it == pending_.end()) {
+      // Orphan attempt: its client request was already resolved and reaped.
+      ++stats_.hedge_wasted;
+      HedgeWastedCounter().Increment();
+    } else {
+      Pending& p = it->second;
+      --p.attempts_outstanding;
+      if (p.trace.active()) {
+        std::uint64_t flow_out = 0;
+        const std::uint64_t flow_in = p.last_flow;
+        p.last_flow = 0;
+        const bool will_redirect =
+            !p.delivered && !response.status.ok() &&
+            code == StatusCode::kUnavailable && !draining_ &&
+            p.redirects < options_.redirect_budget;
+        if (will_redirect) {
+          flow_out = RedirectFlowId(client_id, ++p.flow_seq);
+          p.last_flow = flow_out;
+        }
+        options_.tracer->AddCompleted(p.trace, "router.attempt", p.last_attempt_at,
+                                      Clock::now(),
+                                      {{"shard", std::to_string(shard)},
+                                       {"status", response.status.ToString()}},
+                                      flow_out, flow_in);
+      }
+      if (p.delivered) {
+        // Hedge loser (or late duplicate): dedupe at the router so the
+        // client sees exactly one response.
+        ++stats_.hedge_wasted;
+        HedgeWastedCounter().Increment();
+        if (p.attempts_outstanding == 0) {
+          pending_.erase(it);
+          if (pending_.empty()) {
+            idle_cv_.NotifyAll();
+          }
+        }
+      } else if (response.status.ok()) {
+        // First audit-passing response wins.
+        p.delivered = true;
+        response.id = client_id;
+        response.shard = shard;
+        response.latency_seconds = SecondsSince(p.admitted_at);
+        DeliverLocked(std::move(response));
+        delivered = true;
+        if (p.attempts_outstanding == 0) {
+          pending_.erase(it);
+          if (pending_.empty()) {
+            idle_cv_.NotifyAll();
+          }
+        }
+      } else if (code == StatusCode::kUnavailable && !draining_ &&
+                 p.redirects < options_.redirect_budget) {
+        // The shard (or its path) failed this request persistently: re-route
+        // to a survivor, bounded by the redirect budget.
+        ++p.redirects;
+        ++stats_.redirects;
+        RedirectCounter().Increment();
+        redirect = true;
+      } else if (p.attempts_outstanding > 0) {
+        // A hedge partner is still out; hold the error in case it wins.
+        p.stashed = std::move(response);
+      } else {
+        p.delivered = true;
+        response.id = client_id;
+        response.shard = shard;
+        response.latency_seconds = SecondsSince(p.admitted_at);
+        DeliverLocked(std::move(response));
+        delivered = true;
+        pending_.erase(it);
+        if (pending_.empty()) {
+          idle_cv_.NotifyAll();
+        }
+      }
+    }
+  }
+  if (drained_shard) {
+    obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.drain",
+             /*request_id=*/-1, /*plan_epoch=*/-1,
+             "shard " + std::to_string(shard) + " breaker tripped; draining");
+    EmitRebalance("breaker");
+  }
+  if (redirect) {
+    obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.redirect",
+             client_id, /*plan_epoch=*/-1,
+             "attempt on shard " + std::to_string(shard) + " failed: " +
+                 response.status.ToString());
+    const Status rerouted = SubmitAttempt(client_id, shard, "redirect");
+    if (!rerouted.ok()) {
+      FailPending(client_id,
+                  UnavailableError("redirect failed: " + rerouted.ToString()));
+    }
+  }
+  if (delivered) {
+    ResponsesCounter().Increment();
+  }
+}
+
+void Router::FailPending(std::int64_t client_id, Status status) {
+  bool delivered = false;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(client_id);
+    if (it == pending_.end() || it->second.delivered) {
+      return;
+    }
+    Pending& p = it->second;
+    if (p.attempts_outstanding > 0) {
+      Response stash;
+      stash.id = client_id;
+      stash.op_slot = p.request.op_slot;
+      stash.status = std::move(status);
+      p.stashed = std::move(stash);
+      return;  // A live attempt will resolve (or inherit) this.
+    }
+    p.delivered = true;
+    Response out;
+    out.id = client_id;
+    out.op_slot = p.request.op_slot;
+    out.status = std::move(status);
+    out.latency_seconds = SecondsSince(p.admitted_at);
+    if (p.trace.active()) {
+      const Clock::time_point now = Clock::now();
+      options_.tracer->AddCompleted(p.trace, "router.attempt", now, now,
+                                    {{"status", out.status.ToString()}});
+    }
+    DeliverLocked(std::move(out));
+    delivered = true;
+    pending_.erase(it);
+    if (pending_.empty()) {
+      idle_cv_.NotifyAll();
+    }
+  }
+  if (delivered) {
+    ResponsesCounter().Increment();
+  }
+}
+
+void Router::DeliverLocked(Response response) {
+  ++stats_.responses;
+  if (response.status.ok()) {
+    ++stats_.ok;
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_exceeded;
+  } else {
+    ++stats_.failed;
+  }
+  responses_.push_back(std::move(response));
+}
+
+void Router::MonitorLoop() {
+  const auto poll = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(options_.poll_seconds));
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (monitor_stop_) {
+        return;
+      }
+      const std::cv_status waited = monitor_cv_.WaitFor(mu_, poll);
+      (void)waited;
+      if (monitor_stop_) {
+        return;
+      }
+    }
+    // Shard state sweep (server calls happen without router.mu held).
+    const int n = num_shards();
+    for (int i = 0; i < n; ++i) {
+      Server& server = *shards_[static_cast<std::size_t>(i)]->server;
+      const ServerState state = server.state();
+      if (state == ServerState::kFailed) {
+        MarkShardDown(i, server.failed_status());
+        continue;
+      }
+      const int epoch = server.plan_epoch();
+      bool rejoin = false;
+      bool promote = false;
+      std::string why;
+      {
+        MutexLock lock(mu_);
+        Shard& sh = *shards_[static_cast<std::size_t>(i)];
+        if (sh.mode == ShardMode::kDown) {
+          continue;
+        }
+        if (epoch > sh.last_epoch) {
+          sh.last_epoch = epoch;
+          if (sh.mode == ShardMode::kHealthy || sh.mode == ShardMode::kDraining) {
+            // The shard replanned (verifier-gated degraded epoch): it serves
+            // again, but at reduced weight until it proves itself.
+            rejoin = true;
+            why = "degraded replan to epoch " + std::to_string(epoch);
+          }
+        } else if (sh.mode == ShardMode::kDraining &&
+                   SecondsSince(sh.drained_at) >= options_.drain_probation_seconds) {
+          rejoin = true;
+          why = "drain probation elapsed";
+        } else if (sh.mode == ShardMode::kRejoining &&
+                   sh.consecutive_ok >= options_.rejoin_ok_threshold) {
+          promote = true;
+        }
+      }
+      if (rejoin) {
+        MarkShardRejoining(i, why);
+      } else if (promote) {
+        MarkShardHealthy(i);
+      }
+    }
+    // Total outage: every chip gone. Announce once; pending work drains
+    // through the dead shards' error paths and redirects that find no
+    // survivor.
+    bool announce_outage = false;
+    {
+      MutexLock lock(mu_);
+      bool all_down = true;
+      for (const auto& sh : shards_) {
+        if (sh->mode != ShardMode::kDown) {
+          all_down = false;
+          break;
+        }
+      }
+      if (all_down && !total_outage_announced_) {
+        total_outage_announced_ = true;
+        announce_outage = true;
+      }
+    }
+    if (announce_outage) {
+      obs::Log(options_.journal, obs::Severity::kError, "router", "router.total_outage",
+               /*request_id=*/-1, /*plan_epoch=*/-1, "every shard is down");
+      DumpFlightRecorder("router: total outage (every shard down)");
+    }
+    // Hedge scan: deadline-bearing requests past their hedge point with one
+    // attempt outstanding get a duplicate on a different shard.
+    std::vector<std::pair<std::int64_t, int>> hedges;  // (client, avoid).
+    {
+      MutexLock lock(mu_);
+      if (options_.hedge_fraction > 0.0 && !draining_) {
+        const Clock::time_point now = Clock::now();
+        for (auto& [client_id, p] : pending_) {
+          if (p.delivered || p.hedged || !p.has_deadline ||
+              p.attempts_outstanding != 1 || now < p.hedge_at || now >= p.deadline) {
+            continue;
+          }
+          p.hedged = true;
+          ++stats_.hedges;
+          hedges.emplace_back(client_id, p.last_shard);
+        }
+      }
+    }
+    for (const auto& [client_id, avoid] : hedges) {
+      HedgeCounter().Increment();
+      obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.hedge",
+               client_id, /*plan_epoch=*/-1,
+               "hedging away from shard " + std::to_string(avoid));
+      // Failure to place the hedge is benign: the primary attempt is still
+      // in flight and owns the response.
+      const Status hedged = SubmitAttempt(client_id, avoid, "hedge");
+      (void)hedged;
+    }
+  }
+}
+
+void Router::MarkShardDown(int shard, const Status& why) {
+  {
+    MutexLock lock(mu_);
+    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    if (sh.mode == ShardMode::kDown) {
+      return;
+    }
+    sh.mode = ShardMode::kDown;
+    sh.weight = 0.0;
+    ++stats_.shard_downs;
+    ++stats_.rebalances;
+  }
+  ShardDownCounter().Increment();
+  obs::Log(options_.journal, obs::Severity::kError, "router", "router.shard_down",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "shard " + std::to_string(shard) + " lost: " + why.ToString());
+  obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.drain",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "shard " + std::to_string(shard) +
+               "'s queue drains; its requests redirect to survivors");
+  EmitRebalance("shard_down");
+  DumpFlightRecorder("router: shard " + std::to_string(shard) +
+                     " down: " + why.ToString());
+}
+
+void Router::MarkShardRejoining(int shard, const std::string& why) {
+  {
+    MutexLock lock(mu_);
+    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    if (sh.mode == ShardMode::kDown || sh.mode == ShardMode::kRejoining) {
+      return;
+    }
+    sh.mode = ShardMode::kRejoining;
+    sh.weight = options_.rejoin_weight;
+    sh.consecutive_ok = 0;
+    sh.window.clear();
+    sh.window_failures = 0;
+    ++stats_.rebalances;
+  }
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.rejoin", /*request_id=*/-1,
+           /*plan_epoch=*/-1,
+           "shard " + std::to_string(shard) + " rejoins at weight " +
+               std::to_string(options_.rejoin_weight) + " (" + why + ")");
+  EmitRebalance("rejoin");
+}
+
+void Router::MarkShardHealthy(int shard) {
+  {
+    MutexLock lock(mu_);
+    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    if (sh.mode != ShardMode::kRejoining) {
+      return;
+    }
+    sh.mode = ShardMode::kHealthy;
+    sh.weight = 1.0;
+    ++stats_.rejoins;
+    ++stats_.rebalances;
+  }
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.rejoin",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "shard " + std::to_string(shard) + " promoted to full weight");
+  EmitRebalance("promote");
+}
+
+void Router::EmitRebalance(const char* cause) {
+  std::string weights;
+  int routable = 0;
+  {
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!weights.empty()) {
+        weights += " ";
+      }
+      weights += std::to_string(i) + ":" + ShardModeName(shards_[i]->mode) + "/" +
+                 std::to_string(shards_[i]->weight);
+      if (Routable(shards_[i]->mode)) {
+        ++routable;
+      }
+    }
+  }
+  RebalanceCounter().Increment();
+  RoutableGauge().Set(static_cast<double>(routable));
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.rebalance",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           std::string(cause) + ": " + weights);
+}
+
+void Router::KillChip(int shard) {
+  shards_[static_cast<std::size_t>(shard)]->server->KillChip();
+  monitor_cv_.NotifyAll();
+}
+
+void Router::KillCore(int shard, int core) {
+  shards_[static_cast<std::size_t>(shard)]->server->KillCore(core);
+}
+
+void Router::WaitIdle() {
+  MutexLock lock(mu_);
+  while (!pending_.empty()) {
+    idle_cv_.Wait(mu_);
+  }
+}
+
+std::vector<Response> Router::TakeResponses() {
+  MutexLock lock(mu_);
+  std::vector<Response> taken = std::move(responses_);
+  responses_.clear();
+  return taken;
+}
+
+Status Router::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (stopped_) {
+      return shutdown_status_;
+    }
+    draining_ = true;
+    monitor_stop_ = true;
+    monitor_cv_.NotifyAll();
+  }
+  if (monitor_.joinable()) {
+    monitor_.join();
+  }
+  Status last_failure;
+  int survivors = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Status stopped = shards_[i]->server->Shutdown();
+    if (stopped.ok()) {
+      ++survivors;
+    } else {
+      last_failure = stopped;
+    }
+  }
+  // Every shard has drained, so every attempt has resolved; anything still
+  // pending never got an attempt placed (shutdown raced admission).
+  std::vector<std::int64_t> leftover;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [client_id, p] : pending_) {
+      (void)p;
+      leftover.push_back(client_id);
+    }
+    unmatched_.clear();
+  }
+  for (const std::int64_t client_id : leftover) {
+    FailPending(client_id, UnavailableError("router shutdown"));
+  }
+  {
+    MutexLock lock(mu_);
+    running_ = false;
+    stopped_ = true;
+    shutdown_status_ = survivors > 0 ? Status::Ok() : last_failure;
+    idle_cv_.NotifyAll();
+  }
+  return survivors > 0 ? Status::Ok() : last_failure;
+}
+
+int Router::num_op_slots() const {
+  MutexLock lock(mu_);
+  return num_op_slots_;
+}
+
+std::string Router::op_slot_name(int slot) const {
+  return shards_.front()->server->op_slot_name(slot);
+}
+
+int Router::routable_shards() const {
+  MutexLock lock(mu_);
+  int routable = 0;
+  for (const auto& sh : shards_) {
+    if (Routable(sh->mode)) {
+      ++routable;
+    }
+  }
+  return routable;
+}
+
+ShardSnapshot Router::shard_snapshot(int shard) const {
+  const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  ShardSnapshot snapshot;
+  snapshot.plan_epoch = sh.server->plan_epoch();
+  snapshot.outstanding = sh.server->outstanding();
+  snapshot.queue_depth = sh.server->queue_depth();
+  snapshot.stats = sh.server->stats();
+  MutexLock lock(mu_);
+  snapshot.mode = sh.mode;
+  snapshot.weight = sh.weight;
+  return snapshot;
+}
+
+RouterStats Router::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void Router::DumpFlightRecorder(const std::string& reason) {
+  if (options_.flight_recorder_path.empty() || options_.journal == nullptr) {
+    return;
+  }
+  const Status dumped = obs::DumpPostMortem(options_.flight_recorder_path, reason,
+                                            options_.journal, options_.tracer);
+  if (!dumped.ok()) {
+    obs::Log(options_.journal, obs::Severity::kError, "router", "flight_recorder.error",
+             /*request_id=*/-1, /*plan_epoch=*/-1, dumped.ToString());
+  }
+}
+
+}  // namespace serve
+}  // namespace t10

@@ -1,0 +1,297 @@
+// Sharded multi-chip serving tier (DESIGN.md "Sharded serving & chip-level
+// failover").
+//
+// A Router owns N per-chip serve::Server shards — the same CompiledModel
+// replicated on every chip; the compiler is untouched — and extends PR 5's
+// failover semantics from core granularity to chip granularity:
+//
+//   - Routing: each accepted request goes to the routable shard with the
+//     lowest weighted load (outstanding / weight; healthy weight 1.0,
+//     rejoining weight RouterOptions::rejoin_weight), round-robin on ties.
+//   - Per-shard circuit breakers: a shard whose recent-response failure rate
+//     crosses `failure_rate_threshold` over `failure_window` responses is
+//     drained (no new routes) and rejoins at reduced weight after probation
+//     or a fresh plan epoch; a shard that parks in kFailed (its own
+//     verifier-gated replan found no survivable topology) goes kDown
+//     permanently.
+//   - Chip-level failover: a dead shard's queued requests surface as
+//     kUnavailable responses, which the router redirects to survivors with a
+//     bounded per-request budget (`redirect_budget`); weights rebalance and
+//     the journal records router.{shard_down,drain,rebalance}.
+//   - Hedged retries: once `hedge_fraction` of a request's deadline elapses
+//     with exactly one attempt outstanding, a duplicate is sent to a second
+//     shard. The first audit-passing (OK + bit-identical) response wins;
+//     later arrivals are deduped at the router (never re-delivered) and
+//     counted router.hedge.wasted, so the one-response-per-client-request
+//     invariant and the bit-identity audit both hold.
+//   - Brownout admission: when every routable shard's queue is full, the
+//     router sheds latest-deadline-first *globally* — it evicts the queued
+//     request with the latest deadline across all shards (answered
+//     kResourceExhausted) iff the incoming deadline is earlier, otherwise
+//     the incoming request is shed. Tail overload degrades the latest
+//     deadlines instead of collapsing one shard's tail.
+//   - Total outage: when every shard is down the router journals
+//     router.total_outage, dumps the flight recorder, and keeps answering —
+//     every accepted request still gets exactly one (error) response.
+//
+// Lock discipline: every Server shares the lock site "serve.server.mu", so
+// the router NEVER holds its own mutex while calling into a shard (and
+// Server invokes on_response outside its lock). All router decisions
+// snapshot state under router.mu, release, then act.
+//
+// Thread-safety: the public API is fully thread-safe.
+
+#ifndef T10_SRC_SERVE_ROUTER_H_
+#define T10_SRC_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hardware/chip_spec.h"
+#include "src/ir/graph.h"
+#include "src/obs/journal.h"
+#include "src/obs/span.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace t10 {
+namespace serve {
+
+// Router-side view of one shard.
+enum class ShardMode {
+  kHealthy,    // Routable at full weight.
+  kRejoining,  // Routable at reduced weight until it proves itself.
+  kDraining,   // Breaker open: not routable; existing queue drains.
+  kDown,       // Chip lost (server kFailed). Permanent.
+};
+
+const char* ShardModeName(ShardMode mode);
+
+struct RouterOptions {
+  int num_shards = 2;
+  // Template for every shard's server; the router overrides request_id_base
+  // (disjoint id space per shard) and on_response (completion plumbing).
+  ServerOptions shard;
+
+  // Monitor cadence: hedge checks, breaker evaluation, shard-state polls.
+  double poll_seconds = 0.002;
+  // Hedge once this fraction of a request's deadline has elapsed with one
+  // attempt outstanding. <= 0 disables hedging; requests without deadlines
+  // are never hedged.
+  double hedge_fraction = 0.5;
+  // Redirects (re-routes of a failed attempt to another shard) allowed per
+  // request before the error is returned to the client.
+  int redirect_budget = 2;
+  // Weight a rejoining shard routes at, and the consecutive-OK count that
+  // promotes it back to kHealthy.
+  double rejoin_weight = 0.25;
+  int rejoin_ok_threshold = 8;
+  // Breaker: non-OK fraction over the last `failure_window` responses that
+  // drains a shard. The window must fill before the breaker can trip.
+  double failure_rate_threshold = 0.5;
+  int failure_window = 16;
+  // Seconds a drained (breaker-tripped) shard waits before rejoining when no
+  // replan epoch bump arrives first.
+  double drain_probation_seconds = 0.1;
+
+  // Router-level observability (shard-level instruments come from
+  // RouterOptions::shard). Flight-recorder dumps fire on every shard death
+  // and on total outage.
+  obs::Tracer* tracer = nullptr;
+  obs::EventJournal* journal = nullptr;
+  std::string flight_recorder_path;
+};
+
+struct ShardSnapshot {
+  ShardMode mode = ShardMode::kHealthy;
+  double weight = 1.0;
+  int plan_epoch = 0;
+  std::int64_t outstanding = 0;
+  int queue_depth = 0;
+  ServerStats stats;  // The shard server's own accounting.
+};
+
+struct RouterStats {
+  std::int64_t submitted = 0;   // Accepted by router admission.
+  std::int64_t responses = 0;   // Delivered to the client (one per accepted).
+  std::int64_t ok = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t failed = 0;      // Non-OK, non-deadline responses.
+  std::int64_t redirects = 0;   // Failed attempts re-routed to a survivor.
+  std::int64_t hedges = 0;      // Duplicate attempts launched.
+  std::int64_t hedge_wasted = 0;  // Hedge losers (arrived after delivery).
+  std::int64_t brownout_shed = 0;  // Queued victims evicted for earlier work.
+  int shard_downs = 0;          // Shards lost permanently.
+  int drains = 0;               // Breaker trips.
+  int rejoins = 0;              // Promotions back to full weight.
+  int rebalances = 0;           // Weight-set changes.
+};
+
+class Router {
+ public:
+  // Every shard serves `graph` on its own copy of `chip`. The graph must
+  // outlive the router.
+  Router(const ChipSpec& chip, const Graph& graph, RouterOptions options = {});
+  ~Router();  // Implies Shutdown().
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Starts every shard (each compiles its own epoch 0) and the monitor.
+  // Fails if any shard fails to start; already-started shards are shut down.
+  Status Start();
+
+  // Admits one request and routes it. Errors:
+  //   kResourceExhausted  every routable shard full and the request's
+  //                       deadline is not earlier than any queued victim's
+  //   kUnavailable        no routable shard (all down/draining)
+  //   kFailedPrecondition not started / shutting down
+  //   kInvalidArgument    op_slot out of range
+  // On success returns the router-level request id its Response carries.
+  StatusOr<std::int64_t> Submit(const Request& request);
+
+  // Chaos hooks, chip-scoped: kill one shard's whole chip (it will park in
+  // kFailed and the router fails over), or a single core on one shard.
+  void KillChip(int shard);
+  void KillCore(int shard, int core);
+
+  // Blocks until every accepted request has been answered.
+  void WaitIdle();
+
+  // Drains client-facing responses delivered so far.
+  std::vector<Response> TakeResponses();
+
+  // Stops admission, shuts every shard down (their queues drain through the
+  // normal response path, including redirects already in flight), joins the
+  // monitor. Idempotent. Returns OK if at least one shard survived, else the
+  // last shard's failure.
+  Status Shutdown();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_op_slots() const;
+  std::string op_slot_name(int slot) const;
+  // Shards currently routable (healthy or rejoining).
+  int routable_shards() const;
+  ShardSnapshot shard_snapshot(int shard) const;
+  RouterStats stats() const;
+
+ private:
+  // Per-shard routing state (router-side; the Server holds its own state).
+  struct Shard {
+    std::unique_ptr<Server> server;
+    ShardMode mode = ShardMode::kHealthy;
+    double weight = 1.0;
+    std::int64_t attempts_in_flight = 0;  // Router-tracked attempts.
+    // Breaker window: outcomes of the last failure_window attempt responses
+    // (true = counted failure). Sheds and deadline misses stay out — they
+    // are load signals, not chip-fault signals.
+    std::deque<bool> window;
+    int window_failures = 0;
+    int consecutive_ok = 0;
+    int last_epoch = 0;
+    Clock::time_point drained_at{};
+  };
+
+  // One client request's routing lifecycle.
+  struct Pending {
+    Request request;
+    std::int64_t client_id = -1;
+    Clock::time_point admitted_at{};
+    Clock::time_point deadline{};
+    Clock::time_point hedge_at{};  // admitted_at + hedge_fraction * budget.
+    bool has_deadline = false;
+    int redirects = 0;
+    bool hedged = false;
+    bool delivered = false;
+    int attempts_outstanding = 0;
+    int last_shard = -1;  // Where the most recent attempt went (hedge avoid).
+    Clock::time_point last_attempt_at{};
+    int flow_seq = 0;            // Flow-arrow sequence across attempts.
+    std::uint64_t last_flow = 0;  // Arrow the next attempt span receives.
+    std::optional<Response> stashed;  // Best non-winning terminal response.
+    obs::TraceContext trace;
+  };
+
+  void MonitorLoop();
+  void OnShardResponse(int shard, Response response);
+  // Applies one completed shard attempt to its client request: breaker
+  // window, dedupe, delivery, or redirect. Must be called WITHOUT mu_ held.
+  void ResolveAttempt(int shard, std::int64_t client_id, Response response);
+  // Routes one attempt for `client_id` to the best routable shard not equal
+  // to `avoid` (pass -1 to allow all). `kind` labels the journal entry
+  // ("route", "redirect", "hedge"). Applies brownout admission on global
+  // queue-full. Returns the error when no shard accepted. Must be called
+  // WITHOUT mu_ held.
+  Status SubmitAttempt(std::int64_t client_id, int avoid, const char* kind);
+  // Brownout admission: evict the globally latest-deadline queued victim if
+  // `incoming`'s deadline is earlier. Returns the shard that freed capacity,
+  // or -1 when the incoming request is itself the latest (shed it). Must be
+  // called WITHOUT mu_ held.
+  int TryBrownout(const Request& incoming, int avoid);
+  // Picks the lowest weighted-load routable shard, excluding `avoid` and
+  // anything in `exclude`; advances the round-robin tie-break. -1 when none.
+  int PickShard(int avoid, const std::vector<bool>& exclude) T10_REQUIRES(mu_);
+  // Delivers the final client response (buffer + stats). Runs under mu_ so
+  // the response is visible before the pending_ erase that follows it wakes
+  // WaitIdle — otherwise TakeResponses could miss the last response.
+  void DeliverLocked(Response response) T10_REQUIRES(mu_);
+  // Answers `client_id` with `status` unless it was already delivered or an
+  // attempt is still outstanding (then the error is stashed). Must be called
+  // WITHOUT mu_ held.
+  void FailPending(std::int64_t client_id, Status status);
+  // Registers a shard attempt for `client_id`, resolving the race where the
+  // shard answered before the mapping existed (returns that early response
+  // for the caller to resolve).
+  std::optional<std::pair<int, Response>> RegisterAttempt(std::int64_t client_id,
+                                                          int shard,
+                                                          std::int64_t shard_request_id);
+  // Mode transition helpers; all emit journal/rebalance events. Called
+  // without mu_ (they take it).
+  void MarkShardDown(int shard, const Status& why);
+  void MarkShardRejoining(int shard, const std::string& why);
+  void MarkShardHealthy(int shard);
+  void EmitRebalance(const char* cause);
+  void DumpFlightRecorder(const std::string& reason);
+
+  const RouterOptions options_;
+  const Graph& graph_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;  // Fixed after construction;
+                                                // Shard routing state guarded
+                                                // by mu_, server pointer const.
+
+  mutable Mutex mu_{"serve.router.mu"};
+  CondVar idle_cv_;     // pending_ empties.
+  CondVar monitor_cv_;  // Monitor wakeups (shutdown).
+  bool running_ T10_GUARDED_BY(mu_) = false;
+  bool draining_ T10_GUARDED_BY(mu_) = false;
+  bool stopped_ T10_GUARDED_BY(mu_) = false;
+  bool total_outage_announced_ T10_GUARDED_BY(mu_) = false;
+  bool monitor_stop_ T10_GUARDED_BY(mu_) = false;
+  Status shutdown_status_ T10_GUARDED_BY(mu_);
+  int num_op_slots_ T10_GUARDED_BY(mu_) = 0;  // Set at Start().
+  std::int64_t next_client_id_ T10_GUARDED_BY(mu_) = 1;
+  std::uint64_t round_robin_ T10_GUARDED_BY(mu_) = 0;
+  std::map<std::int64_t, Pending> pending_ T10_GUARDED_BY(mu_);
+  // shard request id -> client id, for completion matching.
+  std::map<std::int64_t, std::int64_t> attempt_to_client_ T10_GUARDED_BY(mu_);
+  // Shard responses that arrived before their attempt was registered.
+  std::map<std::int64_t, std::pair<int, Response>> unmatched_ T10_GUARDED_BY(mu_);
+  std::vector<Response> responses_ T10_GUARDED_BY(mu_);
+  RouterStats stats_ T10_GUARDED_BY(mu_);
+
+  std::thread monitor_;
+};
+
+}  // namespace serve
+}  // namespace t10
+
+#endif  // T10_SRC_SERVE_ROUTER_H_

@@ -1,5 +1,7 @@
 #include "src/serve/scheduler.h"
 
+#include <iterator>
+
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
@@ -33,7 +35,8 @@ obs::Counter& ShedCounter() {
 
 }  // namespace
 
-Scheduler::Scheduler(int capacity) : capacity_(capacity) {
+Scheduler::Scheduler(int capacity, std::int64_t id_base)
+    : capacity_(capacity), id_base_(id_base), next_id_(id_base) {
   // NOLINTNEXTLINE(lint.serve.check): constructor precondition, before any request exists.
   T10_CHECK_GE(capacity, 1) << "scheduler capacity";
 }
@@ -122,6 +125,36 @@ void Scheduler::Close() {
   MutexLock lock(mu_);
   closed_ = true;
   cv_.NotifyAll();
+}
+
+std::optional<Clock::time_point> Scheduler::PeekLatestVictimDeadline() const {
+  MutexLock lock(mu_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  const AdmittedRequest& victim = *queue_.rbegin();
+  if (!victim.has_deadline) {
+    return std::nullopt;  // No-deadline victim: always sheddable first.
+  }
+  return victim.deadline;
+}
+
+std::optional<AdmittedRequest> Scheduler::EvictLatest() {
+  MutexLock lock(mu_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  auto last = std::prev(queue_.end());
+  AdmittedRequest victim = *last;
+  queue_.erase(last);
+  ShedCounter().Increment();
+  obs::Log(journal_, obs::Severity::kWarn, "serve", "request.shed", victim.id,
+           /*plan_epoch=*/-1, "brownout: latest-deadline eviction");
+  QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  if (closed_ && queue_.empty()) {
+    cv_.NotifyAll();  // Same drain-release contract as PopBlocking.
+  }
+  return victim;
 }
 
 int Scheduler::size() const {

@@ -35,8 +35,10 @@ namespace serve {
 class Scheduler {
  public:
   // `capacity` is the maximum number of queued (not yet popped) requests;
-  // must be >= 1.
-  explicit Scheduler(int capacity);
+  // must be >= 1. `id_base` offsets every assigned request id — sharded
+  // deployments give each shard a disjoint base so ids (and the trace ids
+  // derived from them) stay globally unique.
+  explicit Scheduler(int capacity, std::int64_t id_base = 0);
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -69,6 +71,18 @@ class Scheduler {
   // blocked poppers wake once the queue empties.
   void Close();
 
+  // The deadline of the request that EvictLatest() would remove: the queued
+  // request that sorts last (latest deadline; any no-deadline request sorts
+  // after every deadline-bearing one). nullopt when the queue is empty or a
+  // no-deadline request is the victim (treated as "infinitely late").
+  std::optional<Clock::time_point> PeekLatestVictimDeadline() const;
+
+  // Removes and returns the latest-deadline queued request (brownout
+  // admission: the router sheds the globally latest deadline to admit an
+  // earlier one). nullopt when the queue is empty. The caller owns delivering
+  // the shed response — the one-response invariant still holds above.
+  std::optional<AdmittedRequest> EvictLatest();
+
   int size() const;
   bool closed() const;
 
@@ -86,6 +100,7 @@ class Scheduler {
   };
 
   const int capacity_;
+  const std::int64_t id_base_;
   obs::Tracer* tracer_ = nullptr;
   obs::EventJournal* journal_ = nullptr;
   mutable Mutex mu_{"serve.scheduler.mu"};

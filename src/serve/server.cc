@@ -1,6 +1,7 @@
 #include "src/serve/server.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/core/pass/plan_cache.h"
@@ -110,7 +111,7 @@ Server::Server(const ChipSpec& chip, const Graph& graph, ServerOptions options)
     : chip_(chip),
       graph_(graph),
       options_(std::move(options)),
-      scheduler_(options_.queue_capacity),
+      scheduler_(options_.queue_capacity, options_.request_id_base),
       pool_(chip_, options_.faults, options_.fault_tolerance,
             options_.retry_backoff_base_seconds, options_.num_workers),
       monitor_(options_.health_poll_seconds, [this] { return pool_.ProbeHealth(); },
@@ -120,7 +121,12 @@ Server::Server(const ChipSpec& chip, const Graph& graph, ServerOptions options)
   monitor_.SetJournal(options_.journal);
 }
 
-Server::~Server() { Shutdown(); }
+Server::~Server() {
+  // Destruction is a last-resort stop: the only possible error is "already
+  // stopped", which is exactly what the destructor wants.
+  const Status ignored = Shutdown();
+  (void)ignored;
+}
 
 Status Server::Start() {
   {
@@ -211,6 +217,11 @@ void Server::KillLink(int src_core, int dst_core) {
   monitor_.NotifySuspicion();
 }
 
+void Server::KillChip() {
+  pool_.KillChip(chip_.num_cores);
+  monitor_.NotifySuspicion();
+}
+
 void Server::WaitIdle() {
   MutexLock lock(mu_);
   while (outstanding_ != 0 || state_ == ServerState::kReplanning) {
@@ -286,6 +297,42 @@ int Server::plan_epoch() const {
 ServerStats Server::stats() const {
   MutexLock lock(mu_);
   return stats_;
+}
+
+Status Server::failed_status() const {
+  MutexLock lock(mu_);
+  return state_ == ServerState::kFailed ? failed_status_ : Status::Ok();
+}
+
+std::int64_t Server::outstanding() const {
+  MutexLock lock(mu_);
+  return outstanding_;
+}
+
+int Server::queue_depth() const { return scheduler_.size(); }
+
+std::optional<Clock::time_point> Server::PeekLatestVictimDeadline() const {
+  return scheduler_.PeekLatestVictimDeadline();
+}
+
+bool Server::TryShedLatestDeadline() {
+  std::optional<AdmittedRequest> victim = scheduler_.EvictLatest();
+  if (!victim.has_value()) {
+    return false;
+  }
+  Response response;
+  response.id = victim->id;
+  response.op_slot = victim->request.op_slot;
+  response.status =
+      ResourceExhaustedError("brownout: shed for an earlier-deadline request");
+  response.latency_seconds = SecondsSince(victim->admitted_at);
+  if (victim->trace.active()) {
+    const Clock::time_point now = Clock::now();
+    victim->trace.tracer->AddCompleted(victim->trace, "respond", now, now,
+                                       {{"status", response.status.ToString()}});
+  }
+  Deliver(std::move(response));
+  return true;
 }
 
 void Server::WorkerLoop(int worker) {
@@ -399,6 +446,18 @@ void Server::Process(int worker, AdmittedRequest admitted,
       pool_.Execute(worker, *plans, admitted.request.op_slot, admitted.request.input_seed,
                     admitted.request.max_retries, admitted.has_deadline, admitted.deadline,
                     execute_span.active() ? execute_span.context() : trace);
+  if (outcome.status.ok() && options_.pace_time_scale > 0.0) {
+    // Simulated-time pacing: the request occupies this worker for at least
+    // the dilated cost-model time, so throughput tracks simulated chip
+    // capacity (slower degraded epochs naturally serve fewer QPS).
+    const double target = options_.pace_time_scale *
+                          plans->slot(admitted.request.op_slot).simulated_seconds;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - execute_start).count();
+    if (elapsed < target) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(target - elapsed));
+    }
+  }
   const double execute_seconds =
       std::chrono::duration<double>(Clock::now() - execute_start).count();
   ExecuteHistogram().Record(execute_seconds);
@@ -499,19 +558,29 @@ void Server::Deliver(Response response) {
     // holds the events leading up to it, the dump preserves them.
     DumpFlightRecorder("non_ok_response: " + response.status.ToString());
   }
-  MutexLock lock(mu_);
-  ++stats_.responses;
-  if (response.status.ok()) {
-    ++stats_.ok;
-  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
-    ++stats_.deadline_exceeded;
-  } else {
-    ++stats_.failed;
+  {
+    MutexLock lock(mu_);
+    ++stats_.responses;
+    if (response.status.ok()) {
+      ++stats_.ok;
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    } else {
+      ++stats_.failed;
+    }
+    if (!options_.on_response) {
+      responses_.push_back(std::move(response));
+    }
+    --outstanding_;
+    if (outstanding_ == 0) {
+      idle_cv_.NotifyAll();
+    }
   }
-  responses_.push_back(std::move(response));
-  --outstanding_;
-  if (outstanding_ == 0) {
-    idle_cv_.NotifyAll();
+  if (options_.on_response) {
+    // Outside mu_: the callback may re-enter this server (Submit on redirect)
+    // or touch sibling shards; holding serve.server.mu here would nest the
+    // same lock site and trip the deadlock detector.
+    options_.on_response(std::move(response));
   }
 }
 

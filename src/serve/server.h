@@ -46,7 +46,9 @@
 #define T10_SRC_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -97,6 +99,22 @@ struct ServerOptions {
   double retry_backoff_base_seconds = 1e-4;
   // Gate every epoch (including the degraded ones) on the static verifier.
   bool verify_before_activate = true;
+  // First request id the scheduler assigns. Sharded deployments give each
+  // shard a disjoint base (shard i gets (i+1) * 1e9) so request ids — and
+  // the trace ids derived from them — are globally unique.
+  std::int64_t request_id_base = 0;
+  // Simulated-time pacing: when > 0, a successful execution occupies its
+  // worker for at least pace_time_scale * the slot's cost-model seconds
+  // (sleeping out the remainder). This makes throughput occupancy-bound —
+  // proportional to simulated chip capacity, not host CPU — so shard
+  // scaling and the cost of serving a slower degraded epoch are observable
+  // on any host. 0 (default) disables pacing.
+  double pace_time_scale = 0.0;
+  // When set, every Response is handed to this callback (invoked on the
+  // delivering worker thread, outside all server locks) instead of being
+  // buffered for TakeResponses(). The router uses this to observe shard
+  // completions without polling.
+  std::function<void(Response)> on_response;
 
   // Observability (all nullable/optional; the serving hot path allocates
   // nothing for any of them when unset). The tracer roots one trace per
@@ -148,6 +166,10 @@ class Server {
   // server, as the simulated fabric would mid-stream.
   void KillCore(int core);
   void KillLink(int src_core, int dst_core);
+  // Chip-scoped chaos: every core dies at once. The next replan finds no
+  // surviving core and parks the server in kFailed — the router's signal to
+  // fail the whole shard over.
+  void KillChip();
 
   // Blocks until every accepted request has its response and no failover is
   // in progress.
@@ -164,12 +186,28 @@ class Server {
   Status Shutdown();
 
   ServerState state() const;
+  // Why the server parked in kFailed (OK in any other state).
+  Status failed_status() const;
   // Operators this server can serve; Request::op_slot must be in
   // [0, num_op_slots). Stable across failovers.
   int num_op_slots() const;
   std::string op_slot_name(int slot) const;
   int plan_epoch() const;
   ServerStats stats() const;
+
+  // Load introspection for routing decisions: requests admitted but not yet
+  // answered, and the subset still sitting in the queue.
+  std::int64_t outstanding() const;
+  int queue_depth() const;
+
+  // Brownout hooks (router only). PeekLatestVictimDeadline reports the
+  // deadline of the queued request that would be shed next (nullopt: empty
+  // queue, or a no-deadline request — always sheddable). TryShedLatestDeadline
+  // evicts it and synchronously delivers its kResourceExhausted response
+  // (the one-response invariant holds; the response routes through
+  // on_response like any other). Returns false when the queue was empty.
+  std::optional<Clock::time_point> PeekLatestVictimDeadline() const;
+  bool TryShedLatestDeadline();
 
  private:
   void WorkerLoop(int worker);

@@ -33,7 +33,7 @@ enum class StatusCode {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string message)
@@ -90,7 +90,7 @@ inline Status CancelledError(std::string message) {
 // A Status or a value of type T. Accessing the value of a non-OK StatusOr
 // CHECK-fails (that is a bug in the caller, not an operational error).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor): implicit Status -> StatusOr is the error-return idiom.
     T10_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";

@@ -5,7 +5,8 @@
 //   t10c:      0 success, 1 model does not fit, 2 usage/flag error,
 //              3 verification failure, 4 fault-campaign failure.
 //   t10-serve: 0 success, 1 server failed to start or died, 2 usage error,
-//              5 serving integrity failure.
+//              5 serving integrity failure, 7 shard loss (sharded run ended
+//              with a chip permanently down, audit clean).
 //   t10-lint:  0 clean, 2 usage error, 6 lint findings.
 //
 // Binary paths are injected by CMake as T10_T10C_BIN / T10_T10_SERVE_BIN /
@@ -106,6 +107,29 @@ TEST(ExitCodesTest, T10ServeObservabilityFlagErrorsAreTwo) {
   EXPECT_EQ(RunT10Serve("--requests 4 --trace /no/such/dir/t.json > /dev/null 2>&1"), 2);
   EXPECT_EQ(
       RunT10Serve("--requests 4 --flight-recorder /no/such/dir/fr.json > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10ServeShardedSuccessIsZero) {
+  EXPECT_EQ(RunT10Serve("--requests 6 --cores 8 --shards 2 > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10ServeShardedUsageErrorsAreTwo) {
+  EXPECT_EQ(RunT10Serve("--requests 4 --shards -1 > /dev/null 2>&1"), 2);
+  // Chip-kill chaos flags require the sharded tier...
+  EXPECT_EQ(RunT10Serve("--requests 4 --chaos-kill-chip-at 1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--requests 4 --chaos-chip 1 > /dev/null 2>&1"), 2);
+  // ...and the target chip must exist.
+  EXPECT_EQ(
+      RunT10Serve("--requests 4 --shards 2 --chaos-chip 2 > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10ServeShardLossIsSeven) {
+  // A mid-run chip kill downs one shard permanently; the survivors answer
+  // everything (audit clean), so the run reports shard loss, not integrity
+  // failure.
+  EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 2 --retries 2 "
+                        "--chaos-kill-chip-at 4 --chaos-chip 0 > /dev/null 2>&1"),
+            7);
 }
 
 TEST(ExitCodesTest, T10LintCleanInputIsZero) {
