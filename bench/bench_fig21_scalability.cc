@@ -4,9 +4,14 @@
 // Roller; with multiple chips Roller's transfer time can even grow, while
 // T10's does not.
 
+#include <fstream>
+
 #include "bench/common.h"
 #include "src/baselines/vgm.h"
 #include "src/core/compiler.h"
+#include "src/core/sharded_compiler.h"
+#include "src/hardware/cluster_spec.h"
+#include "src/ir/builder.h"
 #include "src/models/zoo.h"
 
 namespace t10 {
@@ -17,6 +22,98 @@ ChipSpec ChipWithCores(int cores) {
     return ChipSpec::ScaledIpu(cores);
   }
   return ChipSpec::VIpu(cores / 1472);
+}
+
+// A 4-layer square MLP: width H gives 4 * H*H F16 weight tensors, the knob
+// the sweep turns to find the largest model a cluster can hold resident.
+Graph DeepMlp(std::int64_t width) {
+  Graph g("deep-mlp-" + std::to_string(width));
+  std::string in = "x";
+  for (int layer = 0; layer < 4; ++layer) {
+    const std::string w = "w" + std::to_string(layer);
+    const std::string out = layer == 3 ? "y" : "h" + std::to_string(layer);
+    g.Add(MatMulOp("fc" + std::to_string(layer), 32, width, width, DataType::kF16,
+                   in, w, out));
+    g.MarkWeight(w);
+    in = out;
+  }
+  return g;
+}
+
+struct SweepPoint {
+  int chips = 0;
+  std::int64_t max_width = 0;
+  std::int64_t max_weight_bytes = 0;
+  double bottleneck_seconds = 0.0;
+  double handoff_seconds = 0.0;
+  int stages = 0;
+};
+
+// Multi-chip sharded compilation: the max servable model must grow with the
+// chip count — the whole point of partitioning one model across a cluster.
+void MultiChipSweep() {
+  std::printf("\n");
+  bench::Header("Multi-chip scaling",
+                "Max servable model vs chip count (sharded pipeline-parallel)");
+  const ChipSpec chip = ChipSpec::ScaledIpu(16);
+  const std::int64_t step = bench::QuickMode() ? 512 : 256;
+  const std::int64_t limit = bench::QuickMode() ? 4096 : 8192;
+
+  std::vector<SweepPoint> points;
+  Table table({"Chips", "Max width", "Weights", "Stages", "Bottleneck", "Handoff"});
+  for (const int chips : {1, 2, 4}) {
+    const ClusterSpec cluster = ClusterSpec::Homogeneous(chip, chips);
+    SweepPoint point;
+    point.chips = chips;
+    for (std::int64_t width = step; width <= limit; width += step) {
+      Graph graph = DeepMlp(width);
+      ShardedCompiler compiler(cluster);
+      ShardedCompiledModel model = compiler.Compile(graph);
+      if (!model.fits) {
+        break;  // Widths are monotone in weight bytes: the first miss ends it.
+      }
+      point.max_width = width;
+      point.max_weight_bytes = 4 * width * width * 2;  // 4 F16 layers.
+      point.bottleneck_seconds = model.BottleneckSeconds();
+      point.handoff_seconds = model.partition.handoff_seconds;
+      point.stages = model.num_stages();
+    }
+    points.push_back(point);
+    table.AddRow({std::to_string(chips), std::to_string(point.max_width),
+                  FormatDouble(static_cast<double>(point.max_weight_bytes) / (1 << 20), 1) +
+                      "MiB",
+                  std::to_string(point.stages), bench::Ms(point.bottleneck_seconds),
+                  bench::Ms(point.handoff_seconds)});
+  }
+  table.Print();
+  bench::Note(
+      "The largest resident model grows with the chip count: each added chip "
+      "contributes its distributed scratchpad, at the price of one more "
+      "boundary handoff over the inter-chip link.");
+
+  // JSON baseline for regression tracking (BENCH_multichip_scaling.json).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): benchmarks read the environment single-threaded.
+  if (const char* json_path = std::getenv("T10_BENCH_JSON");
+      json_path != nullptr && json_path[0] != '\0') {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"multichip_scaling\",\n  \"layers\": 4,\n  \"scaling\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      out << "    {\"chips\": " << p.chips << ", \"max_width\": " << p.max_width
+          << ", \"max_weight_bytes\": " << p.max_weight_bytes
+          << ", \"stages\": " << p.stages
+          << ", \"bottleneck_ms\": " << FormatDouble(p.bottleneck_seconds * 1e3, 3)
+          << ", \"handoff_ms\": " << FormatDouble(p.handoff_seconds * 1e3, 3) << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    const double growth =
+        points.front().max_weight_bytes > 0
+            ? static_cast<double>(points.back().max_weight_bytes) /
+                  static_cast<double>(points.front().max_weight_bytes)
+            : 0.0;
+    out << "  ],\n  \"capacity_growth_4_chips\": " << FormatDouble(growth, 2) << "\n}\n";
+    std::printf("multichip baseline written to %s\n", json_path);
+  }
 }
 
 void Run() {
@@ -51,6 +148,7 @@ void Run() {
   bench::Note(
       "Paper: both scale with cores; crossing the chip boundary (>1472) costs Roller extra "
       "transfer time while T10's stays flat; T10 often matches Roller with half the cores.");
+  MultiChipSweep();
 }
 
 }  // namespace

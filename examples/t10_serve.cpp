@@ -14,11 +14,20 @@
 // entire chip mid-run; the router must fail the shard over (redirecting its
 // requests to survivors) while the audit still balances.
 //
+// With --shard-mode pipeline the N chips form a ClusterSpec instead of N
+// replicas: the (deeper) pipeline demo model is partitioned into stages,
+// each stage served by its own chip, and every request flows through the
+// whole stage chain (handoffs carry the remaining deadline budget; the
+// final bit-identity is the AND over every per-op audit on the chain).
+// Killing a core on one stage replans exactly that stage; killing a stage's
+// chip fails the chains that cross it — still exactly one response each.
+//
 //   $ ./examples/t10_serve [--requests N] [--qps Q] [--deadline-ms D]
 //                          [--queue-cap C] [--workers W] [--cores N]
 //                          [--faults SPEC] [--chaos-kill-core-at K]
 //                          [--chaos-core ID] [--retries R] [--seed S]
-//                          [--shards N] [--chaos-kill-chip-at K]
+//                          [--shards N] [--shard-mode replicated|pipeline]
+//                          [--chaos-kill-chip-at K]
 //                          [--chaos-chip ID] [--pace-scale X]
 //                          [--metrics out.json] [--trace out.json]
 //                          [--flight-recorder out.json]
@@ -27,8 +36,8 @@
 // Exit codes: 0 success; 1 server failed to start or died; 2 usage error;
 // 5 serving integrity failure (lost or duplicated responses, or an OK
 // response that was not bit-identical to the reference); 7 shard loss (the
-// sharded run ended with one or more shards permanently down — including a
-// total outage — but the audit balanced).
+// sharded run ended with one or more shards — or pipeline stages —
+// permanently down, including a total outage, but the audit balanced).
 
 #include <algorithm>
 #include <chrono>
@@ -67,6 +76,16 @@ unary  name=relu shape=16x32 in=h1 out=h2 cost=2 dtype=f32
 matmul name=fc2 m=16 k=32 n=16 a=h2 b=w2 c=y dtype=f32 weight=w2
 )";
 
+// Pipeline-mode demo: one extra layer so a 4-chip cluster gets one operator
+// per stage and every handoff carries a real boundary tensor.
+const char* kPipelineModel = R"(
+model serve-pipe-mlp
+matmul name=fc1 m=16 k=32 n=32 a=x b=w1 c=h1 dtype=f32 weight=w1
+unary  name=relu shape=16x32 in=h1 out=h2 cost=2 dtype=f32
+matmul name=fc2 m=16 k=32 n=32 a=h2 b=w2 c=h3 dtype=f32 weight=w2
+matmul name=fc3 m=16 k=32 n=16 a=h3 b=w3 c=y dtype=f32 weight=w3
+)";
+
 void Usage() {
   std::printf(
       "usage: t10_serve [options]\n"
@@ -88,6 +107,10 @@ void Usage() {
       "  --seed S                base input seed (default 1)\n"
       "  --shards N              serve through the sharded multi-chip router with N\n"
       "                          per-chip server shards (0 = single server, default)\n"
+      "  --shard-mode M          what the N chips hold (requires --shards): 'replicated'\n"
+      "                          (default; N whole-model replicas) or 'pipeline' (a\n"
+      "                          ClusterSpec of N chips serving the partitioned model\n"
+      "                          as a stage chain; requests flow through every stage)\n"
       "  --chaos-kill-chip-at K  after the K-th submission (1-based), kill one shard's\n"
       "                          entire chip; the router must fail the shard over\n"
       "                          (requires --shards >= 1)\n"
@@ -124,6 +147,7 @@ int main(int argc, char** argv) {
   int chaos_at = 0;  // 0 = never.
   int chaos_core = -1;
   int shards = 0;  // 0 = legacy single-server path.
+  bool pipeline = false;  // --shard-mode pipeline.
   int chip_kill_at = 0;  // 0 = never.
   int chaos_chip = 0;
   double pace_scale = 0.0;
@@ -168,6 +192,18 @@ int main(int argc, char** argv) {
       chaos_core = std::atoi(flag_value(i, "--chaos-core"));
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards = std::atoi(flag_value(i, "--shards"));
+    } else if (std::strcmp(argv[i], "--shard-mode") == 0) {
+      const char* text = flag_value(i, "--shard-mode");
+      if (std::strcmp(text, "replicated") == 0) {
+        pipeline = false;
+      } else if (std::strcmp(text, "pipeline") == 0) {
+        pipeline = true;
+      } else {
+        std::fprintf(stderr,
+                     "t10_serve: --shard-mode expects 'replicated' or 'pipeline', got '%s'\n",
+                     text);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--chaos-kill-chip-at") == 0) {
       chip_kill_at = std::atoi(flag_value(i, "--chaos-kill-chip-at"));
     } else if (std::strcmp(argv[i], "--chaos-chip") == 0) {
@@ -200,6 +236,10 @@ int main(int argc, char** argv) {
   }
   if (shards == 0 && (chip_kill_at > 0 || chaos_chip != 0)) {
     std::fprintf(stderr, "t10_serve: --chaos-kill-chip-at/--chaos-chip require --shards\n");
+    return 2;
+  }
+  if (pipeline && shards == 0) {
+    std::fprintf(stderr, "t10_serve: --shard-mode pipeline requires --shards >= 1\n");
     return 2;
   }
   if (shards > 0 && (chaos_chip < 0 || chaos_chip >= shards)) {
@@ -256,7 +296,7 @@ int main(int argc, char** argv) {
     options.faults = *std::move(spec);
   }
 
-  StatusOr<Graph> parsed = TryParseModelText(kDemoModel);
+  StatusOr<Graph> parsed = TryParseModelText(pipeline ? kPipelineModel : kDemoModel);
   if (!parsed.ok()) {
     std::fprintf(stderr, "t10_serve: demo model: %s\n", parsed.status().ToString().c_str());
     return 1;
@@ -284,15 +324,42 @@ int main(int argc, char** argv) {
     ropts.journal = journal.get();
     ropts.flight_recorder_path = flight_recorder_path;
 
-    serve::Router router(chip, graph, ropts);
-    std::printf("t10_serve: compiling '%s' for %d x %s (%d workers/shard, queue %d)...\n",
-                graph.name().c_str(), shards, chip.name.c_str(), workers, queue_cap);
+    // Pipeline mode swaps N replicas for a ClusterSpec of N chips serving
+    // the partitioned model as a stage chain; everything below (load loop,
+    // chaos hooks, audit) is mode-agnostic.
+    std::unique_ptr<serve::Router> owned_router;
+    if (pipeline) {
+      const ClusterSpec cluster = ClusterSpec::Homogeneous(chip, shards);
+      owned_router = std::make_unique<serve::Router>(cluster, graph, ropts);
+      std::printf(
+          "t10_serve: partitioning '%s' (%d ops) across %s (%d workers/stage, queue %d)...\n",
+          graph.name().c_str(), graph.num_ops(), cluster.name.c_str(), workers, queue_cap);
+    } else {
+      owned_router = std::make_unique<serve::Router>(chip, graph, ropts);
+      std::printf("t10_serve: compiling '%s' for %d x %s (%d workers/shard, queue %d)...\n",
+                  graph.name().c_str(), shards, chip.name.c_str(), workers, queue_cap);
+    }
+    serve::Router& router = *owned_router;
     if (Status started = router.Start(); !started.ok()) {
       std::fprintf(stderr, "t10_serve: start: %s\n", started.ToString().c_str());
       return 1;
     }
-    std::printf("t10_serve: %d shard(s) serving %d op slot(s)\n", router.num_shards(),
-                router.num_op_slots());
+    // The partition decides the stage count; re-check the chaos target now.
+    const int total_shards = router.num_shards();
+    if (chaos_chip >= total_shards) {
+      std::fprintf(stderr, "t10_serve: --chaos-chip %d out of range [0, %d)\n", chaos_chip,
+                   total_shards);
+      const Status stopped = router.Shutdown();
+      (void)stopped;
+      return 2;
+    }
+    if (pipeline) {
+      std::printf("t10_serve: %d pipeline stage(s) serving '%s'\n", total_shards,
+                  router.op_slot_name(0).c_str());
+    } else {
+      std::printf("t10_serve: %d shard(s) serving %d op slot(s)\n", total_shards,
+                  router.num_op_slots());
+    }
 
     const auto t0 = serve::Clock::now();
     std::int64_t accepted = 0, shed = 0, rejected = 0;
@@ -387,12 +454,12 @@ int main(int argc, char** argv) {
                 static_cast<long long>(rstats.hedges),
                 static_cast<long long>(rstats.hedge_wasted));
     std::printf("shards: %d/%d routable | shard_downs=%d drains=%d rejoins=%d "
-                "rebalances=%d | lost=%lld duplicated=%lld unknown=%lld "
+                "rebalances=%d handoffs=%lld | lost=%lld duplicated=%lld unknown=%lld "
                 "not_identical=%lld\n",
-                routable, shards, rstats.shard_downs, rstats.drains, rstats.rejoins,
-                rstats.rebalances, static_cast<long long>(lost),
-                static_cast<long long>(duplicated), static_cast<long long>(unknown),
-                static_cast<long long>(not_identical));
+                routable, total_shards, rstats.shard_downs, rstats.drains, rstats.rejoins,
+                rstats.rebalances, static_cast<long long>(rstats.handoffs),
+                static_cast<long long>(lost), static_cast<long long>(duplicated),
+                static_cast<long long>(unknown), static_cast<long long>(not_identical));
     if (!shutdown.ok()) {
       std::fprintf(stderr, "t10_serve: router shutdown: %s\n", shutdown.ToString().c_str());
     }
@@ -405,8 +472,12 @@ int main(int argc, char** argv) {
       summary.AddRow({"responses failed", std::to_string(failed)});
       summary.AddRow({"shed at admission", std::to_string(shed)});
       summary.AddRow({"rejected (no routable shard)", std::to_string(rejected)});
+      summary.AddRow({"shard mode", pipeline ? "pipeline" : "replicated"});
       summary.AddRow({"routable shards at end",
-                      std::to_string(routable) + " of " + std::to_string(shards)});
+                      std::to_string(routable) + " of " + std::to_string(total_shards)});
+      if (pipeline) {
+        summary.AddRow({"pipeline handoffs", std::to_string(rstats.handoffs)});
+      }
       summary.AddRow({"redirects", std::to_string(rstats.redirects)});
       summary.AddRow({"hedges launched / wasted", std::to_string(rstats.hedges) + " / " +
                                                       std::to_string(rstats.hedge_wasted)});
@@ -415,10 +486,10 @@ int main(int argc, char** argv) {
                       std::to_string(rstats.shard_downs) + " / " +
                           std::to_string(rstats.drains) + " / " +
                           std::to_string(rstats.rejoins)});
-      for (int s = 0; s < shards; ++s) {
+      for (int s = 0; s < total_shards; ++s) {
         const serve::ShardSnapshot snap = router.shard_snapshot(s);
-        summary.AddRow({"shard " + std::to_string(s),
-                        std::string(serve::ShardModeName(snap.mode)) + ", epoch " +
+        summary.AddRow({(pipeline ? "stage " : "shard ") + std::to_string(s),
+                        std::string(serve::ShardStateName(snap.state)) + ", epoch " +
                             std::to_string(snap.plan_epoch) + ", " +
                             std::to_string(snap.stats.responses) + " responses"});
       }
@@ -465,9 +536,10 @@ int main(int argc, char** argv) {
     }
     if (rstats.shard_downs > 0) {
       std::fprintf(stderr,
-                   "t10_serve: SHARD LOSS: %d shard(s) permanently down, %d of %d "
+                   "t10_serve: SHARD LOSS: %d %s permanently down, %d of %d "
                    "routable at end\n",
-                   rstats.shard_downs, routable, shards);
+                   rstats.shard_downs, pipeline ? "stage(s)" : "shard(s)", routable,
+                   total_shards);
       return 7;
     }
     if (!shutdown.ok()) {

@@ -20,7 +20,10 @@
 #include "src/core/codegen.h"
 #include "src/core/compiler.h"
 #include "src/core/memory_planner.h"
+#include "src/core/sharded_compiler.h"
 #include "src/core/trace_export.h"
+#include "src/hardware/cluster_spec.h"
+#include "src/verify/cluster_checks.h"
 #include "src/obs/span.h"
 #include "src/sim/trace.h"
 #include "src/fault/campaign.h"
@@ -49,6 +52,13 @@ void Usage() {
       "options:\n"
       "  --demo             compile the built-in demo MLP instead of a model file\n"
       "  --cores N          compile for a scaled chip with N cores (default 1472, IPU Mk2)\n"
+      "  --chips N          shard the model across a homogeneous N-chip cluster\n"
+      "                     (pipeline stages over the inter-chip link; each chip is\n"
+      "                     the --cores spec). Prints the per-stage report, simulates\n"
+      "                     the boundary transfers, and with --verify runs the\n"
+      "                     cross-chip rule set. --code/--trace/--faults are\n"
+      "                     single-chip features and reject --chips > 1\n"
+      "  --topology T       cluster link topology for --chips: ring (default) or mesh\n"
       "  --verify           run the static verifier on the compiled model (graph, plans,\n"
       "                     lowered programs, memory plan); print diagnostics to stderr\n"
       "                     and exit 3 if any rule fails\n"
@@ -97,6 +107,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   int cores = 1472;
   bool cores_explicit = false;
+  int num_chips = 1;
+  ClusterTopology topology = ClusterTopology::kRing;
   bool demo = false;
   bool run_verify = false;
   bool verify_strict = false;
@@ -130,6 +142,27 @@ int main(int argc, char** argv) {
       cores_explicit = true;
       if (cores <= 0) {
         std::fprintf(stderr, "t10c: --cores expects a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--chips") == 0 ||
+               std::strncmp(argv[i], "--chips=", 8) == 0) {
+      const char* text = argv[i][7] == '=' ? argv[i] + 8 : flag_value(i, "--chips");
+      char* end = nullptr;
+      const long parsed_chips = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || parsed_chips < 1 || parsed_chips > 1024) {
+        std::fprintf(stderr, "t10c: --chips expects a positive integer, got '%s'\n", text);
+        return 2;
+      }
+      num_chips = static_cast<int>(parsed_chips);
+    } else if (std::strcmp(argv[i], "--topology") == 0 ||
+               std::strncmp(argv[i], "--topology=", 11) == 0) {
+      const char* text = argv[i][10] == '=' ? argv[i] + 11 : flag_value(i, "--topology");
+      if (std::strcmp(text, "ring") == 0) {
+        topology = ClusterTopology::kRing;
+      } else if (std::strcmp(text, "mesh") == 0) {
+        topology = ClusterTopology::kMesh;
+      } else {
+        std::fprintf(stderr, "t10c: --topology expects 'ring' or 'mesh', got '%s'\n", text);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -234,6 +267,106 @@ int main(int argc, char** argv) {
   }
   Graph graph = *std::move(parsed);
   ChipSpec chip = cores == 1472 ? ChipSpec::IpuMk2() : ChipSpec::ScaledIpu(cores);
+
+  if (num_chips > 1) {
+    // Sharded compilation: pipeline stages across a homogeneous cluster.
+    if (!code_path.empty() || !trace_path.empty() || run_faults) {
+      std::fprintf(stderr,
+                   "t10c: --code/--trace/--faults are single-chip features; "
+                   "drop them or --chips\n");
+      return 2;
+    }
+    ClusterSpec cluster = ClusterSpec::Homogeneous(chip, num_chips, topology);
+    std::printf("t10c: sharding '%s' (%d ops) across %s...\n", graph.name().c_str(),
+                graph.num_ops(), cluster.name.c_str());
+
+    obs::Tracer compile_tracer;
+    CompileOptions compile_options;
+    compile_options.jobs = jobs;
+    compile_options.plan_cache_dir = plan_cache_dir;
+    if (!trace_spans_path.empty()) {
+      compile_options.tracer = &compile_tracer;
+    }
+    ShardedCompiler compiler(cluster, compile_options);
+    ShardedCompiledModel model = compiler.Compile(graph);
+    if (!model.fits) {
+      std::printf("error: %s\n", model.unfit_reason.c_str());
+      return 1;
+    }
+
+    Table table({"stage", "chip", "ops", "exec", "peak/core", "boundary out"});
+    for (int s = 0; s < model.num_stages(); ++s) {
+      const CompiledStage& stage = model.stages[static_cast<std::size_t>(s)];
+      const auto [first, last] = model.partition.stage_ops[static_cast<std::size_t>(s)];
+      std::string ops_label;
+      for (int i = first; i <= last; ++i) {
+        if (!ops_label.empty()) {
+          ops_label += ",";
+        }
+        ops_label += graph.op(i).name();
+      }
+      table.AddRow({std::to_string(s), cluster.chips[static_cast<std::size_t>(s)].name,
+                    ops_label, FormatSeconds(stage.model.TotalSeconds()),
+                    FormatBytes(stage.model.memory_peak_bytes),
+                    FormatBytes(stage.transfer.interchip_bytes) + " / " +
+                        FormatSeconds(stage.transfer.interchip_seconds)});
+    }
+    table.Print();
+    std::printf(
+        "\npipeline total %s (bottleneck stage %s, handoffs %s) | "
+        "boundary %s over %d tensor(s)\n",
+        FormatSeconds(model.TotalSeconds()).c_str(),
+        FormatSeconds(model.BottleneckSeconds()).c_str(),
+        FormatSeconds(model.partition.handoff_seconds).c_str(),
+        FormatBytes(model.partition.BoundaryBytes()).c_str(),
+        static_cast<int>(model.partition.boundaries.size()));
+
+    // Drive the boundary tensors through the simulated inter-chip channel;
+    // a corrupted arrival is an operational failure (exit 4), like --faults.
+    StatusOr<double> link_seconds = SimulateBoundaryTransfers(model);
+    if (!link_seconds.ok()) {
+      std::fprintf(stderr, "t10c: inter-chip simulation: %s\n",
+                   link_seconds.status().ToString().c_str());
+      return 4;
+    }
+    std::printf("inter-chip link: %s transferred bit-identically in %s (simulated)\n",
+                FormatBytes(model.partition.BoundaryBytes()).c_str(),
+                FormatSeconds(*link_seconds).c_str());
+
+    if (run_verify) {
+      const verify::Verifier verifier(chip, verify::VerifyOptions{verify_strict});
+      const verify::VerifyResult result = verify::VerifyShardedModel(
+          model, graph, verify::VerifyOptions{verify_strict});
+      if (!result.ok(verifier.fail_threshold())) {
+        std::fprintf(stderr, "%s", result.Listing().c_str());
+        std::fprintf(stderr, "t10c: cross-chip verification failed for '%s'\n",
+                     graph.name().c_str());
+        return 3;
+      }
+      if (!result.empty()) {
+        std::fprintf(stderr, "%s", result.Listing().c_str());
+      }
+      std::printf("verify: %s passed across %d chip(s) (%d diagnostic(s))\n",
+                  verify_strict ? "strict" : "default", model.num_stages(),
+                  static_cast<int>(result.diagnostics().size()));
+    }
+
+    if (!trace_spans_path.empty()) {
+      TraceWriter spans;
+      AppendTracer(compile_tracer, spans);
+      if (const Status written = spans.WriteFile(trace_spans_path); !written.ok()) {
+        std::fprintf(stderr, "t10c: --trace-spans: %s\n", written.ToString().c_str());
+        return 2;
+      }
+      std::printf("compile span trace written to %s\n", trace_spans_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::Global().WriteFile(metrics_path);
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+    return 0;
+  }
+
   std::printf("t10c: compiling '%s' (%d ops) for %s...\n", graph.name().c_str(),
               graph.num_ops(), chip.name.c_str());
 

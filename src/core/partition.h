@@ -1,0 +1,74 @@
+// Operator-granularity pipeline partitioning of a Graph over a ClusterSpec.
+//
+// The cut model: stages are contiguous runs of the topological operator
+// order, stage i runs on chips[i], and every tensor produced in one stage
+// and consumed in a later one crosses the cluster link tier exactly once per
+// consuming stage. Cut selection is a deterministic dynamic program that
+// minimizes the pipeline bottleneck — the slowest stage's analytic compute +
+// fabric estimate plus the link time of its incoming boundary — subject to
+// each stage's resident bytes (weights + working set + boundaries) fitting
+// its chip's distributed scratchpad. The analytic estimate only picks the
+// cut; the real numbers come from compiling each stage through the standard
+// pass pipeline (src/core/sharded_compiler.*).
+//
+// This header is include-light on purpose: CompilationContext embeds a
+// GraphPartitionResult, so it must not depend on the pass machinery.
+
+#ifndef T10_SRC_CORE_PARTITION_H_
+#define T10_SRC_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/hardware/cluster_spec.h"
+#include "src/ir/graph.h"
+
+namespace t10 {
+
+// One cross-stage tensor edge: produced on stage src_stage, consumed on
+// dst_stage, moved once over the cluster link. This is the boundary tensor's
+// transfer program: hops and seconds are fixed at partition time from the
+// cluster's topology and link tier.
+struct StageBoundary {
+  std::string tensor;
+  std::int64_t bytes = 0;
+  int src_stage = -1;
+  int dst_stage = -1;
+  int hops = 0;
+  double transfer_seconds = 0.0;
+};
+
+struct GraphPartitionResult {
+  bool feasible = false;
+  std::string reason;  // Why infeasible; empty when feasible.
+  int num_stages = 0;
+  std::vector<int> stage_of_op;                 // Operator index -> stage.
+  std::vector<std::pair<int, int>> stage_ops;   // Per stage: [first_op, last_op].
+  std::vector<StageBoundary> boundaries;        // Sorted by (src, dst, tensor).
+  std::vector<double> stage_cost_seconds;       // Analytic per-stage estimate.
+  std::vector<std::int64_t> stage_resident_bytes;  // Capacity estimate per stage.
+  double bottleneck_seconds = 0.0;  // max(stage_cost_seconds).
+  double handoff_seconds = 0.0;     // sum of boundary transfer_seconds.
+
+  // Total bytes crossing the link tier.
+  std::int64_t BoundaryBytes() const;
+  // Boundaries leaving `stage` (the stage's outgoing transfer program).
+  std::vector<StageBoundary> OutgoingBoundaries(int stage) const;
+};
+
+// Partitions `graph` into min(cluster.num_chips(), graph.num_ops()) stages,
+// one per chip in chip order. Infeasible (feasible = false, reason set) when
+// the graph is empty or no contiguous cut keeps every stage within its
+// chip's total scratchpad.
+GraphPartitionResult PartitionGraph(const Graph& graph, const ClusterSpec& cluster);
+
+// The executable subgraph of one stage: its operators in order, parent
+// weights re-marked as weights, and tensors entering from earlier stages
+// (or from the host) appearing as plain graph inputs.
+Graph BuildStageGraph(const Graph& graph, const GraphPartitionResult& partition, int stage);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PARTITION_H_

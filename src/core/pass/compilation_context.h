@@ -19,9 +19,11 @@
 #include "src/core/compiler.h"
 #include "src/core/inter_op.h"
 #include "src/core/memory_planner.h"
+#include "src/core/partition.h"
 #include "src/core/pass/plan_cache.h"
 #include "src/core/search.h"
 #include "src/hardware/chip_spec.h"
+#include "src/hardware/cluster_spec.h"
 #include "src/hardware/timing_source.h"
 #include "src/ir/graph.h"
 #include "src/obs/span.h"
@@ -76,6 +78,17 @@ class CompilerResources {
 struct CompilationContext {
   const Graph* graph = nullptr;
   CompilerResources* resources = nullptr;
+
+  // Per-chip dimension of a sharded (multi-chip) compile: the cluster being
+  // targeted, and — for one stage's pipeline — which chip it runs on. A
+  // single-chip compile leaves both at their defaults and every pass behaves
+  // exactly as before.
+  const ClusterSpec* cluster = nullptr;
+  int chip_index = -1;
+
+  // GraphPartition artifact: the operator -> stage assignment and the
+  // boundary transfer program for the whole cluster.
+  GraphPartitionResult partition;
 
   // Tracing context for this compile (inactive unless CompileOptions::tracer
   // is set). The PassManager re-parents it to the running pass's span, so

@@ -1,0 +1,27 @@
+// Pass 0 of a sharded compile: split the graph across the cluster's chips.
+//
+// Runs only when the context carries a ClusterSpec (ctx.cluster) — a
+// single-chip compile never sees this pass. It selects the contiguous
+// operator cut via PartitionGraph (src/core/partition.h) and leaves the
+// GraphPartitionResult in ctx.partition for the sharded compiler to drive
+// one per-chip pipeline per stage. An infeasible partition stops the
+// pipeline with fits = false, exactly like a single-chip model that cannot
+// fit one chip.
+
+#ifndef T10_SRC_CORE_PASS_GRAPH_PARTITION_H_
+#define T10_SRC_CORE_PASS_GRAPH_PARTITION_H_
+
+#include "src/core/pass/pass.h"
+
+namespace t10 {
+
+class GraphPartitionPass final : public Pass {
+ public:
+  const char* name() const override { return pass_names::kGraphPartition; }
+  PassResult Run(CompilationContext& ctx) override;
+  verify::VerifyResult Verify(const CompilationContext& ctx) const override;
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_PASS_GRAPH_PARTITION_H_

@@ -30,6 +30,7 @@
 namespace t10 {
 
 namespace pass_names {
+inline constexpr char kGraphPartition[] = "graph_partition";
 inline constexpr char kFitCostModel[] = "fit_cost_model";
 inline constexpr char kIntraOpSearch[] = "intra_op_search";
 inline constexpr char kInterOpReconcile[] = "inter_op_reconcile";

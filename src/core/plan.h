@@ -67,9 +67,15 @@ struct PlanMetrics {
   std::int64_t per_core_bytes = 0;        // Active memory footprint per core.
   std::int64_t shift_bytes_per_core = 0;  // Total bytes each core sends.
   double padding_ratio = 1.0;             // 1.0 = no padding waste.
+  // Cluster link tier (sharded compilation): bytes moved between chips and
+  // the simulated link time they cost. Always 0 for single-chip plans, and
+  // deliberately excluded from CompiledModel::Fingerprint() so single-chip
+  // fingerprints are unchanged by the multi-chip machinery.
+  std::int64_t interchip_bytes = 0;
+  double interchip_seconds = 0.0;
 
   double total_seconds() const {
-    return compute_seconds + exchange_seconds + epilogue_seconds;
+    return compute_seconds + exchange_seconds + epilogue_seconds + interchip_seconds;
   }
   // Average per-core link bandwidth achieved while shifting (Fig 14).
   double ExchangeBandwidth() const {

@@ -1,0 +1,102 @@
+// Sharded (multi-chip) compilation: one model, N per-chip pass pipelines.
+//
+// The ShardedCompiler drives the pipeline of pipelines the cluster needs:
+// the GraphPartition pass cuts the graph into contiguous per-chip stages,
+// each stage compiles through the standard five-pass pipeline against its
+// own chip (CompilationContext carries the cluster and chip index), and the
+// partition's boundary tensors become explicit cross-chip transfer programs
+// billed in PlanMetrics' inter-chip fields. The result is one
+// ShardedCompiledModel whose Fingerprint() is deterministic across --jobs
+// values, exactly like CompiledModel::Fingerprint().
+//
+// Each CompiledStage owns its stage Graph on the heap: the stage's
+// CompiledModel borrows Operator pointers out of that Graph, so the Graph
+// must stay put for the model's lifetime (ShardedCompiledModel is movable,
+// never copyable).
+
+#ifndef T10_SRC_CORE_SHARDED_COMPILER_H_
+#define T10_SRC_CORE_SHARDED_COMPILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/partition.h"
+#include "src/hardware/cluster_spec.h"
+#include "src/ir/graph.h"
+#include "src/util/status.h"
+
+namespace t10 {
+
+struct CompiledStage {
+  int chip_index = -1;
+  std::unique_ptr<Graph> graph;  // Owned; `model` borrows its operators.
+  CompiledModel model;
+  // Transfer program leaving this stage, one entry per boundary tensor.
+  std::vector<StageBoundary> outgoing;
+  // The link-tier bill of `outgoing` (only the interchip_* fields are set).
+  PlanMetrics transfer;
+};
+
+struct ShardedCompiledModel {
+  std::string model_name;
+  bool fits = true;
+  std::string unfit_reason;  // Why not, when fits is false.
+  ClusterSpec cluster;
+  GraphPartitionResult partition;
+  std::vector<CompiledStage> stages;
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+
+  // One-request latency: every stage end to end plus every handoff.
+  double TotalSeconds() const;
+  // Pipeline throughput bound: the slowest stage including its incoming
+  // boundary transfers.
+  double BottleneckSeconds() const;
+  // Largest per-core memory peak across stages.
+  std::int64_t MaxStagePeakBytes() const;
+  // Total weight bytes resident across all stage chips.
+  std::int64_t TotalIdleBytes() const;
+
+  // Deterministic serialization: cluster identity, the partition (stage
+  // ranges + boundary transfer programs, doubles as hexfloat) and every
+  // stage's CompiledModel::Fingerprint(). Byte-identical across --jobs
+  // values and cold/warm plan caches.
+  std::string Fingerprint() const;
+};
+
+class ShardedCompiler {
+ public:
+  explicit ShardedCompiler(const ClusterSpec& cluster, CompileOptions options = {});
+
+  // Partitions and compiles `graph` across the cluster. On an infeasible
+  // partition or a stage that does not fit its chip, the result has
+  // fits = false and unfit_reason set (already-compiled stages are kept for
+  // diagnosis). The returned model borrows nothing from `graph`: every
+  // stage owns its subgraph.
+  ShardedCompiledModel Compile(const Graph& graph);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // The sharded pipeline's pass names: graph_partition, then the standard
+  // per-chip pipeline each stage runs.
+  static std::vector<std::string> PassNames();
+
+ private:
+  ClusterSpec cluster_;
+  CompileOptions options_;
+};
+
+// Byte-level validation of a sharded model's boundary transfer programs:
+// builds a Machine per involved chip, pushes a deterministic pattern through
+// every boundary over an InterChipChannel (chunked to fit one core's
+// scratchpad) and verifies the bytes arrive intact. Returns the simulated
+// link seconds. Opt-in — machines are sized by the cluster's chips, so
+// callers use it on small chips (tests, t10-serve) rather than full IPUs.
+StatusOr<double> SimulateBoundaryTransfers(const ShardedCompiledModel& model);
+
+}  // namespace t10
+
+#endif  // T10_SRC_CORE_SHARDED_COMPILER_H_

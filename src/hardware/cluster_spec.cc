@@ -1,0 +1,76 @@
+#include "src/hardware/cluster_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace t10 {
+
+std::string ClusterTopologyName(ClusterTopology topology) {
+  switch (topology) {
+    case ClusterTopology::kRing:
+      return "ring";
+    case ClusterTopology::kMesh:
+      return "mesh";
+  }
+  return "unknown";
+}
+
+std::int64_t ClusterSpec::TotalMemoryBytes() const {
+  std::int64_t total = 0;
+  for (const ChipSpec& chip : chips) {
+    total += chip.TotalMemoryBytes();
+  }
+  return total;
+}
+
+int ClusterSpec::Hops(int src_chip, int dst_chip) const {
+  const int n = num_chips();
+  T10_CHECK(src_chip >= 0 && src_chip < n) << "src chip " << src_chip << " out of range";
+  T10_CHECK(dst_chip >= 0 && dst_chip < n) << "dst chip " << dst_chip << " out of range";
+  if (src_chip == dst_chip) {
+    return 0;
+  }
+  switch (topology) {
+    case ClusterTopology::kRing: {
+      const int forward = (dst_chip - src_chip + n) % n;
+      return std::min(forward, n - forward);
+    }
+    case ClusterTopology::kMesh: {
+      // Row-major layout on the widest near-square grid: width = ceil(sqrt(n)).
+      const int width = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+      const int src_row = src_chip / width;
+      const int src_col = src_chip % width;
+      const int dst_row = dst_chip / width;
+      const int dst_col = dst_chip % width;
+      return std::abs(src_row - dst_row) + std::abs(src_col - dst_col);
+    }
+  }
+  return 0;
+}
+
+double ClusterSpec::TransferSeconds(int src_chip, int dst_chip, std::int64_t bytes) const {
+  const int hops = Hops(src_chip, dst_chip);
+  if (hops == 0) {
+    return 0.0;
+  }
+  T10_CHECK(link.bandwidth > 0.0) << "cluster '" << name << "' has no inter-chip bandwidth";
+  const double wire = static_cast<double>(bytes) / link.bandwidth;
+  return hops * (link.latency_seconds + wire);
+}
+
+ClusterSpec ClusterSpec::Homogeneous(const ChipSpec& chip, int n, ClusterTopology topology,
+                                     double bandwidth, double latency_seconds) {
+  T10_CHECK(n >= 1) << "cluster needs at least one chip";
+  ClusterSpec cluster;
+  cluster.name = chip.name + "-x" + std::to_string(n) + "-" + ClusterTopologyName(topology);
+  cluster.topology = topology;
+  cluster.link.bandwidth = bandwidth > 0.0 ? bandwidth : chip.interchip_bandwidth;
+  cluster.link.latency_seconds =
+      latency_seconds >= 0.0 ? latency_seconds : chip.sync_latency_seconds;
+  cluster.chips.assign(static_cast<std::size_t>(n), chip);
+  return cluster;
+}
+
+}  // namespace t10

@@ -1,0 +1,71 @@
+// Multi-chip cluster descriptions (paper §6.5 scaled out).
+//
+// A ClusterSpec wraps N ChipSpecs plus the inter-chip link tier that connects
+// them. The link is one more (slower) communication tier below the inter-core
+// fabric: the graph partitioner costs candidate cuts against it, compiled
+// shard boundaries carry transfer programs billed against it, and the
+// inter-chip channel in src/sim/machine.* simulates it byte-for-byte.
+// Topology is data, not code — ring vs mesh changes Hops(), nothing else.
+
+#ifndef T10_SRC_HARDWARE_CLUSTER_SPEC_H_
+#define T10_SRC_HARDWARE_CLUSTER_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hardware/chip_spec.h"
+
+namespace t10 {
+
+enum class ClusterTopology {
+  kRing,  // Chips on a bidirectional ring; hop count is the cyclic distance.
+  kMesh,  // Near-square 2D mesh; hop count is the Manhattan distance.
+};
+
+std::string ClusterTopologyName(ClusterTopology topology);
+
+// The inter-chip link tier. `bandwidth` is the aggregate bytes/sec between
+// two adjacent chips; `latency_seconds` is charged once per hop (the
+// serialization + switch latency of one IPU-Link traversal).
+struct ClusterLink {
+  double bandwidth = 0.0;
+  double latency_seconds = 0.0;
+};
+
+// N chips plus the link tier between them. Chips are homogeneous in every
+// shipped configuration, but the spec stores one ChipSpec per chip so a
+// degraded chip (health mask) or a future heterogeneous cluster needs no new
+// structure.
+struct ClusterSpec {
+  std::string name;
+  ClusterTopology topology = ClusterTopology::kRing;
+  ClusterLink link;
+  std::vector<ChipSpec> chips;
+
+  int num_chips() const { return static_cast<int>(chips.size()); }
+
+  // Total distributed scratchpad across all chips.
+  std::int64_t TotalMemoryBytes() const;
+
+  // Link hops between two chips under the configured topology (0 for
+  // src == dst). For kMesh the chips are laid out row-major on the widest
+  // near-square grid.
+  int Hops(int src_chip, int dst_chip) const;
+
+  // Seconds to move `bytes` from src to dst: per-hop latency plus the wire
+  // time of the full payload at each hop (store-and-forward, the
+  // conservative model; 0 seconds for src == dst).
+  double TransferSeconds(int src_chip, int dst_chip, std::int64_t bytes) const;
+
+  // `n` copies of `chip` on a ring, linked at chip.interchip_bandwidth (or
+  // `bandwidth` when > 0). Latency defaults to one BSP barrier of the chip —
+  // the same synchronization boundary an inter-chip transfer must cross.
+  static ClusterSpec Homogeneous(const ChipSpec& chip, int n,
+                                 ClusterTopology topology = ClusterTopology::kRing,
+                                 double bandwidth = 0.0, double latency_seconds = -1.0);
+};
+
+}  // namespace t10
+
+#endif  // T10_SRC_HARDWARE_CLUSTER_SPEC_H_

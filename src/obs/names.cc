@@ -10,6 +10,13 @@ namespace {
 // One entry per instrument the codebase records. Keep sorted; t10_lint_test
 // asserts the order so merges stay conflict-friendly.
 const char* const kMetricNames[] = {
+    "cluster.compile.count",
+    "cluster.compile.seconds",
+    "cluster.compile.stages",
+    "cluster.partition.boundary_bytes",
+    "cluster.partition.stages",
+    "cluster.transfer.bytes",
+    "cluster.transfer.seconds",
     "compiler.cache.hits",
     "compiler.cache.misses",
     "compiler.compiles",
@@ -48,6 +55,9 @@ const char* const kMetricNames[] = {
     "router.brownout.shed",
     "router.hedge.count",
     "router.hedge.wasted",
+    "router.pipeline.handoff.count",
+    "router.pipeline.handoff.seconds",
+    "router.pipeline.stage_down.count",
     "router.rebalance.count",
     "router.redirect.count",
     "router.responses.count",
@@ -77,6 +87,10 @@ const char* const kMetricNames[] = {
     "sim.fault.retries",
     "sim.machine.bytes_sent",
     "sim.machine.copies",
+    "sim.machine.interchip_blocked",
+    "sim.machine.interchip_bytes",
+    "sim.machine.interchip_seconds",
+    "sim.machine.interchip_transfers",
     "sim.machine.per_core_bytes_sent",
     "sim.machine.rotation_steps",
     "sim.machine.rotations",
@@ -105,6 +119,9 @@ const char* const kJournalEvents[] = {
     "router.brownout_shed",
     "router.drain",
     "router.hedge",
+    "router.pipeline.handoff",
+    "router.pipeline.stage_down",
+    "router.pipeline.start",
     "router.rebalance",
     "router.redirect",
     "router.rejoin",

@@ -1,7 +1,9 @@
 #include "src/serve/router.h"
 
+#include <array>
 #include <chrono>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -66,12 +68,30 @@ obs::Gauge& RoutableGauge() {
   return gauge;
 }
 
+obs::Counter& HandoffCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.pipeline.handoff.count");
+  return counter;
+}
+
+obs::Histogram& HandoffSecondsHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("router.pipeline.handoff.seconds");
+  return histogram;
+}
+
+obs::Counter& StageDownCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.pipeline.stage_down.count");
+  return counter;
+}
+
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-bool Routable(ShardMode mode) {
-  return mode == ShardMode::kHealthy || mode == ShardMode::kRejoining;
+bool Routable(ShardState state) {
+  return state == ShardState::kHealthy || state == ShardState::kRejoining;
 }
 
 // Flow-arrow id for the redirect chain of one client request; the high bit
@@ -87,16 +107,26 @@ constexpr std::int64_t kShardIdBlock = 1'000'000'000;
 
 }  // namespace
 
+const char* ShardStateName(ShardState state) {
+  switch (state) {
+    case ShardState::kHealthy:
+      return "healthy";
+    case ShardState::kRejoining:
+      return "rejoining";
+    case ShardState::kDraining:
+      return "draining";
+    case ShardState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
 const char* ShardModeName(ShardMode mode) {
   switch (mode) {
-    case ShardMode::kHealthy:
-      return "healthy";
-    case ShardMode::kRejoining:
-      return "rejoining";
-    case ShardMode::kDraining:
-      return "draining";
-    case ShardMode::kDown:
-      return "down";
+    case ShardMode::kReplicated:
+      return "replicated";
+    case ShardMode::kPipeline:
+      return "pipeline";
   }
   return "unknown";
 }
@@ -118,6 +148,51 @@ Router::Router(const ChipSpec& chip, const Graph& graph, RouterOptions options)
   }
 }
 
+Router::Router(const ClusterSpec& cluster, const Graph& graph, RouterOptions options)
+    : options_(std::move(options)),
+      graph_(graph),
+      mode_(ShardMode::kPipeline),
+      cluster_(cluster) {
+  // NOLINTNEXTLINE(lint.serve.check): constructor precondition, before any request exists.
+  T10_CHECK_GE(cluster_.num_chips(), 1) << "pipeline router needs chips";
+  partition_ = PartitionGraph(graph, cluster_);
+  if (!partition_.feasible) {
+    return;  // No shards; Start() reports the reason.
+  }
+  shards_.reserve(static_cast<std::size_t>(partition_.num_stages));
+  stage_graphs_.reserve(static_cast<std::size_t>(partition_.num_stages));
+  for (int s = 0; s < partition_.num_stages; ++s) {
+    stage_graphs_.push_back(std::make_unique<Graph>(BuildStageGraph(graph, partition_, s)));
+    stage_op_counts_.push_back(stage_graphs_.back()->num_ops());
+    auto shard = std::make_unique<Shard>();
+    ServerOptions per_stage = options_.shard;
+    per_stage.request_id_base = static_cast<std::int64_t>(s + 1) * kShardIdBlock;
+    per_stage.on_response = [this, s](Response response) {
+      OnShardResponse(s, std::move(response));
+    };
+    shard->server = std::make_unique<Server>(cluster_.chips[static_cast<std::size_t>(s)],
+                                             *stage_graphs_.back(), std::move(per_stage));
+    shards_.push_back(std::move(shard));
+  }
+  // Per-cut handoff bill: every boundary tensor relays through each cut
+  // between its producer and consumer stages.
+  cut_bytes_.assign(partition_.num_stages > 0
+                        ? static_cast<std::size_t>(partition_.num_stages - 1)
+                        : 0,
+                    0);
+  for (const StageBoundary& boundary : partition_.boundaries) {
+    for (int cut = boundary.src_stage; cut < boundary.dst_stage; ++cut) {
+      cut_bytes_[static_cast<std::size_t>(cut)] += boundary.bytes;
+    }
+  }
+  cut_seconds_.resize(cut_bytes_.size());
+  for (std::size_t cut = 0; cut < cut_bytes_.size(); ++cut) {
+    cut_seconds_[cut] = cluster_.TransferSeconds(static_cast<int>(cut),
+                                                 static_cast<int>(cut) + 1,
+                                                 cut_bytes_[cut]);
+  }
+}
+
 Router::~Router() {
   const Status ignored = Shutdown();
   (void)ignored;
@@ -129,6 +204,10 @@ Status Router::Start() {
     if (running_ || draining_ || stopped_) {
       return FailedPreconditionError("router already started");
     }
+  }
+  if (shards_.empty()) {
+    // Pipeline ctor found no feasible partition; nothing can serve.
+    return FailedPreconditionError("pipeline partition infeasible: " + partition_.reason);
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Status started = shards_[i]->server->Start();
@@ -142,11 +221,29 @@ Status Router::Start() {
   }
   obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.start",
            /*request_id=*/-1, /*plan_epoch=*/-1,
-           std::to_string(num_shards()) + " shard(s)");
+           std::to_string(num_shards()) + " shard(s), mode " + ShardModeName(mode_));
+  if (mode_ == ShardMode::kPipeline) {
+    std::string layout;
+    for (int s = 0; s < num_shards(); ++s) {
+      if (!layout.empty()) {
+        layout += " | ";
+      }
+      layout += "stage " + std::to_string(s) + ": ops [" +
+                std::to_string(partition_.stage_ops[static_cast<std::size_t>(s)].first) +
+                ", " +
+                std::to_string(partition_.stage_ops[static_cast<std::size_t>(s)].second) +
+                "] on " + cluster_.chips[static_cast<std::size_t>(s)].name;
+    }
+    obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.pipeline.start",
+             /*request_id=*/-1, /*plan_epoch=*/-1, layout);
+  }
   RoutableGauge().Set(static_cast<double>(num_shards()));
   {
     MutexLock lock(mu_);
-    num_op_slots_ = shards_.front()->server->num_op_slots();
+    // A pipeline request is "run the model": one logical entry point; the
+    // chain expands it into every stage op.
+    num_op_slots_ =
+        mode_ == ShardMode::kPipeline ? 1 : shards_.front()->server->num_op_slots();
     running_ = true;
   }
   monitor_ = std::thread(&Router::MonitorLoop, this);
@@ -201,7 +298,10 @@ StatusOr<std::int64_t> Router::Submit(const Request& request) {
     pending_.emplace(client_id, std::move(pending));
   }
   SubmittedCounter().Increment();
-  const Status routed = SubmitAttempt(client_id, /*avoid=*/-1, "route");
+  const Status routed = mode_ == ShardMode::kPipeline
+                            ? SubmitStageAttempt(client_id, /*stage=*/0,
+                                                 /*stage_op=*/0, "route")
+                            : SubmitAttempt(client_id, /*avoid=*/-1, "route");
   if (!routed.ok()) {
     // Synchronous admission failure: withdraw the entry — the caller learns
     // now, no Response will follow.
@@ -225,7 +325,7 @@ int Router::PickShard(int avoid, const std::vector<bool>& exclude) {
     const int i = static_cast<int>((rotate + static_cast<std::uint64_t>(k)) %
                                    static_cast<std::uint64_t>(n));
     const Shard& shard = *shards_[i];
-    if (i == avoid || exclude[static_cast<std::size_t>(i)] || !Routable(shard.mode)) {
+    if (i == avoid || exclude[static_cast<std::size_t>(i)] || !Routable(shard.state)) {
       continue;
     }
     const double load =
@@ -302,7 +402,7 @@ int Router::TryBrownout(const Request& incoming, int avoid) {
   {
     MutexLock lock(mu_);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (static_cast<int>(i) != avoid && Routable(shards_[i]->mode)) {
+      if (static_cast<int>(i) != avoid && Routable(shards_[i]->state)) {
         routable.push_back(static_cast<int>(i));
       }
     }
@@ -352,6 +452,237 @@ int Router::TryBrownout(const Request& incoming, int avoid) {
   return victim_shard;
 }
 
+Status Router::SubmitStageAttempt(std::int64_t client_id, int stage, int stage_op,
+                                  const char* kind) {
+  // Only the initial route can bounce the error back to Submit(), which
+  // still owns the entry; every later kind (advance/handoff/retry) must
+  // answer the client through FailPending instead.
+  const bool first_step = std::string_view(kind) == "route";
+  Request request;
+  bool stage_routable = false;
+  bool expired = false;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(client_id);
+    if (it == pending_.end() || it->second.delivered) {
+      return Status::Ok();  // Resolved while this step was being routed.
+    }
+    Pending& p = it->second;
+    p.stage = stage;
+    p.stage_op = stage_op;
+    p.last_attempt_at = Clock::now();
+    request = p.request;
+    request.op_slot = stage_op;  // Stage-local operator index.
+    if (p.has_deadline) {
+      const double remaining =
+          std::chrono::duration<double>(p.deadline - Clock::now()).count();
+      if (remaining <= 0.0) {
+        expired = true;
+      } else {
+        // The handoff carries the remaining budget: the downstream stage's
+        // EDF queue orders this chain by its true slack, not the original
+        // end-to-end deadline re-counted from zero.
+        request.deadline_seconds = remaining;
+      }
+    }
+    stage_routable = Routable(shards_[static_cast<std::size_t>(stage)]->state);
+  }
+  if (expired) {
+    Status why = DeadlineExceededError("deadline budget exhausted before stage " +
+                                       std::to_string(stage));
+    if (first_step) {
+      return why;
+    }
+    FailPending(client_id, std::move(why));
+    return Status::Ok();
+  }
+  Status failure;
+  if (!stage_routable) {
+    failure = UnavailableError("stage " + std::to_string(stage) + " is down");
+  } else {
+    StatusOr<std::int64_t> shard_request_id =
+        shards_[static_cast<std::size_t>(stage)]->server->Submit(request);
+    if (shard_request_id.ok()) {
+      std::optional<std::pair<int, Response>> ready =
+          RegisterAttempt(client_id, stage, *shard_request_id);
+      obs::Log(options_.journal, obs::Severity::kDebug, "router", "router.route",
+               client_id, /*plan_epoch=*/-1,
+               std::string(kind) + " -> stage " + std::to_string(stage) + " op " +
+                   std::to_string(stage_op));
+      if (ready.has_value()) {
+        ResolveStageAttempt(ready->first, client_id, std::move(ready->second));
+      }
+      return Status::Ok();
+    }
+    failure = shard_request_id.status();
+  }
+  if (first_step) {
+    return failure;  // Submit() withdraws the entry; the caller learns now.
+  }
+  // Mid-chain: the client already holds a ticket. A kUnavailable here is
+  // usually the stage's admission circuit open during a replan — park the
+  // chain for the monitor to resubmit, budget permitting. Anything else
+  // (or an exhausted budget) must surface as the one response, never as a
+  // lost request.
+  if (failure.code() == StatusCode::kUnavailable) {
+    bool parked = false;
+    {
+      MutexLock lock(mu_);
+      auto it = pending_.find(client_id);
+      if (it != pending_.end() && !it->second.delivered && !draining_ &&
+          it->second.redirects < options_.redirect_budget) {
+        Pending& p = it->second;
+        ++p.redirects;
+        ++stats_.redirects;
+        p.retry_wait = true;  // stage/stage_op already point at this step.
+        parked = true;
+      }
+    }
+    if (parked) {
+      RedirectCounter().Increment();
+      obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.redirect",
+               client_id, /*plan_epoch=*/-1,
+               "stage " + std::to_string(stage) + " rejected the " + kind + ": " +
+                   failure.ToString() + "; parked for retry");
+      return Status::Ok();
+    }
+  }
+  FailPending(client_id, std::move(failure));
+  return Status::Ok();
+}
+
+void Router::ResolveStageAttempt(int stage, std::int64_t client_id, Response response) {
+  bool delivered = false;
+  bool advance = false;
+  bool handoff = false;
+  bool retry = false;
+  int next_stage = 0;
+  int next_op = 0;
+  obs::TraceContext trace;
+  {
+    MutexLock lock(mu_);
+    Shard& sh = *shards_[static_cast<std::size_t>(stage)];
+    --sh.attempts_in_flight;
+    auto it = pending_.find(client_id);
+    if (it == pending_.end()) {
+      return;  // Reaped by shutdown; nothing left to resolve.
+    }
+    Pending& p = it->second;
+    --p.attempts_outstanding;
+    trace = p.trace;
+    if (p.trace.active()) {
+      options_.tracer->AddCompleted(p.trace, "router.attempt", p.last_attempt_at,
+                                    Clock::now(),
+                                    {{"stage", std::to_string(stage)},
+                                     {"stage_op", std::to_string(p.stage_op)},
+                                     {"status", response.status.ToString()}});
+    }
+    p.chain_retries += response.retries;
+    if (p.delivered) {
+      // Shutdown answered this client first; drop the duplicate.
+      if (p.attempts_outstanding == 0) {
+        pending_.erase(it);
+        if (pending_.empty()) {
+          idle_cv_.NotifyAll();
+        }
+      }
+    } else if (response.status.code() == StatusCode::kUnavailable && !draining_ &&
+               p.redirects < options_.redirect_budget) {
+      // PR 8's redirect, aimed at the only place the work can go: the same
+      // stage. A kUnavailable here is the replan window (the old epoch's
+      // plan lost a core); an immediate resubmission would race the failover
+      // and burn the budget, so the chain parks and the monitor resubmits
+      // once the stage's server has left kReplanning. Budget-bounded like
+      // any redirect.
+      ++p.redirects;
+      ++stats_.redirects;
+      p.stage = stage;  // stage_op already points at the failed operator.
+      p.retry_wait = true;
+      retry = true;
+    } else if (!response.status.ok()) {
+      // A stage has no substitute: any stage failure terminates the chain
+      // with that stage's error, delivered exactly once.
+      p.delivered = true;
+      response.id = client_id;
+      response.op_slot = 0;
+      response.shard = stage;
+      response.retries = p.chain_retries;
+      response.latency_seconds = SecondsSince(p.admitted_at);
+      DeliverLocked(std::move(response));
+      delivered = true;
+      pending_.erase(it);
+      if (pending_.empty()) {
+        idle_cv_.NotifyAll();
+      }
+    } else {
+      p.chain_identical = p.chain_identical && response.bit_identical;
+      const int ops_in_stage = stage_op_counts_[static_cast<std::size_t>(stage)];
+      if (p.stage_op + 1 < ops_in_stage) {
+        advance = true;
+        next_stage = stage;
+        next_op = p.stage_op + 1;
+      } else if (stage + 1 < num_shards()) {
+        advance = true;
+        handoff = true;
+        next_stage = stage + 1;
+        next_op = 0;
+        ++stats_.handoffs;
+      } else {
+        // Final operator of the final stage: the chain's answer. The audit
+        // bit is the AND over every operator on the chain.
+        p.delivered = true;
+        response.id = client_id;
+        response.op_slot = 0;
+        response.shard = stage;
+        response.retries = p.chain_retries;
+        response.bit_identical = p.chain_identical;
+        response.latency_seconds = SecondsSince(p.admitted_at);
+        DeliverLocked(std::move(response));
+        delivered = true;
+        pending_.erase(it);
+        if (pending_.empty()) {
+          idle_cv_.NotifyAll();
+        }
+      }
+    }
+  }
+  if (handoff) {
+    const std::size_t cut = static_cast<std::size_t>(stage);
+    const double link_seconds = cut < cut_seconds_.size() ? cut_seconds_[cut] : 0.0;
+    const std::int64_t link_bytes = cut < cut_bytes_.size() ? cut_bytes_[cut] : 0;
+    HandoffCounter().Increment();
+    HandoffSecondsHistogram().Record(link_seconds);
+    obs::Log(options_.journal, obs::Severity::kDebug, "router", "router.pipeline.handoff",
+             client_id, /*plan_epoch=*/-1,
+             "stage " + std::to_string(stage) + " -> " + std::to_string(stage + 1) +
+                 " (" + std::to_string(link_bytes) + "B over the link)");
+    if (trace.active()) {
+      const Clock::time_point now = Clock::now();
+      options_.tracer->AddCompleted(trace, "router.handoff", now, now,
+                                    {{"from_stage", std::to_string(stage)},
+                                     {"to_stage", std::to_string(stage + 1)},
+                                     {"link_seconds", std::to_string(link_seconds)}});
+    }
+  }
+  if (retry) {
+    RedirectCounter().Increment();
+    obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.redirect",
+             client_id, /*plan_epoch=*/-1,
+             "stage " + std::to_string(stage) + " attempt failed: " +
+                 response.status.ToString() + "; retrying the stage");
+  }
+  if (advance) {
+    // Mid-chain failures answer the client inside SubmitStageAttempt.
+    const Status next = SubmitStageAttempt(
+        client_id, next_stage, next_op,
+        retry ? "retry" : (handoff ? "handoff" : "advance"));
+    (void)next;
+  }
+  if (delivered) {
+    ResponsesCounter().Increment();
+  }
+}
+
 std::optional<std::pair<int, Response>> Router::RegisterAttempt(
     std::int64_t client_id, int shard, std::int64_t shard_request_id) {
   MutexLock lock(mu_);
@@ -390,6 +721,10 @@ void Router::OnShardResponse(int shard, Response response) {
 }
 
 void Router::ResolveAttempt(int shard, std::int64_t client_id, Response response) {
+  if (mode_ == ShardMode::kPipeline) {
+    ResolveStageAttempt(shard, client_id, std::move(response));
+    return;
+  }
   bool redirect = false;
   bool delivered = false;
   bool drained_shard = false;
@@ -404,7 +739,7 @@ void Router::ResolveAttempt(int shard, std::int64_t client_id, Response response
     const bool counted = code == StatusCode::kOk || code == StatusCode::kUnavailable ||
                          code == StatusCode::kDataLoss || code == StatusCode::kInternal;
     const bool failure = counted && code != StatusCode::kOk;
-    if (counted && Routable(sh.mode)) {
+    if (counted && Routable(sh.state)) {
       sh.window.push_back(failure);
       if (failure) {
         ++sh.window_failures;
@@ -420,7 +755,7 @@ void Router::ResolveAttempt(int shard, std::int64_t client_id, Response response
           static_cast<double>(sh.window_failures) >=
               options_.failure_rate_threshold *
                   static_cast<double>(sh.window.size())) {
-        sh.mode = ShardMode::kDraining;
+        sh.state = ShardState::kDraining;
         sh.weight = 0.0;
         sh.drained_at = Clock::now();
         sh.window.clear();
@@ -613,22 +948,22 @@ void Router::MonitorLoop() {
       {
         MutexLock lock(mu_);
         Shard& sh = *shards_[static_cast<std::size_t>(i)];
-        if (sh.mode == ShardMode::kDown) {
+        if (sh.state == ShardState::kDown) {
           continue;
         }
         if (epoch > sh.last_epoch) {
           sh.last_epoch = epoch;
-          if (sh.mode == ShardMode::kHealthy || sh.mode == ShardMode::kDraining) {
+          if (sh.state == ShardState::kHealthy || sh.state == ShardState::kDraining) {
             // The shard replanned (verifier-gated degraded epoch): it serves
             // again, but at reduced weight until it proves itself.
             rejoin = true;
             why = "degraded replan to epoch " + std::to_string(epoch);
           }
-        } else if (sh.mode == ShardMode::kDraining &&
+        } else if (sh.state == ShardState::kDraining &&
                    SecondsSince(sh.drained_at) >= options_.drain_probation_seconds) {
           rejoin = true;
           why = "drain probation elapsed";
-        } else if (sh.mode == ShardMode::kRejoining &&
+        } else if (sh.state == ShardState::kRejoining &&
                    sh.consecutive_ok >= options_.rejoin_ok_threshold) {
           promote = true;
         }
@@ -647,7 +982,7 @@ void Router::MonitorLoop() {
       MutexLock lock(mu_);
       bool all_down = true;
       for (const auto& sh : shards_) {
-        if (sh->mode != ShardMode::kDown) {
+        if (sh->state != ShardState::kDown) {
           all_down = false;
           break;
         }
@@ -667,7 +1002,10 @@ void Router::MonitorLoop() {
     std::vector<std::pair<std::int64_t, int>> hedges;  // (client, avoid).
     {
       MutexLock lock(mu_);
-      if (options_.hedge_fraction > 0.0 && !draining_) {
+      // Hedges duplicate a whole-request attempt on another replica; a
+      // pipeline stage has no replica, so the scan is replicated-mode only.
+      if (options_.hedge_fraction > 0.0 && !draining_ &&
+          mode_ == ShardMode::kReplicated) {
         const Clock::time_point now = Clock::now();
         for (auto& [client_id, p] : pending_) {
           if (p.delivered || p.hedged || !p.has_deadline ||
@@ -690,6 +1028,34 @@ void Router::MonitorLoop() {
       const Status hedged = SubmitAttempt(client_id, avoid, "hedge");
       (void)hedged;
     }
+    // Parked-retry scan (pipeline mode): chains that hit a stage's replan
+    // window wait here until the server leaves kReplanning, then resubmit
+    // to the new epoch. A stage that went terminal (or a deadline that ran
+    // out) resubmits too — SubmitStageAttempt turns those into the right
+    // error, answered exactly once.
+    std::vector<std::array<std::int64_t, 3>> retries;  // (client, stage, op).
+    if (mode_ == ShardMode::kPipeline) {
+      MutexLock lock(mu_);
+      const Clock::time_point now = Clock::now();
+      for (auto& [client_id, p] : pending_) {
+        if (!p.retry_wait || p.delivered) {
+          continue;
+        }
+        const ServerState state =
+            shards_[static_cast<std::size_t>(p.stage)]->server->state();
+        const bool expired = p.has_deadline && now >= p.deadline;
+        if (state == ServerState::kReplanning && !expired) {
+          continue;  // Still failing over; keep the chain parked.
+        }
+        p.retry_wait = false;
+        retries.push_back({client_id, p.stage, p.stage_op});
+      }
+    }
+    for (const auto& r : retries) {
+      const Status resubmitted = SubmitStageAttempt(
+          r[0], static_cast<int>(r[1]), static_cast<int>(r[2]), "retry");
+      (void)resubmitted;  // Failures answered the client inside.
+    }
   }
 }
 
@@ -697,10 +1063,10 @@ void Router::MarkShardDown(int shard, const Status& why) {
   {
     MutexLock lock(mu_);
     Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-    if (sh.mode == ShardMode::kDown) {
+    if (sh.state == ShardState::kDown) {
       return;
     }
-    sh.mode = ShardMode::kDown;
+    sh.state = ShardState::kDown;
     sh.weight = 0.0;
     ++stats_.shard_downs;
     ++stats_.rebalances;
@@ -709,10 +1075,18 @@ void Router::MarkShardDown(int shard, const Status& why) {
   obs::Log(options_.journal, obs::Severity::kError, "router", "router.shard_down",
            /*request_id=*/-1, /*plan_epoch=*/-1,
            "shard " + std::to_string(shard) + " lost: " + why.ToString());
-  obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.drain",
-           /*request_id=*/-1, /*plan_epoch=*/-1,
-           "shard " + std::to_string(shard) +
-               "'s queue drains; its requests redirect to survivors");
+  if (mode_ == ShardMode::kPipeline) {
+    StageDownCounter().Increment();
+    obs::Log(options_.journal, obs::Severity::kError, "router",
+             "router.pipeline.stage_down", /*request_id=*/-1, /*plan_epoch=*/-1,
+             "stage " + std::to_string(shard) +
+                 " lost its chip; chains crossing it fail: " + why.ToString());
+  } else {
+    obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.drain",
+             /*request_id=*/-1, /*plan_epoch=*/-1,
+             "shard " + std::to_string(shard) +
+                 "'s queue drains; its requests redirect to survivors");
+  }
   EmitRebalance("shard_down");
   DumpFlightRecorder("router: shard " + std::to_string(shard) +
                      " down: " + why.ToString());
@@ -722,10 +1096,10 @@ void Router::MarkShardRejoining(int shard, const std::string& why) {
   {
     MutexLock lock(mu_);
     Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-    if (sh.mode == ShardMode::kDown || sh.mode == ShardMode::kRejoining) {
+    if (sh.state == ShardState::kDown || sh.state == ShardState::kRejoining) {
       return;
     }
-    sh.mode = ShardMode::kRejoining;
+    sh.state = ShardState::kRejoining;
     sh.weight = options_.rejoin_weight;
     sh.consecutive_ok = 0;
     sh.window.clear();
@@ -743,10 +1117,10 @@ void Router::MarkShardHealthy(int shard) {
   {
     MutexLock lock(mu_);
     Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-    if (sh.mode != ShardMode::kRejoining) {
+    if (sh.state != ShardState::kRejoining) {
       return;
     }
-    sh.mode = ShardMode::kHealthy;
+    sh.state = ShardState::kHealthy;
     sh.weight = 1.0;
     ++stats_.rejoins;
     ++stats_.rebalances;
@@ -766,9 +1140,9 @@ void Router::EmitRebalance(const char* cause) {
       if (!weights.empty()) {
         weights += " ";
       }
-      weights += std::to_string(i) + ":" + ShardModeName(shards_[i]->mode) + "/" +
+      weights += std::to_string(i) + ":" + ShardStateName(shards_[i]->state) + "/" +
                  std::to_string(shards_[i]->weight);
-      if (Routable(shards_[i]->mode)) {
+      if (Routable(shards_[i]->state)) {
         ++routable;
       }
     }
@@ -856,6 +1230,9 @@ int Router::num_op_slots() const {
 }
 
 std::string Router::op_slot_name(int slot) const {
+  if (mode_ == ShardMode::kPipeline) {
+    return graph_.name();  // Slot 0 means "run the model".
+  }
   return shards_.front()->server->op_slot_name(slot);
 }
 
@@ -863,7 +1240,7 @@ int Router::routable_shards() const {
   MutexLock lock(mu_);
   int routable = 0;
   for (const auto& sh : shards_) {
-    if (Routable(sh->mode)) {
+    if (Routable(sh->state)) {
       ++routable;
     }
   }
@@ -878,7 +1255,7 @@ ShardSnapshot Router::shard_snapshot(int shard) const {
   snapshot.queue_depth = sh.server->queue_depth();
   snapshot.stats = sh.server->stats();
   MutexLock lock(mu_);
-  snapshot.mode = sh.mode;
+  snapshot.state = sh.state;
   snapshot.weight = sh.weight;
   return snapshot;
 }

@@ -34,6 +34,23 @@
 //     router.total_outage, dumps the flight recorder, and keeps answering —
 //     every accepted request still gets exactly one (error) response.
 //
+// Pipeline mode (ShardMode::kPipeline, DESIGN.md "Sharded compilation &
+// pipeline serving"): the Router is built from a ClusterSpec instead of one
+// chip. It partitions the graph into contiguous stages (GraphPartition),
+// each stage's subgraph served by its own per-chip Server, and a request
+// executes the whole model by flowing through the chain: every operator of
+// stage 0 on chip 0, handoff, every operator of stage 1 on chip 1, ...
+// Each handoff re-derives the remaining deadline budget (the downstream
+// EDF queue sees the true slack) and carries the request's TraceContext;
+// bit-identity of the final response is the AND over every per-op audit on
+// the chain. Hedging, redirects and brownout are replica concepts and are
+// disabled — a stage has no substitute — but per-stage EDF, deadline
+// enforcement, breaker bookkeeping and verifier-gated degraded replans all
+// still run inside each stage's Server, so losing cores on one chip
+// re-plans exactly that stage (its epoch bumps; the others keep epoch 0).
+// A stage chip loss parks that stage kDown: in-flight chains crossing it
+// are answered with its error, never lost or duplicated.
+//
 // Lock discipline: every Server shares the lock site "serve.server.mu", so
 // the router NEVER holds its own mutex while calling into a shard (and
 // Server invokes on_response outside its lock). All router decisions
@@ -53,7 +70,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/partition.h"
 #include "src/hardware/chip_spec.h"
+#include "src/hardware/cluster_spec.h"
 #include "src/ir/graph.h"
 #include "src/obs/journal.h"
 #include "src/obs/span.h"
@@ -65,12 +84,28 @@
 namespace t10 {
 namespace serve {
 
-// Router-side view of one shard.
-enum class ShardMode {
+// Router-side health state of one shard.
+enum class ShardState {
   kHealthy,    // Routable at full weight.
   kRejoining,  // Routable at reduced weight until it proves itself.
   kDraining,   // Breaker open: not routable; existing queue drains.
   kDown,       // Chip lost (server kFailed). Permanent.
+};
+
+const char* ShardStateName(ShardState state);
+
+// What a shard holds, and therefore how requests route:
+//   kReplicated  every shard runs the whole model; a request picks one
+//                replica (weighted least-loaded, hedging, redirects).
+//   kPipeline    shards are a chain of partial-model stages from a
+//                GraphPartition over a ClusterSpec; a request flows through
+//                every stage in order, executing that stage's operators on
+//                its chip and handing off over the inter-chip link with the
+//                remaining deadline budget. One final response per request;
+//                bit-identity is the AND of every per-op audit on the chain.
+enum class ShardMode {
+  kReplicated,
+  kPipeline,
 };
 
 const char* ShardModeName(ShardMode mode);
@@ -111,7 +146,7 @@ struct RouterOptions {
 };
 
 struct ShardSnapshot {
-  ShardMode mode = ShardMode::kHealthy;
+  ShardState state = ShardState::kHealthy;
   double weight = 1.0;
   int plan_epoch = 0;
   std::int64_t outstanding = 0;
@@ -129,6 +164,7 @@ struct RouterStats {
   std::int64_t hedges = 0;      // Duplicate attempts launched.
   std::int64_t hedge_wasted = 0;  // Hedge losers (arrived after delivery).
   std::int64_t brownout_shed = 0;  // Queued victims evicted for earlier work.
+  std::int64_t handoffs = 0;    // Pipeline stage -> stage transitions.
   int shard_downs = 0;          // Shards lost permanently.
   int drains = 0;               // Breaker trips.
   int rejoins = 0;              // Promotions back to full weight.
@@ -137,9 +173,14 @@ struct RouterStats {
 
 class Router {
  public:
-  // Every shard serves `graph` on its own copy of `chip`. The graph must
-  // outlive the router.
+  // Replicated mode: every shard serves `graph` on its own copy of `chip`.
+  // The graph must outlive the router.
   Router(const ChipSpec& chip, const Graph& graph, RouterOptions options = {});
+  // Pipeline mode: partitions `graph` across `cluster`'s chips (one stage
+  // per chip, ShardMode::kPipeline); shard i serves stage i's subgraph on
+  // cluster.chips[i]. options.num_shards is ignored — the partition decides.
+  // The graph must outlive the router; the cluster is copied.
+  Router(const ClusterSpec& cluster, const Graph& graph, RouterOptions options = {});
   ~Router();  // Implies Shutdown().
 
   Router(const Router&) = delete;
@@ -156,6 +197,8 @@ class Router {
   //   kFailedPrecondition not started / shutting down
   //   kInvalidArgument    op_slot out of range
   // On success returns the router-level request id its Response carries.
+  // Pipeline mode: op_slot must be 0 ("run the model"); the chain executes
+  // every operator of every stage and delivers the final stage's response.
   StatusOr<std::int64_t> Submit(const Request& request);
 
   // Chaos hooks, chip-scoped: kill one shard's whole chip (it will park in
@@ -182,12 +225,15 @@ class Router {
   int routable_shards() const;
   ShardSnapshot shard_snapshot(int shard) const;
   RouterStats stats() const;
+  ShardMode mode() const { return mode_; }
+  // Pipeline mode only: the partition the shard chain was built from.
+  const GraphPartitionResult& partition() const { return partition_; }
 
  private:
   // Per-shard routing state (router-side; the Server holds its own state).
   struct Shard {
     std::unique_ptr<Server> server;
-    ShardMode mode = ShardMode::kHealthy;
+    ShardState state = ShardState::kHealthy;
     double weight = 1.0;
     std::int64_t attempts_in_flight = 0;  // Router-tracked attempts.
     // Breaker window: outcomes of the last failure_window attempt responses
@@ -218,6 +264,12 @@ class Router {
     std::uint64_t last_flow = 0;  // Arrow the next attempt span receives.
     std::optional<Response> stashed;  // Best non-winning terminal response.
     obs::TraceContext trace;
+    // Pipeline chain position: which stage and which of its ops runs next.
+    int stage = 0;
+    int stage_op = 0;
+    bool chain_identical = true;  // AND of per-op audits so far.
+    int chain_retries = 0;        // Summed shard-side retries on the chain.
+    bool retry_wait = false;      // Parked until the stage leaves kReplanning.
   };
 
   void MonitorLoop();
@@ -231,6 +283,17 @@ class Router {
   // queue-full. Returns the error when no shard accepted. Must be called
   // WITHOUT mu_ held.
   Status SubmitAttempt(std::int64_t client_id, int avoid, const char* kind);
+  // Pipeline: submits `client_id`'s next chain step — operator `stage_op` of
+  // `stage` — with the remaining deadline budget. Expired budget or a dead
+  // stage answers the client (exactly once) instead of routing. The returned
+  // error is only surfaced to Submit()'s caller for the very first step;
+  // later steps report failure through the response path. Must be called
+  // WITHOUT mu_ held.
+  Status SubmitStageAttempt(std::int64_t client_id, int stage, int stage_op,
+                            const char* kind);
+  // Pipeline counterpart of ResolveAttempt: advance within the stage, hand
+  // off to the next stage, or deliver. Must be called WITHOUT mu_ held.
+  void ResolveStageAttempt(int stage, std::int64_t client_id, Response response);
   // Brownout admission: evict the globally latest-deadline queued victim if
   // `incoming`'s deadline is earlier. Returns the shard that freed capacity,
   // or -1 when the incoming request is itself the latest (shed it). Must be
@@ -263,6 +326,18 @@ class Router {
 
   const RouterOptions options_;
   const Graph& graph_;
+  const ShardMode mode_ = ShardMode::kReplicated;
+
+  // Pipeline mode only; all fixed after construction. Stage subgraphs are
+  // owned here because each stage Server borrows its graph by reference.
+  const ClusterSpec cluster_;
+  GraphPartitionResult partition_;
+  std::vector<std::unique_ptr<Graph>> stage_graphs_;
+  std::vector<int> stage_op_counts_;
+  // Bytes / link-seconds crossing the cut between stage s and s+1 (every
+  // boundary tensor relays through the cut on its way downstream).
+  std::vector<std::int64_t> cut_bytes_;
+  std::vector<double> cut_seconds_;
 
   std::vector<std::unique_ptr<Shard>> shards_;  // Fixed after construction;
                                                 // Shard routing state guarded

@@ -335,4 +335,51 @@ void Machine::PublishMetrics(obs::MetricsRegistry& registry) const {
       .SetMax(static_cast<double>(peak_scratchpad_bytes()));
 }
 
+InterChipChannel::InterChipChannel(double bandwidth, double latency_seconds, int hops)
+    : bandwidth_(bandwidth),
+      latency_seconds_(latency_seconds),
+      hops_(hops),
+      metric_bytes_(obs::MetricsRegistry::Global().GetCounter("sim.machine.interchip_bytes")),
+      metric_transfers_(
+          obs::MetricsRegistry::Global().GetCounter("sim.machine.interchip_transfers")),
+      metric_blocked_(
+          obs::MetricsRegistry::Global().GetCounter("sim.machine.interchip_blocked")),
+      metric_seconds_(
+          obs::MetricsRegistry::Global().GetGauge("sim.machine.interchip_seconds")) {
+  T10_CHECK_GT(bandwidth_, 0.0);
+  T10_CHECK_GE(latency_seconds_, 0.0);
+  T10_CHECK_GE(hops_, 1);
+}
+
+Status InterChipChannel::Transfer(Machine& src_machine, const BufferHandle& src,
+                                  Machine& dst_machine, const BufferHandle& dst) {
+  T10_CHECK(src.valid());
+  T10_CHECK(dst.valid());
+  T10_CHECK_EQ(src.bytes, dst.bytes) << "inter-chip endpoints must agree on size";
+  // Each endpoint's own fabric decides whether its core is reachable; the
+  // link between chips has no fault schedule of its own (chip loss is
+  // modeled as every core of that chip going down).
+  if (src_machine.faults() != nullptr && !src_machine.faults()->core_up(src.core)) {
+    metric_blocked_.Increment();
+    return UnavailableError("source core " + std::to_string(src.core) +
+                            " is marked failed on its chip");
+  }
+  if (dst_machine.faults() != nullptr && !dst_machine.faults()->core_up(dst.core)) {
+    metric_blocked_.Increment();
+    return UnavailableError("destination core " + std::to_string(dst.core) +
+                            " is marked failed on its chip");
+  }
+  std::memcpy(dst_machine.Data(dst), src_machine.Data(src),
+              static_cast<std::size_t>(src.bytes));
+  // Store-and-forward: the full payload pays wire time at every hop.
+  const double wire = static_cast<double>(src.bytes) / bandwidth_;
+  seconds_ += hops_ * (latency_seconds_ + wire);
+  bytes_ += src.bytes;
+  ++transfers_;
+  metric_bytes_.Add(src.bytes);
+  metric_transfers_.Increment();
+  metric_seconds_.Set(seconds_);
+  return Status::Ok();
+}
+
 }  // namespace t10

@@ -175,6 +175,46 @@ class Machine {
   obs::Gauge& metric_fault_penalty_;
 };
 
+// Inter-chip channel: the cluster link tier between two Machines (chips).
+// One channel models the route between a fixed pair of chips — `hops` IPU-
+// Link traversals at `bandwidth` bytes/sec with `latency_seconds` per hop
+// (ClusterSpec::Hops / ClusterSpec::link supply the numbers). Transfers move
+// real bytes between the two scratchpads and bill simulated wire time, so
+// shard-boundary handoffs are simulated with the same fidelity as intra-chip
+// rotations. Traffic lands on the channel's own counters, not the per-core
+// ones: the link tier is a distinct budget.
+class InterChipChannel {
+ public:
+  InterChipChannel(double bandwidth, double latency_seconds, int hops = 1);
+
+  // Moves the bytes behind `src` on `src_machine` into `dst` on
+  // `dst_machine` (sizes must match). Refuses with kUnavailable — before any
+  // data moves — when either endpoint core is persistently down on its own
+  // chip's fault injector. Bills hops * (latency + bytes / bandwidth).
+  Status Transfer(Machine& src_machine, const BufferHandle& src, Machine& dst_machine,
+                  const BufferHandle& dst);
+
+  // Simulated seconds of link time billed so far.
+  double seconds() const { return seconds_; }
+  // Payload bytes delivered (per transfer, not multiplied by hops).
+  std::int64_t bytes() const { return bytes_; }
+  std::int64_t transfers() const { return transfers_; }
+  int hops() const { return hops_; }
+
+ private:
+  double bandwidth_;
+  double latency_seconds_;
+  int hops_;
+  double seconds_ = 0.0;
+  std::int64_t bytes_ = 0;
+  std::int64_t transfers_ = 0;
+
+  obs::Counter& metric_bytes_;
+  obs::Counter& metric_transfers_;
+  obs::Counter& metric_blocked_;
+  obs::Gauge& metric_seconds_;
+};
+
 }  // namespace t10
 
 #endif  // T10_SRC_SIM_MACHINE_H_

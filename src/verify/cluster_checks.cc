@@ -1,0 +1,208 @@
+#include "src/verify/cluster_checks.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace t10::verify {
+namespace {
+
+// Cross-stage (src_stage, dst_stage, tensor) edges the graph demands: one
+// per distinct consuming stage of every tensor produced in an earlier stage.
+std::vector<std::tuple<int, int, std::string>> RequiredEdges(
+    const Graph& graph, const GraphPartitionResult& partition) {
+  std::vector<std::tuple<int, int, std::string>> required;
+  for (const auto& [name, info] : graph.tensors()) {
+    if (info.producer < 0) {
+      continue;  // Weights and host inputs never cross the link.
+    }
+    const int src = partition.stage_of_op[info.producer];
+    std::set<int> dst_stages;
+    for (const int consumer : info.consumers) {
+      const int dst = partition.stage_of_op[consumer];
+      if (dst != src) {
+        dst_stages.insert(dst);
+      }
+    }
+    for (const int dst : dst_stages) {
+      required.emplace_back(src, dst, name);
+    }
+  }
+  std::sort(required.begin(), required.end());
+  return required;
+}
+
+}  // namespace
+
+VerifyResult VerifyPartition(const GraphPartitionResult& partition, const Graph& graph,
+                             const ClusterSpec& cluster) {
+  VerifyResult result;
+  const std::string object = graph.name();
+  if (!partition.feasible) {
+    DiagnosticBuilder(result, "cluster.stage.coverage", object)
+        << "partition is marked infeasible: " << partition.reason;
+    return result;
+  }
+
+  // Coverage: every operator in exactly one stage, stage ids in range.
+  if (static_cast<int>(partition.stage_of_op.size()) != graph.num_ops()) {
+    DiagnosticBuilder(result, "cluster.stage.coverage", object)
+        << "stage_of_op covers " << partition.stage_of_op.size() << " ops, graph has "
+        << graph.num_ops();
+    return result;
+  }
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    const int s = partition.stage_of_op[i];
+    if (s < 0 || s >= partition.num_stages) {
+      DiagnosticBuilder(result, "cluster.stage.coverage", graph.op(i).name())
+          << "operator assigned to stage " << s << " outside [0, " << partition.num_stages
+          << ")";
+    }
+  }
+
+  // Contiguity: stages are non-empty contiguous runs in topo order. This
+  // also implies the stage DAG is acyclic for forward-only boundaries.
+  int expected_first = 0;
+  for (int s = 0; s < partition.num_stages; ++s) {
+    const auto [first, last] = partition.stage_ops[s];
+    if (first != expected_first || last < first) {
+      DiagnosticBuilder(result, "cluster.stage.contiguous", object)
+          .Hint("pipeline stages must be contiguous runs of the topological order")
+          << "stage " << s << " covers ops [" << first << ", " << last << "], expected to "
+          << "start at " << expected_first;
+      return result;
+    }
+    for (int i = first; i <= last; ++i) {
+      if (partition.stage_of_op[i] != s) {
+        DiagnosticBuilder(result, "cluster.stage.contiguous", graph.op(i).name())
+            << "op " << i << " inside stage " << s << "'s range is assigned to stage "
+            << partition.stage_of_op[i];
+      }
+    }
+    expected_first = last + 1;
+  }
+  if (expected_first != graph.num_ops()) {
+    DiagnosticBuilder(result, "cluster.stage.coverage", object)
+        << "stages cover ops [0, " << expected_first << "), graph has " << graph.num_ops();
+  }
+
+  // Acyclicity: every boundary flows to a strictly later stage.
+  for (const StageBoundary& boundary : partition.boundaries) {
+    if (boundary.dst_stage <= boundary.src_stage) {
+      DiagnosticBuilder(result, "cluster.stage.acyclic", boundary.tensor)
+          .Hint("a backward edge would deadlock the shard chain")
+          << "boundary flows backward: stage " << boundary.src_stage << " -> stage "
+          << boundary.dst_stage;
+    }
+  }
+
+  // Conservation at the partition level: the boundary list is exactly the
+  // set of cross-stage edges the graph demands, each at the tensor's size.
+  std::vector<std::tuple<int, int, std::string>> required = RequiredEdges(graph, partition);
+  std::vector<std::tuple<int, int, std::string>> present;
+  for (const StageBoundary& boundary : partition.boundaries) {
+    present.emplace_back(boundary.src_stage, boundary.dst_stage, boundary.tensor);
+    if (graph.HasTensor(boundary.tensor) &&
+        boundary.bytes != graph.tensor(boundary.tensor).bytes) {
+      DiagnosticBuilder(result, "cluster.boundary.conservation", boundary.tensor)
+          << "transfer carries " << boundary.bytes << "B, tensor is "
+          << graph.tensor(boundary.tensor).bytes << "B";
+    }
+  }
+  std::sort(present.begin(), present.end());
+  for (const auto& edge : required) {
+    if (!std::binary_search(present.begin(), present.end(), edge)) {
+      DiagnosticBuilder(result, "cluster.boundary.conservation", std::get<2>(edge))
+          .Hint("every cross-stage tensor must cross the link exactly once per consumer stage")
+          << "missing transfer stage " << std::get<0>(edge) << " -> stage "
+          << std::get<1>(edge);
+    }
+  }
+  for (std::size_t i = 0; i < present.size(); ++i) {
+    const auto& edge = present[i];
+    if (i > 0 && present[i - 1] == edge) {
+      DiagnosticBuilder(result, "cluster.boundary.conservation", std::get<2>(edge))
+          << "duplicated transfer stage " << std::get<0>(edge) << " -> stage "
+          << std::get<1>(edge);
+    } else if (!std::binary_search(required.begin(), required.end(), edge)) {
+      DiagnosticBuilder(result, "cluster.boundary.conservation", std::get<2>(edge))
+          << "spurious transfer stage " << std::get<0>(edge) << " -> stage "
+          << std::get<1>(edge) << " (no consumer there)";
+    }
+  }
+
+  // Stage count vs cluster.
+  if (partition.num_stages > cluster.num_chips()) {
+    DiagnosticBuilder(result, "cluster.chips.assignment", object)
+        << partition.num_stages << " stages exceed the cluster's " << cluster.num_chips()
+        << " chips";
+  }
+  return result;
+}
+
+VerifyResult VerifyShardedModel(const ShardedCompiledModel& model, const Graph& graph,
+                                const VerifyOptions& options) {
+  VerifyResult result = VerifyPartition(model.partition, graph, model.cluster);
+
+  // Stage -> chip assignment: in range and injective (a chip cannot host
+  // two pipeline stages).
+  std::set<int> used_chips;
+  for (int s = 0; s < model.num_stages(); ++s) {
+    const int chip = model.stages[s].chip_index;
+    if (chip < 0 || chip >= model.cluster.num_chips()) {
+      DiagnosticBuilder(result, "cluster.chips.assignment", model.model_name)
+          << "stage " << s << " targets chip " << chip << " outside [0, "
+          << model.cluster.num_chips() << ")";
+      continue;
+    }
+    if (!used_chips.insert(chip).second) {
+      DiagnosticBuilder(result, "cluster.chips.assignment", model.model_name)
+          << "chip " << chip << " hosts more than one stage";
+    }
+  }
+
+  if (model.fits && model.num_stages() != model.partition.num_stages) {
+    DiagnosticBuilder(result, "cluster.stage.coverage", model.model_name)
+        << model.num_stages() << " compiled stages for a " << model.partition.num_stages
+        << "-stage partition";
+    return result;
+  }
+
+  for (int s = 0; s < model.num_stages(); ++s) {
+    const CompiledStage& stage = model.stages[s];
+    if (stage.graph == nullptr) {
+      DiagnosticBuilder(result, "cluster.stage.coverage", model.model_name)
+          << "stage " << s << " has no subgraph";
+      continue;
+    }
+    const ChipSpec& chip = model.cluster.chips[stage.chip_index];
+    if (!stage.model.fits) {
+      DiagnosticBuilder(result, "cluster.stage.fits", stage.graph->name())
+          .Hint("add chips or shrink the model; the partition already minimizes the bottleneck")
+          << "stage " << s << " does not fit chip " << chip.name;
+      continue;
+    }
+    // Per-chip capacity: the stage's liveness peak obeys its own chip.
+    if (stage.model.memory_peak_bytes > chip.core_memory_bytes) {
+      DiagnosticBuilder(result, "cluster.stage.capacity", stage.graph->name())
+          << "stage " << s << " peak " << stage.model.memory_peak_bytes << "B/core exceeds "
+          << chip.name << "'s " << chip.core_memory_bytes << "B scratchpad";
+    }
+    // Outgoing transfer program must match the partition's boundary list.
+    const std::vector<StageBoundary> expected = model.partition.OutgoingBoundaries(s);
+    if (expected.size() != stage.outgoing.size()) {
+      DiagnosticBuilder(result, "cluster.boundary.conservation", stage.graph->name())
+          << "stage " << s << " carries " << stage.outgoing.size()
+          << " outgoing transfers, partition demands " << expected.size();
+    }
+    // The standard single-chip rule set over the stage's own compile.
+    VerifyResult stage_result =
+        Verifier(chip, options).VerifyAll(stage.model, *stage.graph);
+    result.Merge(std::move(stage_result));
+  }
+  return result;
+}
+
+}  // namespace t10::verify

@@ -1,0 +1,44 @@
+// Cross-chip verification rules for sharded compilation.
+//
+// Rule catalogue (ids follow the "<layer>.<rule>" convention of
+// DESIGN.md's verifier section):
+//   cluster.stage.coverage      every operator in exactly one stage
+//   cluster.stage.contiguous    stages are contiguous runs of the topo order
+//   cluster.stage.acyclic       boundary edges only flow to later stages
+//   cluster.stage.capacity      each stage's peak fits its chip's scratchpad
+//   cluster.stage.fits          every stage compiled with fits = true
+//   cluster.chips.assignment    stage -> chip map is injective and in range
+//   cluster.boundary.conservation
+//       every tensor produced in one stage and consumed in a later one
+//       crosses the link exactly once per consuming stage, at the tensor's
+//       exact byte size — nothing lost, duplicated or resized in transit
+//
+// VerifyShardedModel additionally re-verifies every stage's CompiledModel
+// with the standard single-chip rule set against its own chip.
+
+#ifndef T10_SRC_VERIFY_CLUSTER_CHECKS_H_
+#define T10_SRC_VERIFY_CLUSTER_CHECKS_H_
+
+#include "src/core/partition.h"
+#include "src/core/sharded_compiler.h"
+#include "src/hardware/cluster_spec.h"
+#include "src/ir/graph.h"
+#include "src/verify/diagnostics.h"
+#include "src/verify/verifier.h"
+
+namespace t10::verify {
+
+// Structural rules over a partition alone (no compiled stages yet): the
+// GraphPartition pass's Verify() hook.
+VerifyResult VerifyPartition(const GraphPartitionResult& partition, const Graph& graph,
+                             const ClusterSpec& cluster);
+
+// Full cross-chip verification of a sharded compile against the original
+// graph: partition structure, boundary-tensor conservation, per-chip
+// capacity, and the standard verifier over every stage.
+VerifyResult VerifyShardedModel(const ShardedCompiledModel& model, const Graph& graph,
+                                const VerifyOptions& options = {});
+
+}  // namespace t10::verify
+
+#endif  // T10_SRC_VERIFY_CLUSTER_CHECKS_H_

@@ -87,6 +87,31 @@ TEST(ExitCodesTest, T10cFaultCampaignFailureIsFour) {
   EXPECT_EQ(RunT10c("--demo --faults burst=1000000000,seed=1 > /dev/null 2>&1"), 4);
 }
 
+TEST(ExitCodesTest, T10cShardedSuccessIsZero) {
+  // Partition the demo model over 4 chips, verify the cross-chip rules
+  // strictly, and simulate every boundary transfer byte-for-byte.
+  EXPECT_EQ(RunT10c("--demo --cores 64 --chips 4 --verify=strict > /dev/null 2>&1"), 0);
+}
+
+TEST(ExitCodesTest, T10cShardedModelThatDoesNotFitIsOne) {
+  // Stages are operator-granular: one 4 MB-weight matmul cannot fit any
+  // 2-core chip, so no chip count rescues it.
+  const std::string path = ::testing::TempDir() + "/exit_codes_sharded_big.t10";
+  WriteModel(path,
+             "model too-big\n"
+             "matmul name=mm m=1024 k=1024 n=1024 a=A b=B c=C dtype=f32\n");
+  EXPECT_EQ(RunT10c(path + " --cores 2 --chips 4 > /dev/null 2>&1"), 1);
+}
+
+TEST(ExitCodesTest, T10cShardedUsageErrorsAreTwo) {
+  EXPECT_EQ(RunT10c("--demo --chips 0 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --chips 2 --topology bogus > /dev/null 2>&1"), 2);
+  // Fault campaigns and codegen are single-chip features: combining them
+  // with --chips is rejected up front, not silently ignored.
+  EXPECT_EQ(RunT10c("--demo --chips 2 --faults burst=1,seed=1 > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10c("--demo --chips 2 --code /tmp/code.txt > /dev/null 2>&1"), 2);
+}
+
 TEST(ExitCodesTest, T10ServeSuccessIsZero) {
   EXPECT_EQ(RunT10Serve("--requests 4 --cores 8 > /dev/null 2>&1"), 0);
 }
@@ -129,6 +154,28 @@ TEST(ExitCodesTest, T10ServeShardLossIsSeven) {
   // failure.
   EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 2 --retries 2 "
                         "--chaos-kill-chip-at 4 --chaos-chip 0 > /dev/null 2>&1"),
+            7);
+}
+
+TEST(ExitCodesTest, T10ServePipelineSuccessIsZero) {
+  EXPECT_EQ(RunT10Serve("--requests 6 --cores 8 --shards 4 --shard-mode pipeline "
+                        "> /dev/null 2>&1"),
+            0);
+}
+
+TEST(ExitCodesTest, T10ServePipelineUsageErrorsAreTwo) {
+  // Pipeline mode partitions across chips, so it requires --shards...
+  EXPECT_EQ(RunT10Serve("--requests 4 --shard-mode pipeline > /dev/null 2>&1"), 2);
+  // ...and the mode name must be one of replicated | pipeline.
+  EXPECT_EQ(RunT10Serve("--requests 4 --shards 2 --shard-mode bogus > /dev/null 2>&1"), 2);
+}
+
+TEST(ExitCodesTest, T10ServePipelineStageLossIsSeven) {
+  // A mid-run chip kill downs one stage permanently. A stage has no replica,
+  // so chains crossing it are answered with errors — exactly once each, audit
+  // clean — and the run reports stage loss like any shard loss.
+  EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 4 --shard-mode pipeline "
+                        "--chaos-kill-chip-at 4 --chaos-chip 2 > /dev/null 2>&1"),
             7);
 }
 

@@ -14,6 +14,10 @@ void Use(Registry& metrics) {
   metrics.GetGauge("serve.fixture.unknown");  // Well-formed but unregistered.
   metrics.GetHistogram(
       "compiler.pass.fixture_pass.seconds");  // Wildcard-registered: clean.
+  metrics.GetGauge("cluster.partition.stages");          // Registered: clean.
+  metrics.GetCounter("router.pipeline.handoff.count");   // Registered: clean.
+  metrics.GetCounter("sim.machine.interchip_bytes");     // Registered: clean.
+  metrics.GetCounter("router.pipeline.fixture.count");   // Unregistered.
 }
 
 }  // namespace lint_fixture

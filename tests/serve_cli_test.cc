@@ -90,5 +90,43 @@ TEST(ServeCliTest, DeadlinesShedOrExpireWithoutIntegrityFailure) {
   EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
 }
 
+TEST(ServeCliTest, PipelineRunChainsEveryStageWithCleanAudit) {
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_pipe.txt";
+  ASSERT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 4 --shard-mode pipeline > " +
+                        out_path + " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("4 pipeline stage(s)"), std::string::npos) << output;
+  // 12 chains x 3 cuts: every request crossed every stage boundary once.
+  EXPECT_NE(output.find("handoffs=36"), std::string::npos) << output;
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("not_identical=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+}
+
+TEST(ServeCliTest, PipelineCoreKillReplansOnlyTheDeadStage) {
+  // Satellite: kill a core on mid-chain stage 1. Exactly that stage replans
+  // (epoch 1, rejoining), every other stage stays at epoch 0, and the
+  // exactly-once audit stays clean.
+  const std::string out_path = ::testing::TempDir() + "/t10_serve_pipe_chaos.txt";
+  ASSERT_EQ(RunT10Serve("--requests 24 --cores 8 --shards 4 --shard-mode pipeline "
+                        "--deadline-ms 2000 --chaos-kill-core-at 6 --chaos-chip 1 > " +
+                        out_path + " 2>/dev/null"),
+            0);
+  const std::string output = ReadFile(out_path);
+  EXPECT_NE(output.find("stage 1"), std::string::npos) << output;
+  EXPECT_NE(output.find("epoch 1"), std::string::npos) << output;
+  // Only stage 1 bumped: the other three report epoch 0.
+  int epoch0_stages = 0;
+  for (std::string::size_type at = output.find("epoch 0"); at != std::string::npos;
+       at = output.find("epoch 0", at + 1)) {
+    ++epoch0_stages;
+  }
+  EXPECT_EQ(epoch0_stages, 3) << output;
+  EXPECT_NE(output.find("lost=0 duplicated=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("not_identical=0"), std::string::npos) << output;
+  EXPECT_NE(output.find("t10_serve: OK"), std::string::npos) << output;
+}
+
 }  // namespace
 }  // namespace t10

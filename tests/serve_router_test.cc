@@ -154,7 +154,7 @@ TEST(RouterTest, ChipKillFailsOverToSurvivorsWithNothingLost) {
   submit_batch(12, 0);
   router.KillChip(0);
   ASSERT_TRUE(WaitFor([&] {
-    return router.shard_snapshot(0).mode == ShardMode::kDown;
+    return router.shard_snapshot(0).state == ShardState::kDown;
   }));
   // Client ids are monotonic: everything from here on postdates the kill.
   const std::int64_t post_kill_boundary = accepted.empty() ? 0 : *accepted.rbegin() + 1;
@@ -222,7 +222,7 @@ TEST(RouterTest, TotalOutageAnswersEverythingAndRecordsOrderedDeaths) {
   for (int shard = 0; shard < 3; ++shard) {
     router.KillChip(shard);
     ASSERT_TRUE(WaitFor([&] {
-      return router.shard_snapshot(shard).mode == ShardMode::kDown;
+      return router.shard_snapshot(shard).state == ShardState::kDown;
     })) << "shard " << shard << " never went down";
   }
   // The total-outage announcement (and its flight-recorder dump) runs in the
@@ -416,6 +416,217 @@ TEST(RouterBackoffTest, DifferentKeysDesynchronize) {
     buckets.insert(static_cast<std::int64_t>(backoff * 1e7));
   }
   EXPECT_GE(buckets.size(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline mode: one model partitioned across a chain of per-chip stages.
+// ---------------------------------------------------------------------------
+
+Graph PipelineModel() {
+  Graph g("serve-pipe");
+  g.Add(MatMulOp("fc1", 16, 32, 32, DataType::kF32, "x", "w1", "h1"));
+  g.Add(ElementwiseOp("relu", {16, 32}, DataType::kF32, "h1", "h2"));
+  g.Add(MatMulOp("fc2", 16, 32, 32, DataType::kF32, "h2", "w2", "h3"));
+  g.Add(MatMulOp("fc3", 16, 32, 16, DataType::kF32, "h3", "w3", "y"));
+  g.MarkWeight("w1");
+  g.MarkWeight("w2");
+  g.MarkWeight("w3");
+  return g;
+}
+
+ClusterSpec PipelineCluster(int chips) {
+  return ClusterSpec::Homogeneous(ChipSpec::ScaledIpu(8), chips);
+}
+
+TEST(RouterPipelineTest, ChainsDeliverExactlyOnceWithHandoffs) {
+  const Graph graph = PipelineModel();
+  Router router(PipelineCluster(4), graph, FastOptions(0));
+  ASSERT_TRUE(router.Start().ok());
+  EXPECT_EQ(router.mode(), ShardMode::kPipeline);
+  EXPECT_EQ(router.num_shards(), 4);
+  // A pipeline request means "run the whole model": one logical slot.
+  EXPECT_EQ(router.num_op_slots(), 1);
+
+  std::set<std::int64_t> accepted;
+  for (int i = 0; i < 16; ++i) {
+    Request request;
+    request.op_slot = 0;
+    request.input_seed = static_cast<std::uint64_t>(i);
+    StatusOr<std::int64_t> id = router.Submit(request);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    accepted.insert(*id);
+  }
+  router.WaitIdle();
+  const std::map<std::int64_t, Response> by_id =
+      AuditExactlyOnce(accepted, router.TakeResponses());
+  for (const auto& [id, response] : by_id) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    // The chain's audit bit is the AND over every stage's operators.
+    EXPECT_TRUE(response.bit_identical);
+    // The answer comes off the final stage.
+    EXPECT_EQ(response.shard, 3);
+  }
+  // Every chain crosses every cut exactly once: 16 requests x 3 handoffs.
+  EXPECT_EQ(router.stats().handoffs, 16 * 3);
+  EXPECT_TRUE(router.Shutdown().ok());
+}
+
+TEST(RouterPipelineTest, RejectsNonZeroOpSlot) {
+  const Graph graph = PipelineModel();
+  Router router(PipelineCluster(2), graph, FastOptions(0));
+  ASSERT_TRUE(router.Start().ok());
+  Request request;
+  request.op_slot = 1;
+  EXPECT_EQ(router.Submit(request).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(router.Shutdown().ok());
+}
+
+TEST(RouterPipelineTest, InfeasiblePartitionFailsStart) {
+  Graph graph = PipelineModel();
+  ChipSpec chip = ChipSpec::ScaledIpu(2);
+  chip.core_memory_bytes = 1024;  // No stage of the model can fit.
+  Router router(ClusterSpec::Homogeneous(chip, 2), graph, FastOptions(0));
+  EXPECT_EQ(router.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+// Satellite: pipeline failure semantics under a mid-chain core kill. Exactly
+// one stage replans (its epoch bumps, every other stage stays at 0), no
+// response is lost or duplicated, and surviving chains keep a clean
+// bit-identity audit.
+TEST(RouterPipelineTest, CoreKillReplansOnlyTheDeadStage) {
+  const Graph graph = PipelineModel();
+  obs::EventJournal journal;
+  RouterOptions options = FastOptions(0);
+  options.journal = &journal;
+  Router router(PipelineCluster(4), graph, options);
+  ASSERT_TRUE(router.Start().ok());
+
+  std::set<std::int64_t> accepted;
+  auto submit_batch = [&](int count, int base) {
+    for (int i = 0; i < count; ++i) {
+      Request request;
+      request.op_slot = 0;
+      request.input_seed = static_cast<std::uint64_t>(base + i);
+      StatusOr<std::int64_t> id = router.Submit(request);
+      if (id.ok()) {
+        accepted.insert(*id);
+      }
+    }
+  };
+
+  submit_batch(8, 0);
+  router.KillCore(/*shard=*/1, /*core=*/0);
+  ASSERT_TRUE(WaitFor([&] { return router.shard_snapshot(1).plan_epoch >= 1; }))
+      << "stage 1 never replanned";
+  submit_batch(8, 8);
+  router.WaitIdle();
+
+  const std::map<std::int64_t, Response> by_id =
+      AuditExactlyOnce(accepted, router.TakeResponses());
+  for (const auto& [id, response] : by_id) {
+    if (response.status.ok()) {
+      EXPECT_TRUE(response.bit_identical);
+      EXPECT_EQ(response.shard, 3);
+    }
+  }
+  // Exactly one stage re-planned; the rest never left epoch 0.
+  EXPECT_GE(router.shard_snapshot(1).plan_epoch, 1);
+  for (const int stage : {0, 2, 3}) {
+    EXPECT_EQ(router.shard_snapshot(stage).plan_epoch, 0) << "stage " << stage;
+  }
+  EXPECT_EQ(router.stats().shard_downs, 0);
+  EXPECT_EQ(router.routable_shards(), 4);
+  EXPECT_TRUE(router.Shutdown().ok());
+}
+
+// Satellite: a chip kill takes its stage down permanently. A stage has no
+// replica, so chains that must cross it are answered with an error — exactly
+// once each, nothing lost — and the journal records the stage loss.
+TEST(RouterPipelineTest, ChipKillFailsChainsCrossingTheStageExactlyOnce) {
+  const Graph graph = PipelineModel();
+  obs::EventJournal journal;
+  RouterOptions options = FastOptions(0);
+  options.journal = &journal;
+  Router router(PipelineCluster(4), graph, options);
+  ASSERT_TRUE(router.Start().ok());
+
+  std::set<std::int64_t> accepted;
+  auto submit_batch = [&](int count, int base) {
+    for (int i = 0; i < count; ++i) {
+      Request request;
+      request.op_slot = 0;
+      request.input_seed = static_cast<std::uint64_t>(base + i);
+      StatusOr<std::int64_t> id = router.Submit(request);
+      if (id.ok()) {
+        accepted.insert(*id);
+      }
+    }
+  };
+
+  submit_batch(8, 0);
+  router.KillChip(2);
+  ASSERT_TRUE(WaitFor([&] {
+    return router.shard_snapshot(2).state == ShardState::kDown;
+  }));
+  const std::int64_t post_kill_boundary = accepted.empty() ? 0 : *accepted.rbegin() + 1;
+  submit_batch(8, 8);
+  router.WaitIdle();
+
+  const std::map<std::int64_t, Response> by_id =
+      AuditExactlyOnce(accepted, router.TakeResponses());
+  for (const auto& [id, response] : by_id) {
+    if (id >= post_kill_boundary) {
+      // Every post-kill chain must cross dead stage 2: answered with an
+      // error, never dropped.
+      EXPECT_FALSE(response.status.ok()) << "id " << id;
+    } else if (response.status.ok()) {
+      EXPECT_TRUE(response.bit_identical);
+    }
+  }
+  EXPECT_EQ(router.stats().shard_downs, 1);
+  EXPECT_EQ(router.routable_shards(), 3);
+
+  bool stage_down_logged = false;
+  for (const obs::Event& event : journal.Snapshot()) {
+    if (event.event == "router.pipeline.stage_down") {
+      stage_down_logged = true;
+    }
+  }
+  EXPECT_TRUE(stage_down_logged);
+  EXPECT_TRUE(router.Shutdown().ok());
+}
+
+TEST(RouterPipelineTest, DeadlineBudgetPropagatesDownTheChain) {
+  const Graph graph = PipelineModel();
+  Router router(PipelineCluster(3), graph, FastOptions(0));
+  ASSERT_TRUE(router.Start().ok());
+
+  // An already-hopeless budget expires somewhere down the chain and comes
+  // back as deadline_exceeded — one response, not a lost chain.
+  Request hopeless;
+  hopeless.op_slot = 0;
+  hopeless.deadline_seconds = 1e-9;
+  StatusOr<std::int64_t> doomed = router.Submit(hopeless);
+  // Admission may reject it outright (also fine) — but if accepted, it must
+  // resolve as deadline_exceeded.
+  Request generous;
+  generous.op_slot = 0;
+  generous.deadline_seconds = 30.0;
+  StatusOr<std::int64_t> fine = router.Submit(generous);
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  router.WaitIdle();
+
+  std::map<std::int64_t, Response> by_id;
+  for (Response& response : router.TakeResponses()) {
+    by_id.emplace(response.id, std::move(response));
+  }
+  if (doomed.ok()) {
+    ASSERT_TRUE(by_id.count(*doomed));
+    EXPECT_EQ(by_id[*doomed].status.code(), StatusCode::kDeadlineExceeded);
+  }
+  ASSERT_TRUE(by_id.count(*fine));
+  EXPECT_TRUE(by_id[*fine].status.ok()) << by_id[*fine].status.ToString();
+  EXPECT_TRUE(router.Shutdown().ok());
 }
 
 TEST(RouterBackoffTest, ZeroBaseStaysZero) {

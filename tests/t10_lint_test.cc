@@ -59,7 +59,9 @@ TEST(LintFixtureTest, FixturesProduceExactFindings) {
         {11, "lint.sync.raw-primitive"},
         {11, "lint.sync.raw-primitive"}}},
       {"obs_names.cc",
-       {{13, "lint.obs.name-grammar"}, {14, "lint.obs.unregistered-name"}}},
+       {{13, "lint.obs.name-grammar"},
+        {14, "lint.obs.unregistered-name"},
+        {20, "lint.obs.unregistered-name"}}},
       {"nolint.cc",
        {{6, "lint.nolint.missing-reason"},
         {7, "lint.nolint.missing-reason"},
@@ -82,8 +84,8 @@ TEST(LintFixtureTest, DirectoryWalkAggregatesEveryFixture) {
   EXPECT_EQ(by_rule["lint.sync.raw-primitive"], 5) << Dump(findings);
   EXPECT_EQ(by_rule["lint.nolint.missing-reason"], 2);
   EXPECT_EQ(by_rule["lint.obs.name-grammar"], 1);
-  EXPECT_EQ(by_rule["lint.obs.unregistered-name"], 1);
-  EXPECT_EQ(findings.size(), 9u);
+  EXPECT_EQ(by_rule["lint.obs.unregistered-name"], 2);
+  EXPECT_EQ(findings.size(), 10u);
 }
 
 // ---------------------------------------------------------------------------
