@@ -22,6 +22,15 @@
 // Killing a core on one stage replans exactly that stage; killing a stage's
 // chip fails the chains that cross it — still exactly one response each.
 //
+// With --recover-on-chip-loss (pipeline mode only) a stage chip loss
+// triggers elastic pipeline recovery instead: the router drains in-flight
+// chains, repartitions the model over the surviving chips, verifier-gates
+// the new cut and hot-swaps the stage chain under a new cluster epoch —
+// parked chains resume at their exact operator with their remaining
+// deadline budget, and the bit-identity audit must still balance. An
+// infeasible repartition browns out (new admissions refused, in-flight
+// answered) rather than crashing.
+//
 //   $ ./examples/t10_serve [--requests N] [--qps Q] [--deadline-ms D]
 //                          [--queue-cap C] [--workers W] [--cores N]
 //                          [--faults SPEC] [--chaos-kill-core-at K]
@@ -37,7 +46,9 @@
 // 5 serving integrity failure (lost or duplicated responses, or an OK
 // response that was not bit-identical to the reference); 7 shard loss (the
 // sharded run ended with one or more shards — or pipeline stages —
-// permanently down, including a total outage, but the audit balanced).
+// permanently down, including a total outage, but the audit balanced, and
+// either recovery was disabled or no feasible repartition existed; a chip
+// loss fully absorbed by elastic recovery exits 0).
 
 #include <algorithm>
 #include <chrono>
@@ -115,6 +126,11 @@ void Usage() {
       "                          entire chip; the router must fail the shard over\n"
       "                          (requires --shards >= 1)\n"
       "  --chaos-chip ID         which shard the chip kill takes (default 0)\n"
+      "  --recover-on-chip-loss  elastic pipeline recovery (requires --shard-mode\n"
+      "                          pipeline): on chip loss, drain in-flight chains,\n"
+      "                          repartition over the surviving chips, verify the new\n"
+      "                          cut and hot-swap the stage chain under a new cluster\n"
+      "                          epoch; an infeasible repartition browns out instead\n"
       "  --pace-scale X          simulated-time pacing: a successful request occupies\n"
       "                          its worker for X * the op's cost-model seconds\n"
       "                          (0 = off, default)\n"
@@ -150,6 +166,7 @@ int main(int argc, char** argv) {
   bool pipeline = false;  // --shard-mode pipeline.
   int chip_kill_at = 0;  // 0 = never.
   int chaos_chip = 0;
+  bool recover_on_chip_loss = false;
   double pace_scale = 0.0;
   std::string faults_text;
   std::string metrics_path;
@@ -208,6 +225,8 @@ int main(int argc, char** argv) {
       chip_kill_at = std::atoi(flag_value(i, "--chaos-kill-chip-at"));
     } else if (std::strcmp(argv[i], "--chaos-chip") == 0) {
       chaos_chip = std::atoi(flag_value(i, "--chaos-chip"));
+    } else if (std::strcmp(argv[i], "--recover-on-chip-loss") == 0) {
+      recover_on_chip_loss = true;
     } else if (std::strcmp(argv[i], "--pace-scale") == 0) {
       pace_scale = std::atof(flag_value(i, "--pace-scale"));
     } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -240,6 +259,10 @@ int main(int argc, char** argv) {
   }
   if (pipeline && shards == 0) {
     std::fprintf(stderr, "t10_serve: --shard-mode pipeline requires --shards >= 1\n");
+    return 2;
+  }
+  if (recover_on_chip_loss && !pipeline) {
+    std::fprintf(stderr, "t10_serve: --recover-on-chip-loss requires --shard-mode pipeline\n");
     return 2;
   }
   if (shards > 0 && (chaos_chip < 0 || chaos_chip >= shards)) {
@@ -323,6 +346,7 @@ int main(int argc, char** argv) {
     ropts.tracer = tracer.get();
     ropts.journal = journal.get();
     ropts.flight_recorder_path = flight_recorder_path;
+    ropts.recover_on_chip_loss = recover_on_chip_loss;
 
     // Pipeline mode swaps N replicas for a ClusterSpec of N chips serving
     // the partitioned model as a stage chain; everything below (load loop,
@@ -398,6 +422,9 @@ int main(int argc, char** argv) {
 
     router.WaitIdle();
     const int routable = router.routable_shards();  // Pre-shutdown view.
+    // Elastic recovery may have re-cut the pipeline into fewer stages, so the
+    // start-of-run count is only history now.
+    const int end_shards = router.num_shards();
     const std::vector<serve::Response> responses = router.TakeResponses();
     const Status shutdown = router.Shutdown();
     const double wall = std::chrono::duration<double>(serve::Clock::now() - t0).count();
@@ -456,7 +483,7 @@ int main(int argc, char** argv) {
     std::printf("shards: %d/%d routable | shard_downs=%d drains=%d rejoins=%d "
                 "rebalances=%d handoffs=%lld | lost=%lld duplicated=%lld unknown=%lld "
                 "not_identical=%lld\n",
-                routable, total_shards, rstats.shard_downs, rstats.drains, rstats.rejoins,
+                routable, end_shards, rstats.shard_downs, rstats.drains, rstats.rejoins,
                 rstats.rebalances, static_cast<long long>(rstats.handoffs),
                 static_cast<long long>(lost), static_cast<long long>(duplicated),
                 static_cast<long long>(unknown), static_cast<long long>(not_identical));
@@ -474,9 +501,13 @@ int main(int argc, char** argv) {
       summary.AddRow({"rejected (no routable shard)", std::to_string(rejected)});
       summary.AddRow({"shard mode", pipeline ? "pipeline" : "replicated"});
       summary.AddRow({"routable shards at end",
-                      std::to_string(routable) + " of " + std::to_string(total_shards)});
+                      std::to_string(routable) + " of " + std::to_string(end_shards)});
       if (pipeline) {
         summary.AddRow({"pipeline handoffs", std::to_string(rstats.handoffs)});
+        summary.AddRow({"cluster epoch", std::to_string(rstats.cluster_epoch)});
+        summary.AddRow({"cluster recoveries",
+                        std::to_string(rstats.recoveries) + " (" +
+                            std::to_string(rstats.recovery_failures) + " failed)"});
       }
       summary.AddRow({"redirects", std::to_string(rstats.redirects)});
       summary.AddRow({"hedges launched / wasted", std::to_string(rstats.hedges) + " / " +
@@ -486,7 +517,7 @@ int main(int argc, char** argv) {
                       std::to_string(rstats.shard_downs) + " / " +
                           std::to_string(rstats.drains) + " / " +
                           std::to_string(rstats.rejoins)});
-      for (int s = 0; s < total_shards; ++s) {
+      for (int s = 0; s < end_shards; ++s) {
         const serve::ShardSnapshot snap = router.shard_snapshot(s);
         summary.AddRow({(pipeline ? "stage " : "shard ") + std::to_string(s),
                         std::string(serve::ShardStateName(snap.state)) + ", epoch " +
@@ -534,13 +565,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "t10_serve: SERVING INTEGRITY FAILURE\n");
       return 5;
     }
-    if (rstats.shard_downs > 0) {
+    // Exit 7 is reserved for shard loss the run could not absorb: recovery
+    // disabled, never triggered, or failed (no feasible repartition). A chip
+    // loss fully covered by elastic recovery — every down shard accounted for
+    // by a successful repartition — is a clean run.
+    const bool loss_recovered = recover_on_chip_loss && rstats.recoveries > 0 &&
+                                rstats.recovery_failures == 0 &&
+                                routable == end_shards;
+    if (rstats.shard_downs > 0 && !loss_recovered) {
       std::fprintf(stderr,
                    "t10_serve: SHARD LOSS: %d %s permanently down, %d of %d "
                    "routable at end\n",
                    rstats.shard_downs, pipeline ? "stage(s)" : "shard(s)", routable,
-                   total_shards);
+                   end_shards);
       return 7;
+    }
+    if (rstats.recoveries > 0) {
+      std::printf("t10_serve: recovered from %d chip loss(es): cluster epoch %d, "
+                  "%d of %d stage(s) routable\n",
+                  rstats.recoveries, rstats.cluster_epoch, routable, end_shards);
     }
     if (!shutdown.ok()) {
       return 1;

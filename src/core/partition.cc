@@ -208,6 +208,36 @@ GraphPartitionResult PartitionGraph(const Graph& graph, const ClusterSpec& clust
   return result;
 }
 
+DegradedRepartition RepartitionDegraded(const Graph& graph, const ClusterSpec& cluster,
+                                        const std::vector<bool>& chip_down) {
+  T10_CHECK_EQ(static_cast<int>(chip_down.size()), cluster.num_chips())
+      << "chip_down must mark every chip of " << cluster.name;
+  DegradedRepartition result;
+  result.survivors = cluster;
+  result.survivors.name = cluster.name + ".degraded";
+  result.survivors.chips.clear();
+  for (int i = 0; i < cluster.num_chips(); ++i) {
+    if (!chip_down[static_cast<std::size_t>(i)]) {
+      result.survivors.chips.push_back(cluster.chips[static_cast<std::size_t>(i)]);
+      result.stage_chips.push_back(i);
+    }
+  }
+  if (result.survivors.chips.empty()) {
+    result.partition.reason = "every chip of " + cluster.name + " is down";
+    result.stage_chips.clear();
+    return result;
+  }
+  result.partition = PartitionGraph(graph, result.survivors);
+  if (!result.partition.feasible) {
+    result.stage_chips.clear();
+    return result;
+  }
+  // The DP may use fewer stages than survivors (tiny graphs); keep exactly
+  // one surviving chip per stage, in order.
+  result.stage_chips.resize(static_cast<std::size_t>(result.partition.num_stages));
+  return result;
+}
+
 Graph BuildStageGraph(const Graph& graph, const GraphPartitionResult& partition, int stage) {
   T10_CHECK(partition.feasible);
   T10_CHECK_GE(stage, 0);

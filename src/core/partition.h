@@ -64,6 +64,31 @@ struct GraphPartitionResult {
 // chip's total scratchpad.
 GraphPartitionResult PartitionGraph(const Graph& graph, const ClusterSpec& cluster);
 
+// A repartition of a degraded cluster (elastic pipeline recovery): the stage
+// DP re-runs over the surviving chips only, boundaries are re-cut, and every
+// new stage keeps the identity of the surviving chip it lands on.
+struct DegradedRepartition {
+  // The new cut. Stage indices are positions in `survivors`; translate to
+  // full-cluster chips through `stage_chips`.
+  GraphPartitionResult partition;
+  // The surviving chips in their original order (the cluster the partition
+  // DP actually ran over); survivors re-form the link ring/mesh with the
+  // dead chips' links routed around.
+  ClusterSpec survivors;
+  // New stage index -> the chip's ORIGINAL index in the full cluster.
+  // Survivors keep their chip index across a repartition, so serving-layer
+  // bookkeeping (which physical chip runs which stage) stays stable.
+  std::vector<int> stage_chips;
+};
+
+// Re-cuts `graph` over the chips of `cluster` that are still up
+// (chip_down[i] marks chip i permanently lost; chip_down.size() must equal
+// cluster.num_chips()). Infeasible — partition.feasible == false with the
+// reason set — when every chip is down or no contiguous cut over the
+// survivors fits; callers brown out on that instead of crashing.
+DegradedRepartition RepartitionDegraded(const Graph& graph, const ClusterSpec& cluster,
+                                        const std::vector<bool>& chip_down);
+
 // The executable subgraph of one stage: its operators in order, parent
 // weights re-marked as weights, and tensors entering from earlier stages
 // (or from the host) appearing as plain graph inputs.

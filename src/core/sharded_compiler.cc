@@ -153,6 +153,81 @@ ShardedCompiledModel ShardedCompiler::Compile(const Graph& graph) {
   return result;
 }
 
+ShardedCompiledModel ShardedCompiler::RecompileDegraded(const Graph& graph,
+                                                        ShardedCompiledModel previous,
+                                                        const std::vector<bool>& chip_down) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("cluster.recompile.count").Increment();
+  obs::ScopedTimer timer("cluster.compile.seconds");
+
+  ShardedCompiledModel result;
+  result.model_name = graph.name();
+  result.cluster = cluster_;
+  DegradedRepartition replan = RepartitionDegraded(graph, cluster_, chip_down);
+  result.partition = std::move(replan.partition);
+  if (!result.partition.feasible) {
+    result.fits = false;
+    result.unfit_reason = result.partition.reason;
+    return result;
+  }
+
+  int reused = 0;
+  for (int s = 0; s < result.partition.num_stages; ++s) {
+    const int chip = replan.stage_chips[static_cast<std::size_t>(s)];
+    const std::pair<int, int> range = result.partition.stage_ops[static_cast<std::size_t>(s)];
+    // A previous stage that compiled exactly this operator range for exactly
+    // this chip is still valid — the cut moved around it, not through it.
+    int from = -1;
+    for (int t = 0; t < previous.num_stages(); ++t) {
+      const CompiledStage& candidate = previous.stages[static_cast<std::size_t>(t)];
+      if (candidate.chip_index == chip && candidate.graph != nullptr &&
+          previous.partition.stage_ops[static_cast<std::size_t>(t)] == range) {
+        from = t;
+        break;
+      }
+    }
+    CompiledStage stage;
+    if (from >= 0) {
+      stage = std::move(previous.stages[static_cast<std::size_t>(from)]);
+      stage.outgoing.clear();
+      stage.transfer = PlanMetrics{};
+      ++reused;
+    } else {
+      stage.chip_index = chip;
+      stage.graph = std::make_unique<Graph>(BuildStageGraph(graph, result.partition, s));
+      CompileOptions stage_options = options_;
+      stage_options.cluster = &cluster_;
+      stage_options.chip_index = chip;
+      Compiler compiler(cluster_.chips[static_cast<std::size_t>(chip)],
+                        std::move(stage_options));
+      stage.model = compiler.Compile(*stage.graph);
+    }
+
+    stage.outgoing = result.partition.OutgoingBoundaries(s);
+    for (const StageBoundary& boundary : stage.outgoing) {
+      stage.transfer.interchip_bytes += boundary.bytes;
+      stage.transfer.interchip_seconds += boundary.transfer_seconds;
+    }
+    metrics.GetCounter("cluster.transfer.bytes").Add(stage.transfer.interchip_bytes);
+    metrics.GetHistogram("cluster.transfer.seconds").Record(stage.transfer.interchip_seconds);
+
+    const bool stage_fits = stage.model.fits;
+    result.stages.push_back(std::move(stage));
+    if (!stage_fits) {
+      result.fits = false;
+      std::ostringstream reason;
+      reason << "stage " << s << " (ops " << range.first << ".." << range.second
+             << ") does not fit surviving chip "
+             << cluster_.chips[static_cast<std::size_t>(chip)].name;
+      result.unfit_reason = reason.str();
+      return result;
+    }
+  }
+  metrics.GetGauge("cluster.recompile.reused_stages").Set(static_cast<double>(reused));
+  metrics.GetGauge("cluster.compile.stages").Set(static_cast<double>(result.num_stages()));
+  return result;
+}
+
 StatusOr<double> SimulateBoundaryTransfers(const ShardedCompiledModel& model) {
   T10_CHECK(model.fits) << "cannot simulate boundaries of an unfit model";
   std::map<int, std::unique_ptr<Machine>> machines;

@@ -78,6 +78,18 @@ class ShardedCompiler {
   // stage owns its subgraph.
   ShardedCompiledModel Compile(const Graph& graph);
 
+  // Elastic recovery: re-cuts `graph` over the chips of the cluster still up
+  // (RepartitionDegraded; chip_down[i] marks chip i lost) and recompiles
+  // ONLY the stages whose operator range or chip changed, moving every other
+  // compiled stage out of `previous` untouched. With
+  // CompileOptions::plan_cache_dir set, the changed stages warm-start from
+  // the on-disk plan cache, which bounds recovery recompile time. `previous`
+  // must be a fit compile of the same graph over this cluster (it is
+  // consumed). An infeasible repartition returns fits = false with the
+  // reason — the caller browns out instead of crashing.
+  ShardedCompiledModel RecompileDegraded(const Graph& graph, ShardedCompiledModel previous,
+                                         const std::vector<bool>& chip_down);
+
   const ClusterSpec& cluster() const { return cluster_; }
 
   // The sharded pipeline's pass names: graph_partition, then the standard

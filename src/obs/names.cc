@@ -15,6 +15,8 @@ const char* const kMetricNames[] = {
     "cluster.compile.stages",
     "cluster.partition.boundary_bytes",
     "cluster.partition.stages",
+    "cluster.recompile.count",
+    "cluster.recompile.reused_stages",
     "cluster.transfer.bytes",
     "cluster.transfer.seconds",
     "compiler.cache.hits",
@@ -53,6 +55,8 @@ const char* const kMetricNames[] = {
     "fault.injector.events",
     "fault.injector.stall",
     "router.brownout.shed",
+    "router.cluster.repartition.count",
+    "router.cluster.repartition.seconds",
     "router.hedge.count",
     "router.hedge.wasted",
     "router.pipeline.handoff.count",
@@ -117,6 +121,11 @@ const char* const kJournalEvents[] = {
     "request.response",
     "request.shed",
     "router.brownout_shed",
+    "router.cluster.drain",
+    "router.cluster.hot_swap",
+    "router.cluster.park_failed",
+    "router.cluster.repartition",
+    "router.cluster.verify_gate",
     "router.drain",
     "router.hedge",
     "router.pipeline.handoff",
@@ -130,6 +139,7 @@ const char* const kJournalEvents[] = {
     "router.start",
     "router.total_outage",
     "server.start",
+    "server.storage_released",
 };
 
 const char* const kJournalSubsystems[] = {

@@ -241,6 +241,14 @@ void ExecutorPool::KillChip(int num_cores) {
   }
 }
 
+std::int64_t ExecutorPool::ReleaseMachines() {
+  std::int64_t released = 0;
+  for (auto& worker : workers_) {
+    released += worker->machine.ReleaseStorage();
+  }
+  return released;
+}
+
 TopologyHealth ExecutorPool::ProbeHealth() const {
   return workers_.front()->machine.ProbeHealth();
 }

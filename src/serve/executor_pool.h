@@ -178,6 +178,12 @@ class ExecutorPool {
   // once — the whole chip is lost. Thread-safe.
   void KillChip(int num_cores);
 
+  // Elastic recovery: frees every worker machine's simulated scratchpad and
+  // channel staging state (Machine::ReleaseStorage). Only valid once no
+  // worker will execute again — the chip is permanently lost and its server
+  // has drained and joined its workers. Returns the bytes released.
+  std::int64_t ReleaseMachines();
+
   // Health as seen through the workers' injectors (spec faults + chaos
   // kills). All injectors agree on persistent health; worker 0 answers.
   TopologyHealth ProbeHealth() const;

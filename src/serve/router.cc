@@ -3,11 +3,13 @@
 #include <array>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <string_view>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
+#include "src/verify/cluster_checks.h"
 
 namespace t10 {
 namespace serve {
@@ -86,6 +88,18 @@ obs::Counter& StageDownCounter() {
   return counter;
 }
 
+obs::Counter& RepartitionCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("router.cluster.repartition.count");
+  return counter;
+}
+
+obs::Histogram& RepartitionSecondsHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("router.cluster.repartition.seconds");
+  return histogram;
+}
+
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
@@ -143,9 +157,13 @@ Router::Router(const ChipSpec& chip, const Graph& graph, RouterOptions options)
     per_shard.on_response = [this, i](Response response) {
       OnShardResponse(i, std::move(response));
     };
+    shard->token = i;
     shard->server = std::make_unique<Server>(chip, graph, std::move(per_shard));
+    stage_of_token_[i] = i;
     shards_.push_back(std::move(shard));
   }
+  next_token_ = options_.num_shards;
+  next_id_block_ = options_.num_shards + 1;
 }
 
 Router::Router(const ClusterSpec& cluster, const Graph& graph, RouterOptions options)
@@ -170,10 +188,18 @@ Router::Router(const ClusterSpec& cluster, const Graph& graph, RouterOptions opt
     per_stage.on_response = [this, s](Response response) {
       OnShardResponse(s, std::move(response));
     };
+    shard->token = s;
     shard->server = std::make_unique<Server>(cluster_.chips[static_cast<std::size_t>(s)],
                                              *stage_graphs_.back(), std::move(per_stage));
+    stage_of_token_[s] = s;
     shards_.push_back(std::move(shard));
   }
+  // Recovery bookkeeping: stage s starts on chip s; no chip lost yet.
+  stage_chips_.resize(static_cast<std::size_t>(partition_.num_stages));
+  std::iota(stage_chips_.begin(), stage_chips_.end(), 0);
+  chip_down_.assign(static_cast<std::size_t>(cluster_.num_chips()), false);
+  next_token_ = partition_.num_stages;
+  next_id_block_ = partition_.num_stages + 1;
   // Per-cut handoff bill: every boundary tensor relays through each cut
   // between its producer and consumer stages.
   cut_bytes_.assign(partition_.num_stages > 0
@@ -260,6 +286,12 @@ StatusOr<std::int64_t> Router::Submit(const Request& request) {
     if (!running_ || draining_) {
       return FailedPreconditionError("router not serving");
     }
+    if (cluster_failed_) {
+      // park_failed brownout: the cluster cannot be repartitioned around its
+      // losses. In-flight work still answers; new admissions refuse cleanly.
+      return UnavailableError("cluster degraded beyond repair: " +
+                              cluster_failed_reason_);
+    }
     if (request.op_slot < 0 || request.op_slot >= num_op_slots_) {
       return InvalidArgumentError("op_slot " + std::to_string(request.op_slot) +
                                   " out of range [0, " + std::to_string(num_op_slots_) +
@@ -344,14 +376,38 @@ Status Router::SubmitAttempt(std::int64_t client_id, int avoid, const char* kind
   while (true) {
     Request request;
     int target = -1;
+    bool expired = false;
     {
       MutexLock lock(mu_);
       auto it = pending_.find(client_id);
       if (it == pending_.end() || it->second.delivered) {
         return Status::Ok();  // Resolved while this attempt was being routed.
       }
-      request = it->second.request;
-      target = PickShard(avoid, exclude);
+      const Pending& p = it->second;
+      request = p.request;
+      if (p.has_deadline) {
+        // Every attempt — initial route, redirect, hedge — carries the
+        // REMAINING budget, not the original end-to-end deadline: time spent
+        // queued, failing over or parked is charged, so the shard's EDF
+        // queue orders this request by its true slack.
+        const double remaining =
+            std::chrono::duration<double>(p.deadline - Clock::now()).count();
+        if (remaining <= 0.0) {
+          expired = true;
+        } else {
+          request.deadline_seconds = remaining;
+        }
+      }
+      target = expired ? -1 : PickShard(avoid, exclude);
+    }
+    if (expired) {
+      Status why = DeadlineExceededError("deadline budget exhausted before the " +
+                                         std::string(kind));
+      if (std::string_view(kind) == "route") {
+        return why;  // Submit() still owns the entry and withdraws it.
+      }
+      FailPending(client_id, std::move(why));
+      return Status::Ok();
     }
     if (target < 0) {
       return UnavailableError("no routable shard");
@@ -461,6 +517,7 @@ Status Router::SubmitStageAttempt(std::int64_t client_id, int stage, int stage_o
   Request request;
   bool stage_routable = false;
   bool expired = false;
+  Server* server = nullptr;
   {
     MutexLock lock(mu_);
     auto it = pending_.find(client_id);
@@ -470,6 +527,14 @@ Status Router::SubmitStageAttempt(std::int64_t client_id, int stage, int stage_o
     Pending& p = it->second;
     p.stage = stage;
     p.stage_op = stage_op;
+    if (recovering_ && !draining_) {
+      // cluster_draining: the chain parks at this exact position (no
+      // redirect budget burned — the failure is the cluster's, not the
+      // chain's) and is remapped + resubmitted after the hot swap with its
+      // remaining deadline budget.
+      p.retry_wait = true;
+      return Status::Ok();
+    }
     p.last_attempt_at = Clock::now();
     request = p.request;
     request.op_slot = stage_op;  // Stage-local operator index.
@@ -486,6 +551,9 @@ Status Router::SubmitStageAttempt(std::int64_t client_id, int stage, int stage_o
       }
     }
     stage_routable = Routable(shards_[static_cast<std::size_t>(stage)]->state);
+    // Snapshot under mu_: a concurrent hot swap may rewrite shards_, but the
+    // pointed-to server outlives the router (retired_shards_ keeps it).
+    server = shards_[static_cast<std::size_t>(stage)]->server.get();
   }
   if (expired) {
     Status why = DeadlineExceededError("deadline budget exhausted before stage " +
@@ -500,8 +568,7 @@ Status Router::SubmitStageAttempt(std::int64_t client_id, int stage, int stage_o
   if (!stage_routable) {
     failure = UnavailableError("stage " + std::to_string(stage) + " is down");
   } else {
-    StatusOr<std::int64_t> shard_request_id =
-        shards_[static_cast<std::size_t>(stage)]->server->Submit(request);
+    StatusOr<std::int64_t> shard_request_id = server->Submit(request);
     if (shard_request_id.ok()) {
       std::optional<std::pair<int, Response>> ready =
           RegisterAttempt(client_id, stage, *shard_request_id);
@@ -586,6 +653,16 @@ void Router::ResolveStageAttempt(int stage, std::int64_t client_id, Response res
           idle_cv_.NotifyAll();
         }
       }
+    } else if (recovering_ && !draining_ && !response.status.ok() &&
+               (response.status.code() == StatusCode::kUnavailable ||
+                response.status.code() == StatusCode::kFailedPrecondition)) {
+      // cluster_draining: the dying chip (or a survivor refusing admissions
+      // behind it) failed this step. Park at the same position without
+      // burning redirect budget; the hot swap remaps and resubmits the
+      // chain. Deadline misses and data loss still deliver — those are the
+      // chain's own outcome, not the recovery's.
+      p.stage = stage;  // stage_op already points at the failed operator.
+      p.retry_wait = true;
     } else if (response.status.code() == StatusCode::kUnavailable && !draining_ &&
                p.redirects < options_.redirect_budget) {
       // PR 8's redirect, aimed at the only place the work can go: the same
@@ -621,7 +698,7 @@ void Router::ResolveStageAttempt(int stage, std::int64_t client_id, Response res
         advance = true;
         next_stage = stage;
         next_op = p.stage_op + 1;
-      } else if (stage + 1 < num_shards()) {
+      } else if (stage + 1 < static_cast<int>(shards_.size())) {
         advance = true;
         handoff = true;
         next_stage = stage + 1;
@@ -703,19 +780,40 @@ std::optional<std::pair<int, Response>> Router::RegisterAttempt(
   return std::nullopt;
 }
 
-void Router::OnShardResponse(int shard, Response response) {
+void Router::OnShardResponse(int token, Response response) {
   std::int64_t client_id = -1;
+  int shard = -1;
+  std::int64_t orphaned = -1;
   {
     MutexLock lock(mu_);
+    const auto stage_it = stage_of_token_.find(token);
     auto it = attempt_to_client_.find(response.id);
-    if (it == attempt_to_client_.end()) {
-      // The shard answered before RegisterAttempt ran; park the response for
-      // the registration to claim.
-      unmatched_.emplace(response.id, std::make_pair(shard, std::move(response)));
-      return;
+    if (stage_it == stage_of_token_.end()) {
+      // A retired (post-recovery) server answered. The drain barrier ran
+      // before the server was retired, so no live attempt can be waiting on
+      // it; if one somehow is, answer the client rather than lose it.
+      if (it != attempt_to_client_.end()) {
+        orphaned = it->second;
+        attempt_to_client_.erase(it);
+      }
+    } else {
+      shard = stage_it->second;
+      if (it == attempt_to_client_.end()) {
+        // The shard answered before RegisterAttempt ran; park the response
+        // for the registration to claim.
+        unmatched_.emplace(response.id, std::make_pair(shard, std::move(response)));
+        return;
+      }
+      client_id = it->second;
+      attempt_to_client_.erase(it);
     }
-    client_id = it->second;
-    attempt_to_client_.erase(it);
+  }
+  if (orphaned >= 0) {
+    FailPending(orphaned, InternalError("attempt resolved by a retired stage server"));
+    return;
+  }
+  if (shard < 0) {
+    return;  // Retired server, no attempt waiting: drop.
   }
   ResolveAttempt(shard, client_id, std::move(response));
 }
@@ -932,12 +1030,26 @@ void Router::MonitorLoop() {
         return;
       }
     }
-    // Shard state sweep (server calls happen without router.mu held).
+    // Shard state sweep (server calls happen without router.mu held). Only
+    // this thread rewrites shards_, so the unlocked reads are safe.
     const int n = num_shards();
+    bool recover = false;
     for (int i = 0; i < n; ++i) {
       Server& server = *shards_[static_cast<std::size_t>(i)]->server;
       const ServerState state = server.state();
       if (state == ServerState::kFailed) {
+        if (mode_ == ShardMode::kPipeline && options_.recover_on_chip_loss) {
+          MutexLock lock(mu_);
+          // stage_down -> cluster_draining: set recovering_ BEFORE the shard
+          // is marked down so no chain fails through the stage-down path in
+          // the gap. A loss during an active recovery folds into it (the
+          // cumulative chip mask is built after the drain).
+          if (shards_[static_cast<std::size_t>(i)]->state != ShardState::kDown &&
+              !recovering_ && !cluster_failed_ && !draining_) {
+            recovering_ = true;
+            recover = true;
+          }
+        }
         MarkShardDown(i, server.failed_status());
         continue;
       }
@@ -973,6 +1085,12 @@ void Router::MonitorLoop() {
       } else if (promote) {
         MarkShardHealthy(i);
       }
+    }
+    if (recover) {
+      // Runs the whole drain -> repartition -> verify -> swap sequence on
+      // this thread; the parked-retry scan below resubmits the remapped
+      // chains in this same iteration once the swap lands.
+      RunClusterRecovery();
     }
     // Total outage: every chip gone. Announce once; pending work drains
     // through the dead shards' error paths and redirects that find no
@@ -1038,6 +1156,9 @@ void Router::MonitorLoop() {
       MutexLock lock(mu_);
       const Clock::time_point now = Clock::now();
       for (auto& [client_id, p] : pending_) {
+        if (recovering_) {
+          break;  // Chains stay parked until the cluster hot swap lands.
+        }
         if (!p.retry_wait || p.delivered) {
           continue;
         }
@@ -1057,6 +1178,290 @@ void Router::MonitorLoop() {
       (void)resubmitted;  // Failures answered the client inside.
     }
   }
+}
+
+void Router::RunClusterRecovery() {
+  const Clock::time_point started = Clock::now();
+  const auto poll = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(options_.poll_seconds));
+  obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.cluster.drain",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "stage chip lost; draining in-flight chains for cluster repartition");
+  // cluster_draining: every chain step and every failure response parks
+  // while recovering_ is set, dead servers answer their queues with errors
+  // and survivors finish their current op — so this converges to "every
+  // live chain parked, no shard attempt outstanding, no response in
+  // flight". Threads between dropping mu_ and calling into a server always
+  // hold an unparked chain or an unresolved attempt, so the barrier also
+  // proves no thread still dereferences the old stage tables.
+  int parked = 0;
+  {
+    MutexLock lock(mu_);
+    while (true) {
+      if (monitor_stop_ || draining_) {
+        recovering_ = false;  // Shutdown owns the chains now.
+        return;
+      }
+      bool drained = attempt_to_client_.empty() && unmatched_.empty();
+      if (drained) {
+        parked = 0;
+        for (const auto& [client_id, p] : pending_) {
+          (void)client_id;
+          if (p.delivered) {
+            continue;  // Reaped once its straggler resolves.
+          }
+          if (!p.retry_wait || p.attempts_outstanding != 0) {
+            drained = false;
+            break;
+          }
+          ++parked;
+        }
+      }
+      if (drained) {
+        break;
+      }
+      const std::cv_status waited = monitor_cv_.WaitFor(mu_, poll);
+      (void)waited;
+    }
+  }
+
+  // repartitioning: cumulative chip mask from every stage marked down (a
+  // second loss during the drain folds into this same replan), then one
+  // stage DP over the survivors. Survivors keep their ORIGINAL chip index.
+  std::vector<bool> chip_down;
+  std::vector<int> old_stage_chips;
+  std::vector<std::pair<int, int>> old_stage_ops;
+  int old_epoch = 0;
+  {
+    MutexLock lock(mu_);
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      if (shards_[t]->state == ShardState::kDown) {
+        chip_down_[static_cast<std::size_t>(stage_chips_[t])] = true;
+      }
+    }
+    chip_down = chip_down_;
+    old_stage_chips = stage_chips_;
+    old_stage_ops = partition_.stage_ops;
+    old_epoch = cluster_epoch_;
+  }
+  int lost = 0;
+  for (const bool down : chip_down) {
+    lost += down ? 1 : 0;
+  }
+  DegradedRepartition plan = RepartitionDegraded(graph_, cluster_, chip_down);
+  RepartitionCounter().Increment();
+  RepartitionSecondsHistogram().Record(SecondsSince(started));
+  obs::Log(options_.journal, obs::Severity::kWarn, "router", "router.cluster.repartition",
+           /*request_id=*/-1, old_epoch + 1,
+           std::to_string(parked) + " chain(s) parked; " + std::to_string(lost) + "/" +
+               std::to_string(cluster_.num_chips()) + " chip(s) down; re-cut over " +
+               std::to_string(plan.survivors.num_chips()) + " survivor(s) into " +
+               std::to_string(plan.partition.feasible ? plan.partition.num_stages : 0) +
+               " stage(s)");
+  if (!plan.partition.feasible) {
+    EnterClusterFailed("repartition infeasible: " + plan.partition.reason);
+    return;
+  }
+
+  // verify_gate: the structural cluster.* rules over the survivor cut plus
+  // the cluster.recovery.* rules (epoch monotonicity, no op lost across the
+  // repartition, surviving-chip assignment).
+  verify::VerifyResult gate =
+      verify::VerifyPartition(plan.partition, graph_, plan.survivors);
+  gate.Merge(
+      verify::VerifyRecovery(plan, graph_, cluster_, chip_down, old_epoch, old_epoch + 1));
+  if (!gate.ok()) {
+    obs::Log(options_.journal, obs::Severity::kError, "router", "router.cluster.verify_gate",
+             /*request_id=*/-1, old_epoch + 1,
+             "verification FAILED; degraded cut not activated: " + gate.Listing());
+    EnterClusterFailed("recovery verification failed");
+    return;
+  }
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.cluster.verify_gate",
+           /*request_id=*/-1, old_epoch + 1, "verification passed");
+
+  // Stage servers whose operator range and chip are both unchanged keep
+  // serving as-is — no recompile, queue intact. Everything else gets a fresh
+  // server (warm-started from the plan cache when the shard options carry
+  // one), started BEFORE the swap so the new chain never routes at a stage
+  // that cannot serve.
+  const int new_stages = plan.partition.num_stages;
+  std::vector<int> reuse(static_cast<std::size_t>(new_stages), -1);
+  {
+    MutexLock lock(mu_);
+    std::vector<bool> taken(shards_.size(), false);
+    for (int s = 0; s < new_stages; ++s) {
+      const int chip = plan.stage_chips[static_cast<std::size_t>(s)];
+      for (std::size_t t = 0; t < shards_.size(); ++t) {
+        if (!taken[t] && old_stage_chips[t] == chip && Routable(shards_[t]->state) &&
+            old_stage_ops[t] == plan.partition.stage_ops[static_cast<std::size_t>(s)]) {
+          reuse[static_cast<std::size_t>(s)] = static_cast<int>(t);
+          taken[t] = true;
+          break;
+        }
+      }
+    }
+  }
+  struct Fresh {
+    int stage = -1;
+    std::unique_ptr<Graph> graph;
+    std::unique_ptr<Shard> shard;
+  };
+  std::vector<Fresh> fresh;
+  int reused = 0;
+  for (int s = 0; s < new_stages; ++s) {
+    if (reuse[static_cast<std::size_t>(s)] >= 0) {
+      ++reused;
+      continue;
+    }
+    const int chip = plan.stage_chips[static_cast<std::size_t>(s)];
+    Fresh f;
+    f.stage = s;
+    f.graph = std::make_unique<Graph>(BuildStageGraph(graph_, plan.partition, s));
+    auto shard = std::make_unique<Shard>();
+    ServerOptions per_stage = options_.shard;
+    int token = -1;
+    std::int64_t block = 0;
+    {
+      MutexLock lock(mu_);
+      token = next_token_++;
+      block = next_id_block_++;
+    }
+    per_stage.request_id_base = block * kShardIdBlock;
+    per_stage.on_response = [this, token](Response response) {
+      OnShardResponse(token, std::move(response));
+    };
+    shard->token = token;
+    shard->server = std::make_unique<Server>(cluster_.chips[static_cast<std::size_t>(chip)],
+                                             *f.graph, std::move(per_stage));
+    f.shard = std::move(shard);
+    fresh.push_back(std::move(f));
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const Status started_ok = fresh[i].shard->server->Start();
+    if (!started_ok.ok()) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const Status stopped = fresh[j].shard->server->Shutdown();
+        (void)stopped;
+      }
+      EnterClusterFailed("replacement stage " + std::to_string(fresh[i].stage) +
+                         " failed to start: " + started_ok.ToString());
+      return;
+    }
+  }
+
+  // hot_swap: remap the parked chains by global operator index, splice the
+  // new stage tables in, bump the cluster epoch. The parked-retry scan then
+  // resubmits every chain at its exact resume position with its remaining
+  // deadline budget.
+  std::vector<Server*> newly_retired;
+  std::string layout;
+  {
+    MutexLock lock(mu_);
+    for (auto& [client_id, p] : pending_) {
+      (void)client_id;
+      if (p.delivered) {
+        continue;
+      }
+      const int g = old_stage_ops[static_cast<std::size_t>(p.stage)].first + p.stage_op;
+      int ns = 0;
+      while (ns + 1 < new_stages &&
+             g > plan.partition.stage_ops[static_cast<std::size_t>(ns)].second) {
+        ++ns;
+      }
+      p.stage = ns;
+      p.stage_op = g - plan.partition.stage_ops[static_cast<std::size_t>(ns)].first;
+      p.retry_wait = true;
+    }
+    std::vector<std::unique_ptr<Shard>> new_shards;
+    std::vector<std::unique_ptr<Graph>> new_graphs;
+    std::vector<int> new_counts;
+    stage_of_token_.clear();
+    std::size_t next_fresh = 0;
+    for (int s = 0; s < new_stages; ++s) {
+      const int from = reuse[static_cast<std::size_t>(s)];
+      if (from >= 0) {
+        new_shards.push_back(std::move(shards_[static_cast<std::size_t>(from)]));
+        new_graphs.push_back(std::move(stage_graphs_[static_cast<std::size_t>(from)]));
+      } else {
+        Fresh& f = fresh[next_fresh++];
+        new_shards.push_back(std::move(f.shard));
+        new_graphs.push_back(std::move(f.graph));
+      }
+      stage_of_token_[new_shards.back()->token] = s;
+      new_counts.push_back(new_graphs.back()->num_ops());
+    }
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      if (shards_[t] != nullptr) {
+        newly_retired.push_back(shards_[t]->server.get());
+        retired_shards_.push_back(std::move(shards_[t]));
+        retired_graphs_.push_back(std::move(stage_graphs_[t]));
+      }
+    }
+    shards_ = std::move(new_shards);
+    stage_graphs_ = std::move(new_graphs);
+    stage_op_counts_ = std::move(new_counts);
+    partition_ = std::move(plan.partition);
+    stage_chips_ = plan.stage_chips;
+    cut_bytes_.assign(partition_.num_stages > 0
+                          ? static_cast<std::size_t>(partition_.num_stages - 1)
+                          : 0,
+                      0);
+    for (const StageBoundary& boundary : partition_.boundaries) {
+      for (int cut = boundary.src_stage; cut < boundary.dst_stage; ++cut) {
+        cut_bytes_[static_cast<std::size_t>(cut)] += boundary.bytes;
+      }
+    }
+    cut_seconds_.resize(cut_bytes_.size());
+    for (std::size_t cut = 0; cut < cut_bytes_.size(); ++cut) {
+      cut_seconds_[cut] = plan.survivors.TransferSeconds(
+          static_cast<int>(cut), static_cast<int>(cut) + 1, cut_bytes_[cut]);
+    }
+    cluster_epoch_ = old_epoch + 1;
+    stats_.cluster_epoch = cluster_epoch_;
+    ++stats_.recoveries;
+    recovering_ = false;
+    total_outage_announced_ = false;  // The new chain serves again.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!layout.empty()) {
+        layout += " | ";
+      }
+      layout += "stage " + std::to_string(s) + ": ops [" +
+                std::to_string(partition_.stage_ops[s].first) + ", " +
+                std::to_string(partition_.stage_ops[s].second) + "] on " +
+                cluster_.chips[static_cast<std::size_t>(stage_chips_[s])].name;
+    }
+  }
+  obs::Log(options_.journal, obs::Severity::kInfo, "router", "router.cluster.hot_swap",
+           /*request_id=*/-1, old_epoch + 1,
+           "cluster epoch " + std::to_string(old_epoch + 1) + " live after " +
+               std::to_string(SecondsSince(started)) + "s: " + layout + " (" +
+               std::to_string(reused) + " stage server(s) reused)");
+  EmitRebalance("recovery");
+  DumpFlightRecorder("router: cluster repartition to epoch " +
+                     std::to_string(old_epoch + 1) + " after chip loss");
+  // Retire the replaced servers. A dead server's Shutdown releases its
+  // simulated scratchpad state (server.storage_released in the journal).
+  for (Server* server : newly_retired) {
+    const Status stopped = server->Shutdown();
+    (void)stopped;
+  }
+}
+
+void Router::EnterClusterFailed(const std::string& reason) {
+  {
+    MutexLock lock(mu_);
+    cluster_failed_ = true;
+    cluster_failed_reason_ = reason;
+    recovering_ = false;
+    ++stats_.recovery_failures;
+  }
+  obs::Log(options_.journal, obs::Severity::kError, "router", "router.cluster.park_failed",
+           /*request_id=*/-1, /*plan_epoch=*/-1,
+           "cluster recovery abandoned: " + reason +
+               "; browning out — new admissions refuse kUnavailable, in-flight "
+               "chains still answer");
+  DumpFlightRecorder("router: cluster recovery failed: " + reason);
 }
 
 void Router::MarkShardDown(int shard, const Status& why) {
@@ -1155,12 +1560,24 @@ void Router::EmitRebalance(const char* cause) {
 }
 
 void Router::KillChip(int shard) {
-  shards_[static_cast<std::size_t>(shard)]->server->KillChip();
+  Server* server = nullptr;
+  {
+    // Snapshot under mu_: a concurrent cluster recovery may rewrite shards_;
+    // the pointed-to server stays alive (retired_shards_).
+    MutexLock lock(mu_);
+    server = shards_[static_cast<std::size_t>(shard)]->server.get();
+  }
+  server->KillChip();
   monitor_cv_.NotifyAll();
 }
 
 void Router::KillCore(int shard, int core) {
-  shards_[static_cast<std::size_t>(shard)]->server->KillCore(core);
+  Server* server = nullptr;
+  {
+    MutexLock lock(mu_);
+    server = shards_[static_cast<std::size_t>(shard)]->server.get();
+  }
+  server->KillCore(core);
 }
 
 void Router::WaitIdle() {
@@ -1248,15 +1665,21 @@ int Router::routable_shards() const {
 }
 
 ShardSnapshot Router::shard_snapshot(int shard) const {
-  const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   ShardSnapshot snapshot;
-  snapshot.plan_epoch = sh.server->plan_epoch();
-  snapshot.outstanding = sh.server->outstanding();
-  snapshot.queue_depth = sh.server->queue_depth();
-  snapshot.stats = sh.server->stats();
-  MutexLock lock(mu_);
-  snapshot.state = sh.state;
-  snapshot.weight = sh.weight;
+  Server* server = nullptr;
+  {
+    // State/weight under mu_ (and a stable Server pointer — a concurrent
+    // cluster recovery may rewrite shards_); server calls after release.
+    MutexLock lock(mu_);
+    const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    server = sh.server.get();
+    snapshot.state = sh.state;
+    snapshot.weight = sh.weight;
+  }
+  snapshot.plan_epoch = server->plan_epoch();
+  snapshot.outstanding = server->outstanding();
+  snapshot.queue_depth = server->queue_depth();
+  snapshot.stats = server->stats();
   return snapshot;
 }
 

@@ -51,6 +51,30 @@
 // A stage chip loss parks that stage kDown: in-flight chains crossing it
 // are answered with its error, never lost or duplicated.
 //
+// Elastic pipeline recovery (RouterOptions::recover_on_chip_loss, DESIGN.md
+// "Elastic pipeline recovery"): instead of serving degraded forever after a
+// permanent stage chip loss, the router repartitions the cluster online.
+// The recovery state machine runs on the monitor thread:
+//
+//   stage_down -> cluster_draining -> repartitioning -> verify_gate
+//              -> hot_swap | park_failed
+//
+// cluster_draining parks every in-flight chain exactly as stage-replan
+// chains park today (no redirect budget burned) and waits until no shard
+// attempt is outstanding. repartitioning re-runs the stage DP over the
+// surviving chips (RepartitionDegraded; survivors keep their original chip
+// index) and the verify_gate re-checks the cut with the cluster.* rules
+// plus the cluster.recovery.* rules (epoch monotonicity, op coverage,
+// surviving-chip assignment). hot_swap bumps the cluster epoch, keeps every
+// stage server whose operator range and chip are unchanged, starts fresh
+// servers for the rest (warm-started from the plan cache when configured),
+// remaps the parked chains onto the new stage map and resubmits them with
+// their remaining deadline budget — the bit-identity audit holds end to
+// end because per-op execution is (op, seed)-deterministic. park_failed
+// (infeasible repartition or a failed gate) browns the cluster out: new
+// admissions are refused kUnavailable while every in-flight chain is still
+// answered exactly once through the stage-down error path.
+//
 // Lock discipline: every Server shares the lock site "serve.server.mu", so
 // the router NEVER holds its own mutex while calling into a shard (and
 // Server invokes on_response outside its lock). All router decisions
@@ -136,6 +160,12 @@ struct RouterOptions {
   // Seconds a drained (breaker-tripped) shard waits before rejoining when no
   // replan epoch bump arrives first.
   double drain_probation_seconds = 0.1;
+  // Pipeline mode only: on a permanent stage chip loss, drain the pipeline,
+  // repartition the model over the surviving chips and hot-swap the stage
+  // chain under a new cluster epoch instead of failing chains that cross the
+  // dead stage. Off by default — without it a chip loss keeps PR 9's
+  // stage-down semantics byte for byte.
+  bool recover_on_chip_loss = false;
 
   // Router-level observability (shard-level instruments come from
   // RouterOptions::shard). Flight-recorder dumps fire on every shard death
@@ -169,6 +199,9 @@ struct RouterStats {
   int drains = 0;               // Breaker trips.
   int rejoins = 0;              // Promotions back to full weight.
   int rebalances = 0;           // Weight-set changes.
+  int cluster_epoch = 0;        // Pipeline: bumps on every hot-swapped cut.
+  int recoveries = 0;           // Pipeline: successful cluster repartitions.
+  int recovery_failures = 0;    // Pipeline: park_failed recoveries (brownout).
 };
 
 class Router {
@@ -218,7 +251,12 @@ class Router {
   // last shard's failure.
   Status Shutdown();
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Current stage/replica count. In pipeline mode this can change across a
+  // cluster recovery (the repartitioned chain may be shorter).
+  int num_shards() const {
+    MutexLock lock(mu_);
+    return static_cast<int>(shards_.size());
+  }
   int num_op_slots() const;
   std::string op_slot_name(int slot) const;
   // Shards currently routable (healthy or rejoining).
@@ -233,6 +271,10 @@ class Router {
   // Per-shard routing state (router-side; the Server holds its own state).
   struct Shard {
     std::unique_ptr<Server> server;
+    // Stable completion-routing token the server's on_response carries;
+    // stage_of_token_ maps it to the shard's CURRENT index, which a cluster
+    // recovery can change.
+    int token = -1;
     ShardState state = ShardState::kHealthy;
     double weight = 1.0;
     std::int64_t attempts_in_flight = 0;  // Router-tracked attempts.
@@ -273,7 +315,21 @@ class Router {
   };
 
   void MonitorLoop();
-  void OnShardResponse(int shard, Response response);
+  // Completion plumbing from shard `token`'s server. The token resolves to
+  // the shard's current index under mu_; a response from a retired
+  // (post-recovery) server is dropped — the drain barrier guarantees no live
+  // attempt can be waiting on one.
+  void OnShardResponse(int token, Response response);
+  // Elastic recovery, monitor thread only: drains the pipeline, repartitions
+  // over the surviving chips, verifier-gates the cut and hot-swaps the stage
+  // chain under cluster epoch + 1. Infeasible/unverifiable cuts (or a
+  // replacement server that fails to start) park the cluster in failed
+  // brownout instead. Must be called WITHOUT mu_ held, with recovering_ set.
+  void RunClusterRecovery();
+  // park_failed: records the brownout (new admissions refuse kUnavailable;
+  // parked chains drain through the stage-down error path) and clears
+  // recovering_. Must be called WITHOUT mu_ held.
+  void EnterClusterFailed(const std::string& reason);
   // Applies one completed shard attempt to its client request: breaker
   // window, dedupe, delivery, or redirect. Must be called WITHOUT mu_ held.
   void ResolveAttempt(int shard, std::int64_t client_id, Response response);
@@ -328,8 +384,11 @@ class Router {
   const Graph& graph_;
   const ShardMode mode_ = ShardMode::kReplicated;
 
-  // Pipeline mode only; all fixed after construction. Stage subgraphs are
-  // owned here because each stage Server borrows its graph by reference.
+  // Pipeline mode only. Fixed after construction EXCEPT across a cluster
+  // recovery hot swap, which rewrites the stage tables under mu_ on the
+  // monitor thread (every other thread is parked behind the drain barrier).
+  // Stage subgraphs are owned here because each stage Server borrows its
+  // graph by reference.
   const ClusterSpec cluster_;
   GraphPartitionResult partition_;
   std::vector<std::unique_ptr<Graph>> stage_graphs_;
@@ -339,9 +398,15 @@ class Router {
   std::vector<std::int64_t> cut_bytes_;
   std::vector<double> cut_seconds_;
 
-  std::vector<std::unique_ptr<Shard>> shards_;  // Fixed after construction;
-                                                // Shard routing state guarded
-                                                // by mu_, server pointer const.
+  std::vector<std::unique_ptr<Shard>> shards_;  // Slots rewritten only by
+                                                // cluster recovery; Shard
+                                                // routing state guarded by
+                                                // mu_, server pointer const.
+  // Stage servers (and their graphs) replaced by a recovery. Kept alive for
+  // the router's lifetime: snapshot readers may still hold their Server
+  // pointers. Mutated only on the monitor thread, after the drain barrier.
+  std::vector<std::unique_ptr<Shard>> retired_shards_;
+  std::vector<std::unique_ptr<Graph>> retired_graphs_;
 
   mutable Mutex mu_{"serve.router.mu"};
   CondVar idle_cv_;     // pending_ empties.
@@ -351,6 +416,24 @@ class Router {
   bool stopped_ T10_GUARDED_BY(mu_) = false;
   bool total_outage_announced_ T10_GUARDED_BY(mu_) = false;
   bool monitor_stop_ T10_GUARDED_BY(mu_) = false;
+  // Cluster recovery state (pipeline mode). While recovering_, every chain
+  // step parks (retry_wait) instead of routing and every failure response
+  // parks instead of burning redirect budget. cluster_failed_ is terminal
+  // brownout: Submit refuses kUnavailable, in-flight chains still answer.
+  bool recovering_ T10_GUARDED_BY(mu_) = false;
+  bool cluster_failed_ T10_GUARDED_BY(mu_) = false;
+  std::string cluster_failed_reason_ T10_GUARDED_BY(mu_);
+  int cluster_epoch_ T10_GUARDED_BY(mu_) = 0;
+  // Current stage index -> ORIGINAL chip index in cluster_ (identity until a
+  // recovery re-cuts), and the cumulative original-chip loss mask.
+  std::vector<int> stage_chips_ T10_GUARDED_BY(mu_);
+  std::vector<bool> chip_down_ T10_GUARDED_BY(mu_);
+  // Completion-token -> current shard index (see Shard::token).
+  std::map<int, int> stage_of_token_ T10_GUARDED_BY(mu_);
+  int next_token_ T10_GUARDED_BY(mu_) = 0;
+  // Request-id block allocator: replacement servers get fresh disjoint id
+  // blocks so their ids never collide with a retired server's.
+  std::int64_t next_id_block_ T10_GUARDED_BY(mu_) = 1;
   Status shutdown_status_ T10_GUARDED_BY(mu_);
   int num_op_slots_ T10_GUARDED_BY(mu_) = 0;  // Set at Start().
   std::int64_t next_client_id_ T10_GUARDED_BY(mu_) = 1;

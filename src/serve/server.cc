@@ -261,13 +261,25 @@ Status Server::Shutdown() {
   workers_.clear();
   monitor_.Stop();
   Status result;
+  bool chip_lost = false;
   {
     MutexLock lock(mu_);
+    chip_lost = state_ == ServerState::kFailed;
     result = state_ == ServerState::kFailed ? failed_status_ : Status::Ok();
     failed_status_ = result;
     state_ = ServerState::kStopped;
     state_cv_.NotifyAll();
     idle_cv_.NotifyAll();
+  }
+  if (chip_lost) {
+    // The chip is permanently gone and every worker has joined: release the
+    // dead chip's simulated scratchpad and channel staging state so a
+    // cluster that repartitioned around it does not keep its memory
+    // resident (elastic pipeline recovery retires failed stage servers).
+    const std::int64_t released = pool_.ReleaseMachines();
+    obs::Log(options_.journal, obs::Severity::kInfo, "serve", "server.storage_released",
+             /*request_id=*/-1, /*plan_epoch=*/-1,
+             std::to_string(released) + "B of dead-chip scratchpad state released");
   }
   return result;
 }

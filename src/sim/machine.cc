@@ -39,6 +39,9 @@ Machine::Machine(const ChipSpec& spec)
 StatusOr<BufferHandle> Machine::Allocate(int core, std::int64_t bytes) {
   T10_CHECK_GE(core, 0);
   T10_CHECK_LT(core, num_cores());
+  if (storage_released_) {
+    return UnavailableError("chip storage was released after permanent loss");
+  }
   if (faults_ != nullptr && !faults_->core_up(core)) {
     return UnavailableError("core " + std::to_string(core) + " is marked failed");
   }
@@ -322,6 +325,16 @@ std::int64_t Machine::peak_scratchpad_bytes() const {
     peak = std::max(peak, memory.peak_bytes());
   }
   return peak;
+}
+
+std::int64_t Machine::ReleaseStorage() {
+  std::int64_t released = 0;
+  for (std::vector<std::byte>& store : storage_) {
+    released += static_cast<std::int64_t>(store.size());
+    std::vector<std::byte>().swap(store);  // Actually return the memory.
+  }
+  storage_released_ = true;
+  return released;
 }
 
 void Machine::PublishMetrics(obs::MetricsRegistry& registry) const {

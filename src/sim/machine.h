@@ -123,6 +123,15 @@ class Machine {
   // Largest scratchpad high-water mark across all cores.
   std::int64_t peak_scratchpad_bytes() const;
 
+  // Elastic-recovery hook: frees every core's backing store (scratchpad
+  // bytes and channel staging state) in one shot, for a chip that has been
+  // permanently lost and drained — a dead chip's simulated memory must not
+  // stay resident while the cluster serves on without it. Returns the bytes
+  // released. Afterwards Allocate() refuses with kUnavailable; dereferencing
+  // a pre-release handle is a caller bug.
+  std::int64_t ReleaseStorage();
+  bool storage_released() const { return storage_released_; }
+
   // Attaches a trace writer: every rotation/copy appends per-core
   // "sim.core<i>.bytes_sent" counter samples, giving each participating
   // core its own lane on the Perfetto timeline. Pass nullptr to detach.
@@ -158,6 +167,7 @@ class Machine {
   TraceWriter* trace_ = nullptr;
   std::int64_t trace_tick_ = 0;
   fault::FaultInjector* faults_ = nullptr;
+  bool storage_released_ = false;
   double fault_penalty_seconds_ = 0.0;
   std::int64_t fault_retries_ = 0;
   std::int64_t fault_blocked_ = 0;

@@ -205,4 +205,79 @@ VerifyResult VerifyShardedModel(const ShardedCompiledModel& model, const Graph& 
   return result;
 }
 
+VerifyResult VerifyRecovery(const DegradedRepartition& repartition, const Graph& graph,
+                            const ClusterSpec& cluster, const std::vector<bool>& chip_down,
+                            int old_epoch, int new_epoch) {
+  VerifyResult result;
+  const std::string object = graph.name();
+
+  // Epoch monotonicity: a hot swap advances the cluster epoch by exactly
+  // one, so every journal entry and response is attributable to one cut.
+  if (new_epoch != old_epoch + 1) {
+    DiagnosticBuilder(result, "cluster.recovery.epoch", object)
+        .Hint("each repartition must advance the cluster epoch by exactly one")
+        << "cluster epoch " << old_epoch << " -> " << new_epoch;
+  }
+
+  const GraphPartitionResult& partition = repartition.partition;
+  if (!partition.feasible) {
+    DiagnosticBuilder(result, "cluster.recovery.coverage", object)
+        << "repartition is infeasible: " << partition.reason;
+    return result;
+  }
+
+  // No operator lost across the repartition: the new cut still assigns
+  // every operator of the original graph to exactly one in-range stage.
+  if (static_cast<int>(partition.stage_of_op.size()) != graph.num_ops()) {
+    DiagnosticBuilder(result, "cluster.recovery.coverage", object)
+        << "repartition assigns " << partition.stage_of_op.size() << " ops, graph has "
+        << graph.num_ops();
+    return result;
+  }
+  std::vector<bool> covered(static_cast<std::size_t>(graph.num_ops()), false);
+  for (int s = 0; s < partition.num_stages; ++s) {
+    const auto [first, last] = partition.stage_ops[s];
+    for (int i = first; i >= 0 && i <= last && i < graph.num_ops(); ++i) {
+      covered[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    if (!covered[static_cast<std::size_t>(i)]) {
+      DiagnosticBuilder(result, "cluster.recovery.coverage", graph.op(i).name())
+          .Hint("a repartition may re-cut boundaries but never drop work")
+          << "op " << i << " is not covered by any stage of the repartition";
+    }
+  }
+
+  // Surviving-chip assignment: every new stage lands on a distinct chip
+  // that is actually still up.
+  if (static_cast<int>(repartition.stage_chips.size()) != partition.num_stages) {
+    DiagnosticBuilder(result, "cluster.recovery.assignment", object)
+        << "stage_chips maps " << repartition.stage_chips.size() << " stages, partition has "
+        << partition.num_stages;
+    return result;
+  }
+  std::vector<bool> used(static_cast<std::size_t>(cluster.num_chips()), false);
+  for (int s = 0; s < partition.num_stages; ++s) {
+    const int chip = repartition.stage_chips[static_cast<std::size_t>(s)];
+    if (chip < 0 || chip >= cluster.num_chips()) {
+      DiagnosticBuilder(result, "cluster.recovery.assignment", object)
+          << "stage " << s << " assigned to chip " << chip << " outside [0, "
+          << cluster.num_chips() << ")";
+      continue;
+    }
+    if (chip < static_cast<int>(chip_down.size()) && chip_down[static_cast<std::size_t>(chip)]) {
+      DiagnosticBuilder(result, "cluster.recovery.assignment", object)
+          .Hint("the repartition must route every stage around the dead chips")
+          << "stage " << s << " assigned to chip " << chip << ", which is down";
+    }
+    if (used[static_cast<std::size_t>(chip)]) {
+      DiagnosticBuilder(result, "cluster.recovery.assignment", object)
+          << "chip " << chip << " assigned to more than one stage";
+    }
+    used[static_cast<std::size_t>(chip)] = true;
+  }
+  return result;
+}
+
 }  // namespace t10::verify

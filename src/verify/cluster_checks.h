@@ -13,11 +13,21 @@
 //       crosses the link exactly once per consuming stage, at the tensor's
 //       exact byte size — nothing lost, duplicated or resized in transit
 //
+// Elastic recovery rules (gate a RepartitionDegraded cut before the serving
+// layer hot-swaps a degraded pipeline, DESIGN.md "Elastic pipeline
+// recovery"):
+//   cluster.recovery.epoch       the cluster epoch advances by exactly one
+//   cluster.recovery.coverage    no operator is lost across the repartition
+//   cluster.recovery.assignment  every new stage runs on a surviving chip,
+//                                injectively
+//
 // VerifyShardedModel additionally re-verifies every stage's CompiledModel
 // with the standard single-chip rule set against its own chip.
 
 #ifndef T10_SRC_VERIFY_CLUSTER_CHECKS_H_
 #define T10_SRC_VERIFY_CLUSTER_CHECKS_H_
+
+#include <vector>
 
 #include "src/core/partition.h"
 #include "src/core/sharded_compiler.h"
@@ -38,6 +48,15 @@ VerifyResult VerifyPartition(const GraphPartitionResult& partition, const Graph&
 // capacity, and the standard verifier over every stage.
 VerifyResult VerifyShardedModel(const ShardedCompiledModel& model, const Graph& graph,
                                 const VerifyOptions& options = {});
+
+// Verifier gate for elastic pipeline recovery: checks the cluster.recovery.*
+// rules of a RepartitionDegraded cut against the full `cluster` and its
+// `chip_down` mask (the structural cluster.* rules run separately via
+// VerifyPartition over repartition.survivors). `old_epoch`/`new_epoch` are
+// the serving layer's cluster epochs before and after the hot swap.
+VerifyResult VerifyRecovery(const DegradedRepartition& repartition, const Graph& graph,
+                            const ClusterSpec& cluster, const std::vector<bool>& chip_down,
+                            int old_epoch, int new_epoch);
 
 }  // namespace t10::verify
 

@@ -6,7 +6,9 @@
 //              3 verification failure, 4 fault-campaign failure.
 //   t10-serve: 0 success, 1 server failed to start or died, 2 usage error,
 //              5 serving integrity failure, 7 shard loss (sharded run ended
-//              with a chip permanently down, audit clean).
+//              with a chip permanently down, audit clean, and either
+//              recovery was disabled or no feasible repartition existed — a
+//              chip loss absorbed by --recover-on-chip-loss exits 0).
 //   t10-lint:  0 clean, 2 usage error, 6 lint findings.
 //
 // Binary paths are injected by CMake as T10_T10C_BIN / T10_T10_SERVE_BIN /
@@ -176,6 +178,34 @@ TEST(ExitCodesTest, T10ServePipelineStageLossIsSeven) {
   // clean — and the run reports stage loss like any shard loss.
   EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 4 --shard-mode pipeline "
                         "--chaos-kill-chip-at 4 --chaos-chip 2 > /dev/null 2>&1"),
+            7);
+}
+
+TEST(ExitCodesTest, T10ServeRecoveredChipLossIsZero) {
+  // The same stage-killing chaos run, with elastic recovery on: the router
+  // repartitions over the survivors and the run finishes clean — exit 0
+  // narrows exit 7 to losses that could not be absorbed.
+  EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 3 --shard-mode pipeline "
+                        "--recover-on-chip-loss --chaos-kill-chip-at 4 --chaos-chip 1 "
+                        "> /dev/null 2>&1"),
+            0);
+}
+
+TEST(ExitCodesTest, T10ServeRecoveryFlagRequiresPipelineMode) {
+  // Recovery repartitions a pipeline; replicated shards already have
+  // failover, so the flag without pipeline mode is a usage error.
+  EXPECT_EQ(RunT10Serve("--requests 4 --recover-on-chip-loss > /dev/null 2>&1"), 2);
+  EXPECT_EQ(RunT10Serve("--requests 4 --shards 2 --recover-on-chip-loss "
+                        "> /dev/null 2>&1"),
+            2);
+}
+
+TEST(ExitCodesTest, T10ServeInfeasibleRecoveryIsSeven) {
+  // A single-stage pipeline losing its only chip has no survivor to
+  // repartition onto: recovery browns out and the loss still reports as 7.
+  EXPECT_EQ(RunT10Serve("--requests 12 --cores 8 --shards 1 --shard-mode pipeline "
+                        "--recover-on-chip-loss --chaos-kill-chip-at 4 --chaos-chip 0 "
+                        "> /dev/null 2>&1"),
             7);
 }
 

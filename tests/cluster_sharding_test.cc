@@ -13,6 +13,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/hardware/cluster_spec.h"
 #include "src/ir/builder.h"
+#include "src/obs/metrics.h"
 #include "src/sim/machine.h"
 #include "src/verify/cluster_checks.h"
 
@@ -129,6 +130,56 @@ TEST(InterChipChannelTest, RefusesWhenAnEndpointCoreIsDown) {
   EXPECT_EQ(dst_chip.Data(dst)[0], static_cast<std::byte>(0x00));
   EXPECT_EQ(channel.transfers(), 0);
   EXPECT_DOUBLE_EQ(channel.seconds(), 0.0);
+}
+
+TEST(InterChipChannelTest, RefusesWhenTheSourceCoreIsDown) {
+  // The mirror of the endpoint-down case above: a dead SOURCE core refuses
+  // before touching the destination, so a chip lost mid-recovery can never
+  // half-ship a boundary tensor.
+  Machine src_chip(TinyChip(2));
+  Machine dst_chip(TinyChip(2));
+  fault::FaultInjector injector(fault::FaultSpec{});
+  src_chip.AttachFaults(&injector);
+  BufferHandle src = *src_chip.Allocate(0, 64);
+  BufferHandle dst = *dst_chip.Allocate(1, 64);
+  std::memset(src_chip.Data(src), 0x5a, 64);
+  std::memset(dst_chip.Data(dst), 0x00, 64);
+  injector.KillCore(0);
+  InterChipChannel channel(/*bandwidth=*/1e9, /*latency_seconds=*/1e-6);
+  Status refused = channel.Transfer(src_chip, src, dst_chip, dst);
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dst_chip.Data(dst)[0], static_cast<std::byte>(0x00));
+  EXPECT_EQ(channel.bytes(), 0);
+  EXPECT_EQ(channel.transfers(), 0);
+  EXPECT_DOUBLE_EQ(channel.seconds(), 0.0);
+}
+
+TEST(InterChipChannelTest, EndpointDownRefusalBillsOnlyTheBlockedCounter) {
+  // The global sim.machine.interchip_* registry must agree with the
+  // per-channel view: a refusal bills exactly one blocked increment and
+  // moves no bytes, pays no transfers, accrues no link seconds.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  Machine src_chip(TinyChip(2));
+  Machine dst_chip(TinyChip(2));
+  fault::FaultInjector injector(fault::FaultSpec{});
+  dst_chip.AttachFaults(&injector);
+  BufferHandle src = *src_chip.Allocate(0, 128);
+  BufferHandle dst = *dst_chip.Allocate(1, 128);
+  injector.KillCore(1);
+  InterChipChannel channel(/*bandwidth=*/1e9, /*latency_seconds=*/1e-6);
+  const std::int64_t bytes_before =
+      metrics.GetCounter("sim.machine.interchip_bytes").value();
+  const std::int64_t transfers_before =
+      metrics.GetCounter("sim.machine.interchip_transfers").value();
+  const std::int64_t blocked_before =
+      metrics.GetCounter("sim.machine.interchip_blocked").value();
+  EXPECT_EQ(channel.Transfer(src_chip, src, dst_chip, dst).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(metrics.GetCounter("sim.machine.interchip_bytes").value(), bytes_before);
+  EXPECT_EQ(metrics.GetCounter("sim.machine.interchip_transfers").value(),
+            transfers_before);
+  EXPECT_EQ(metrics.GetCounter("sim.machine.interchip_blocked").value(),
+            blocked_before + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -367,6 +418,177 @@ TEST_F(VerifyShardedTest, UnfitStageTripsFitsRule) {
   verify::VerifyResult result = verify::VerifyShardedModel(model_, graph_);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.HasRule("cluster.stage.fits")) << result.Listing();
+}
+
+// ---------------------------------------------------------------------------
+// RepartitionDegraded: the elastic-recovery re-cut over surviving chips.
+// ---------------------------------------------------------------------------
+
+TEST(RepartitionDegradedTest, SurvivorsKeepTheirOriginalChipIdentity) {
+  Graph graph = Mlp();
+  ClusterSpec cluster = ClusterSpec::Homogeneous(SmallChip(), 4);
+  std::vector<bool> chip_down = {false, true, false, false};
+  DegradedRepartition replan = RepartitionDegraded(graph, cluster, chip_down);
+  ASSERT_TRUE(replan.partition.feasible) << replan.partition.reason;
+  EXPECT_EQ(replan.survivors.num_chips(), 3);
+  ASSERT_EQ(static_cast<int>(replan.stage_chips.size()), replan.partition.num_stages);
+  for (const int chip : replan.stage_chips) {
+    // Every stage lands on a survivor, named by its FULL-cluster index.
+    EXPECT_NE(chip, 1);
+    EXPECT_GE(chip, 0);
+    EXPECT_LT(chip, 4);
+  }
+  // The re-cut still covers every operator exactly once.
+  verify::VerifyResult structural =
+      verify::VerifyPartition(replan.partition, graph, replan.survivors);
+  EXPECT_TRUE(structural.ok()) << structural.Listing();
+}
+
+TEST(RepartitionDegradedTest, NoLossReproducesTheOriginalCut) {
+  Graph graph = Mlp();
+  ClusterSpec cluster = ClusterSpec::Homogeneous(SmallChip(), 3);
+  GraphPartitionResult original = PartitionGraph(graph, cluster);
+  DegradedRepartition replan =
+      RepartitionDegraded(graph, cluster, {false, false, false});
+  ASSERT_TRUE(replan.partition.feasible) << replan.partition.reason;
+  EXPECT_EQ(replan.partition.stage_ops, original.stage_ops);
+  EXPECT_EQ(replan.stage_chips, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RepartitionDegradedTest, EveryChipDownIsInfeasibleNotFatal) {
+  Graph graph = Mlp();
+  ClusterSpec cluster = ClusterSpec::Homogeneous(SmallChip(), 2);
+  DegradedRepartition replan = RepartitionDegraded(graph, cluster, {true, true});
+  EXPECT_FALSE(replan.partition.feasible);
+  EXPECT_FALSE(replan.partition.reason.empty());
+}
+
+TEST(RepartitionDegradedTest, InfeasibleWhenSurvivorsCannotHoldTheModel) {
+  // Each chip can hold one stage of the 4-layer model but never all of it
+  // (the ShardedCompilerTest.ModelBeyondOneChipFitsAcrossFour setup): losing
+  // three of four chips leaves no feasible cut.
+  const ChipSpec chip = TinyChip(8, 40 * 1024);
+  Graph graph("wide-mlp");
+  graph.Add(MatMulOp("fc1", 16, 256, 256, DataType::kF16, "x", "w1", "h1"));
+  graph.Add(MatMulOp("fc2", 16, 256, 256, DataType::kF16, "h1", "w2", "h2"));
+  graph.Add(MatMulOp("fc3", 16, 256, 256, DataType::kF16, "h2", "w3", "h3"));
+  graph.Add(MatMulOp("fc4", 16, 256, 256, DataType::kF16, "h3", "w4", "y"));
+  graph.MarkWeight("w1");
+  graph.MarkWeight("w2");
+  graph.MarkWeight("w3");
+  graph.MarkWeight("w4");
+  ClusterSpec cluster = ClusterSpec::Homogeneous(chip, 4);
+  DegradedRepartition replan =
+      RepartitionDegraded(graph, cluster, {true, false, true, true});
+  EXPECT_FALSE(replan.partition.feasible);
+  EXPECT_FALSE(replan.partition.reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// VerifyRecovery: the cluster.recovery.* gate over a degraded cut.
+// ---------------------------------------------------------------------------
+
+class VerifyRecoveryTest : public ::testing::Test {
+ protected:
+  VerifyRecoveryTest()
+      : cluster_(ClusterSpec::Homogeneous(SmallChip(), 4)),
+        graph_(Mlp()),
+        chip_down_({false, true, false, false}),
+        replan_(RepartitionDegraded(graph_, cluster_, chip_down_)) {}
+
+  ClusterSpec cluster_;
+  Graph graph_;
+  std::vector<bool> chip_down_;
+  DegradedRepartition replan_;
+};
+
+TEST_F(VerifyRecoveryTest, CleanRepartitionPasses) {
+  ASSERT_TRUE(replan_.partition.feasible) << replan_.partition.reason;
+  verify::VerifyResult result =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 0, 1);
+  EXPECT_TRUE(result.ok()) << result.Listing();
+}
+
+TEST_F(VerifyRecoveryTest, NonMonotonicEpochTripsEpochRule) {
+  verify::VerifyResult same =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 1, 1);
+  EXPECT_FALSE(same.ok());
+  EXPECT_TRUE(same.HasRule("cluster.recovery.epoch")) << same.Listing();
+  verify::VerifyResult skipped =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 0, 2);
+  EXPECT_TRUE(skipped.HasRule("cluster.recovery.epoch")) << skipped.Listing();
+}
+
+TEST_F(VerifyRecoveryTest, DroppedOperatorTripsCoverage) {
+  ASSERT_TRUE(replan_.partition.feasible);
+  // Shrink the last stage so the final operator falls out of every range.
+  auto& last = replan_.partition.stage_ops.back();
+  ASSERT_GT(last.second, 0);
+  --last.second;
+  verify::VerifyResult result =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 0, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.HasRule("cluster.recovery.coverage")) << result.Listing();
+}
+
+TEST_F(VerifyRecoveryTest, StageOnDeadChipTripsAssignment) {
+  ASSERT_TRUE(replan_.partition.feasible);
+  replan_.stage_chips[0] = 1;  // Chip 1 is the one that died.
+  verify::VerifyResult result =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 0, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.HasRule("cluster.recovery.assignment")) << result.Listing();
+}
+
+TEST_F(VerifyRecoveryTest, DuplicateChipTripsAssignment) {
+  ASSERT_TRUE(replan_.partition.feasible);
+  ASSERT_GE(static_cast<int>(replan_.stage_chips.size()), 2);
+  replan_.stage_chips[1] = replan_.stage_chips[0];
+  verify::VerifyResult result =
+      verify::VerifyRecovery(replan_, graph_, cluster_, chip_down_, 0, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.HasRule("cluster.recovery.assignment")) << result.Listing();
+}
+
+// ---------------------------------------------------------------------------
+// RecompileDegraded: recovery recompiles only what the re-cut moved.
+// ---------------------------------------------------------------------------
+
+TEST(RecompileDegradedTest, RecompilesOnlyChangedStagesAndStaysVerifiable) {
+  ClusterSpec cluster = ClusterSpec::Homogeneous(SmallChip(), 3);
+  ShardedCompiler compiler(cluster);
+  Graph graph = Mlp();
+  ShardedCompiledModel before = compiler.Compile(graph);
+  ASSERT_TRUE(before.fits) << before.unfit_reason;
+
+  ShardedCompiledModel after =
+      compiler.RecompileDegraded(graph, std::move(before), {true, false, false});
+  ASSERT_TRUE(after.fits) << after.unfit_reason;
+  EXPECT_EQ(after.num_stages(), 2);
+  for (const CompiledStage& stage : after.stages) {
+    // Stages keep full-cluster chip identity and never land on the dead chip.
+    EXPECT_NE(stage.chip_index, 0);
+    EXPECT_TRUE(stage.model.fits);
+    ASSERT_NE(stage.graph, nullptr);
+  }
+  // The degraded model's stage ranges still cover every operator.
+  int covered = 0;
+  for (const auto& [first, last] : after.partition.stage_ops) {
+    covered += last - first + 1;
+  }
+  EXPECT_EQ(covered, graph.num_ops());
+}
+
+TEST(RecompileDegradedTest, InfeasibleRepartitionReportsUnfit) {
+  ClusterSpec cluster = ClusterSpec::Homogeneous(SmallChip(), 2);
+  ShardedCompiler compiler(cluster);
+  Graph graph = Mlp();
+  ShardedCompiledModel before = compiler.Compile(graph);
+  ASSERT_TRUE(before.fits) << before.unfit_reason;
+  ShardedCompiledModel after =
+      compiler.RecompileDegraded(graph, std::move(before), {true, true});
+  EXPECT_FALSE(after.fits);
+  EXPECT_FALSE(after.unfit_reason.empty());
 }
 
 }  // namespace

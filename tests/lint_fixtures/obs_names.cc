@@ -18,6 +18,8 @@ void Use(Registry& metrics) {
   metrics.GetCounter("router.pipeline.handoff.count");   // Registered: clean.
   metrics.GetCounter("sim.machine.interchip_bytes");     // Registered: clean.
   metrics.GetCounter("router.pipeline.fixture.count");   // Unregistered.
+  metrics.GetCounter("router.cluster.repartition.count");      // Registered: clean.
+  metrics.GetHistogram("router.cluster.repartition.seconds");  // Registered: clean.
 }
 
 }  // namespace lint_fixture

@@ -585,6 +585,11 @@ TEST(RouterPipelineTest, ChipKillFailsChainsCrossingTheStageExactlyOnce) {
   }
   EXPECT_EQ(router.stats().shard_downs, 1);
   EXPECT_EQ(router.routable_shards(), 3);
+  // recover_on_chip_loss is off by default: a chip loss must keep these
+  // stage-down semantics untouched — no repartition, epoch stays 0.
+  EXPECT_EQ(router.stats().recoveries, 0);
+  EXPECT_EQ(router.stats().cluster_epoch, 0);
+  EXPECT_EQ(router.num_shards(), 4);
 
   bool stage_down_logged = false;
   for (const obs::Event& event : journal.Snapshot()) {
@@ -626,6 +631,42 @@ TEST(RouterPipelineTest, DeadlineBudgetPropagatesDownTheChain) {
   }
   ASSERT_TRUE(by_id.count(*fine));
   EXPECT_TRUE(by_id[*fine].status.ok()) << by_id[*fine].status.ToString();
+  EXPECT_TRUE(router.Shutdown().ok());
+}
+
+TEST(RouterTest, ExpiredBudgetIsRefusedBeforeRouting) {
+  // Every attempt — route, redirect, hedge — recomputes the REMAINING
+  // deadline budget under the router lock before submitting, so time spent
+  // queued, failing over or parked is charged instead of silently granting
+  // the shard the original end-to-end window. The route path is the
+  // observable anchor: a budget that is already gone by routing time must
+  // come back kDeadlineExceeded, never reach a shard with fresh slack.
+  const Graph graph = SmallModel();
+  Router router(ChipSpec::ScaledIpu(8), graph, FastOptions(2));
+  ASSERT_TRUE(router.Start().ok());
+
+  Request hopeless;
+  hopeless.op_slot = 0;
+  hopeless.deadline_seconds = 1e-12;  // Expired before SubmitAttempt runs.
+  const StatusOr<std::int64_t> refused = router.Submit(hopeless);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A live budget still routes and completes.
+  Request generous;
+  generous.op_slot = 0;
+  generous.deadline_seconds = 30.0;
+  const StatusOr<std::int64_t> fine = router.Submit(generous);
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  router.WaitIdle();
+  bool answered = false;
+  for (const Response& response : router.TakeResponses()) {
+    if (response.id == *fine) {
+      answered = true;
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    }
+  }
+  EXPECT_TRUE(answered);
   EXPECT_TRUE(router.Shutdown().ok());
 }
 

@@ -308,6 +308,25 @@ TEST(MachineFaultTest, DownedLinkIsDirectional) {
   EXPECT_EQ(machine.Data(a)[0], static_cast<std::byte>(2));
 }
 
+TEST(MachineTest, ReleaseStorageFreesEveryCoreAndRefusesNewAllocations) {
+  // Elastic-recovery hook: a permanently lost chip's machine gives its
+  // simulated scratchpads back in one shot and refuses to allocate again.
+  Machine machine(TinyChip(2));
+  BufferHandle a = *machine.Allocate(0, 256);
+  BufferHandle b = *machine.Allocate(1, 512);
+  (void)a;
+  (void)b;
+  EXPECT_FALSE(machine.storage_released());
+  const std::int64_t released = machine.ReleaseStorage();
+  EXPECT_GE(released, 256 + 512);
+  EXPECT_TRUE(machine.storage_released());
+  StatusOr<BufferHandle> after = machine.Allocate(0, 16);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  // Idempotent: the second release has nothing left to give back.
+  EXPECT_EQ(machine.ReleaseStorage(), 0);
+}
+
 TEST(MachineTest, PublishMetricsRecordsTrafficHistogram) {
   obs::MetricsRegistry registry;
   Machine machine(TinyChip(2));

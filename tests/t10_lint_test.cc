@@ -234,8 +234,13 @@ TEST(NamesTest, WildcardMatchesExactlyOneSegment) {
 TEST(NamesTest, RegistrationLookups) {
   EXPECT_TRUE(obs::IsRegisteredMetricName("serve.shed.count"));
   EXPECT_FALSE(obs::IsRegisteredMetricName("serve.invented.count"));
+  EXPECT_TRUE(obs::IsRegisteredMetricName("router.cluster.repartition.count"));
+  EXPECT_TRUE(obs::IsRegisteredMetricName("router.cluster.repartition.seconds"));
   EXPECT_TRUE(obs::IsRegisteredJournalEvent("request.shed"));
   EXPECT_FALSE(obs::IsRegisteredJournalEvent("request.invented"));
+  EXPECT_TRUE(obs::IsRegisteredJournalEvent("router.cluster.repartition"));
+  EXPECT_TRUE(obs::IsRegisteredJournalEvent("router.cluster.hot_swap"));
+  EXPECT_TRUE(obs::IsRegisteredJournalEvent("server.storage_released"));
   EXPECT_TRUE(obs::IsRegisteredJournalSubsystem("serve"));
   EXPECT_FALSE(obs::IsRegisteredJournalSubsystem("mars"));
 }
